@@ -1,0 +1,101 @@
+//! Shared vocabulary of the application suite.
+
+use ckd_charm::{Machine, RtsConfig};
+use ckd_net::presets;
+use ckd_topo::Machine as Topo;
+use ckdirect::DirectConfig;
+
+/// Which transport the application variant uses for its bulk exchanges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Ordinary Charm++ messages (the baseline the paper compares against).
+    Msg,
+    /// CkDirect persistent one-sided channels.
+    Ckd,
+}
+
+impl Variant {
+    /// Label used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Msg => "MSG",
+            Variant::Ckd => "CKD",
+        }
+    }
+}
+
+/// Which of the paper's two testbeds to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Platform {
+    /// NCSA Abe: Infiniband cluster, `cores_per_node` PEs per node.
+    IbAbe {
+        /// PEs per node (8 in the stencil/matmul runs, 2 in OpenAtom's).
+        cores_per_node: usize,
+    },
+    /// ANL Surveyor: Blue Gene/P, 4 PEs per node, 3-D torus, no RDMA.
+    Bgp,
+}
+
+impl Platform {
+    /// Build the simulated machine for `pes` processors.
+    pub fn machine(self, pes: usize) -> Machine {
+        match self {
+            Platform::IbAbe { cores_per_node } => {
+                // paper-era non-SMP builds: intra-node messages loop
+                // through the HCA rather than shared memory
+                let net =
+                    presets::ib_abe(Topo::ib_cluster(pes, cores_per_node)).with_nic_loopback();
+                Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib())
+            }
+            Platform::Bgp => {
+                let net =
+                    presets::bgp_surveyor(Topo::bgp_partition(pes)).with_nic_loopback();
+                Machine::new(net, RtsConfig::bgp(), DirectConfig::bgp())
+            }
+        }
+    }
+
+    /// Label used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::IbAbe { .. } => "Infiniband (Abe)",
+            Platform::Bgp => "Blue Gene/P",
+        }
+    }
+
+    /// Smallest PE count divisible by the node size.
+    pub fn min_pes(self) -> usize {
+        match self {
+            Platform::IbAbe { cores_per_node } => cores_per_node.max(2),
+            Platform::Bgp => 4,
+        }
+    }
+}
+
+/// The out-of-band pattern used by all apps: a signalling NaN with an
+/// all-ones payload, which none of the generated workloads ever produce
+/// (matching the paper's "NaN in an array of doubles" suggestion).
+pub const OOB_PATTERN: u64 = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_build() {
+        assert_eq!(Platform::IbAbe { cores_per_node: 2 }.machine(4).npes(), 4);
+        assert_eq!(Platform::Bgp.machine(8).npes(), 8);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Variant::Msg.label(), "MSG");
+        assert_eq!(Variant::Ckd.label(), "CKD");
+        assert!(Platform::Bgp.label().contains("Blue Gene"));
+    }
+
+    #[test]
+    fn oob_is_nan_when_viewed_as_f64() {
+        assert!(f64::from_bits(OOB_PATTERN).is_nan());
+    }
+}

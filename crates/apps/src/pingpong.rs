@@ -1,0 +1,462 @@
+//! The §3 pingpong microbenchmark on the Charm++ runtime.
+//!
+//! Two chares on different nodes bounce a fixed-size payload. The MSG
+//! variant uses ordinary messages (alloc + envelope + wire protocol +
+//! scheduler); the CKD variant uses a pair of CkDirect channels, one per
+//! direction, with `ready` re-arming between exchanges.
+//!
+//! Reported: average round-trip time, excluding setup (timing starts at the
+//! first bounce, as the paper averages over a thousand iterations).
+
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg};
+use ckd_sim::Time;
+use ckd_topo::{Dims, Idx, Mapper, Pe};
+use ckdirect::{HandleId, Region};
+
+use crate::common::{Platform, Variant, OOB_PATTERN};
+
+const EP_START: EntryId = EntryId(0);
+const EP_BALL: EntryId = EntryId(1);
+const EP_HANDSHAKE: EntryId = EntryId(2);
+
+/// Result of one pingpong run.
+#[derive(Clone, Copy, Debug)]
+pub struct PingResult {
+    /// Average round-trip time.
+    pub rtt: Time,
+    /// Exchanges measured.
+    pub iters: u32,
+}
+
+/// Message-variant endpoint.
+struct MsgPinger {
+    peer: Option<ChareRef>,
+    iters: u32,
+    initiator: bool,
+    bounces: u32,
+    t_first: Option<Time>,
+    t_last: Time,
+    payload: bytes::Bytes,
+}
+
+impl Chare for MsgPinger {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                if self.initiator {
+                    self.t_first = Some(ctx.now());
+                    let ball = Msg::bytes(EP_BALL, self.payload.clone());
+                    ctx.send(self.peer.unwrap(), ball);
+                }
+            }
+            EP_BALL => {
+                let peer = self.peer.expect("started");
+                if self.initiator {
+                    self.bounces += 1;
+                    self.t_last = ctx.now();
+                    if self.bounces >= self.iters {
+                        return;
+                    }
+                }
+                ctx.send(peer, Msg::bytes(EP_BALL, self.payload.clone()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+/// CkDirect-variant endpoint: owns the receive channel for its direction
+/// and the send association for the opposite one.
+struct CkdPinger {
+    peer: Option<ChareRef>,
+    bytes: usize,
+    iters: u32,
+    initiator: bool,
+    recv_region: Region,
+    send_region: Region,
+    recv_handle: Option<HandleId>,
+    send_handle: Option<HandleId>,
+    bounces: u32,
+    t_first: Option<Time>,
+    t_last: Time,
+}
+
+impl CkdPinger {
+    fn new(bytes: usize, iters: u32, initiator: bool) -> CkdPinger {
+        // regions must hold the 8-byte out-of-band word
+        let len = bytes.max(8);
+        let send_region = Region::alloc(len);
+        // a payload that never collides with the pattern
+        send_region.set_last_word(0x5AA5_5AA5_5AA5_5AA5);
+        CkdPinger {
+            peer: None,
+            bytes,
+            iters,
+            initiator,
+            recv_region: Region::alloc(len),
+            send_region,
+            recv_handle: None,
+            send_handle: None,
+            bounces: 0,
+            t_first: None,
+            t_last: Time::ZERO,
+        }
+    }
+
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.direct_put(self.send_handle.expect("handshake done"))
+            .expect("put");
+    }
+}
+
+impl Chare for CkdPinger {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                // create my inbound channel and ship the handle to the peer
+                self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                let h = ctx
+                    .direct_create_handle_wire(
+                        self.recv_region.clone(),
+                        OOB_PATTERN,
+                        0,
+                        self.bytes.max(8),
+                    )
+                    .expect("create");
+                self.recv_handle = Some(h);
+                ctx.send(self.peer.unwrap(), Msg::value(EP_HANDSHAKE, h, 16));
+            }
+            EP_HANDSHAKE => {
+                let h = *msg.payload.downcast::<HandleId>().unwrap();
+                ctx.direct_assoc_local(h, self.send_region.clone())
+                    .expect("assoc");
+                self.send_handle = Some(h);
+                if self.initiator {
+                    self.t_first = Some(ctx.now());
+                    self.serve(ctx);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, handle: HandleId) {
+        // consume + re-arm, then return the ball
+        ctx.direct_ready(handle).expect("ready");
+        if self.initiator {
+            self.bounces += 1;
+            self.t_last = ctx.now();
+            if self.bounces >= self.iters {
+                return;
+            }
+        }
+        self.serve(ctx);
+    }
+}
+
+/// Get-variant endpoint: each side must first *learn* the peer's data is
+/// ready (a small notify message — the synchronization §2 says a get
+/// cannot avoid), then pull it with `direct_get`.
+struct GetPinger {
+    peer: Option<ChareRef>,
+    bytes: usize,
+    iters: u32,
+    initiator: bool,
+    recv_region: Region,
+    send_region: Region,
+    /// handle whose data *we* pull (our inbound channel)
+    pull_handle: Option<HandleId>,
+    bounces: u32,
+    t_first: Option<Time>,
+    t_last: Time,
+}
+
+const EP_NOTIFY: EntryId = EntryId(3);
+
+impl GetPinger {
+    fn new(bytes: usize, iters: u32, initiator: bool) -> GetPinger {
+        let len = bytes.max(8);
+        let send_region = Region::alloc(len);
+        send_region.set_last_word(0x5AA5_5AA5_5AA5_5AA5);
+        GetPinger {
+            peer: None,
+            bytes,
+            iters,
+            initiator,
+            recv_region: Region::alloc(len),
+            send_region,
+            pull_handle: None,
+            bounces: 0,
+            t_first: None,
+            t_last: Time::ZERO,
+        }
+    }
+
+    fn announce(&mut self, ctx: &mut Ctx<'_>) {
+        // our data is ready: tell the peer so it can issue its get
+        ctx.send(self.peer.unwrap(), Msg::signal(EP_NOTIFY));
+    }
+}
+
+impl Chare for GetPinger {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                // we create the channel we will PULL through: recv here,
+                // send side associated by the peer
+                let h = ctx
+                    .direct_create_handle_wire(
+                        self.recv_region.clone(),
+                        OOB_PATTERN,
+                        0,
+                        self.bytes.max(8),
+                    )
+                    .expect("create");
+                self.pull_handle = Some(h);
+                ctx.send(self.peer.unwrap(), Msg::value(EP_HANDSHAKE, h, 16));
+            }
+            EP_HANDSHAKE => {
+                let h = *msg.payload.downcast::<HandleId>().unwrap();
+                ctx.direct_assoc_local(h, self.send_region.clone())
+                    .expect("assoc");
+                if self.initiator {
+                    self.t_first = Some(ctx.now());
+                    self.announce(ctx);
+                }
+            }
+            EP_NOTIFY => {
+                // the peer's data is ready: pull it
+                ctx.direct_get(self.pull_handle.expect("created"))
+                    .expect("get");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, handle: HandleId) {
+        // our get completed
+        ctx.direct_ready_mark(handle).expect("mark");
+        if self.initiator {
+            self.bounces += 1;
+            self.t_last = ctx.now();
+            if self.bounces >= self.iters {
+                return;
+            }
+        }
+        self.announce(ctx);
+    }
+}
+
+/// Pingpong built on `direct_get` instead of `direct_put` — quantifies the
+/// §2 argument for sender-initiated transfers: each leg pays a readiness
+/// notification plus the get's two wire traversals.
+pub fn charm_pingpong_get(platform: Platform, bytes: usize, iters: u32) -> PingResult {
+    assert!(iters > 0);
+    let mut m = platform.machine(platform.min_pes().max(8));
+    let (pa, pb) = cross_node_pes(&m);
+    let npes = m.npes();
+    let arr = m.create_array("getping", Dims::d1(npes), Mapper::Block, |idx| {
+        Box::new(GetPinger::new(bytes, iters, idx.at(0) == pa)) as Box<dyn Chare>
+    });
+    let a = m.element(arr, Idx::i1(pa));
+    let b = m.element(arr, Idx::i1(pb));
+    m.seed(a, Msg::value(EP_START, b, 8));
+    m.seed(b, Msg::value(EP_START, a, 8));
+    m.run();
+    let c = m.chare::<GetPinger>(a).unwrap();
+    assert_eq!(c.bounces, iters, "get pingpong did not complete");
+    PingResult {
+        rtt: (c.t_last - c.t_first.expect("ran")) / iters as u64,
+        iters,
+    }
+}
+
+/// Pick two chare home PEs on different nodes (the tables measure the
+/// network path, not intra-node shared memory).
+fn cross_node_pes(m: &Machine) -> (usize, usize) {
+    let topo = m.net().machine().clone();
+    let b = (1..topo.npes())
+        .find(|&p| !topo.same_node(Pe(0), Pe(p as u32)))
+        .unwrap_or(topo.npes() - 1);
+    (0, b)
+}
+
+/// Run the Charm++ pingpong for `bytes` payloads over `iters` exchanges.
+pub fn charm_pingpong(
+    platform: Platform,
+    variant: Variant,
+    bytes: usize,
+    iters: u32,
+) -> PingResult {
+    let m = platform.machine(platform.min_pes().max(8));
+    charm_pingpong_on(m, variant, bytes, iters)
+}
+
+/// [`charm_pingpong`] on a caller-built machine — the ablation benches use
+/// this to sweep runtime-cost parameters (header size, scheduler overhead,
+/// rendezvous threshold).
+pub fn charm_pingpong_on(
+    mut m: Machine,
+    variant: Variant,
+    bytes: usize,
+    iters: u32,
+) -> PingResult {
+    assert!(iters > 0);
+    let (pa, pb) = cross_node_pes(&m);
+    let npes = m.npes();
+    // Map a 1-per-PE array and use the elements homed on the two PEs.
+    let mk = |initiator: bool| -> Box<dyn Chare> {
+        match variant {
+            Variant::Msg => Box::new(MsgPinger {
+                peer: None,
+                iters,
+                initiator,
+                bounces: 0,
+                t_first: None,
+                t_last: Time::ZERO,
+                payload: bytes::Bytes::from(vec![0x5Au8; bytes]),
+            }),
+            Variant::Ckd => Box::new(CkdPinger::new(bytes, iters, initiator)),
+        }
+    };
+    let arr = m.create_array("ping", Dims::d1(npes), Mapper::Block, |idx| {
+        mk(idx.at(0) == pa)
+    });
+    let a = m.element(arr, Idx::i1(pa));
+    let b = m.element(arr, Idx::i1(pb));
+    m.seed(a, Msg::value(EP_START, b, 8));
+    m.seed(b, Msg::value(EP_START, a, 8));
+    m.run();
+
+    let (t_first, t_last, bounces) = match variant {
+        Variant::Msg => {
+            let c = m.chare::<MsgPinger>(a).unwrap();
+            (c.t_first.expect("ran"), c.t_last, c.bounces)
+        }
+        Variant::Ckd => {
+            let c = m.chare::<CkdPinger>(a).unwrap();
+            (c.t_first.expect("ran"), c.t_last, c.bounces)
+        }
+    };
+    assert_eq!(bounces, iters, "pingpong did not complete");
+    PingResult {
+        rtt: (t_last - t_first) / iters as u64,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ABE: Platform = Platform::IbAbe { cores_per_node: 2 };
+
+    #[test]
+    fn msg_and_ckd_complete() {
+        for v in [Variant::Msg, Variant::Ckd] {
+            let r = charm_pingpong(ABE, v, 1000, 20);
+            assert_eq!(r.iters, 20);
+            assert!(r.rtt > Time::ZERO);
+        }
+    }
+
+    /// Table 1, CkDirect row, 100 B: RTT 12.38 µs (±20%).
+    #[test]
+    fn table1_ckd_100b() {
+        let r = charm_pingpong(ABE, Variant::Ckd, 100, 100);
+        let us = r.rtt.as_us_f64();
+        assert!((10.0..15.0).contains(&us), "got {us}");
+    }
+
+    /// Table 1, Default row, 100 B: RTT 22.92 µs (±20%).
+    #[test]
+    fn table1_msg_100b() {
+        let r = charm_pingpong(ABE, Variant::Msg, 100, 100);
+        let us = r.rtt.as_us_f64();
+        assert!((18.5..27.5).contains(&us), "got {us}");
+    }
+
+    /// Table 1, 500 KB: Default 1399 µs, CkDirect 1294 µs (±10%).
+    #[test]
+    fn table1_500kb_both() {
+        let msg = charm_pingpong(ABE, Variant::Msg, 500_000, 10).rtt.as_us_f64();
+        let ckd = charm_pingpong(ABE, Variant::Ckd, 500_000, 10).rtt.as_us_f64();
+        assert!((1260.0..1540.0).contains(&msg), "msg {msg}");
+        assert!((1165.0..1425.0).contains(&ckd), "ckd {ckd}");
+        assert!(ckd < msg);
+    }
+
+    /// CkDirect wins at every size the paper lists, on both platforms.
+    #[test]
+    fn ckd_beats_msg_at_all_table_sizes() {
+        for platform in [ABE, Platform::Bgp] {
+            for kb in [0.1f64, 1.0, 10.0, 40.0, 100.0] {
+                let bytes = (kb * 1000.0) as usize;
+                let msg = charm_pingpong(platform, Variant::Msg, bytes, 20).rtt;
+                let ckd = charm_pingpong(platform, Variant::Ckd, bytes, 20).rtt;
+                assert!(
+                    ckd < msg,
+                    "{}: {} B: ckd {} !< msg {}",
+                    platform.label(),
+                    bytes,
+                    ckd,
+                    msg
+                );
+            }
+        }
+    }
+
+    /// Table 2, CkDirect, 100 B: RTT 5.13 µs (±25%).
+    #[test]
+    fn table2_ckd_100b() {
+        let r = charm_pingpong(Platform::Bgp, Variant::Ckd, 100, 100);
+        let us = r.rtt.as_us_f64();
+        assert!((3.9..6.4).contains(&us), "got {us}");
+    }
+
+    /// Table 2, Default, 100 B: RTT 14.47 µs (±25%).
+    #[test]
+    fn table2_msg_100b() {
+        let r = charm_pingpong(Platform::Bgp, Variant::Msg, 100, 100);
+        let us = r.rtt.as_us_f64();
+        assert!((10.8..18.1).contains(&us), "got {us}");
+    }
+
+    /// §2's design argument, quantified: the get-based exchange pays a
+    /// readiness notification plus a request/response data path, so put
+    /// beats get at every size on both fabrics.
+    #[test]
+    fn put_beats_get_at_every_size() {
+        for platform in [ABE, Platform::Bgp] {
+            for bytes in [100usize, 10_000, 100_000] {
+                let put = charm_pingpong(platform, Variant::Ckd, bytes, 20).rtt;
+                let get = charm_pingpong_get(platform, bytes, 20).rtt;
+                assert!(
+                    put < get,
+                    "{} {bytes}B: put {put} !< get {get}",
+                    platform.label()
+                );
+            }
+        }
+    }
+
+    /// The paper's §3 analysis: on Abe the Default-vs-CkDirect gap *jumps*
+    /// across the 20→30 KB eager→rendezvous switch, then keeps growing
+    /// slowly.
+    #[test]
+    fn rendezvous_switch_shows_in_the_gap() {
+        let gap = |bytes| {
+            let msg = charm_pingpong(ABE, Variant::Msg, bytes, 20).rtt.as_us_f64();
+            let ckd = charm_pingpong(ABE, Variant::Ckd, bytes, 20).rtt.as_us_f64();
+            msg - ckd
+        };
+        let below = gap(20_000);
+        let above = gap(30_000);
+        assert!(
+            above > below + 15.0,
+            "no rendezvous jump: {below} -> {above}"
+        );
+    }
+}

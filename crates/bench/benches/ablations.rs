@@ -1,0 +1,313 @@
+//! Ablation studies for the design choices the paper calls out:
+//!
+//! 1. `ready` vs `ReadyMark`+`ReadyPollQ` (§5.2's polling pathology);
+//! 2. envelope header size (§3: ~80 B explains the small-message gap);
+//! 3. scheduler overhead (§3: the constant scheduling term);
+//! 4. virtualization ratio (§4.1: 8 chares/PE was best);
+//! 5. the eager→rendezvous switch point (§3: 20–30 KB on Abe);
+//! 6. put vs get (§2's argument for sender-initiated transfers);
+//! 7. the automatic channel-learning framework (the conclusion's proposed
+//!    extension) against hand-written messages and hand-written CkDirect.
+
+use ckd_apps::jacobi3d::{run_jacobi, JacobiCfg};
+use ckd_apps::openatom::{run_openatom, OpenAtomCfg};
+use ckd_apps::pingpong::{charm_pingpong, charm_pingpong_get, charm_pingpong_on};
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, scale, Scale};
+use ckd_charm::{Machine, RtsConfig};
+use ckd_net::presets;
+use ckd_sim::Time;
+use ckd_topo::Machine as Topo;
+use ckdirect::DirectConfig;
+
+fn ib_machine_with(cfg: RtsConfig) -> Machine {
+    Machine::new(
+        presets::ib_abe(Topo::ib_cluster(8, 2)),
+        cfg,
+        DirectConfig::ib(),
+    )
+}
+
+fn ablation_ready_split(steps: u32) {
+    banner("Ablation 1: ready vs ReadyMark/ReadyPollQ (mini-OpenAtom, Abe)");
+    println!(
+        "{:<10} {:>14} {:>16} {:>14}",
+        "mode", "us/step", "poll checks", "vs MSG %"
+    );
+    let base = OpenAtomCfg {
+        nstates: 64,
+        nplanes: 8,
+        grain: 8,
+        pts: 256,
+        steps,
+        variant: Variant::Ckd,
+        pc_only: false,
+        ready_split: false,
+    };
+    let abe = Platform::IbAbe { cores_per_node: 2 };
+    let msg = run_openatom(
+        abe,
+        16,
+        OpenAtomCfg {
+            variant: Variant::Msg,
+            ..base
+        },
+    );
+    for (label, split) in [("naive", false), ("split", true)] {
+        let r = run_openatom(
+            abe,
+            16,
+            OpenAtomCfg {
+                ready_split: split,
+                ..base
+            },
+        );
+        println!(
+            "{:<10} {:>14.1} {:>16} {:>14.2}",
+            label,
+            r.time_per_step.as_us_f64(),
+            r.poll_checks,
+            ckd_bench::improvement(msg.time_per_step, r.time_per_step)
+        );
+    }
+    println!(
+        "{:<10} {:>14.1} {:>16} {:>14}",
+        "MSG",
+        msg.time_per_step.as_us_f64(),
+        0,
+        "-"
+    );
+}
+
+fn ablation_header(iters: u32) {
+    banner("Ablation 2: envelope size vs small-message RTT (100 B pingpong, Abe)");
+    println!("{:<12} {:>12} {:>12}", "env bytes", "MSG RTT us", "CKD RTT us");
+    for env in [0usize, 40, 80, 160, 320] {
+        let mut cfg = RtsConfig::ib_abe();
+        cfg.env_bytes = env;
+        let msg = charm_pingpong_on(ib_machine_with(cfg), Variant::Msg, 100, iters).rtt;
+        let ckd = charm_pingpong_on(ib_machine_with(cfg), Variant::Ckd, 100, iters).rtt;
+        println!(
+            "{:<12} {:>12.3} {:>12.3}",
+            env,
+            msg.as_us_f64(),
+            ckd.as_us_f64()
+        );
+    }
+}
+
+fn ablation_sched(iters: u32) {
+    banner("Ablation 3: scheduler overhead vs RTT (100 B pingpong, Abe)");
+    println!("{:<12} {:>12} {:>12}", "sched us", "MSG RTT us", "CKD RTT us");
+    for sched_ns in [0u64, 1000, 2500, 5000, 10000] {
+        let mut cfg = RtsConfig::ib_abe();
+        cfg.sched = Time::from_ns(sched_ns);
+        let msg = charm_pingpong_on(ib_machine_with(cfg), Variant::Msg, 100, iters).rtt;
+        let ckd = charm_pingpong_on(ib_machine_with(cfg), Variant::Ckd, 100, iters).rtt;
+        println!(
+            "{:<12.1} {:>12.3} {:>12.3}",
+            sched_ns as f64 / 1000.0,
+            msg.as_us_f64(),
+            ckd.as_us_f64()
+        );
+    }
+    println!("(CkDirect bypasses the scheduler: its column must stay flat)");
+}
+
+fn ablation_vratio(iters: u32) {
+    banner("Ablation 4: virtualization ratio (Jacobi3D, 256x256x128, 16 PEs, Abe)");
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>10}",
+        "ratio", "chares", "MSG us/iter", "CKD us/iter", "improv %"
+    );
+    for (ratio, chares) in [
+        (1u32, [4usize, 2, 2]),
+        (2, [4, 4, 2]),
+        (4, [4, 4, 4]),
+        (8, [8, 4, 4]),
+        (16, [8, 8, 4]),
+        (32, [8, 8, 8]),
+    ] {
+        let mk = |variant| JacobiCfg {
+            domain: [256, 256, 128],
+            chares,
+            iters,
+            variant,
+            real_compute: false,
+        };
+        let p = Platform::IbAbe { cores_per_node: 8 };
+        let msg = run_jacobi(p, 16, mk(Variant::Msg)).time_per_iter;
+        let ckd = run_jacobi(p, 16, mk(Variant::Ckd)).time_per_iter;
+        println!(
+            "{:<8} {:>10} {:>14.1} {:>14.1} {:>10.2}",
+            ratio,
+            chares.iter().product::<usize>(),
+            msg.as_us_f64(),
+            ckd.as_us_f64(),
+            ckd_bench::improvement(msg, ckd)
+        );
+    }
+}
+
+fn ablation_rendezvous(iters: u32) {
+    banner("Ablation 5: eager->rendezvous switch vs 30 KB message RTT (Abe)");
+    println!("{:<14} {:>12}", "eager max KB", "MSG RTT us");
+    for max_kb in [8usize, 16, 24, 32, 64] {
+        let mut cfg = RtsConfig::ib_abe();
+        cfg.eager_max = max_kb * 1024;
+        let msg = charm_pingpong_on(ib_machine_with(cfg), Variant::Msg, 30_000, iters).rtt;
+        println!("{:<14} {:>12.3}", max_kb, msg.as_us_f64());
+    }
+    println!("(the default 20 KB switch makes 30 KB messages pay the rendezvous)");
+}
+
+fn ablation_put_vs_get(iters: u32) {
+    banner("Ablation 6: put vs get pingpong RTT (us) — why the paper chose put");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "bytes", "IB put", "IB get", "BGP put", "BGP get"
+    );
+    let abe = Platform::IbAbe { cores_per_node: 2 };
+    for bytes in [100usize, 10_000, 100_000] {
+        let ib_put = charm_pingpong(abe, Variant::Ckd, bytes, iters).rtt;
+        let ib_get = charm_pingpong_get(abe, bytes, iters).rtt;
+        let bgp_put = charm_pingpong(Platform::Bgp, Variant::Ckd, bytes, iters).rtt;
+        let bgp_get = charm_pingpong_get(Platform::Bgp, bytes, iters).rtt;
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            bytes,
+            ib_put.as_us_f64(),
+            ib_get.as_us_f64(),
+            bgp_put.as_us_f64(),
+            bgp_get.as_us_f64()
+        );
+    }
+    println!("(each get leg pays a readiness notification + two wire traversals)");
+}
+
+fn ablation_learning(iters: u32) {
+    banner("Ablation 7: automatic channel learning (4 KB producer/consumer rounds, Abe)");
+    use ckd_charm::{Chare, ChareRef, Ctx, EntryId, LearnConfig, Msg};
+    use ckd_topo::{Dims, Idx};
+
+    const EP_START: EntryId = EntryId(0);
+    const EP_DATA: EntryId = EntryId(1);
+    const EP_ACK: EntryId = EntryId(2);
+    const SIZE: usize = 4096;
+
+    struct Prod {
+        peer: Option<ChareRef>,
+        round: u32,
+        rounds: u32,
+        learned: bool,
+        t_done: Time,
+    }
+    impl Chare for Prod {
+        fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.ep {
+                EP_START => {
+                    self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                    self.fire(ctx);
+                }
+                EP_ACK => {
+                    self.t_done = ctx.now();
+                    if self.round < self.rounds {
+                        self.fire(ctx);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    impl Prod {
+        fn fire(&mut self, ctx: &mut Ctx<'_>) {
+            self.round += 1;
+            let msg = Msg::bytes(EP_DATA, bytes::Bytes::from(vec![7u8; SIZE]));
+            let peer = self.peer.unwrap();
+            if self.learned {
+                ctx.send_learned(peer, msg);
+            } else {
+                ctx.send(peer, msg);
+            }
+        }
+    }
+    struct Cons {
+        peer: Option<ChareRef>,
+    }
+    impl Chare for Cons {
+        fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.ep {
+                EP_START => self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap()),
+                EP_DATA => {
+                    let peer = self.peer.unwrap();
+                    ctx.send(peer, Msg::signal(EP_ACK));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    let run = |learned: bool| {
+        let mut m = ib_machine_with(ckd_charm::RtsConfig::ib_abe());
+        if learned {
+            m.enable_learning(LearnConfig { threshold: 3 });
+        }
+        let pa = m.create_array("p", Dims::d1(1), ckd_topo::Mapper::Block, |_| {
+            Box::new(Prod {
+                peer: None,
+                round: 0,
+                rounds: iters,
+                learned,
+                t_done: Time::ZERO,
+            }) as Box<dyn Chare>
+        });
+        let npes = m.npes();
+        let ca = m.create_array("c", Dims::d1(npes), ckd_topo::Mapper::Block, |_| {
+            Box::new(Cons { peer: None }) as Box<dyn Chare>
+        });
+        let p = m.element(pa, Idx::i1(0));
+        let c = m.element(ca, Idx::i1(npes - 1));
+        m.seed(c, Msg::value(EP_START, p, 8));
+        m.seed(p, Msg::value(EP_START, c, 8));
+        m.run();
+        let end = m.chare::<Prod>(p).unwrap().t_done;
+        let (installed, hits, misses) = m.learning_totals();
+        (end / iters as u64, installed, hits, misses)
+    };
+    let (msg_rt, _, _, _) = run(false);
+    let (learn_rt, installed, hits, misses) = run(true);
+    println!(
+        "{:<22} {:>14} {:>10} {:>8} {:>8}",
+        "mode", "us/round", "channels", "hits", "misses"
+    );
+    println!(
+        "{:<22} {:>14.2} {:>10} {:>8} {:>8}",
+        "messages",
+        msg_rt.as_us_f64(),
+        0,
+        0,
+        0
+    );
+    println!(
+        "{:<22} {:>14.2} {:>10} {:>8} {:>8}",
+        "learned channels",
+        learn_rt.as_us_f64(),
+        installed,
+        hits,
+        misses
+    );
+    println!("(the runtime installed the channel after 3 identical sends)");
+}
+
+fn main() {
+    let s = scale();
+    let iters = if s == Scale::Quick { 5 } else { 50 };
+    let steps = if s == Scale::Quick { 2 } else { 4 };
+    ablation_ready_split(steps);
+    ablation_header(iters);
+    ablation_sched(iters);
+    ablation_vratio(if s == Scale::Quick { 2 } else { 6 });
+    ablation_rendezvous(iters);
+    ablation_put_vs_get(iters.min(25));
+    ablation_learning(iters.max(20));
+}

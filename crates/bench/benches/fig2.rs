@@ -1,0 +1,68 @@
+//! Figure 2 — Jacobi3D stencil: % improvement in iteration time of the
+//! CkDirect variant over Charm++ messages, vs processor count.
+//!
+//! (a) Infiniband (Abe, 8 cores/node), (b) Blue Gene/P. Domain
+//! 1024×1024×512, virtualization ratio 8 (the paper's best), modeled
+//! compute at figure scale.
+
+use ckd_apps::jacobi3d::{improvement_percent, run_jacobi, JacobiCfg};
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, pick, scale, Scale};
+
+/// A chare grid of roughly `8 × pes` cuboids whose extents divide the
+/// domain (powers of two throughout).
+fn grid_for(pes: usize) -> [usize; 3] {
+    let mut g = [1usize, 1, 1];
+    let mut total = 1;
+    let mut axis = 0;
+    while total < pes * 8 {
+        g[axis] *= 2;
+        total *= 2;
+        axis = (axis + 1) % 3;
+    }
+    g
+}
+
+fn series(platform: Platform, pes_list: &[usize], iters: u32) {
+    println!(
+        "{:<8} {:>12} {:>12} {:>14}",
+        "PEs", "MSG us/iter", "CKD us/iter", "improvement %"
+    );
+    for &pes in pes_list {
+        let chares = grid_for(pes);
+        let mk = |variant| JacobiCfg {
+            domain: [1024, 1024, 512],
+            chares,
+            iters,
+            variant,
+            real_compute: false,
+        };
+        let msg = run_jacobi(platform, pes, mk(Variant::Msg)).time_per_iter;
+        let ckd = run_jacobi(platform, pes, mk(Variant::Ckd)).time_per_iter;
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>14.2}",
+            pes,
+            msg.as_us_f64(),
+            ckd.as_us_f64(),
+            improvement_percent(msg, ckd)
+        );
+    }
+}
+
+fn main() {
+    let s = scale();
+    let iters = if s == Scale::Quick { 3 } else { 8 };
+
+    banner("Fig 2(a): Jacobi3D improvement, Infiniband (paper: ~12% at 256 PEs)");
+    let ib_pes = pick(s, &[16, 64], &[16, 32, 64, 128, 256], &[16, 32, 64, 128, 256]);
+    series(Platform::IbAbe { cores_per_node: 8 }, &ib_pes, iters);
+
+    banner("Fig 2(b): Jacobi3D improvement, Blue Gene/P (paper: gains grow 64->4096)");
+    let bgp_pes = pick(
+        s,
+        &[64],
+        &[64, 256, 1024],
+        &[64, 128, 256, 512, 1024, 2048, 4096],
+    );
+    series(Platform::Bgp, &bgp_pes, iters);
+}

@@ -1,0 +1,63 @@
+//! Figure 3 — 3-D matrix multiplication (2048×2048): execution time per
+//! multiplication for the message-based and CkDirect versions.
+//!
+//! (a) Blue Gene/P (paper: ~40 % improvement at 4K PEs), (b) Abe.
+
+use ckd_apps::matmul3d::{run_matmul, MatmulCfg};
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, pick, scale, Scale};
+
+/// Chare-grid edge per PE count: keeps blocks dividing 2048 while growing
+/// the number of messages per PE with scale, as the paper describes.
+fn grid_for(pes: usize) -> usize {
+    match pes {
+        0..=31 => 4,
+        32..=127 => 8,
+        128..=1023 => 16,
+        1024..=2047 => 32,
+        // finest decomposition: 32x32-element blocks, the paper's
+        // "PairCalculator further decomposed at higher processor counts"
+        // analogue for matmul
+        _ => 64,
+    }
+}
+
+fn series(platform: Platform, pes_list: &[usize], iters: u32) {
+    println!(
+        "{:<8} {:>6} {:>14} {:>14} {:>12}",
+        "PEs", "grid", "MSG ms/mult", "CKD ms/mult", "improv. %"
+    );
+    for &pes in pes_list {
+        let grid = grid_for(pes);
+        let mk = |variant| MatmulCfg {
+            n: 2048,
+            grid,
+            iters,
+            variant,
+            real_compute: false,
+        };
+        let msg = run_matmul(platform, pes, mk(Variant::Msg)).time_per_iter;
+        let ckd = run_matmul(platform, pes, mk(Variant::Ckd)).time_per_iter;
+        println!(
+            "{:<8} {:>6} {:>14.2} {:>14.2} {:>12.2}",
+            pes,
+            grid,
+            msg.as_ms_f64(),
+            ckd.as_ms_f64(),
+            ckd_bench::improvement(msg, ckd)
+        );
+    }
+}
+
+fn main() {
+    let s = scale();
+    let iters = if s == Scale::Quick { 1 } else { 3 };
+
+    banner("Fig 3(a): MatMul 2048x2048, Blue Gene/P");
+    let bgp = pick(s, &[64], &[64, 256, 1024], &[64, 256, 1024, 4096]);
+    series(Platform::Bgp, &bgp, iters);
+
+    banner("Fig 3(b): MatMul 2048x2048, Abe (Infiniband)");
+    let abe = pick(s, &[16, 64], &[16, 32, 64, 128, 256], &[16, 32, 64, 128, 256]);
+    series(Platform::IbAbe { cores_per_node: 8 }, &abe, iters);
+}

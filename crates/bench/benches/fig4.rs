@@ -1,0 +1,60 @@
+//! Figure 4 — mini-OpenAtom step times on Abe (2 cores/node, as the paper
+//! used to isolate network effects): CkDirect vs Charm++ messages, full
+//! step and PairCalculator-only runs.
+
+use ckd_apps::openatom::{run_openatom, OpenAtomCfg};
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, pick, scale, Scale};
+
+pub fn series(platform: Platform, pes_list: &[usize], steps: u32) {
+    let base = OpenAtomCfg {
+        nstates: 256,
+        nplanes: 8,
+        grain: 64,
+        pts: 512,
+        steps,
+        variant: Variant::Msg,
+        pc_only: false,
+        ready_split: true, // the paper's optimized configuration
+    };
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "PEs", "MSG ms", "CKD ms", "full %", "MSG-PC ms", "CKD-PC ms", "PC %"
+    );
+    for &pes in pes_list {
+        let run = |variant, pc_only| {
+            run_openatom(
+                platform,
+                pes,
+                OpenAtomCfg {
+                    variant,
+                    pc_only,
+                    ..base
+                },
+            )
+            .time_per_step
+        };
+        let msg = run(Variant::Msg, false);
+        let ckd = run(Variant::Ckd, false);
+        let msg_pc = run(Variant::Msg, true);
+        let ckd_pc = run(Variant::Ckd, true);
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>8.2} {:>12.2} {:>12.2} {:>8.2}",
+            pes,
+            msg.as_ms_f64(),
+            ckd.as_ms_f64(),
+            ckd_bench::improvement(msg, ckd),
+            msg_pc.as_ms_f64(),
+            ckd_pc.as_ms_f64(),
+            ckd_bench::improvement(msg_pc, ckd_pc),
+        );
+    }
+}
+
+fn main() {
+    let s = scale();
+    let steps = if s == Scale::Quick { 2 } else { 4 };
+    banner("Fig 4: mini-OpenAtom on Abe, 2 cores/node (paper: ~4% full, up to ~14% PC-only)");
+    let pes = pick(s, &[16], &[16, 32, 64, 128, 256], &[16, 32, 64, 128, 256]);
+    series(Platform::IbAbe { cores_per_node: 2 }, &pes, steps);
+}

@@ -1,0 +1,57 @@
+//! Figure 5 — mini-OpenAtom step times on Blue Gene/P: CkDirect vs
+//! messages, full step and PairCalculator-only. The paper finds only
+//! slight full-step gains here (no RDMA: CkDirect removes just envelope +
+//! scheduler costs, and the app overlaps communication well).
+
+use ckd_apps::openatom::{run_openatom, OpenAtomCfg};
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, pick, scale, Scale};
+
+fn main() {
+    let s = scale();
+    let steps = if s == Scale::Quick { 2 } else { 4 };
+    banner("Fig 5: mini-OpenAtom on Blue Gene/P (paper: slight gains; larger PC-only at scale)");
+    let pes = pick(s, &[64], &[64, 256, 1024], &[64, 256, 1024, 4096]);
+    let base = OpenAtomCfg {
+        nstates: 256,
+        nplanes: 16,
+        grain: 64,
+        pts: 512,
+        steps,
+        variant: Variant::Msg,
+        pc_only: false,
+        ready_split: true,
+    };
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "PEs", "MSG ms", "CKD ms", "full %", "MSG-PC ms", "CKD-PC ms", "PC %"
+    );
+    for &pes_n in &pes {
+        let run = |variant, pc_only| {
+            run_openatom(
+                Platform::Bgp,
+                pes_n,
+                OpenAtomCfg {
+                    variant,
+                    pc_only,
+                    ..base
+                },
+            )
+            .time_per_step
+        };
+        let msg = run(Variant::Msg, false);
+        let ckd = run(Variant::Ckd, false);
+        let msg_pc = run(Variant::Msg, true);
+        let ckd_pc = run(Variant::Ckd, true);
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>8.2} {:>12.2} {:>12.2} {:>8.2}",
+            pes_n,
+            msg.as_ms_f64(),
+            ckd.as_ms_f64(),
+            ckd_bench::improvement(msg, ckd),
+            msg_pc.as_ms_f64(),
+            ckd_pc.as_ms_f64(),
+            ckd_bench::improvement(msg_pc, ckd_pc),
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 1 — pingpong round-trip times on the Infiniband (Abe) model:
+//! Default Charm++, CkDirect, MPICH-VMI, MVAPICH two-sided, MVAPICH `MPI_Put`.
+
+use ckd_apps::pingpong::charm_pingpong;
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, print_size_header, print_time_row, scale, Scale, TABLE_SIZES};
+use ckd_mpi::{flavor, pingpong_rtt, PingMode};
+use ckd_net::presets;
+use ckd_topo::Machine as Topo;
+
+fn main() {
+    let iters = match scale() {
+        Scale::Quick => 5,
+        Scale::Standard => 100,
+        Scale::Full => 1000, // the paper's iteration count
+    };
+    let abe = Platform::IbAbe { cores_per_node: 2 };
+    let net = presets::ib_abe(Topo::ib_cluster(8, 2));
+
+    banner("Table 1: pingpong RTT (us) on Infiniband (Abe model)");
+    print_size_header();
+    let run_charm = |v: Variant| -> Vec<_> {
+        TABLE_SIZES
+            .iter()
+            .map(|&b| charm_pingpong(abe, v, b, iters).rtt)
+            .collect()
+    };
+    print_time_row("Default CHARM++", &run_charm(Variant::Msg));
+    print_time_row("CkDirect CHARM++", &run_charm(Variant::Ckd));
+    let run_mpi = |f: ckd_mpi::MpiFlavor, mode: PingMode| -> Vec<_> {
+        TABLE_SIZES
+            .iter()
+            .map(|&b| pingpong_rtt(&net, f, b, iters, mode))
+            .collect()
+    };
+    print_time_row(
+        "MPICH-VMI",
+        &run_mpi(flavor::mpich_vmi(), PingMode::TwoSided),
+    );
+    print_time_row("MVAPICH", &run_mpi(flavor::mvapich(), PingMode::TwoSided));
+    print_time_row(
+        "MVAPICH-Put",
+        &run_mpi(flavor::mvapich(), PingMode::OneSidedPscw),
+    );
+
+    println!();
+    println!("paper values:");
+    ckd_bench::print_row(
+        "Default CHARM++",
+        &[22.924, 25.110, 47.340, 66.176, 96.215, 160.470, 191.343, 271.803, 353.305, 1399.145],
+    );
+    ckd_bench::print_row(
+        "CkDirect CHARM++",
+        &[12.383, 16.108, 29.330, 43.136, 68.927, 93.422, 120.954, 195.248, 275.322, 1294.358],
+    );
+    ckd_bench::print_row(
+        "MPICH-VMI",
+        &[12.367, 19.669, 37.318, 60.892, 102.684, 127.591, 201.148, 322.687, 332.690, 1396.942],
+    );
+    ckd_bench::print_row(
+        "MVAPICH",
+        &[12.302, 19.436, 37.311, 56.249, 88.659, 119.452, 144.973, 236.545, 315.692, 1386.051],
+    );
+    ckd_bench::print_row(
+        "MVAPICH-Put",
+        &[16.801, 22.821, 51.750, 64.202, 94.250, 120.218, 146.028, 232.021, 308.942, 1369.516],
+    );
+}

@@ -1,0 +1,56 @@
+//! Table 2 — pingpong round-trip times on the Blue Gene/P (Surveyor) model:
+//! Default Charm++, CkDirect, IBM MPI two-sided, IBM `MPI_Put`.
+
+use ckd_apps::pingpong::charm_pingpong;
+use ckd_apps::{Platform, Variant};
+use ckd_bench::{banner, print_size_header, print_time_row, scale, Scale, TABLE_SIZES};
+use ckd_mpi::{flavor, pingpong_rtt, PingMode};
+use ckd_net::presets;
+use ckd_topo::Machine as Topo;
+
+fn main() {
+    let iters = match scale() {
+        Scale::Quick => 5,
+        Scale::Standard => 100,
+        Scale::Full => 1000,
+    };
+    let net = presets::bgp_surveyor(Topo::bgp_partition(8));
+
+    banner("Table 2: pingpong RTT (us) on Blue Gene/P (Surveyor model)");
+    print_size_header();
+    let run_charm = |v: Variant| -> Vec<_> {
+        TABLE_SIZES
+            .iter()
+            .map(|&b| charm_pingpong(Platform::Bgp, v, b, iters).rtt)
+            .collect()
+    };
+    print_time_row("Default CHARM++", &run_charm(Variant::Msg));
+    print_time_row("CkDirect CHARM++", &run_charm(Variant::Ckd));
+    let run_mpi = |mode: PingMode| -> Vec<_> {
+        TABLE_SIZES
+            .iter()
+            .map(|&b| pingpong_rtt(&net, flavor::ibm_bgp(), b, iters, mode))
+            .collect()
+    };
+    print_time_row("MPI", &run_mpi(PingMode::TwoSided));
+    print_time_row("MPI-Put", &run_mpi(PingMode::OneSidedPscw));
+
+    println!();
+    println!("paper values:");
+    ckd_bench::print_row(
+        "Default CHARM++",
+        &[14.467, 20.822, 44.822, 72.976, 128.166, 186.771, 240.306, 400.226, 560.634, 2693.601],
+    );
+    ckd_bench::print_row(
+        "CkDirect CHARM++",
+        &[5.133, 11.379, 33.112, 60.675, 115.103, 169.552, 223.599, 383.732, 543.491, 2677.072],
+    );
+    ckd_bench::print_row(
+        "MPI",
+        &[7.606, 13.936, 39.903, 66.661, 120.548, 173.041, 226.739, 386.712, 546.740, 2680.459],
+    );
+    ckd_bench::print_row(
+        "MPI-Put",
+        &[14.049, 17.836, 39.963, 67.972, 122.693, 178.571, 232.629, 392.388, 552.708, 2685.972],
+    );
+}

@@ -1,0 +1,95 @@
+//! Criterion wall-clock benches of the real (non-simulated) components:
+//!
+//! * the real-thread `DirectChannel` data path (put + poll + arm) against a
+//!   conventional queue+dispatch message path — the host-machine analogue
+//!   of Table 1's CkDirect-vs-messages comparison;
+//! * the discrete-event queue;
+//! * the full simulated scheduler (virtual-events per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ckd_apps::pingpong::charm_pingpong;
+use ckd_apps::{Platform, Variant};
+use ckd_sim::{EventQueue, Time};
+use ckdirect::direct;
+
+/// One-slot direct channel: put → poll → arm, single-threaded (isolates
+/// the per-operation software cost, independent of core count).
+fn bench_direct_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direct_channel");
+    for size in [64usize, 1024, 16 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("put_poll_arm_{size}B"), |b| {
+            let (mut tx, mut rx) = direct::channel(size, u64::MAX);
+            let payload = vec![0x5Au8; size];
+            b.iter(|| {
+                tx.put(&payload).expect("armed");
+                assert!(rx.poll());
+                rx.with_data(|v| std::hint::black_box(v.word(0)));
+                rx.arm();
+            });
+        });
+        // the "message path": allocate, enqueue, dequeue, dispatch, copy out
+        g.bench_function(format!("queue_dispatch_{size}B"), |b| {
+            let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+            let payload = vec![0x5Au8; size];
+            b.iter(|| {
+                tx.send(payload.clone()).unwrap(); // alloc + copy (envelope path)
+                let msg = rx.recv().unwrap(); // scheduler dequeue
+                std::hint::black_box(msg[0]);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                // pseudo-shuffled timestamps
+                q.push(Time::from_ns((i * 7919) % 104729), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("charm_pingpong_msg_100x1KB", |b| {
+        b.iter(|| {
+            charm_pingpong(
+                Platform::IbAbe { cores_per_node: 2 },
+                Variant::Msg,
+                1024,
+                100,
+            )
+        });
+    });
+    g.bench_function("charm_pingpong_ckd_100x1KB", |b| {
+        b.iter(|| {
+            charm_pingpong(
+                Platform::IbAbe { cores_per_node: 2 },
+                Variant::Ckd,
+                1024,
+                100,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_channel,
+    bench_event_queue,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Shared harness utilities for the table/figure reproduction benches.
+//!
+//! Every table and figure of the paper has a `[[bench]]` target (with
+//! `harness = false`) that runs the corresponding experiment on the
+//! discrete-event machine and prints the same rows/series the paper
+//! reports, side by side with the paper's numbers where useful.
+//!
+//! Environment knobs:
+//!
+//! * `CKD_QUICK=1` — shrink sweeps for smoke runs (CI);
+//! * `CKD_FULL=1` — extend sweeps to the paper's largest configurations
+//!   (4096 simulated PEs; several minutes of wall time).
+
+use ckd_sim::Time;
+
+/// Sweep scale selected by environment variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sweeps.
+    Quick,
+    /// Default sweeps (minutes of wall time in total).
+    Standard,
+    /// The paper's largest configurations.
+    Full,
+}
+
+/// Read the sweep scale from the environment.
+pub fn scale() -> Scale {
+    if std::env::var_os("CKD_QUICK").is_some() {
+        Scale::Quick
+    } else if std::env::var_os("CKD_FULL").is_some() {
+        Scale::Full
+    } else {
+        Scale::Standard
+    }
+}
+
+/// Pick a sweep by scale.
+pub fn pick<T: Clone>(s: Scale, quick: &[T], standard: &[T], full: &[T]) -> Vec<T> {
+    match s {
+        Scale::Quick => quick.to_vec(),
+        Scale::Standard => standard.to_vec(),
+        Scale::Full => full.to_vec(),
+    }
+}
+
+/// The message sizes of Tables 1–2 (bytes).
+pub const TABLE_SIZES: [usize; 10] = [
+    100, 1_000, 5_000, 10_000, 20_000, 30_000, 40_000, 70_000, 100_000, 500_000,
+];
+
+/// Render one row of a table: a label and µs values.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:<18}");
+    for v in values {
+        print!(" {v:>9.3}");
+    }
+    println!();
+}
+
+/// Render a row of [`Time`]s in µs.
+pub fn print_time_row(label: &str, values: &[Time]) {
+    let us: Vec<f64> = values.iter().map(|t| t.as_us_f64()).collect();
+    print_row(label, &us);
+}
+
+/// Header row with sizes in KB, as the paper prints them.
+pub fn print_size_header() {
+    print!("{:<18}", "Message Size(KB)");
+    for s in TABLE_SIZES {
+        print!(" {:>9.1}", s as f64 / 1000.0);
+    }
+    println!();
+}
+
+/// Simple section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Percentage improvement (Fig 2's y-axis).
+pub fn improvement(base: Time, better: Time) -> f64 {
+    100.0 * (base.as_secs_f64() - better.as_secs_f64()) / base.as_secs_f64()
+}

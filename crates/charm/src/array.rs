@@ -1,0 +1,98 @@
+//! Chare arrays: dense collections of chares placed across PEs.
+
+use ckd_topo::{Dims, Idx, Mapper, Pe};
+
+/// Identifies a chare array within a machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// Dense index for lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ArrayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "arr{}", self.0)
+    }
+}
+
+/// Static facts about one array: shape, placement, and the list of PEs that
+/// host at least one element (the participants of its reductions).
+pub struct ArrayInfo {
+    /// Human-readable name for traces.
+    pub name: String,
+    /// Index-space extents.
+    pub dims: Dims,
+    /// Placement strategy.
+    pub mapper: Mapper,
+    /// PEs hosting ≥ 1 element, ascending (spanning-tree participants).
+    pub participants: Vec<Pe>,
+    /// Elements homed on each PE (indexed by PE).
+    pub local_counts: Vec<usize>,
+}
+
+impl ArrayInfo {
+    /// Compute placement metadata for an array over `npes` PEs.
+    pub fn new(name: &str, dims: Dims, mapper: Mapper, npes: usize) -> ArrayInfo {
+        let total = dims.len();
+        let mut local_counts = vec![0usize; npes];
+        for lin in 0..total {
+            local_counts[mapper.pe_for(lin, total, npes).idx()] += 1;
+        }
+        let participants = (0..npes as u32)
+            .map(Pe)
+            .filter(|p| local_counts[p.idx()] > 0)
+            .collect();
+        ArrayInfo {
+            name: name.to_string(),
+            dims,
+            mapper,
+            participants,
+            local_counts,
+        }
+    }
+
+    /// The home PE of the element with linearized index `lin`.
+    pub fn home(&self, lin: usize, npes: usize) -> Pe {
+        self.mapper.pe_for(lin, self.dims.len(), npes)
+    }
+
+    /// The home PE of the element at `idx`.
+    pub fn home_of(&self, idx: Idx, npes: usize) -> Pe {
+        self.home(self.dims.linear(idx), npes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn participants_and_counts() {
+        let info = ArrayInfo::new("a", Dims::d1(10), Mapper::Block, 4);
+        assert_eq!(info.local_counts.iter().sum::<usize>(), 10);
+        assert_eq!(info.participants.len(), 4);
+        // 10 over 4 PEs: 3,3,2,2
+        assert_eq!(info.local_counts, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn sparse_participation() {
+        let info = ArrayInfo::new("small", Dims::d1(2), Mapper::Block, 8);
+        assert_eq!(info.participants.len(), 2);
+        assert_eq!(info.local_counts.iter().filter(|&&c| c > 0).count(), 2);
+    }
+
+    #[test]
+    fn home_agrees_with_mapper() {
+        let info = ArrayInfo::new("a", Dims::d2(4, 4), Mapper::RoundRobin, 3);
+        for lin in 0..16 {
+            assert_eq!(info.home(lin, 3), Mapper::RoundRobin.pe_for(lin, 16, 3));
+        }
+        assert_eq!(info.home_of(Idx::i2(1, 0), 3), info.home(1, 3));
+    }
+}

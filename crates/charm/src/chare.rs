@@ -1,0 +1,58 @@
+//! Chares: the message-driven objects of the runtime.
+
+use std::any::Any;
+
+use ckdirect::HandleId;
+
+use crate::array::ArrayId;
+use crate::ctx::Ctx;
+use crate::msg::Msg;
+
+/// A reference to one element of a chare array: `(array, linearized index)`.
+///
+/// This is what senders address messages to — the runtime resolves the home
+/// PE, exactly as Charm++'s location manager does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChareRef {
+    /// The array the element belongs to.
+    pub array: ArrayId,
+    /// Row-major linearized index within the array.
+    pub lin: u32,
+}
+
+impl std::fmt::Debug for ChareRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}[{}]", self.array, self.lin)
+    }
+}
+
+/// A message-driven object. Implementations dispatch on `msg.ep` inside
+/// [`Chare::entry`] — the hand-written analogue of Charm++'s generated
+/// entry-method stubs.
+pub trait Chare: Any {
+    /// Handle a delivered message. Runs after the scheduler has charged
+    /// envelope + dequeue costs; compute performed here should be charged
+    /// through the [`Ctx`].
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
+
+    /// CkDirect completion callback: invoked as a *plain function call*
+    /// (only `callback_cost` is charged — no envelope, no scheduler trip)
+    /// when data lands on a channel this chare created with
+    /// [`Ctx::direct_create_handle`]. `tag` is the value passed at creation.
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, tag: u32, handle: HandleId) {
+        let _ = (ctx, tag, handle);
+        panic!("chare registered a CkDirect handle but has no direct_callback");
+    }
+}
+
+impl dyn Chare {
+    /// Downcast to a concrete chare type (tests inspect final state).
+    pub fn downcast_ref<T: Chare>(&self) -> Option<&T> {
+        (self as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable downcast.
+    pub fn downcast_mut<T: Chare>(&mut self) -> Option<&mut T> {
+        (self as &mut dyn Any).downcast_mut::<T>()
+    }
+}

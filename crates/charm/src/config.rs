@@ -1,0 +1,150 @@
+//! Runtime-software cost parameters (the overheads CkDirect removes).
+
+use ckd_sim::Time;
+
+/// Converts application work into virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct ComputeParams {
+    /// Sustained floating-point rate of one PE, flops/second.
+    pub flops_per_sec: f64,
+    /// Sustained memory streaming cost, ps per byte touched.
+    pub mem_ps_per_byte: u64,
+}
+
+impl ComputeParams {
+    /// Virtual time for `flops` floating-point operations.
+    pub fn flops(&self, flops: f64) -> Time {
+        Time::from_secs_f64(flops / self.flops_per_sec)
+    }
+
+    /// Virtual time for streaming `bytes` through memory.
+    pub fn bytes(&self, bytes: u64) -> Time {
+        Time::from_ps(self.mem_ps_per_byte * bytes)
+    }
+}
+
+/// Costs of the message-driven runtime itself, per machine.
+///
+/// These are exactly the terms the paper's §3 analysis decomposes the
+/// Default-vs-CkDirect gap into: envelope bytes, message allocation,
+/// scheduling overhead, and (for the polling backend) the per-handle poll
+/// cost and detection gap.
+#[derive(Clone, Copy, Debug)]
+pub struct RtsConfig {
+    /// Envelope prepended to every Charm++ message (~80 B in the paper).
+    pub env_bytes: usize,
+    /// Message allocation + header setup on the sender.
+    pub alloc: Time,
+    /// Size-dependent part of allocation/buffer management, ps/B (the
+    /// slowly-growing copy term observed on BG/P).
+    pub alloc_ps_per_byte: u64,
+    /// Scheduler cost per delivered message: dequeue, envelope decode,
+    /// entry-method dispatch.
+    pub sched: Time,
+    /// Cost of checking one CkDirect handle's sentinel during a poll sweep.
+    pub poll_per_handle: Time,
+    /// Cost of invoking a CkDirect completion callback (a plain function
+    /// call — this is what replaces `sched`).
+    pub callback_cost: Time,
+    /// Gap between an RDMA put landing on an *idle* PE and the polling loop
+    /// noticing it.
+    pub idle_poll_gap: Time,
+    /// Default Charm++ eager→rendezvous switch point in bytes (the paper
+    /// observes the switch between 20 KB and 30 KB on Abe).
+    pub eager_max: usize,
+    /// Compute-time conversion for application kernels.
+    pub compute: ComputeParams,
+}
+
+impl RtsConfig {
+    /// Charm++ software costs on the Abe Infiniband cluster, fitted to the
+    /// Default-vs-CkDirect gaps of Table 1 (≈ 5.3 µs at 100 B: envelope
+    /// wire time + allocation + envelope processing + scheduling).
+    pub fn ib_abe() -> RtsConfig {
+        RtsConfig {
+            env_bytes: 80,
+            alloc: Time::from_ns(700),
+            alloc_ps_per_byte: 0,
+            sched: Time::from_ns(2500),
+            poll_per_handle: Time::from_ns(50),
+            callback_cost: Time::from_ns(200),
+            idle_poll_gap: Time::from_ns(150),
+            eager_max: 20 * 1024,
+            compute: ComputeParams {
+                // 2.33 GHz Clovertown core, memory-bound stencil codes see
+                // well under peak; 2 Gflop/s effective.
+                flops_per_sec: 2.0e9,
+                mem_ps_per_byte: 350,
+            },
+        }
+    }
+
+    /// Charm++ software costs on Blue Gene/P, fitted to the ≈ 4.7 µs
+    /// one-way gap of Table 2 (slower 850 MHz cores make the software
+    /// terms larger even though the network is leaner).
+    pub fn bgp() -> RtsConfig {
+        RtsConfig {
+            env_bytes: 80,
+            alloc: Time::from_ns(1500),
+            alloc_ps_per_byte: 6,
+            sched: Time::from_ns(3000),
+            poll_per_handle: Time::from_ns(120),
+            callback_cost: Time::from_ns(250),
+            idle_poll_gap: Time::from_ns(200),
+            // no RDMA rendezvous was installed on Surveyor: the eager path
+            // is used at every size (threshold effectively infinite)
+            eager_max: usize::MAX,
+            compute: ComputeParams {
+                flops_per_sec: 0.85e9,
+                mem_ps_per_byte: 700,
+            },
+        }
+    }
+
+    /// Small, round numbers for unit tests.
+    pub fn test() -> RtsConfig {
+        RtsConfig {
+            env_bytes: 64,
+            alloc: Time::from_ns(500),
+            alloc_ps_per_byte: 0,
+            sched: Time::from_ns(2000),
+            poll_per_handle: Time::from_ns(100),
+            callback_cost: Time::from_ns(200),
+            idle_poll_gap: Time::from_ns(100),
+            eager_max: 16 * 1024,
+            compute: ComputeParams {
+                flops_per_sec: 1.0e9,
+                mem_ps_per_byte: 500,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_conversion() {
+        let c = RtsConfig::test().compute;
+        assert_eq!(c.flops(1e9), Time::from_secs_f64(1.0));
+        assert_eq!(c.flops(0.0), Time::ZERO);
+    }
+
+    #[test]
+    fn bytes_conversion() {
+        let c = RtsConfig::test().compute;
+        assert_eq!(c.bytes(1000), Time::from_ns(500));
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        for cfg in [RtsConfig::ib_abe(), RtsConfig::bgp()] {
+            assert!(cfg.env_bytes >= 64);
+            assert!(cfg.sched > cfg.callback_cost, "callback must beat sched");
+            assert!(cfg.poll_per_handle < Time::from_us(1));
+        }
+        // BG/P never switches to rendezvous
+        assert_eq!(RtsConfig::bgp().eager_max, usize::MAX);
+    }
+}

@@ -1,0 +1,491 @@
+//! The per-invocation context handed to entry methods and CkDirect
+//! callbacks: the user-facing API of the runtime.
+
+use ckd_net::FabricParams;
+use ckd_sim::Time;
+use ckd_topo::{Idx, Pe};
+use ckdirect::{DirectError, HandleId, Region, StridedSpec};
+
+use crate::array::ArrayId;
+use crate::chare::ChareRef;
+use crate::learn::{LearnKey, LearnState};
+use crate::machine::{CbKind, DirectCb, Ev, Machine};
+use crate::msg::{Msg, Payload};
+use crate::reduction::{RedOp, RedTarget, RedVal};
+
+/// Execution context of one entry-method or callback invocation.
+///
+/// Virtual time within the invocation is `start + elapsed`; every API that
+/// consumes CPU advances `elapsed`, and asynchronous effects (message
+/// arrivals, put landings) are scheduled relative to that instant.
+pub struct Ctx<'a> {
+    m: &'a mut Machine,
+    pe: Pe,
+    me: ChareRef,
+    start: Time,
+    elapsed: Time,
+    pending: Vec<(DirectCb, HandleId)>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        m: &'a mut Machine,
+        pe: Pe,
+        me: ChareRef,
+        start: Time,
+        elapsed: Time,
+    ) -> Ctx<'a> {
+        Ctx {
+            m,
+            pe,
+            me,
+            start,
+            elapsed,
+            pending: Vec::new(),
+        }
+    }
+
+    pub(crate) fn finish(self) -> (Time, Vec<(DirectCb, HandleId)>) {
+        (self.elapsed, self.pending)
+    }
+
+    // ---- identity & time -------------------------------------------------
+
+    /// The chare being invoked.
+    pub fn me(&self) -> ChareRef {
+        self.me
+    }
+
+    /// This chare's index within its array.
+    pub fn my_index(&self) -> Idx {
+        self.m.arrays[self.me.array.idx()]
+            .dims
+            .unlinear(self.me.lin as usize)
+    }
+
+    /// The PE executing this invocation.
+    pub fn my_pe(&self) -> Pe {
+        self.pe
+    }
+
+    /// Number of PEs in the machine.
+    pub fn npes(&self) -> usize {
+        self.m.npes()
+    }
+
+    /// Current virtual time (advances as the invocation charges work).
+    pub fn now(&self) -> Time {
+        self.start + self.elapsed
+    }
+
+    /// Reference to another element of any array.
+    pub fn element(&self, array: ArrayId, idx: Idx) -> ChareRef {
+        self.m.element(array, idx)
+    }
+
+    /// Extents of an array.
+    pub fn array_dims(&self, array: ArrayId) -> ckd_topo::Dims {
+        self.m.arrays[array.idx()].dims
+    }
+
+    // ---- compute charging ------------------------------------------------
+
+    /// Charge `t` of compute time to this invocation.
+    pub fn charge(&mut self, t: Time) {
+        self.elapsed += t;
+    }
+
+    /// Charge `flops` floating-point operations (converted through the
+    /// machine's compute model).
+    pub fn charge_flops(&mut self, flops: f64) {
+        self.elapsed += self.m.cfg.compute.flops(flops);
+    }
+
+    /// Charge streaming `bytes` through memory.
+    pub fn charge_bytes(&mut self, bytes: u64) {
+        self.elapsed += self.m.cfg.compute.bytes(bytes);
+    }
+
+    // ---- messaging (the default Charm++ path) -----------------------------
+
+    /// Send a message to another chare: pays allocation, the ~80-byte
+    /// envelope, the two-sided wire protocol (eager or rendezvous), and, on
+    /// the far side, envelope processing plus a scheduler dequeue.
+    pub fn send(&mut self, to: ChareRef, msg: Msg) {
+        let dst = self.m.home_pe(to);
+        let bytes = msg.size + self.m.cfg.env_bytes;
+        let alloc = self.m.cfg.alloc
+            + Time::from_ps(self.m.cfg.alloc_ps_per_byte * bytes as u64);
+        let (t, _proto) = self
+            .m
+            .net
+            .two_sided(self.pe, dst, bytes, self.m.cfg.eager_max, false);
+        let begin = self.start + self.elapsed;
+        self.elapsed += alloc + t.send_cpu;
+        self.m.stats.msgs_sent += 1;
+        self.m.stats.msg_bytes += msg.size as u64;
+        self.m.events.push(
+            begin + alloc + t.delay,
+            Ev::MsgArrive {
+                pe: dst,
+                target: to,
+                msg,
+                recv_cpu: t.recv_cpu,
+                overlap_cpu: t.overlap_cpu,
+            },
+        );
+    }
+
+    /// Send to the element of `array` at `idx`.
+    pub fn send_to(&mut self, array: ArrayId, idx: Idx, msg: Msg) {
+        let to = self.element(array, idx);
+        self.send(to, msg);
+    }
+
+    /// Like [`Ctx::send`], but routed through the automatic
+    /// channel-learning framework (when enabled on the machine): after a
+    /// few identical sends the runtime installs a persistent CkDirect
+    /// channel and subsequent sends become one-sided puts, transparently.
+    /// Non-bytes payloads and pattern mismatches always use messages.
+    pub fn send_learned(&mut self, to: ChareRef, msg: Msg) {
+        let Some(cfg) = self.m.learner.cfg else {
+            return self.send(to, msg);
+        };
+        let Payload::Bytes(data) = &msg.payload else {
+            return self.send(to, msg);
+        };
+        if data.len() < 8 || data.len() != msg.size {
+            return self.send(to, msg);
+        }
+        let key = LearnKey {
+            from: self.me,
+            to,
+            ep: msg.ep,
+            size: msg.size,
+        };
+        let now = self.start + self.elapsed;
+        let st = self
+            .m
+            .learner
+            .streams
+            .entry(key)
+            .or_insert_with(LearnState::new);
+        st.observed += 1;
+
+        // fast path: an active channel
+        if let (Some(h), true) = (st.handle, now >= st.active_at) {
+            let region = st.send_region.clone().expect("installed with handle");
+            region.copy_from_slice(data);
+            match self.m.direct.put(h, self.pe) {
+                Ok(req) => {
+                    // pack into the window: the copy an RDMA path still pays
+                    self.charge_bytes(2 * req.bytes as u64);
+                    let t = self.m.net.put(req.src, req.dst, req.bytes);
+                    let begin = self.start + self.elapsed;
+                    self.elapsed += t.send_cpu;
+                    self.m.stats.puts += 1;
+                    self.m.stats.put_bytes += req.bytes as u64;
+                    self.m.events.push(
+                        begin + t.delay,
+                        Ev::DirectLand {
+                            handle: h,
+                            recv_cpu: t.recv_cpu,
+                        },
+                    );
+                    self.m.learner.streams.get_mut(&key).unwrap().hits += 1;
+                    return;
+                }
+                Err(_) => {
+                    // receiver still holds the previous iteration (or the
+                    // payload collides with the pattern): fall back
+                    self.m.learner.streams.get_mut(&key).unwrap().misses += 1;
+                    return self.send(to, msg);
+                }
+            }
+        }
+
+        // observation path: maybe install a channel for next time
+        if st.handle.is_none() && st.observed >= cfg.threshold {
+            let dst_pe = self.m.home_pe(to);
+            let recv = Region::alloc(msg.size);
+            let send = Region::alloc(msg.size);
+            send.set_last_word(!u64::MAX); // anything but the pattern
+            let h = self
+                .m
+                .direct
+                .create_handle(
+                    dst_pe,
+                    recv,
+                    u64::MAX,
+                    DirectCb {
+                        target: to,
+                        kind: CbKind::Learned(msg.ep),
+                    },
+                )
+                .expect("learned channel");
+            self.m
+                .direct
+                .assoc_local(h, self.pe, send.clone())
+                .expect("learned assoc");
+            // registration on both PEs, handle shipping as a control trip
+            self.charge_registration(msg.size);
+            if let ckd_net::FabricParams::IbVerbs(p) = self.m.net.fabric() {
+                let reg = p.reg_base + Time::from_ps(p.reg_ps_per_byte * msg.size as u64);
+                let st_pe = &mut self.m.pes[dst_pe.idx()];
+                st_pe.busy_until = st_pe.busy_until.max(now) + reg;
+                st_pe.stats.busy += reg;
+            }
+            let trip = self.m.net.control(self.pe, dst_pe).delay
+                + self.m.net.control(dst_pe, self.pe).delay;
+            let st = self.m.learner.streams.get_mut(&key).unwrap();
+            st.handle = Some(h);
+            st.send_region = Some(send);
+            st.active_at = now + trip;
+        }
+        self.send(to, msg);
+    }
+
+    /// Enqueue a message for a chare on *this* PE without any network or
+    /// envelope cost — the runtime-internal local enqueue Charm++ uses when
+    /// a CkDirect callback schedules an entry method (§5.1: "the callback
+    /// enqueues a CHARM++ entry method to perform the multiplication").
+    /// The scheduler dequeue cost is still paid when it runs.
+    pub fn send_local(&mut self, to: ChareRef, msg: Msg) {
+        debug_assert_eq!(self.m.home_pe(to), self.pe, "send_local to a remote chare");
+        let begin = self.start + self.elapsed;
+        self.elapsed += self.m.cfg.alloc;
+        self.m.events.push(
+            begin + self.m.cfg.alloc,
+            Ev::MsgArrive {
+                pe: self.pe,
+                target: to,
+                msg,
+                recv_cpu: Time::ZERO,
+                overlap_cpu: Time::ZERO,
+            },
+        );
+    }
+
+    // ---- reductions --------------------------------------------------------
+
+    /// Contribute to this chare's array-wide reduction. Every element must
+    /// contribute exactly once per generation with the same `op` and
+    /// `target`; the reduced value is delivered per `target`.
+    pub fn contribute(&mut self, v: RedVal, op: RedOp, target: RedTarget) {
+        self.m
+            .contribute_local(self.me.array, self.pe, v, op, target);
+    }
+
+    /// Barrier shorthand: contribute nothing, broadcast `ep` when all
+    /// elements arrived.
+    pub fn barrier(&mut self, ep: crate::msg::EntryId) {
+        self.contribute(RedVal::Unit, RedOp::Barrier, RedTarget::Broadcast(ep));
+    }
+
+    // ---- CkDirect ---------------------------------------------------------
+
+    /// `CkDirect_createHandle`: register `recv` (owned by this chare, on
+    /// this PE) as a put destination. `oob` must never occur as the final
+    /// 8 bytes of real payloads; `tag` is handed back to
+    /// [`crate::Chare::direct_callback`] on every delivery.
+    ///
+    /// On RDMA fabrics the buffer registration cost is charged *here, once*
+    /// — amortized over every subsequent put, unlike the per-transfer
+    /// registration of the default rendezvous path.
+    pub fn direct_create_handle(
+        &mut self,
+        recv: Region,
+        oob: u64,
+        tag: u32,
+    ) -> Result<HandleId, DirectError> {
+        self.charge_registration(recv.len());
+        self.m.direct.create_handle(
+            self.pe,
+            recv,
+            oob,
+            DirectCb {
+                target: self.me,
+                kind: CbKind::User(tag),
+            },
+        )
+    }
+
+    /// [`Ctx::direct_create_handle`] with an explicit wire size: the region
+    /// may be a truncated stand-in while the network is charged for
+    /// `wire_bytes` — used by figure-scale runs that model full buffers
+    /// without allocating them.
+    pub fn direct_create_handle_wire(
+        &mut self,
+        recv: Region,
+        oob: u64,
+        tag: u32,
+        wire_bytes: usize,
+    ) -> Result<HandleId, DirectError> {
+        self.charge_registration(wire_bytes);
+        self.m.direct.create_handle_wire(
+            self.pe,
+            recv,
+            oob,
+            DirectCb {
+                target: self.me,
+                kind: CbKind::User(tag),
+            },
+            wire_bytes,
+        )
+    }
+
+    /// Strided `create_handle` (the paper's proposed extension): puts land
+    /// scattered into `backing` per `spec` — e.g. straight into a matrix
+    /// column — with the scatter copy charged at delivery.
+    pub fn direct_create_handle_strided(
+        &mut self,
+        backing: Region,
+        spec: StridedSpec,
+        oob: u64,
+        tag: u32,
+    ) -> Result<HandleId, DirectError> {
+        self.charge_registration(spec.payload_len());
+        self.m.direct.create_handle_strided(
+            self.pe,
+            backing,
+            spec,
+            oob,
+            DirectCb {
+                target: self.me,
+                kind: CbKind::User(tag),
+            },
+        )
+    }
+
+    /// Strided `assoc_local`: puts gather their payload from `backing` per
+    /// `spec`, with the gather copy charged at put.
+    pub fn direct_assoc_local_strided(
+        &mut self,
+        handle: HandleId,
+        backing: Region,
+        spec: StridedSpec,
+    ) -> Result<(), DirectError> {
+        self.charge_registration(spec.payload_len());
+        self.m
+            .direct
+            .assoc_local_strided(handle, self.pe, backing, spec)
+    }
+
+    /// `CkDirect_assocLocal`: bind this chare's `send` buffer to a handle
+    /// created by the receiver. Also a one-time registration cost.
+    pub fn direct_assoc_local(
+        &mut self,
+        handle: HandleId,
+        send: Region,
+    ) -> Result<(), DirectError> {
+        self.charge_registration(send.len());
+        self.m.direct.assoc_local(handle, self.pe, send)
+    }
+
+    /// `CkDirect_put`: the one-sided transfer. Pays only the RDMA issue
+    /// cost on this PE; the receiver pays nothing until its poll sweep
+    /// detects the sentinel overwrite (Infiniband) or the delivery callback
+    /// fires (Blue Gene/P).
+    pub fn direct_put(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        // strided sources pay the gather copy here, on the sender
+        if let Some(bytes) = self.m.direct.strided_send_bytes(handle)? {
+            self.charge_bytes(2 * bytes as u64);
+        }
+        let req = self.m.direct.put(handle, self.pe)?;
+        let t = self.m.net.put(req.src, req.dst, req.bytes);
+        let begin = self.start + self.elapsed;
+        self.elapsed += t.send_cpu;
+        self.m.stats.puts += 1;
+        self.m.stats.put_bytes += req.bytes as u64;
+        self.m.events.push(
+            begin + t.delay,
+            Ev::DirectLand {
+                handle,
+                recv_cpu: t.recv_cpu,
+            },
+        );
+        Ok(())
+    }
+
+    /// `CkDirect_get` (§2's comparison variant): the receiver *pulls* the
+    /// associated send buffer. Unlike a put, the initiator must already
+    /// know — through some extra synchronization — that the source data is
+    /// ready; the data also pays two wire traversals (request + response)
+    /// instead of one. The completion callback fires at the initiator when
+    /// the read returns. Provided to quantify why the paper chose put.
+    pub fn direct_get(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        if let Some(bytes) = self.m.direct.strided_send_bytes(handle)? {
+            self.charge_bytes(2 * bytes as u64);
+        }
+        let req = self.m.direct.get(handle, self.pe)?;
+        let t = self.m.net.get(req.src, req.dst, req.bytes);
+        let begin = self.start + self.elapsed;
+        self.elapsed += t.send_cpu;
+        self.m.stats.puts += 1;
+        self.m.stats.put_bytes += req.bytes as u64;
+        self.m.events.push(
+            begin + t.delay,
+            Ev::DirectGetLand {
+                handle,
+                recv_cpu: t.recv_cpu,
+            },
+        );
+        Ok(())
+    }
+
+    /// `CkDirect_ready`: re-arm the channel for the next iteration
+    /// (mark + start polling). Purely local: no message, no synchronization.
+    pub fn direct_ready(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        self.direct_ready_mark(handle)?;
+        self.direct_ready_poll_q(handle)
+    }
+
+    /// `CkDirect_ReadyMark`: release the buffer and rewrite the out-of-band
+    /// pattern, without resuming polling. Call as soon as the data has been
+    /// consumed.
+    pub fn direct_ready_mark(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        self.m.direct.ready_mark(handle)
+    }
+
+    /// `CkDirect_ReadyPollQ`: resume polling the handle. Call just before
+    /// the phase that expects the next put, so unrelated phases don't pay
+    /// the per-handle poll cost (§5.2 of the paper). If the put already
+    /// landed, the callback fires right after this invocation returns.
+    pub fn direct_ready_poll_q(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        if let Some(cb) = self.m.direct.ready_poll_q(handle)? {
+            debug_assert_eq!(
+                self.m.direct.recv_pe(handle),
+                Ok(self.pe),
+                "ready_poll_q from a non-owner PE"
+            );
+            self.pending.push((cb, handle));
+        }
+        Ok(())
+    }
+
+    /// The receive window of a channel (the same storage registered at
+    /// creation — reading it *is* reading the landed data).
+    pub fn direct_recv_region(&self, handle: HandleId) -> Result<Region, DirectError> {
+        self.m.direct.recv_region(handle)
+    }
+
+    /// Broadcast a message to every element of `array` (spanning-tree
+    /// distribution, one scheduler delivery per element).
+    pub fn broadcast(&mut self, array: ArrayId, msg: Msg) {
+        self.m.broadcast_from(self.pe, array, msg);
+    }
+
+    // ---- control -----------------------------------------------------------
+
+    /// Stop the machine after this invocation (end of the program).
+    pub fn exit(&mut self) {
+        self.m.stop = true;
+    }
+
+    fn charge_registration(&mut self, bytes: usize) {
+        if let FabricParams::IbVerbs(p) = self.m.net.fabric() {
+            self.elapsed +=
+                p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The automatic channel-learning framework — the paper's final proposed
+//! extension: "the eventual inclusion of CkDirect into an automatic
+//! learning framework which will create persistent channels where
+//! appropriate".
+//!
+//! Applications opt in by routing sends through [`crate::Ctx::send_learned`]
+//! instead of [`crate::Ctx::send`]. The runtime watches each
+//! `(sender, receiver, entry point, size)` stream; after
+//! [`LearnConfig::threshold`] consecutive identical sends it installs a
+//! persistent CkDirect channel behind the pair's back:
+//!
+//! * a receive window is registered on the receiver's PE, a send window on
+//!   the sender's (both registration costs charged where they occur), and
+//!   the handle "ships" with a modeled control round trip before the
+//!   channel activates;
+//! * subsequent matching sends become puts: the payload is copied into the
+//!   send window (charged) and lands one-sided; delivery invokes the
+//!   receiver's ordinary entry method as a plain function call — no
+//!   envelope, no allocation, no scheduler trip — and the runtime re-arms
+//!   the channel itself;
+//! * anything that does not fit the learned pattern — a different size, a
+//!   non-bytes payload, or a put that would violate the one-in-flight rule
+//!   (the receiver has not consumed the previous iteration yet) — falls
+//!   back to an ordinary message, transparently.
+//!
+//! The receiver cannot tell the transport changed: it sees the same entry
+//! point with the same bytes either way.
+
+use std::collections::HashMap;
+
+use ckd_sim::Time;
+use ckdirect::{HandleId, Region};
+
+use crate::chare::ChareRef;
+use crate::msg::EntryId;
+
+/// Learning-framework settings.
+#[derive(Clone, Copy, Debug)]
+pub struct LearnConfig {
+    /// Consecutive identical sends before a channel is installed.
+    pub threshold: u32,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig { threshold: 3 }
+    }
+}
+
+/// Identity of one learnable communication stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LearnKey {
+    /// Sending chare.
+    pub from: ChareRef,
+    /// Receiving chare.
+    pub to: ChareRef,
+    /// Entry point the messages target.
+    pub ep: EntryId,
+    /// Payload size in bytes (patterns are size-stable by definition).
+    pub size: usize,
+}
+
+/// Per-stream learning state.
+pub struct LearnState {
+    /// Identical sends observed so far (resets on a mismatch… in this
+    /// design a mismatch simply uses a different key, so this only grows).
+    pub observed: u32,
+    /// Installed channel, once learning triggered.
+    pub handle: Option<HandleId>,
+    /// Sender-side window for the channel.
+    pub send_region: Option<Region>,
+    /// The channel may be used once the modeled handle-shipping round trip
+    /// has elapsed.
+    pub active_at: Time,
+    /// Puts that went one-sided.
+    pub hits: u64,
+    /// Sends that fell back to messages after installation.
+    pub misses: u64,
+}
+
+impl LearnState {
+    pub(crate) fn new() -> LearnState {
+        LearnState {
+            observed: 0,
+            handle: None,
+            send_region: None,
+            active_at: Time::MAX,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// All learning state of a machine.
+#[derive(Default)]
+pub struct Learner {
+    pub(crate) cfg: Option<LearnConfig>,
+    pub(crate) streams: HashMap<LearnKey, LearnState>,
+}
+
+impl Learner {
+    /// Totals across streams: `(installed channels, hits, misses)`.
+    pub fn totals(&self) -> (usize, u64, u64) {
+        let installed = self
+            .streams
+            .values()
+            .filter(|s| s.handle.is_some())
+            .count();
+        let hits = self.streams.values().map(|s| s.hits).sum();
+        let misses = self.streams.values().map(|s| s.misses).sum();
+        (installed, hits, misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert_eq!(LearnConfig::default().threshold, 3);
+        let l = Learner::default();
+        assert_eq!(l.totals(), (0, 0, 0));
+    }
+}

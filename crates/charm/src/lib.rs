@@ -1,0 +1,38 @@
+//! A message-driven runtime in the Charm++ mould, executing on the
+//! deterministic discrete-event machine of `ckd-sim`/`ckd-net`.
+//!
+//! The runtime supplies everything the paper's baseline needs —
+//!
+//! * **chare arrays** (1–4-D) of message-driven objects with entry methods,
+//! * a **per-PE scheduler**: incoming messages pay envelope processing and a
+//!   scheduler dequeue before their handler runs,
+//! * **contribute/reduce** over a spanning tree of PEs (sum/min/max and
+//!   barrier), with broadcast delivery back to the array,
+//!
+//! — and wires the CkDirect registry (`ckdirect` crate) into the scheduler:
+//! the poll sweep runs between handler executions and charges per-handle
+//! cost, puts bypass the envelope/allocation/scheduler path entirely, and
+//! completion callbacks are plain function calls into the receiving chare.
+//!
+//! User code runs *for real* (bytes actually move; Jacobi actually
+//! converges) while time is virtual: handlers charge compute through
+//! [`Ctx::charge`] and friends, so results are independent of the host.
+
+pub mod array;
+pub mod chare;
+pub mod config;
+pub mod ctx;
+pub mod learn;
+pub mod machine;
+pub mod msg;
+pub mod reduction;
+pub mod stats;
+
+pub use array::ArrayId;
+pub use chare::{Chare, ChareRef};
+pub use config::{ComputeParams, RtsConfig};
+pub use ctx::Ctx;
+pub use learn::LearnConfig;
+pub use machine::Machine;
+pub use msg::{EntryId, Msg, Payload};
+pub use reduction::{RedOp, RedTarget, RedVal};

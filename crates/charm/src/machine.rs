@@ -1,0 +1,695 @@
+//! The simulated parallel machine: PEs, schedulers, the event loop, and the
+//! CkDirect integration points.
+//!
+//! # Execution model
+//!
+//! Each PE runs the classic message-driven scheduler loop, reproduced here
+//! as discrete events:
+//!
+//! ```text
+//! loop {
+//!     poll CkDirect handles          // IbPoll backend: sentinel checks,
+//!                                    // callbacks as plain function calls
+//!     dequeue one message            // charge `sched`
+//!     run its entry method           // user code charges compute
+//! }
+//! ```
+//!
+//! A message send pays allocation + envelope + the network model's
+//! two-sided cost and lands in the destination's scheduler queue. A
+//! CkDirect put pays only the RDMA issue cost and lands *directly in the
+//! receiver's registered buffer*; on the polling backend the receiving
+//! scheduler notices it at its next sweep (or, if idle, after
+//! `idle_poll_gap`), and the completion callback runs without any envelope,
+//! allocation, or scheduling overhead — the entire point of the paper.
+
+use std::collections::VecDeque;
+
+use ckd_net::NetModel;
+use ckd_sim::{EventQueue, Time};
+use ckd_topo::{Dims, Idx, Mapper, Pe};
+use ckdirect::{DirectConfig, DirectRegistry, HandleId, LandOutcome};
+
+use crate::array::{ArrayId, ArrayInfo};
+use crate::chare::{Chare, ChareRef};
+use crate::config::RtsConfig;
+use crate::ctx::Ctx;
+use crate::learn::{LearnConfig, Learner};
+use crate::msg::{EntryId, Msg, Payload};
+use crate::reduction::{
+    tree_children, tree_parent, RedOp, RedPeState, RedTarget, RedVal,
+};
+use crate::stats::{MachineStats, PeStats};
+
+/// CkDirect completion-callback token: which chare to poke, and how.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectCb {
+    /// The receiving chare.
+    pub target: ChareRef,
+    /// What delivery means for this channel.
+    pub kind: CbKind,
+}
+
+/// Delivery style of a CkDirect channel.
+#[derive(Clone, Copy, Debug)]
+pub enum CbKind {
+    /// Application-created channel: invoke `Chare::direct_callback(tag)`.
+    User(u32),
+    /// Channel installed by the learning framework: synthesize a message
+    /// for this entry point from the landed bytes and invoke the entry
+    /// method directly (callback cost, no scheduler trip), then re-arm.
+    Learned(EntryId),
+}
+
+pub(crate) enum Ev {
+    /// A two-sided message finished arriving at `pe`.
+    MsgArrive {
+        pe: Pe,
+        target: ChareRef,
+        msg: Msg,
+        recv_cpu: Time,
+        /// Receiver CPU consumed during the wire protocol (rendezvous
+        /// registration): backdated capacity, see `ckd_net::Timing`.
+        overlap_cpu: Time,
+    },
+    /// A CkDirect put finished landing in its receive buffer.
+    DirectLand { handle: HandleId, recv_cpu: Time },
+    /// A CkDirect get completed back at its initiator.
+    DirectGetLand { handle: HandleId, recv_cpu: Time },
+    /// One scheduler iteration on `pe`.
+    PeLoop { pe: Pe },
+    /// Reduction partial result moving up the PE tree.
+    ReduceUp {
+        array: ArrayId,
+        to: Pe,
+        value: RedVal,
+        count: usize,
+        op: RedOp,
+        target: RedTarget,
+        recv_cpu: Time,
+    },
+    /// Broadcast propagating down the PE tree.
+    BcastDown {
+        array: ArrayId,
+        to: Pe,
+        ep: EntryId,
+        payload: Payload,
+        size: usize,
+        recv_cpu: Time,
+    },
+}
+
+pub(crate) struct PeState {
+    pub queue: VecDeque<(ChareRef, Msg)>,
+    pub busy_until: Time,
+    pub loop_scheduled: bool,
+    pub stats: PeStats,
+}
+
+/// The whole simulated machine.
+pub struct Machine {
+    pub(crate) net: NetModel,
+    pub(crate) cfg: RtsConfig,
+    pub(crate) events: EventQueue<Ev>,
+    pub(crate) now: Time,
+    pub(crate) pes: Vec<PeState>,
+    pub(crate) arrays: Vec<ArrayInfo>,
+    /// Elements of each array homed on each PE: `[array][pe] -> lins`.
+    pub(crate) locals: Vec<Vec<Vec<u32>>>,
+    pub(crate) chares: Vec<Vec<Option<Box<dyn Chare>>>>,
+    pub(crate) direct: DirectRegistry<DirectCb>,
+    pub(crate) red: Vec<Vec<RedPeState>>,
+    pub(crate) learner: Learner,
+    pub(crate) stats: MachineStats,
+    pub(crate) stop: bool,
+}
+
+impl Machine {
+    /// Build a machine from a network model, runtime costs, and a CkDirect
+    /// backend configuration.
+    pub fn new(net: NetModel, cfg: RtsConfig, direct_cfg: DirectConfig) -> Machine {
+        let npes = net.machine().npes();
+        Machine {
+            net,
+            cfg,
+            events: EventQueue::new(),
+            now: Time::ZERO,
+            pes: (0..npes)
+                .map(|_| PeState {
+                    queue: VecDeque::new(),
+                    busy_until: Time::ZERO,
+                    loop_scheduled: false,
+                    stats: PeStats::default(),
+                })
+                .collect(),
+            arrays: Vec::new(),
+            locals: Vec::new(),
+            chares: Vec::new(),
+            direct: DirectRegistry::new(npes, direct_cfg),
+            red: Vec::new(),
+            learner: Learner::default(),
+            stats: MachineStats::default(),
+            stop: false,
+        }
+    }
+
+    /// Enable the automatic channel-learning framework for sends routed
+    /// through [`Ctx::send_learned`].
+    pub fn enable_learning(&mut self, cfg: LearnConfig) {
+        self.learner.cfg = Some(cfg);
+    }
+
+    /// Learning-framework totals: `(installed channels, one-sided hits,
+    /// fallback misses)`.
+    pub fn learning_totals(&self) -> (usize, u64, u64) {
+        self.learner.totals()
+    }
+
+    /// Convenience: a machine whose CkDirect backend matches the fabric
+    /// (polling on Infiniband, delivery callbacks on DCMF).
+    pub fn with_matching_backend(net: NetModel, cfg: RtsConfig) -> Machine {
+        let direct_cfg = if net.has_rdma() {
+            DirectConfig::ib()
+        } else {
+            DirectConfig::bgp()
+        };
+        Machine::new(net, cfg, direct_cfg)
+    }
+
+    /// Number of PEs.
+    pub fn npes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Machine-wide statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Statistics for one PE.
+    pub fn pe_stats(&self, pe: Pe) -> &PeStats {
+        &self.pes[pe.idx()].stats
+    }
+
+    /// Lifetime CkDirect counters `(puts, deliveries, poll_checks)`.
+    pub fn direct_counters(&self) -> (u64, u64, u64) {
+        self.direct.counters()
+    }
+
+    /// The runtime cost configuration.
+    pub fn config(&self) -> &RtsConfig {
+        &self.cfg
+    }
+
+    /// The network model in use.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// Create a chare array: `factory` is called once per index, elements
+    /// are homed by `mapper`. Must run before [`Machine::run`].
+    pub fn create_array(
+        &mut self,
+        name: &str,
+        dims: Dims,
+        mapper: Mapper,
+        mut factory: impl FnMut(Idx) -> Box<dyn Chare>,
+    ) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        let info = ArrayInfo::new(name, dims, mapper, self.npes());
+        let mut locals = vec![Vec::new(); self.npes()];
+        let mut elems = Vec::with_capacity(dims.len());
+        for lin in 0..dims.len() {
+            let idx = dims.unlinear(lin);
+            locals[info.home(lin, self.npes()).idx()].push(lin as u32);
+            elems.push(Some(factory(idx)));
+        }
+        self.arrays.push(info);
+        self.locals.push(locals);
+        self.chares.push(elems);
+        self.red.push((0..self.npes()).map(|_| RedPeState::new()).collect());
+        id
+    }
+
+    /// Static facts about an array.
+    pub fn array_info(&self, array: ArrayId) -> &ArrayInfo {
+        &self.arrays[array.idx()]
+    }
+
+    /// Reference to the element of `array` at `idx`.
+    pub fn element(&self, array: ArrayId, idx: Idx) -> ChareRef {
+        ChareRef {
+            array,
+            lin: self.arrays[array.idx()].dims.linear(idx) as u32,
+        }
+    }
+
+    /// Inspect a chare's concrete state (testing / result extraction).
+    pub fn chare<T: Chare>(&self, aref: ChareRef) -> Option<&T> {
+        self.chares[aref.array.idx()][aref.lin as usize]
+            .as_deref()
+            .and_then(|c| c.downcast_ref::<T>())
+    }
+
+    /// Home PE of an element.
+    pub fn home_pe(&self, aref: ChareRef) -> Pe {
+        self.arrays[aref.array.idx()].home(aref.lin as usize, self.pes.len())
+    }
+
+    /// Inject an initial message (delivered at time zero, free of wire
+    /// costs — the analogue of `main::main` firing the first entries).
+    pub fn seed(&mut self, target: ChareRef, msg: Msg) {
+        let pe = self.home_pe(target);
+        self.events.push(
+            Time::ZERO,
+            Ev::MsgArrive {
+                pe,
+                target,
+                msg,
+                recv_cpu: Time::ZERO,
+                overlap_cpu: Time::ZERO,
+            },
+        );
+    }
+
+    /// Inject an initial message to every element of an array.
+    pub fn seed_broadcast(&mut self, array: ArrayId, msg: Msg) {
+        for lin in 0..self.arrays[array.idx()].dims.len() {
+            self.seed(
+                ChareRef {
+                    array,
+                    lin: lin as u32,
+                },
+                msg.clone(),
+            );
+        }
+    }
+
+    /// Run to quiescence (or until a chare calls [`Ctx::exit`]). Returns
+    /// the final virtual time.
+    pub fn run(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Run until quiescence, exit, or `limit` virtual time.
+    pub fn run_until(&mut self, limit: Time) -> Time {
+        while !self.stop {
+            match self.events.peek_time() {
+                Some(t) if t <= limit => {}
+                _ => break,
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = t;
+            self.stats.events += 1;
+            self.dispatch(ev);
+        }
+        self.now
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::MsgArrive {
+                pe,
+                target,
+                msg,
+                recv_cpu,
+                overlap_cpu,
+            } => {
+                let st = &mut self.pes[pe.idx()];
+                // protocol-time CPU: steals capacity from a busy PE but
+                // cannot push this message past its own arrival on an idle
+                // one (it was spent while waiting for the wire)
+                st.busy_until = if st.busy_until >= self.now {
+                    st.busy_until + overlap_cpu
+                } else {
+                    (st.busy_until + overlap_cpu).min(self.now)
+                };
+                st.busy_until = st.busy_until.max(self.now) + recv_cpu;
+                st.stats.busy += recv_cpu + overlap_cpu;
+                st.queue.push_back((target, msg));
+                self.ensure_loop(pe, Time::ZERO);
+            }
+            Ev::DirectLand { handle, recv_cpu } => {
+                match self.direct.land(handle).expect("land on live channel") {
+                    LandOutcome::AwaitPoll => {
+                        // Polling backend: the receiving scheduler will
+                        // notice at its next sweep; wake it if idle.
+                        let pe = self.direct.recv_pe(handle).expect("live channel");
+                        self.ensure_loop(pe, self.cfg.idle_poll_gap);
+                    }
+                    LandOutcome::Deliver(cb) => {
+                        // Callback backend (BG/P): charge the DCMF receive
+                        // handler and run the user callback immediately.
+                        let pe = self.direct.recv_pe(handle).expect("live channel");
+                        let start = {
+                            let st = &mut self.pes[pe.idx()];
+                            st.busy_until = st.busy_until.max(self.now) + recv_cpu;
+                            st.stats.busy += recv_cpu;
+                            st.busy_until
+                        };
+                        let elapsed = self.run_callbacks(pe, start, Time::ZERO, vec![(cb, handle)]);
+                        let st = &mut self.pes[pe.idx()];
+                        st.busy_until = start + elapsed;
+                        st.stats.busy += elapsed;
+                    }
+                }
+            }
+            Ev::DirectGetLand { handle, recv_cpu } => {
+                let cb = self.direct.land_get(handle).expect("get on live channel");
+                let pe = self.direct.recv_pe(handle).expect("live channel");
+                let start = {
+                    let st = &mut self.pes[pe.idx()];
+                    st.busy_until = st.busy_until.max(self.now) + recv_cpu;
+                    st.stats.busy += recv_cpu;
+                    st.busy_until
+                };
+                let elapsed = self.run_callbacks(pe, start, Time::ZERO, vec![(cb, handle)]);
+                let st = &mut self.pes[pe.idx()];
+                st.busy_until = start + elapsed;
+                st.stats.busy += elapsed;
+            }
+            Ev::PeLoop { pe } => self.pe_loop(pe),
+            Ev::ReduceUp {
+                array,
+                to,
+                value,
+                count,
+                op,
+                target,
+                recv_cpu,
+            } => {
+                let st = &mut self.pes[to.idx()];
+                st.busy_until = st.busy_until.max(self.now) + recv_cpu;
+                st.stats.busy += recv_cpu;
+                let red = &mut self.red[array.idx()][to.idx()];
+                red.absorb(value, count, op, target);
+                red.got_children += 1;
+                self.maybe_complete_reduction(array, to);
+            }
+            Ev::BcastDown {
+                array,
+                to,
+                ep,
+                payload,
+                size,
+                recv_cpu,
+            } => {
+                let st = &mut self.pes[to.idx()];
+                st.busy_until = st.busy_until.max(self.now) + recv_cpu;
+                st.stats.busy += recv_cpu;
+                self.bcast_at(array, to, ep, payload, size);
+            }
+        }
+    }
+
+    /// One scheduler iteration: poll sweep, then at most one message.
+    fn pe_loop(&mut self, pe: Pe) {
+        self.pes[pe.idx()].loop_scheduled = false;
+        let start = self.pes[pe.idx()].busy_until.max(self.now);
+        let mut elapsed = Time::ZERO;
+
+        // CkDirect poll sweep (IbPoll backend): check every armed handle.
+        if self.net.has_rdma() {
+            let sweep = self.direct.poll_sweep(pe);
+            if sweep.checked > 0 {
+                elapsed += self.cfg.poll_per_handle * sweep.checked as u64;
+                self.pes[pe.idx()].stats.poll_checks += sweep.checked as u64;
+            }
+            if !sweep.deliveries.is_empty() {
+                let cbs: Vec<(DirectCb, HandleId)> = sweep
+                    .deliveries
+                    .into_iter()
+                    .map(|(h, cb)| (cb, h))
+                    .collect();
+                elapsed = self.run_callbacks(pe, start, elapsed, cbs);
+            }
+        }
+
+        // One message through the scheduler.
+        if let Some((target, msg)) = self.pes[pe.idx()].queue.pop_front() {
+            elapsed += self.cfg.sched;
+            self.pes[pe.idx()].stats.msgs_delivered += 1;
+            elapsed = self.run_entry(pe, target, start, elapsed, msg);
+        }
+
+        let st = &mut self.pes[pe.idx()];
+        st.busy_until = start + elapsed;
+        st.stats.busy += elapsed;
+        // A handler may already have re-armed the loop (e.g. a broadcast
+        // delivered to this very PE); don't double-schedule.
+        if !st.queue.is_empty() && !st.loop_scheduled {
+            st.loop_scheduled = true;
+            let at = st.busy_until;
+            self.events.push(at, Ev::PeLoop { pe });
+        }
+    }
+
+    /// Schedule a scheduler iteration on `pe` if none is pending.
+    pub(crate) fn ensure_loop(&mut self, pe: Pe, extra_gap: Time) {
+        let st = &mut self.pes[pe.idx()];
+        if !st.loop_scheduled {
+            st.loop_scheduled = true;
+            let at = st.busy_until.max(self.now) + extra_gap;
+            self.events.push(at, Ev::PeLoop { pe });
+        }
+    }
+
+    /// Run one entry method with the chare checked out of the machine;
+    /// returns the updated elapsed time.
+    fn run_entry(
+        &mut self,
+        pe: Pe,
+        target: ChareRef,
+        start: Time,
+        elapsed: Time,
+        msg: Msg,
+    ) -> Time {
+        let mut chare = self.chares[target.array.idx()][target.lin as usize]
+            .take()
+            .unwrap_or_else(|| panic!("{target:?} missing (reentrant delivery?)"));
+        let mut ctx = Ctx::new(self, pe, target, start, elapsed);
+        chare.entry(&mut ctx, msg);
+        let (elapsed, pending) = ctx.finish();
+        self.chares[target.array.idx()][target.lin as usize] = Some(chare);
+        self.run_callbacks(pe, start, elapsed, pending)
+    }
+
+    /// Deliver CkDirect callbacks as plain function calls; each may enqueue
+    /// more (e.g. `ready_poll_q` discovering already-landed data).
+    pub(crate) fn run_callbacks(
+        &mut self,
+        pe: Pe,
+        start: Time,
+        mut elapsed: Time,
+        mut pending: Vec<(DirectCb, HandleId)>,
+    ) -> Time {
+        while let Some((cb, handle)) = pending.pop() {
+            elapsed += self.cfg.callback_cost;
+            // strided destinations pay the scatter copy at delivery
+            if let Ok(Some(bytes)) = self.direct.strided_recv_bytes(handle) {
+                elapsed += self.cfg.compute.bytes(2 * bytes as u64);
+            }
+            self.pes[pe.idx()].stats.callbacks += 1;
+            let target = cb.target;
+            let mut chare = self.chares[target.array.idx()][target.lin as usize]
+                .take()
+                .unwrap_or_else(|| panic!("{target:?} missing for callback"));
+            // synthesize the learned-channel message before Ctx borrows self
+            let learned_msg = if let CbKind::Learned(ep) = cb.kind {
+                // hand the landed bytes to the ordinary entry method — the
+                // application cannot tell the transport changed
+                let region = self.direct.recv_region(handle).expect("live channel");
+                let size = self.direct.wire_bytes(handle).expect("live channel");
+                Some(Msg {
+                    ep,
+                    payload: crate::msg::Payload::Bytes(bytes::Bytes::from(region.to_vec())),
+                    size,
+                })
+            } else {
+                None
+            };
+            let mut ctx = Ctx::new(self, pe, target, start, elapsed);
+            match (cb.kind, learned_msg) {
+                (CbKind::User(tag), _) => chare.direct_callback(&mut ctx, tag, handle),
+                (CbKind::Learned(_), Some(msg)) => chare.entry(&mut ctx, msg),
+                (CbKind::Learned(_), None) => unreachable!(),
+            }
+            let (e, more) = ctx.finish();
+            elapsed = e;
+            self.chares[target.array.idx()][target.lin as usize] = Some(chare);
+            if let CbKind::Learned(_) = cb.kind {
+                // the runtime owns learned channels: re-arm immediately so
+                // the sender's next iteration can put again
+                if let Ok(Some(cb2)) = self.direct.ready(handle) {
+                    pending.push((cb2, handle));
+                }
+            }
+            pending.extend(more);
+        }
+        elapsed
+    }
+
+    /// A chare on `pe` contributed to its array's current reduction.
+    pub(crate) fn contribute_local(
+        &mut self,
+        array: ArrayId,
+        pe: Pe,
+        v: RedVal,
+        op: RedOp,
+        target: RedTarget,
+    ) {
+        let red = &mut self.red[array.idx()][pe.idx()];
+        red.absorb(v, 1, op, target);
+        red.got_local += 1;
+        debug_assert!(
+            red.got_local <= self.arrays[array.idx()].local_counts[pe.idx()],
+            "element contributed twice in one generation"
+        );
+        self.maybe_complete_reduction(array, pe);
+    }
+
+    fn maybe_complete_reduction(&mut self, array: ArrayId, pe: Pe) {
+        let info = &self.arrays[array.idx()];
+        let need_local = info.local_counts[pe.idx()];
+        let need_children = tree_children(&info.participants, pe).len();
+        let red = &self.red[array.idx()][pe.idx()];
+        if red.got_local < need_local || red.got_children < need_children {
+            return;
+        }
+        let value = red.partial;
+        let count = red.count;
+        let op = red.op.expect("completed reduction has an op");
+        let target = red.target.expect("completed reduction has a target");
+        self.red[array.idx()][pe.idx()].advance();
+
+        match tree_parent(&self.arrays[array.idx()].participants, pe) {
+            Some(parent) => {
+                let t = self.net.control(pe, parent);
+                // the send costs a sliver of CPU on this PE
+                let st = &mut self.pes[pe.idx()];
+                st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
+                st.stats.busy += t.send_cpu;
+                self.events.push(
+                    self.now + t.delay,
+                    Ev::ReduceUp {
+                        array,
+                        to: parent,
+                        value,
+                        count,
+                        op,
+                        target,
+                        recv_cpu: t.recv_cpu,
+                    },
+                );
+            }
+            None => {
+                // Root: the reduction is complete.
+                debug_assert_eq!(
+                    count,
+                    self.arrays[array.idx()].dims.len(),
+                    "reduction lost contributions"
+                );
+                self.stats.reductions += 1;
+                match target {
+                    RedTarget::Broadcast(ep) => {
+                        let payload = Payload::value(value);
+                        self.bcast_at(array, pe, ep, payload, 8);
+                    }
+                    RedTarget::Single(aref, ep) => {
+                        let dst = self.home_pe(aref);
+                        let t = self.net.control(pe, dst);
+                        self.events.push(
+                            self.now + t.delay,
+                            Ev::MsgArrive {
+                                pe: dst,
+                                target: aref,
+                                msg: Msg::value(ep, value, 8),
+                                recv_cpu: t.recv_cpu,
+                                overlap_cpu: Time::ZERO,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// User-initiated broadcast: route a message from `from` to the root of
+    /// `array`'s participant tree, then distribute down it.
+    pub(crate) fn broadcast_from(&mut self, from: Pe, array: ArrayId, msg: Msg) {
+        let root = self.arrays[array.idx()].participants[0];
+        if root == from {
+            self.bcast_at(array, root, msg.ep, msg.payload, msg.size);
+        } else {
+            let t = self.net.control(from, root);
+            let st = &mut self.pes[from.idx()];
+            st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
+            st.stats.busy += t.send_cpu;
+            self.events.push(
+                self.now + t.delay,
+                Ev::BcastDown {
+                    array,
+                    to: root,
+                    ep: msg.ep,
+                    payload: msg.payload,
+                    size: msg.size,
+                    recv_cpu: t.recv_cpu,
+                },
+            );
+        }
+    }
+
+    /// Broadcast arriving at `pe`: forward down the tree, then enqueue a
+    /// message for every local element.
+    fn bcast_at(&mut self, array: ArrayId, pe: Pe, ep: EntryId, payload: Payload, size: usize) {
+        let children = tree_children(&self.arrays[array.idx()].participants, pe);
+        for child in children {
+            let t = self.net.control(pe, child);
+            let st = &mut self.pes[pe.idx()];
+            st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
+            st.stats.busy += t.send_cpu;
+            self.events.push(
+                self.now + t.delay,
+                Ev::BcastDown {
+                    array,
+                    to: child,
+                    ep,
+                    payload: payload.clone(),
+                    size,
+                    recv_cpu: t.recv_cpu,
+                },
+            );
+        }
+        let lins = std::mem::take(&mut self.locals[array.idx()][pe.idx()]);
+        for &lin in &lins {
+            self.pes[pe.idx()].queue.push_back((
+                ChareRef { array, lin },
+                Msg {
+                    ep,
+                    payload: payload.clone(),
+                    size,
+                },
+            ));
+        }
+        self.locals[array.idx()][pe.idx()] = lins;
+        self.ensure_loop(pe, Time::ZERO);
+    }
+}
+
+impl Machine {
+    /// Mutate a chare's concrete state before the run starts (topology
+    /// wiring that factories cannot do because the array is still being
+    /// built when they execute).
+    pub fn with_chare_mut<T: Chare>(&mut self, aref: ChareRef, f: impl FnOnce(&mut T)) {
+        let c = self.chares[aref.array.idx()][aref.lin as usize]
+            .as_deref_mut()
+            .and_then(|c| c.downcast_mut::<T>())
+            .expect("chare exists and has the expected type");
+        f(c);
+    }
+}

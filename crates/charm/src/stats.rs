@@ -1,0 +1,33 @@
+//! Execution statistics gathered by the machine.
+
+use ckd_sim::Time;
+
+/// Per-PE counters.
+#[derive(Clone, Debug, Default)]
+pub struct PeStats {
+    /// Total CPU time this PE spent busy (handlers, overheads, polling).
+    pub busy: Time,
+    /// Messages delivered through the scheduler.
+    pub msgs_delivered: u64,
+    /// CkDirect callbacks delivered.
+    pub callbacks: u64,
+    /// Individual handle checks performed by poll sweeps.
+    pub poll_checks: u64,
+}
+
+/// Machine-wide counters.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Messages sent (scheduler path).
+    pub msgs_sent: u64,
+    /// Payload bytes sent on the scheduler path (envelopes excluded).
+    pub msg_bytes: u64,
+    /// CkDirect puts issued.
+    pub puts: u64,
+    /// Bytes moved by CkDirect puts.
+    pub put_bytes: u64,
+    /// Reductions completed (generations across all arrays).
+    pub reductions: u64,
+    /// Events processed by the simulation core.
+    pub events: u64,
+}

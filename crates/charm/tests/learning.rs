@@ -1,0 +1,282 @@
+//! Tests of the automatic channel-learning framework (the paper's proposed
+//! "automatic learning framework which will create persistent channels
+//! where appropriate").
+
+use bytes::Bytes;
+use ckd_charm::{
+    Chare, ChareRef, Ctx, EntryId, LearnConfig, Machine, Msg, RtsConfig,
+};
+use ckd_net::presets;
+use ckd_sim::Time;
+use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
+use ckdirect::DirectConfig;
+
+const EP_START: EntryId = EntryId(0);
+const EP_DATA: EntryId = EntryId(1);
+const EP_ACK: EntryId = EntryId(2);
+
+const ROUNDS: u32 = 20;
+const SIZE: usize = 4096;
+
+/// Sends a stamped payload to the consumer each round (via the learning
+/// path), waits for an ack, repeats.
+struct Producer {
+    consumer: Option<ChareRef>,
+    round: u32,
+    round_times: Vec<Time>,
+}
+
+impl Chare for Producer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.consumer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                self.fire(ctx);
+            }
+            EP_ACK => {
+                self.round_times.push(ctx.now());
+                if self.round < ROUNDS {
+                    self.fire(ctx);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+impl Producer {
+    fn fire(&mut self, ctx: &mut Ctx<'_>) {
+        self.round += 1;
+        let mut payload = vec![0u8; SIZE];
+        payload[..8].copy_from_slice(&(self.round as u64).to_le_bytes());
+        payload[SIZE - 16..SIZE - 8].copy_from_slice(&(!(self.round as u64)).to_le_bytes());
+        let consumer = self.consumer.unwrap();
+        ctx.send_learned(consumer, Msg::bytes(EP_DATA, Bytes::from(payload)));
+    }
+}
+
+/// Receives the payload — by message or by learned channel, it cannot tell
+/// the difference — verifies the stamp, acks.
+struct Consumer {
+    producer: Option<ChareRef>,
+    received: u32,
+    corrupt: u32,
+}
+
+impl Chare for Consumer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.producer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+            }
+            EP_DATA => {
+                self.received += 1;
+                let data = msg.payload.bytes().expect("bytes payload");
+                assert_eq!(data.len(), SIZE);
+                let stamp = u64::from_le_bytes(data[..8].try_into().unwrap());
+                let check = u64::from_le_bytes(data[SIZE - 16..SIZE - 8].try_into().unwrap());
+                if stamp != self.received as u64 || check != !stamp {
+                    self.corrupt += 1;
+                }
+                let producer = self.producer.unwrap();
+                ctx.send(producer, Msg::signal(EP_ACK));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+fn build(learning: Option<LearnConfig>) -> (Machine, ChareRef, ChareRef) {
+    let net = presets::ib_abe(Topo::ib_cluster(4, 1));
+    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
+    if let Some(cfg) = learning {
+        m.enable_learning(cfg);
+    }
+    let prod = m.create_array("prod", Dims::d1(1), Mapper::Block, |_| {
+        Box::new(Producer {
+            consumer: None,
+            round: 0,
+            round_times: Vec::new(),
+        })
+    });
+    let cons = m.create_array("cons", Dims::d1(4), Mapper::Block, |_| {
+        Box::new(Consumer {
+            producer: None,
+            received: 0,
+            corrupt: 0,
+        })
+    });
+    let p = m.element(prod, Idx::i1(0));
+    let c = m.element(cons, Idx::i1(3)); // different node
+    m.seed(c, Msg::value(EP_START, p, 8));
+    m.seed(p, Msg::value(EP_START, c, 8));
+    (m, p, c)
+}
+
+#[test]
+fn learner_installs_a_channel_and_switches_to_puts() {
+    let (mut m, _p, c) = build(Some(LearnConfig { threshold: 3 }));
+    m.run();
+    let consumer = m.chare::<Consumer>(c).unwrap();
+    assert_eq!(consumer.received, ROUNDS);
+    assert_eq!(consumer.corrupt, 0, "learned deliveries must be intact");
+    let (installed, hits, misses) = m.learning_totals();
+    assert_eq!(installed, 1);
+    assert!(hits >= (ROUNDS - 5) as u64, "only {hits} one-sided rounds");
+    assert_eq!(misses, 0, "ack-synchronized stream never falls back");
+    let (puts, deliveries, _) = m.direct_counters();
+    assert_eq!(puts, hits);
+    assert_eq!(deliveries, hits);
+}
+
+#[test]
+fn learning_disabled_means_pure_messages() {
+    let (mut m, _p, c) = build(None);
+    m.run();
+    let consumer = m.chare::<Consumer>(c).unwrap();
+    assert_eq!(consumer.received, ROUNDS);
+    assert_eq!(m.learning_totals(), (0, 0, 0));
+    assert_eq!(m.direct_counters().0, 0, "no puts without learning");
+    assert_eq!(m.stats().msgs_sent as u32, 2 * ROUNDS); // data + acks
+}
+
+#[test]
+fn learned_transport_is_faster_and_equally_correct() {
+    let (mut m1, p1, c1) = build(None);
+    m1.run();
+    let baseline = m1.chare::<Producer>(p1).unwrap().round_times.clone();
+    let base_recv = m1.chare::<Consumer>(c1).unwrap().received;
+
+    let (mut m2, p2, c2) = build(Some(LearnConfig { threshold: 3 }));
+    m2.run();
+    let learned = m2.chare::<Producer>(p2).unwrap().round_times.clone();
+    let learn_recv = m2.chare::<Consumer>(c2).unwrap().received;
+
+    assert_eq!(base_recv, learn_recv);
+    assert_eq!(baseline.len(), learned.len());
+    // per-round latency in the steady state (after the channel activates)
+    let late_rounds = |ts: &[Time]| {
+        let n = ts.len();
+        (ts[n - 1] - ts[n - 6]).as_us_f64() / 5.0
+    };
+    let b = late_rounds(&baseline);
+    let l = late_rounds(&learned);
+    assert!(
+        l < b,
+        "learned steady-state round {l}us !< message round {b}us"
+    );
+    // early rounds (before learning) are message-speed in both runs
+    let early_b = (baseline[1] - baseline[0]).as_us_f64();
+    let early_l = (learned[1] - learned[0]).as_us_f64();
+    assert!((early_b - early_l).abs() < 1.0, "{early_b} vs {early_l}");
+}
+
+#[test]
+fn learner_keys_streams_by_size() {
+    // alternating sizes never accumulate a stable pattern at threshold 5
+    // within 4 sends each… but do at 3: verify keying by driving two sizes
+    // and checking two channels appear.
+    struct TwoSize {
+        consumer: Option<ChareRef>,
+        round: u32,
+    }
+    impl Chare for TwoSize {
+        fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.ep {
+                EP_START => {
+                    self.consumer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                    self.fire(ctx);
+                }
+                EP_ACK => {
+                    if self.round < 16 {
+                        self.fire(ctx);
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    impl TwoSize {
+        fn fire(&mut self, ctx: &mut Ctx<'_>) {
+            self.round += 1;
+            let size = if self.round.is_multiple_of(2) { 1024 } else { 2048 };
+            let consumer = self.consumer.unwrap();
+            ctx.send_learned(consumer, Msg::bytes(EP_DATA, Bytes::from(vec![1u8; size])));
+        }
+    }
+    struct AckBack {
+        producer: Option<ChareRef>,
+    }
+    impl Chare for AckBack {
+        fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.ep {
+                EP_START => {
+                    self.producer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                }
+                EP_DATA => {
+                    let producer = self.producer.unwrap();
+                    ctx.send(producer, Msg::signal(EP_ACK));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    let net = presets::ib_abe(Topo::ib_cluster(4, 1));
+    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
+    m.enable_learning(LearnConfig { threshold: 3 });
+    let prod = m.create_array("p", Dims::d1(1), Mapper::Block, |_| {
+        Box::new(TwoSize {
+            consumer: None,
+            round: 0,
+        })
+    });
+    let cons = m.create_array("c", Dims::d1(4), Mapper::Block, |_| {
+        Box::new(AckBack { producer: None })
+    });
+    let p = m.element(prod, Idx::i1(0));
+    let c = m.element(cons, Idx::i1(3));
+    m.seed(c, Msg::value(EP_START, p, 8));
+    m.seed(p, Msg::value(EP_START, c, 8));
+    m.run();
+    let (installed, hits, _) = m.learning_totals();
+    assert_eq!(installed, 2, "one channel per (ep, size) stream");
+    assert!(hits > 0);
+}
+
+#[test]
+fn non_bytes_payloads_never_learn() {
+    let net = presets::ib_abe(Topo::ib_cluster(2, 1));
+    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
+    m.enable_learning(LearnConfig { threshold: 1 });
+
+    struct ValueSender {
+        peer: Option<ChareRef>,
+        n: u32,
+    }
+    impl Chare for ValueSender {
+        fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.ep {
+                EP_START => {
+                    self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                    for i in 0..5u32 {
+                        let peer = self.peer.unwrap();
+                        ctx.send_learned(peer, Msg::value(EP_DATA, i, 64));
+                    }
+                }
+                EP_DATA => self.n += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    let arr = m.create_array("v", Dims::d1(2), Mapper::Block, |_| {
+        Box::new(ValueSender { peer: None, n: 0 })
+    });
+    let a = m.element(arr, Idx::i1(0));
+    let b = m.element(arr, Idx::i1(1));
+    m.seed(a, Msg::value(EP_START, b, 8));
+    m.run();
+    assert_eq!(m.chare::<ValueSender>(b).unwrap().n, 5);
+    assert_eq!(m.learning_totals(), (0, 0, 0));
+}

@@ -1,0 +1,115 @@
+//! Per-channel state: the lifecycle that makes "at most one message in
+//! flight, re-armed by `ready`" checkable.
+
+use ckd_topo::Pe;
+
+use crate::region::Region;
+use crate::strided::StridedSpec;
+
+/// Identifies a CkDirect channel. The receiver creates it and ships it to
+/// the sender inside an ordinary message during setup.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandleId(pub u32);
+
+impl HandleId {
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for HandleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ckh{}", self.0)
+    }
+}
+
+/// How completion is detected on this machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectBackend {
+    /// Infiniband-style: the RDMA write overwrites the out-of-band pattern
+    /// in the last 8 bytes; a per-PE polling queue detects it between
+    /// scheduler iterations. `ready_mark` / `ready_poll_q` are meaningful.
+    IbPoll,
+    /// Blue Gene/P-style: delivery is a DCMF completion callback; the
+    /// `ready` family are no-ops (the paper's BG/P implementation).
+    DcmfCallback,
+}
+
+/// Where the channel's current message is in its life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataPhase {
+    /// No outstanding put; the buffer is the receiver's to reuse.
+    Empty,
+    /// A put has been issued; bytes are on the wire.
+    InFlight,
+    /// Bytes have landed in the receive buffer but no callback has fired
+    /// yet (awaiting a poll sweep on the IbPoll backend).
+    Landed,
+    /// The callback fired; the receiver owns the data until `ready_mark`.
+    Delivered,
+}
+
+/// One CkDirect channel.
+pub(crate) struct Channel<C> {
+    /// PE hosting the receive buffer.
+    pub recv_pe: Pe,
+    /// Receive window (registered at `create_handle`).
+    pub recv: Region,
+    /// PE hosting the send buffer, once `assoc_local` ran.
+    pub send_pe: Option<Pe>,
+    /// Send window, once `assoc_local` ran.
+    pub send: Option<Region>,
+    /// The out-of-band pattern for this channel.
+    pub oob: u64,
+    /// Bytes charged on the wire per put. Defaults to the region length;
+    /// figure-scale (modeled) runs keep small real regions but charge the
+    /// full application buffer size here.
+    pub wire_bytes: usize,
+    /// Completion callback token (interpreted by the runtime layer).
+    pub callback: C,
+    /// Data lifecycle.
+    pub phase: DataPhase,
+    /// Sentinel currently armed (last word == oob as far as the receiver
+    /// side knows).
+    pub marked: bool,
+    /// Present in the owning PE's polling queue.
+    pub in_pollq: bool,
+    /// Strided receive side: scatter the wire image into this backing
+    /// layout at delivery.
+    pub recv_scatter: Option<(Region, StridedSpec)>,
+    /// Strided send side: gather this backing layout into the wire image
+    /// at put.
+    pub send_gather: Option<(Region, StridedSpec)>,
+    /// Put whose payload's final word equals the pattern: undetectable by
+    /// polling (diagnostic, see `DirectError::OobCollision`).
+    pub collided: bool,
+    /// Total puts issued on this channel.
+    pub puts: u64,
+    /// Total callbacks delivered on this channel.
+    pub deliveries: u64,
+}
+
+impl<C> Channel<C> {
+    pub(crate) fn new(recv_pe: Pe, recv: Region, oob: u64, callback: C) -> Channel<C> {
+        let wire_bytes = recv.len();
+        Channel {
+            recv_pe,
+            recv,
+            send_pe: None,
+            send: None,
+            oob,
+            wire_bytes,
+            callback,
+            recv_scatter: None,
+            send_gather: None,
+            phase: DataPhase::Empty,
+            marked: true,
+            in_pollq: false,
+            collided: false,
+            puts: 0,
+            deliveries: 0,
+        }
+    }
+}

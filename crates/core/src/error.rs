@@ -1,0 +1,98 @@
+//! Error taxonomy for CkDirect misuse.
+//!
+//! The paper makes correct use "the user's responsibility"; this
+//! reproduction keeps that contract for *performance* purposes but detects
+//! violations instead of corrupting data, because silent corruption in a
+//! simulation would invalidate every experiment built on top of it.
+
+use std::fmt;
+
+/// Everything that can go wrong when driving a CkDirect channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectError {
+    /// The registered buffer cannot hold the 8-byte out-of-band pattern.
+    BufferTooSmall,
+    /// Sender and receiver buffers of one channel must have equal length.
+    SizeMismatch,
+    /// A region's `offset + len` exceeds its backing allocation.
+    RegionOutOfBounds,
+    /// `put` on a handle whose sender never called `assoc_local`.
+    NotAssociated,
+    /// `assoc_local` called twice on the same handle.
+    AlreadyAssociated,
+    /// A second `put` was issued while one was still in flight — CkDirect
+    /// channels carry at most one message at a time.
+    PutInFlight,
+    /// `put` would overwrite data the receiver has been told about but has
+    /// not yet released with `ready_mark` — the exact hazard the paper says
+    /// application-level synchronization must prevent.
+    Overwrite,
+    /// The payload's final 8 bytes equal the out-of-band pattern, so the
+    /// polling receiver could never detect arrival. (The paper trusts the
+    /// user to pick a pattern that never occurs in data; we detect it.)
+    OobCollision,
+    /// `ready_mark` called before the callback delivered the current data.
+    NotDelivered,
+    /// `ready_poll_q` (or `ready`) called when the channel was already
+    /// armed / delivered without an intervening `ready_mark`.
+    NotMarked,
+    /// The handle id does not name a live channel.
+    BadHandle,
+    /// An operation was issued from the wrong PE (e.g. `put` from a PE other
+    /// than the one that called `assoc_local`).
+    WrongPe,
+}
+
+impl fmt::Display for DirectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DirectError::BufferTooSmall => {
+                "buffer smaller than the 8-byte out-of-band pattern"
+            }
+            DirectError::SizeMismatch => "sender and receiver buffer sizes differ",
+            DirectError::RegionOutOfBounds => "region exceeds its backing buffer",
+            DirectError::NotAssociated => "put on a handle with no associated send buffer",
+            DirectError::AlreadyAssociated => "assoc_local called twice",
+            DirectError::PutInFlight => "a put is already in flight on this channel",
+            DirectError::Overwrite => "put would overwrite undelivered or unreleased data",
+            DirectError::OobCollision => {
+                "payload ends with the out-of-band pattern; arrival would be undetectable"
+            }
+            DirectError::NotDelivered => "ready_mark before the completion callback fired",
+            DirectError::NotMarked => "ready_poll_q without a preceding ready_mark",
+            DirectError::BadHandle => "unknown CkDirect handle",
+            DirectError::WrongPe => "operation issued from the wrong PE",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DirectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = DirectError::OobCollision.to_string();
+        assert!(msg.contains("out-of-band"));
+        // all variants render without panicking
+        for e in [
+            DirectError::BufferTooSmall,
+            DirectError::SizeMismatch,
+            DirectError::RegionOutOfBounds,
+            DirectError::NotAssociated,
+            DirectError::AlreadyAssociated,
+            DirectError::PutInFlight,
+            DirectError::Overwrite,
+            DirectError::OobCollision,
+            DirectError::NotDelivered,
+            DirectError::NotMarked,
+            DirectError::BadHandle,
+            DirectError::WrongPe,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Byte regions: the registered memory windows CkDirect channels move data
+//! between.
+//!
+//! A [`Region`] is a `(buffer, offset, len)` view into a shared byte
+//! allocation. Sharing (`Rc<RefCell<…>>`) is what lets a chare register *the
+//! middle of its own matrix* as a receive window — the paper's motivating
+//! example ("a row in the middle of a matrix") — while the runtime performs
+//! the put into the very same storage with no copy on the receive side.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::DirectError;
+
+/// A shared, growable byte buffer that regions can be carved from.
+pub type SharedBuf = Rc<RefCell<Vec<u8>>>;
+
+/// Allocate a zeroed shared buffer of `len` bytes.
+pub fn shared_buf(len: usize) -> SharedBuf {
+    Rc::new(RefCell::new(vec![0u8; len]))
+}
+
+/// A view of `len` bytes at `offset` within a shared buffer.
+#[derive(Clone)]
+pub struct Region {
+    buf: SharedBuf,
+    offset: usize,
+    len: usize,
+}
+
+impl Region {
+    /// A region covering `buf[offset .. offset + len]`.
+    pub fn new(buf: SharedBuf, offset: usize, len: usize) -> Result<Region, DirectError> {
+        let end = offset.checked_add(len);
+        if end.is_none() || end.unwrap() > buf.borrow().len() {
+            return Err(DirectError::RegionOutOfBounds);
+        }
+        Ok(Region { buf, offset, len })
+    }
+
+    /// A region covering an entire freshly allocated zeroed buffer.
+    pub fn alloc(len: usize) -> Region {
+        Region {
+            buf: shared_buf(len),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Length of the window in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length windows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Run `f` over the window's bytes.
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let b = self.buf.borrow();
+        f(&b[self.offset..self.offset + self.len])
+    }
+
+    /// Run `f` over the window's bytes mutably.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut b = self.buf.borrow_mut();
+        f(&mut b[self.offset..self.offset + self.len])
+    }
+
+    /// Copy the window out into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.with(|b| b.to_vec())
+    }
+
+    /// Overwrite the window from a slice of exactly `len` bytes.
+    pub fn copy_from_slice(&self, src: &[u8]) {
+        assert_eq!(src.len(), self.len, "region size mismatch");
+        self.with_mut(|b| b.copy_from_slice(src));
+    }
+
+    /// Copy another equally-sized region's bytes into this one (the
+    /// simulated RDMA transfer). Handles the two regions sharing a backing
+    /// buffer (loopback channels).
+    pub fn copy_from_region(&self, src: &Region) {
+        assert_eq!(src.len, self.len, "region size mismatch");
+        if Rc::ptr_eq(&self.buf, &src.buf) {
+            let mut b = self.buf.borrow_mut();
+            b.copy_within(src.offset..src.offset + src.len, self.offset);
+        } else {
+            let s = src.buf.borrow();
+            let mut d = self.buf.borrow_mut();
+            d[self.offset..self.offset + self.len]
+                .copy_from_slice(&s[src.offset..src.offset + src.len]);
+        }
+    }
+
+    /// The final 8 bytes of the window as a little-endian word — where the
+    /// out-of-band pattern lives. Panics on windows shorter than 8 bytes
+    /// (creation validates this).
+    pub fn last_word(&self) -> u64 {
+        assert!(self.len >= 8);
+        self.with(|b| u64::from_le_bytes(b[self.len - 8..].try_into().unwrap()))
+    }
+
+    /// Overwrite the final 8 bytes with `w` (arming the sentinel).
+    pub fn set_last_word(&self, w: u64) {
+        assert!(self.len >= 8);
+        self.with_mut(|b| {
+            let n = b.len();
+            b[n - 8..].copy_from_slice(&w.to_le_bytes());
+        });
+    }
+
+    /// Read `count` little-endian `f64`s starting `at` bytes into the window.
+    pub fn read_f64s(&self, at: usize, count: usize) -> Vec<f64> {
+        self.with(|b| {
+            (0..count)
+                .map(|i| {
+                    let o = at + i * 8;
+                    f64::from_le_bytes(b[o..o + 8].try_into().unwrap())
+                })
+                .collect()
+        })
+    }
+
+    /// Write `vals` as little-endian `f64`s starting `at` bytes in.
+    pub fn write_f64s(&self, at: usize, vals: &[f64]) {
+        self.with_mut(|b| {
+            for (i, v) in vals.iter().enumerate() {
+                let o = at + i * 8;
+                b[o..o + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        });
+    }
+
+    /// Fill the whole window with a byte value (test scaffolding).
+    pub fn fill(&self, v: u8) {
+        self.with_mut(|b| b.fill(v));
+    }
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Region[{}..+{}]", self.offset, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_zeroed() {
+        let r = Region::alloc(16);
+        assert_eq!(r.to_vec(), vec![0u8; 16]);
+        assert_eq!(r.len(), 16);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn subregion_views_shared_storage() {
+        let buf = shared_buf(32);
+        let a = Region::new(buf.clone(), 0, 16).unwrap();
+        let b = Region::new(buf.clone(), 8, 16).unwrap();
+        a.fill(0xAA);
+        // bytes 8..16 are visible through both regions
+        assert_eq!(b.to_vec()[..8], vec![0xAA; 8][..]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let buf = shared_buf(8);
+        assert_eq!(
+            Region::new(buf.clone(), 4, 8).unwrap_err(),
+            DirectError::RegionOutOfBounds
+        );
+        assert_eq!(
+            Region::new(buf, usize::MAX, 2).unwrap_err(),
+            DirectError::RegionOutOfBounds
+        );
+    }
+
+    #[test]
+    fn last_word_roundtrip() {
+        let r = Region::alloc(24);
+        r.set_last_word(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.last_word(), 0xDEAD_BEEF_CAFE_F00D);
+        // only the final 8 bytes were touched
+        assert_eq!(&r.to_vec()[..16], &[0u8; 16]);
+    }
+
+    #[test]
+    fn copy_between_regions() {
+        let a = Region::alloc(16);
+        let b = Region::alloc(16);
+        a.fill(7);
+        b.copy_from_region(&a);
+        assert_eq!(b.to_vec(), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn copy_within_shared_buffer() {
+        let buf = shared_buf(32);
+        let lo = Region::new(buf.clone(), 0, 16).unwrap();
+        let hi = Region::new(buf, 16, 16).unwrap();
+        lo.fill(3);
+        hi.copy_from_region(&lo);
+        assert_eq!(hi.to_vec(), vec![3u8; 16]);
+    }
+
+    #[test]
+    fn f64_roundtrip_mid_matrix() {
+        // register "a row in the middle of a matrix": a 4x4 f64 matrix,
+        // write row 2 through a region.
+        let matrix = shared_buf(4 * 4 * 8);
+        let row2 = Region::new(matrix.clone(), 2 * 4 * 8, 4 * 8).unwrap();
+        row2.write_f64s(0, &[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(row2.read_f64s(0, 4), vec![1.5, 2.5, 3.5, 4.5]);
+        // surrounding rows untouched
+        let row1 = Region::new(matrix, 4 * 8, 4 * 8).unwrap();
+        assert_eq!(row1.read_f64s(0, 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn copy_from_slice_exact() {
+        let r = Region::alloc(8);
+        r.copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(r.to_vec(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,961 @@
+//! The CkDirect channel registry: the runtime-facing implementation of the
+//! paper's API, independent of any particular executor.
+//!
+//! The registry owns every channel of a simulated machine. An executor (the
+//! `ckd-charm` scheduler) drives it:
+//!
+//! * user code calls `create_handle` / `assoc_local` / `put` / `ready*`
+//!   through the runtime, which forwards here for state transitions;
+//! * the executor schedules the wire delay returned by its network model
+//!   and calls [`DirectRegistry::land`] when the data arrives;
+//! * on the `IbPoll` backend the executor calls
+//!   [`DirectRegistry::poll_sweep`] between scheduler iterations and invokes
+//!   the callbacks it returns; on `DcmfCallback`, `land` itself hands the
+//!   callback back.
+//!
+//! The registry is generic over the callback token `C` so this crate stays
+//! free of runtime types.
+
+use ckd_topo::Pe;
+
+use crate::channel::{Channel, DataPhase, DirectBackend, HandleId};
+use crate::error::DirectError;
+use crate::region::Region;
+use crate::strided::StridedSpec;
+
+/// Registry-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectConfig {
+    /// Completion-detection style of the machine.
+    pub backend: DirectBackend,
+    /// Reject puts whose payload ends with the channel's out-of-band
+    /// pattern (`DirectError::OobCollision`). With `false`, such a put is
+    /// transferred but never detected — the paper's actual failure mode —
+    /// which some tests exercise deliberately.
+    pub detect_collisions: bool,
+}
+
+impl DirectConfig {
+    /// Infiniband-style polling backend with collision detection on.
+    pub fn ib() -> DirectConfig {
+        DirectConfig {
+            backend: DirectBackend::IbPoll,
+            detect_collisions: true,
+        }
+    }
+
+    /// Blue Gene/P-style callback backend.
+    pub fn bgp() -> DirectConfig {
+        DirectConfig {
+            backend: DirectBackend::DcmfCallback,
+            detect_collisions: true,
+        }
+    }
+}
+
+/// What a successful `put` asks the executor to do: move `bytes` from
+/// `src` to `dst` and call [`DirectRegistry::land`] on arrival.
+#[derive(Clone, Copy, Debug)]
+pub struct PutRequest {
+    /// The channel being driven.
+    pub handle: HandleId,
+    /// Sender PE.
+    pub src: Pe,
+    /// Receiver PE.
+    pub dst: Pe,
+    /// Payload size (the full registered window).
+    pub bytes: usize,
+}
+
+/// What `land` tells the executor.
+#[derive(Debug)]
+pub enum LandOutcome<C> {
+    /// IbPoll backend: data is in the buffer; a future poll sweep will
+    /// detect it. Nothing to do now.
+    AwaitPoll,
+    /// DcmfCallback backend: invoke this callback on the receiver PE now.
+    Deliver(C),
+}
+
+/// Result of one poll sweep over a PE's polling queue.
+#[derive(Debug)]
+pub struct SweepOutcome<C> {
+    /// Handles examined (each costs `poll_per_handle` of scheduler time).
+    pub checked: usize,
+    /// Callbacks to invoke, in queue order.
+    pub deliveries: Vec<(HandleId, C)>,
+}
+
+/// All CkDirect channels of one simulated machine.
+pub struct DirectRegistry<C> {
+    cfg: DirectConfig,
+    channels: Vec<Channel<C>>,
+    /// Per-PE polling queues (IbPoll backend only), in insertion order as
+    /// the paper describes.
+    pollq: Vec<Vec<HandleId>>,
+    total_puts: u64,
+    total_deliveries: u64,
+    total_poll_checks: u64,
+}
+
+impl<C: Clone> DirectRegistry<C> {
+    /// A registry for a machine with `npes` PEs.
+    pub fn new(npes: usize, cfg: DirectConfig) -> DirectRegistry<C> {
+        DirectRegistry {
+            cfg,
+            channels: Vec::new(),
+            pollq: vec![Vec::new(); npes],
+            total_puts: 0,
+            total_deliveries: 0,
+            total_poll_checks: 0,
+        }
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> DirectBackend {
+        self.cfg.backend
+    }
+
+    /// `CkDirect_createHandle`: register `recv` (on `recv_pe`) as the
+    /// destination window, arm the out-of-band pattern in its last 8 bytes,
+    /// and — on the polling backend — enqueue the handle for polling.
+    ///
+    /// `callback` is the token the runtime will use to notify the receiver;
+    /// the paper passes a C function pointer plus user data.
+    pub fn create_handle(
+        &mut self,
+        recv_pe: Pe,
+        recv: Region,
+        oob: u64,
+        callback: C,
+    ) -> Result<HandleId, DirectError> {
+        if recv.len() < 8 {
+            return Err(DirectError::BufferTooSmall);
+        }
+        let id = HandleId(self.channels.len() as u32);
+        recv.set_last_word(oob);
+        let mut ch = Channel::new(recv_pe, recv, oob, callback);
+        if self.cfg.backend == DirectBackend::IbPoll {
+            ch.in_pollq = true;
+            self.pollq[recv_pe.idx()].push(id);
+        }
+        self.channels.push(ch);
+        Ok(id)
+    }
+
+    /// [`Self::create_handle`] with an explicit wire size: the put still
+    /// moves the (possibly truncated) region's real bytes, but the network
+    /// is charged for `wire_bytes` — how figure-scale runs model full-size
+    /// application buffers without allocating them.
+    pub fn create_handle_wire(
+        &mut self,
+        recv_pe: Pe,
+        recv: Region,
+        oob: u64,
+        callback: C,
+        wire_bytes: usize,
+    ) -> Result<HandleId, DirectError> {
+        let id = self.create_handle(recv_pe, recv, oob, callback)?;
+        self.channels[id.idx()].wire_bytes = wire_bytes.max(8);
+        Ok(id)
+    }
+
+    /// The wire size charged per put on this channel.
+    pub fn wire_bytes(&self, handle: HandleId) -> Result<usize, DirectError> {
+        Ok(self.chan(handle)?.wire_bytes)
+    }
+
+    /// Strided `create_handle` (the paper's proposed extension): the put
+    /// lands as `spec` describes within `backing` — e.g. a matrix column —
+    /// with the runtime scattering from a contiguous wire image at
+    /// delivery. Returns the handle; the wire image (including the
+    /// sentinel) is managed internally.
+    pub fn create_handle_strided(
+        &mut self,
+        recv_pe: Pe,
+        backing: Region,
+        spec: StridedSpec,
+        oob: u64,
+        callback: C,
+    ) -> Result<HandleId, DirectError> {
+        spec.validate(&backing)?;
+        if spec.payload_len() < 8 {
+            return Err(DirectError::BufferTooSmall);
+        }
+        let wire = Region::alloc(spec.payload_len());
+        let id = self.create_handle(recv_pe, wire, oob, callback)?;
+        self.channels[id.idx()].recv_scatter = Some((backing, spec));
+        Ok(id)
+    }
+
+    /// Strided `assoc_local`: the put gathers `spec`'s blocks out of
+    /// `backing` into the wire image before transfer.
+    pub fn assoc_local_strided(
+        &mut self,
+        handle: HandleId,
+        send_pe: Pe,
+        backing: Region,
+        spec: StridedSpec,
+    ) -> Result<(), DirectError> {
+        spec.validate(&backing)?;
+        let wire = Region::alloc(spec.payload_len());
+        // gathered images never accidentally carry the pattern until the
+        // first gather fills them; seed the last word away from `oob`
+        let ch_oob = self.chan(handle)?.oob;
+        wire.set_last_word(!ch_oob);
+        self.assoc_local(handle, send_pe, wire)?;
+        self.channels[handle.idx()].send_gather = Some((backing, spec));
+        Ok(())
+    }
+
+    /// Bytes scattered on the receive side at delivery (None for
+    /// contiguous channels) — the executor charges the copy.
+    pub fn strided_recv_bytes(&self, handle: HandleId) -> Result<Option<usize>, DirectError> {
+        Ok(self
+            .chan(handle)?
+            .recv_scatter
+            .as_ref()
+            .map(|(_, s)| s.payload_len()))
+    }
+
+    /// Bytes gathered on the send side at put (None for contiguous
+    /// channels) — the executor charges the copy.
+    pub fn strided_send_bytes(&self, handle: HandleId) -> Result<Option<usize>, DirectError> {
+        Ok(self
+            .chan(handle)?
+            .send_gather
+            .as_ref()
+            .map(|(_, s)| s.payload_len()))
+    }
+
+    /// The strided receive backing (reading it after delivery *is* reading
+    /// the landed data in its application layout).
+    pub fn recv_backing(&self, handle: HandleId) -> Result<Option<Region>, DirectError> {
+        Ok(self
+            .chan(handle)?
+            .recv_scatter
+            .as_ref()
+            .map(|(r, _)| r.clone()))
+    }
+
+    /// `CkDirect_assocLocal`: bind the sender-side buffer. The same local
+    /// buffer (same backing storage) may be associated with *different*
+    /// handles — the paper uses this to multicast one source to many
+    /// receivers without copies — but each handle gets exactly one source.
+    pub fn assoc_local(
+        &mut self,
+        handle: HandleId,
+        send_pe: Pe,
+        send: Region,
+    ) -> Result<(), DirectError> {
+        let ch = self.chan_mut(handle)?;
+        if ch.send.is_some() {
+            return Err(DirectError::AlreadyAssociated);
+        }
+        if send.len() != ch.recv.len() {
+            return Err(DirectError::SizeMismatch);
+        }
+        ch.send_pe = Some(send_pe);
+        ch.send = Some(send);
+        Ok(())
+    }
+
+    /// `CkDirect_put`: request the one-sided transfer. Validates the
+    /// channel contract and returns the transfer for the executor to time;
+    /// the bytes move when the executor later calls [`Self::land`].
+    pub fn put(&mut self, handle: HandleId, from_pe: Pe) -> Result<PutRequest, DirectError> {
+        let backend = self.cfg.backend;
+        let detect = self.cfg.detect_collisions;
+        let ch = self.chan_mut(handle)?;
+        let send_pe = ch.send_pe.ok_or(DirectError::NotAssociated)?;
+        if send_pe != from_pe {
+            return Err(DirectError::WrongPe);
+        }
+        match ch.phase {
+            DataPhase::InFlight | DataPhase::Landed => return Err(DirectError::PutInFlight),
+            DataPhase::Delivered => return Err(DirectError::Overwrite),
+            DataPhase::Empty => {}
+        }
+        if let Some((backing, spec)) = &ch.send_gather {
+            // strided source: gather the blocks into the wire image now
+            spec.gather(backing, ch.send.as_ref().expect("associated"));
+        }
+        if backend == DirectBackend::IbPoll {
+            // The receiver must have re-armed the sentinel (create_handle or
+            // ready_mark) or the put could land undetectably.
+            if !ch.marked {
+                return Err(DirectError::Overwrite);
+            }
+            if detect {
+                let src = ch.send.as_ref().expect("associated");
+                if src.last_word() == ch.oob {
+                    return Err(DirectError::OobCollision);
+                }
+            }
+        }
+        ch.phase = DataPhase::InFlight;
+        ch.puts += 1;
+        self.total_puts += 1;
+        Ok(PutRequest {
+            handle,
+            src: send_pe,
+            dst: self.channels[handle.idx()].recv_pe,
+            bytes: self.channels[handle.idx()].wire_bytes,
+        })
+    }
+
+    /// `CkDirect_get` (comparison variant, §2): the *receiver* pulls the
+    /// sender's buffer. Must be issued from the receiving PE; completion is
+    /// known to the initiator (its read completes), so there is no
+    /// sentinel/polling — the executor calls [`Self::land_get`] when the
+    /// data is back and delivers the callback immediately.
+    pub fn get(&mut self, handle: HandleId, from_pe: Pe) -> Result<PutRequest, DirectError> {
+        let ch = self.chan_mut(handle)?;
+        let send_pe = ch.send_pe.ok_or(DirectError::NotAssociated)?;
+        if ch.recv_pe != from_pe {
+            return Err(DirectError::WrongPe);
+        }
+        match ch.phase {
+            DataPhase::InFlight | DataPhase::Landed => return Err(DirectError::PutInFlight),
+            DataPhase::Delivered => return Err(DirectError::Overwrite),
+            DataPhase::Empty => {}
+        }
+        if let Some((backing, spec)) = &ch.send_gather {
+            spec.gather(backing, ch.send.as_ref().expect("associated"));
+        }
+        ch.phase = DataPhase::InFlight;
+        ch.puts += 1;
+        self.total_puts += 1;
+        Ok(PutRequest {
+            handle,
+            src: send_pe,
+            dst: from_pe,
+            bytes: self.channels[handle.idx()].wire_bytes,
+        })
+    }
+
+    /// Executor callback for a completed get: copy the bytes and hand back
+    /// the callback for immediate delivery at the initiator.
+    pub fn land_get(&mut self, handle: HandleId) -> Result<C, DirectError> {
+        let ch = self.chan_mut(handle)?;
+        debug_assert_eq!(ch.phase, DataPhase::InFlight);
+        let src = ch.send.as_ref().ok_or(DirectError::NotAssociated)?;
+        ch.recv.copy_from_region(src);
+        ch.phase = DataPhase::Delivered;
+        ch.marked = false;
+        ch.deliveries += 1;
+        if let Some((backing, spec)) = &ch.recv_scatter {
+            spec.scatter(&ch.recv, backing);
+        }
+        self.total_deliveries += 1;
+        Ok(self.channels[handle.idx()].callback.clone())
+    }
+
+    /// Executor callback: the wire delay has elapsed; move the bytes into
+    /// the receive window (the simulated RDMA write / DCMF delivery).
+    pub fn land(&mut self, handle: HandleId) -> Result<LandOutcome<C>, DirectError> {
+        let backend = self.cfg.backend;
+        let ch = self.chan_mut(handle)?;
+        debug_assert_eq!(ch.phase, DataPhase::InFlight, "{handle:?} landed twice?");
+        let src = ch.send.as_ref().ok_or(DirectError::NotAssociated)?;
+        ch.recv.copy_from_region(src);
+        match backend {
+            DirectBackend::IbPoll => {
+                ch.phase = DataPhase::Landed;
+                if ch.recv.last_word() == ch.oob {
+                    // Payload ends with the pattern: the poller will never
+                    // see the sentinel change. Record the pathology.
+                    ch.collided = true;
+                }
+                Ok(LandOutcome::AwaitPoll)
+            }
+            DirectBackend::DcmfCallback => {
+                ch.phase = DataPhase::Delivered;
+                ch.marked = false;
+                ch.deliveries += 1;
+                if let Some((backing, spec)) = &ch.recv_scatter {
+                    spec.scatter(&ch.recv, backing);
+                }
+                self.total_deliveries += 1;
+                Ok(LandOutcome::Deliver(self.channels[handle.idx()].callback.clone()))
+            }
+        }
+    }
+
+    /// One scan of `pe`'s polling queue (IbPoll backend): check each armed
+    /// handle's sentinel, collect the callbacks of channels whose data has
+    /// landed, and drop them from the queue.
+    ///
+    /// The `checked` count is returned so the scheduler can charge
+    /// `poll_per_handle × checked` — the overhead that §5.2 of the paper
+    /// shows swamping OpenAtom when thousands of channels stay queued.
+    pub fn poll_sweep(&mut self, pe: Pe) -> SweepOutcome<C> {
+        debug_assert_eq!(self.cfg.backend, DirectBackend::IbPoll);
+        let q = std::mem::take(&mut self.pollq[pe.idx()]);
+        let checked = q.len();
+        self.total_poll_checks += checked as u64;
+        let mut deliveries = Vec::new();
+        let mut keep = Vec::with_capacity(q.len());
+        for id in q {
+            let ch = &mut self.channels[id.idx()];
+            let arrived =
+                ch.phase == DataPhase::Landed && ch.recv.last_word() != ch.oob;
+            if arrived {
+                ch.phase = DataPhase::Delivered;
+                ch.marked = false;
+                ch.in_pollq = false;
+                ch.deliveries += 1;
+                if let Some((backing, spec)) = &ch.recv_scatter {
+                    spec.scatter(&ch.recv, backing);
+                }
+                self.total_deliveries += 1;
+                deliveries.push((id, ch.callback.clone()));
+            } else {
+                keep.push(id);
+            }
+        }
+        self.pollq[pe.idx()] = keep;
+        SweepOutcome {
+            checked,
+            deliveries,
+        }
+    }
+
+    /// `CkDirect_ReadyMark`: the receiver is done with the data; re-arm the
+    /// out-of-band pattern so the *next* put can be detected. Performs no
+    /// communication and no synchronization. No-op on the BG/P backend.
+    pub fn ready_mark(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        if self.cfg.backend == DirectBackend::DcmfCallback {
+            return self.ready_noop_bgp(handle);
+        }
+        let ch = self.chan_mut(handle)?;
+        match ch.phase {
+            DataPhase::Delivered => {
+                ch.recv.set_last_word(ch.oob);
+                ch.marked = true;
+                ch.phase = DataPhase::Empty;
+                Ok(())
+            }
+            DataPhase::Empty if ch.marked => Err(DirectError::NotDelivered),
+            _ => Err(DirectError::NotDelivered),
+        }
+    }
+
+    /// `CkDirect_ReadyPollQ`: start polling the handle again. If the next
+    /// put already landed between `ready_mark` and this call, the callback
+    /// is returned for immediate delivery instead (the paper: "inserts the
+    /// handle into the polling queue **if new data has not already been
+    /// received**"). No-op on the BG/P backend.
+    pub fn ready_poll_q(&mut self, handle: HandleId) -> Result<Option<C>, DirectError> {
+        if self.cfg.backend == DirectBackend::DcmfCallback {
+            self.ready_noop_bgp(handle)?;
+            return Ok(None);
+        }
+        let ch = self.chan_mut(handle)?;
+        match ch.phase {
+            DataPhase::Landed if ch.recv.last_word() != ch.oob => {
+                // Data raced ahead of the poll-queue insertion: deliver now.
+                ch.phase = DataPhase::Delivered;
+                ch.marked = false;
+                ch.deliveries += 1;
+                if let Some((backing, spec)) = &ch.recv_scatter {
+                    spec.scatter(&ch.recv, backing);
+                }
+                let cb = ch.callback.clone();
+                self.total_deliveries += 1;
+                Ok(Some(cb))
+            }
+            DataPhase::Empty | DataPhase::InFlight | DataPhase::Landed => {
+                if !ch.marked {
+                    return Err(DirectError::NotMarked);
+                }
+                if !ch.in_pollq {
+                    ch.in_pollq = true;
+                    let pe = ch.recv_pe;
+                    self.pollq[pe.idx()].push(handle);
+                }
+                Ok(None)
+            }
+            // The current data was already detected and its callback fired:
+            // "inserts the handle into the polling queue if new data has not
+            // already been received" — nothing to do until `ready_mark`.
+            DataPhase::Delivered => Ok(None),
+        }
+    }
+
+    /// `CkDirect_ready`: the unsplit form — mark and start polling at once.
+    pub fn ready(&mut self, handle: HandleId) -> Result<Option<C>, DirectError> {
+        self.ready_mark(handle)?;
+        self.ready_poll_q(handle)
+    }
+
+    /// BG/P `ready` semantics: "no effect in the current Blue Gene/P
+    /// implementation" — but the handle must still exist, and the receiver
+    /// releases the data so the next put is legal.
+    fn ready_noop_bgp(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        let ch = self.chan_mut(handle)?;
+        if ch.phase == DataPhase::Delivered {
+            ch.phase = DataPhase::Empty;
+            ch.marked = true;
+        }
+        Ok(())
+    }
+
+    /// Current data phase (tests and runtime assertions).
+    pub fn phase(&self, handle: HandleId) -> Result<DataPhase, DirectError> {
+        Ok(self.chan(handle)?.phase)
+    }
+
+    /// The receive window of a channel (how the receiving chare reads the
+    /// landed data — it's the same storage it registered).
+    pub fn recv_region(&self, handle: HandleId) -> Result<Region, DirectError> {
+        Ok(self.chan(handle)?.recv.clone())
+    }
+
+    /// Receiver PE of a channel.
+    pub fn recv_pe(&self, handle: HandleId) -> Result<Pe, DirectError> {
+        Ok(self.chan(handle)?.recv_pe)
+    }
+
+    /// Whether a landed payload collided with the out-of-band pattern.
+    pub fn collided(&self, handle: HandleId) -> Result<bool, DirectError> {
+        Ok(self.chan(handle)?.collided)
+    }
+
+    /// Number of handles currently being polled on `pe`.
+    pub fn pollq_len(&self, pe: Pe) -> usize {
+        self.pollq[pe.idx()].len()
+    }
+
+    /// Total channels ever created.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Lifetime counters: `(puts, deliveries, poll_checks)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.total_puts, self.total_deliveries, self.total_poll_checks)
+    }
+
+    fn chan(&self, handle: HandleId) -> Result<&Channel<C>, DirectError> {
+        self.channels.get(handle.idx()).ok_or(DirectError::BadHandle)
+    }
+
+    fn chan_mut(&mut self, handle: HandleId) -> Result<&mut Channel<C>, DirectError> {
+        self.channels
+            .get_mut(handle.idx())
+            .ok_or(DirectError::BadHandle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+
+    type Reg = DirectRegistry<u32>;
+
+    fn setup(cfg: DirectConfig) -> (Reg, HandleId, Region, Region) {
+        let mut reg = Reg::new(2, cfg);
+        let recv = Region::alloc(64);
+        let send = Region::alloc(64);
+        let h = reg
+            .create_handle(Pe(1), recv.clone(), u64::MAX, 7)
+            .unwrap();
+        reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+        (reg, h, send, recv)
+    }
+
+    fn land_and_sweep(reg: &mut Reg, h: HandleId) -> Vec<(HandleId, u32)> {
+        match reg.land(h).unwrap() {
+            LandOutcome::AwaitPoll => reg.poll_sweep(Pe(1)).deliveries,
+            LandOutcome::Deliver(cb) => vec![(h, cb)],
+        }
+    }
+
+    #[test]
+    fn full_cycle_ib() {
+        let (mut reg, h, send, recv) = setup(DirectConfig::ib());
+        assert_eq!(recv.last_word(), u64::MAX, "sentinel armed at create");
+        send.fill(9);
+        let req = reg.put(h, Pe(0)).unwrap();
+        assert_eq!(req.bytes, 64);
+        assert_eq!(reg.phase(h).unwrap(), DataPhase::InFlight);
+        let delivered = land_and_sweep(&mut reg, h);
+        assert_eq!(delivered, vec![(h, 7)]);
+        assert_eq!(recv.to_vec(), vec![9u8; 64], "payload landed in place");
+        assert_eq!(reg.phase(h).unwrap(), DataPhase::Delivered);
+        assert_eq!(reg.pollq_len(Pe(1)), 0, "delivered handle left the queue");
+        // re-arm and go again
+        assert!(reg.ready(h).unwrap().is_none());
+        assert_eq!(recv.last_word(), u64::MAX, "sentinel re-armed");
+        assert_eq!(reg.pollq_len(Pe(1)), 1);
+        send.fill(4);
+        reg.put(h, Pe(0)).unwrap();
+        let delivered = land_and_sweep(&mut reg, h);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(recv.to_vec()[0], 4);
+        assert_eq!(reg.counters().0, 2);
+        assert_eq!(reg.counters().1, 2);
+    }
+
+    #[test]
+    fn full_cycle_bgp_callback_immediate() {
+        let (mut reg, h, send, _recv) = setup(DirectConfig::bgp());
+        assert_eq!(reg.pollq_len(Pe(1)), 0, "no polling on BG/P");
+        send.fill(5);
+        reg.put(h, Pe(0)).unwrap();
+        match reg.land(h).unwrap() {
+            LandOutcome::Deliver(cb) => assert_eq!(cb, 7),
+            LandOutcome::AwaitPoll => panic!("BG/P must deliver via callback"),
+        }
+        // ready is a no-op but releases the data for the next put
+        reg.ready_mark(h).unwrap();
+        assert!(reg.ready_poll_q(h).unwrap().is_none());
+        reg.put(h, Pe(0)).unwrap();
+    }
+
+    #[test]
+    fn one_message_in_flight_enforced() {
+        let (mut reg, h, _send, _recv) = setup(DirectConfig::ib());
+        reg.put(h, Pe(0)).unwrap();
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::PutInFlight);
+        reg.land(h).unwrap();
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::PutInFlight);
+        reg.poll_sweep(Pe(1));
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::Overwrite);
+    }
+
+    #[test]
+    fn put_requires_assoc() {
+        let mut reg = Reg::new(2, DirectConfig::ib());
+        let h = reg
+            .create_handle(Pe(1), Region::alloc(16), u64::MAX, 0)
+            .unwrap();
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::NotAssociated);
+    }
+
+    #[test]
+    fn assoc_size_and_duplication_checks() {
+        let mut reg = Reg::new(2, DirectConfig::ib());
+        let h = reg
+            .create_handle(Pe(1), Region::alloc(16), u64::MAX, 0)
+            .unwrap();
+        assert_eq!(
+            reg.assoc_local(h, Pe(0), Region::alloc(8)).unwrap_err(),
+            DirectError::SizeMismatch
+        );
+        reg.assoc_local(h, Pe(0), Region::alloc(16)).unwrap();
+        assert_eq!(
+            reg.assoc_local(h, Pe(0), Region::alloc(16)).unwrap_err(),
+            DirectError::AlreadyAssociated
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_rejected() {
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        assert_eq!(
+            reg.create_handle(Pe(0), Region::alloc(7), 1, 0).unwrap_err(),
+            DirectError::BufferTooSmall
+        );
+    }
+
+    #[test]
+    fn wrong_pe_put_rejected() {
+        let (mut reg, h, _s, _r) = setup(DirectConfig::ib());
+        assert_eq!(reg.put(h, Pe(1)).unwrap_err(), DirectError::WrongPe);
+    }
+
+    #[test]
+    fn oob_collision_detected_at_put() {
+        let (mut reg, h, send, _recv) = setup(DirectConfig::ib());
+        send.set_last_word(u64::MAX); // payload ends with the pattern
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::OobCollision);
+    }
+
+    #[test]
+    fn oob_collision_unchecked_is_silent_loss() {
+        // With detection off we reproduce the paper's failure mode: the put
+        // lands but polling never notices.
+        let mut cfg = DirectConfig::ib();
+        cfg.detect_collisions = false;
+        let (mut reg, h, send, _recv) = {
+            let mut reg = Reg::new(2, cfg);
+            let recv = Region::alloc(64);
+            let send = Region::alloc(64);
+            let h = reg.create_handle(Pe(1), recv.clone(), u64::MAX, 7).unwrap();
+            reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+            (reg, h, send, recv)
+        };
+        send.fill(0xFF); // last word == u64::MAX == the pattern
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        let sweep = reg.poll_sweep(Pe(1));
+        assert_eq!(sweep.checked, 1);
+        assert!(sweep.deliveries.is_empty(), "undetectable arrival");
+        assert!(reg.collided(h).unwrap());
+    }
+
+    #[test]
+    fn ready_mark_requires_delivery() {
+        let (mut reg, h, _send, _recv) = setup(DirectConfig::ib());
+        assert_eq!(reg.ready_mark(h).unwrap_err(), DirectError::NotDelivered);
+        reg.put(h, Pe(0)).unwrap();
+        assert_eq!(reg.ready_mark(h).unwrap_err(), DirectError::NotDelivered);
+    }
+
+    #[test]
+    fn split_ready_bounds_polling_window() {
+        let (mut reg, h, send, _recv) = setup(DirectConfig::ib());
+        send.fill(1);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        assert_eq!(reg.poll_sweep(Pe(1)).deliveries.len(), 1);
+        // mark early …
+        reg.ready_mark(h).unwrap();
+        assert_eq!(reg.pollq_len(Pe(1)), 0, "not polled until ReadyPollQ");
+        // … sender puts during another phase …
+        send.fill(2);
+        reg.put(h, Pe(0)).unwrap();
+        // sweeps in between cost nothing for this handle
+        assert_eq!(reg.poll_sweep(Pe(1)).checked, 0);
+        reg.land(h).unwrap();
+        // … and ReadyPollQ discovers the already-landed data immediately.
+        let cb = reg.ready_poll_q(h).unwrap();
+        assert_eq!(cb, Some(7), "raced put delivered at ReadyPollQ");
+        assert_eq!(reg.pollq_len(Pe(1)), 0);
+    }
+
+    #[test]
+    fn ready_poll_q_before_landing_polls_later() {
+        let (mut reg, h, send, _r) = setup(DirectConfig::ib());
+        send.fill(1);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        reg.poll_sweep(Pe(1));
+        reg.ready_mark(h).unwrap();
+        send.fill(2);
+        reg.put(h, Pe(0)).unwrap();
+        // pollq re-armed while the put is still in flight
+        assert!(reg.ready_poll_q(h).unwrap().is_none());
+        assert_eq!(reg.pollq_len(Pe(1)), 1);
+        reg.land(h).unwrap();
+        assert_eq!(reg.poll_sweep(Pe(1)).deliveries.len(), 1);
+    }
+
+    #[test]
+    fn ready_poll_q_on_delivered_is_a_noop() {
+        // "inserts the handle into the polling queue if new data has not
+        // already been received": data was received *and* delivered, so the
+        // call does nothing — the receiver must still ready_mark later.
+        let (mut reg, h, _s, _r) = setup(DirectConfig::ib());
+        _s.fill(1);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        reg.poll_sweep(Pe(1));
+        assert_eq!(reg.ready_poll_q(h).unwrap(), None);
+        assert_eq!(reg.pollq_len(Pe(1)), 0, "not queued while delivered");
+        // the channel is still released only by ready_mark
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::Overwrite);
+    }
+
+    #[test]
+    fn bad_handle() {
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        assert_eq!(
+            reg.put(HandleId(3), Pe(0)).unwrap_err(),
+            DirectError::BadHandle
+        );
+        assert_eq!(reg.phase(HandleId(0)).unwrap_err(), DirectError::BadHandle);
+    }
+
+    #[test]
+    fn one_source_many_receivers() {
+        // the paper: "the same local send buffer can be associated with
+        // multiple different handles" — multicast without copies.
+        let mut reg = Reg::new(3, DirectConfig::ib());
+        let src = Region::alloc(32);
+        let r1 = Region::alloc(32);
+        let r2 = Region::alloc(32);
+        let h1 = reg.create_handle(Pe(1), r1.clone(), u64::MAX, 1).unwrap();
+        let h2 = reg.create_handle(Pe(2), r2.clone(), u64::MAX, 2).unwrap();
+        reg.assoc_local(h1, Pe(0), src.clone()).unwrap();
+        reg.assoc_local(h2, Pe(0), src.clone()).unwrap();
+        src.fill(0x5A);
+        reg.put(h1, Pe(0)).unwrap();
+        reg.put(h2, Pe(0)).unwrap();
+        reg.land(h1).unwrap();
+        reg.land(h2).unwrap();
+        assert_eq!(reg.poll_sweep(Pe(1)).deliveries, vec![(h1, 1)]);
+        assert_eq!(reg.poll_sweep(Pe(2)).deliveries, vec![(h2, 2)]);
+        assert_eq!(r1.to_vec(), vec![0x5A; 32]);
+        assert_eq!(r2.to_vec(), vec![0x5A; 32]);
+    }
+
+    #[test]
+    fn sweep_checks_every_armed_handle() {
+        // polling cost scales with queue length — the OpenAtom pathology.
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        for _ in 0..50 {
+            reg.create_handle(Pe(0), Region::alloc(16), u64::MAX, 0)
+                .unwrap();
+        }
+        let sweep = reg.poll_sweep(Pe(0));
+        assert_eq!(sweep.checked, 50);
+        assert!(sweep.deliveries.is_empty());
+        assert_eq!(reg.pollq_len(Pe(0)), 50, "undelivered handles stay queued");
+    }
+}
+
+#[cfg(test)]
+mod strided_tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::strided::StridedSpec;
+    use ckd_topo::Pe;
+
+    /// Move a column of a 4x4 f64 matrix into a column of another matrix,
+    /// one-sided, no application pack/unpack.
+    #[test]
+    fn strided_column_to_column() {
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::ib());
+        let src_mat = Region::alloc(4 * 4 * 8);
+        let dst_mat = Region::alloc(4 * 4 * 8);
+        for r in 0..4 {
+            src_mat.write_f64s(
+                r * 4 * 8,
+                &[r as f64, 10.0 + r as f64, 20.0 + r as f64, 30.0 + r as f64],
+            );
+        }
+        // column 1 of the source → column 2 of the destination
+        let col = |c: usize| StridedSpec {
+            offset: c * 8,
+            block_len: 8,
+            stride: 4 * 8,
+            count: 4,
+        };
+        let h = reg
+            .create_handle_strided(Pe(1), dst_mat.clone(), col(2), u64::MAX, 7)
+            .unwrap();
+        reg.assoc_local_strided(h, Pe(0), src_mat.clone(), col(1))
+            .unwrap();
+        assert_eq!(reg.strided_send_bytes(h).unwrap(), Some(32));
+        assert_eq!(reg.strided_recv_bytes(h).unwrap(), Some(32));
+        assert_eq!(reg.wire_bytes(h).unwrap(), 32);
+
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        let sweep = reg.poll_sweep(Pe(1));
+        assert_eq!(sweep.deliveries.len(), 1);
+        // column 2 of dst == column 1 of src; other columns untouched
+        for r in 0..4 {
+            let row = dst_mat.read_f64s(r * 4 * 8, 4);
+            assert_eq!(row, vec![0.0, 0.0, 10.0 + r as f64, 0.0], "row {r}");
+        }
+
+        // second iteration: re-arm, change source, go again
+        reg.ready(h).unwrap();
+        src_mat.write_f64s(8, &[-1.0]); // src[0][1] = -1
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        reg.poll_sweep(Pe(1));
+        assert_eq!(dst_mat.read_f64s(2 * 8, 1), vec![-1.0]);
+    }
+
+    #[test]
+    fn strided_works_on_callback_backend_too() {
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::bgp());
+        let src = Region::alloc(64);
+        let dst = Region::alloc(64);
+        src.fill(9);
+        let spec = StridedSpec {
+            offset: 0,
+            block_len: 8,
+            stride: 16,
+            count: 4,
+        };
+        let h = reg
+            .create_handle_strided(Pe(1), dst.clone(), spec, u64::MAX, 0)
+            .unwrap();
+        reg.assoc_local_strided(h, Pe(0), src, spec).unwrap();
+        reg.put(h, Pe(0)).unwrap();
+        match reg.land(h).unwrap() {
+            LandOutcome::Deliver(_) => {}
+            LandOutcome::AwaitPoll => panic!("BG/P delivers by callback"),
+        }
+        for (i, &b) in dst.to_vec().iter().enumerate() {
+            let in_block = (i % 16) < 8;
+            assert_eq!(b == 9, in_block, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn strided_layout_validation_at_api_boundary() {
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::ib());
+        let small = Region::alloc(16);
+        let too_big = StridedSpec {
+            offset: 0,
+            block_len: 8,
+            stride: 16,
+            count: 4,
+        };
+        assert_eq!(
+            reg.create_handle_strided(Pe(1), small, too_big, u64::MAX, 0)
+                .unwrap_err(),
+            DirectError::RegionOutOfBounds
+        );
+        let tiny_payload = StridedSpec {
+            offset: 0,
+            block_len: 2,
+            stride: 4,
+            count: 2,
+        };
+        assert_eq!(
+            reg.create_handle_strided(Pe(1), Region::alloc(16), tiny_payload, u64::MAX, 0)
+                .unwrap_err(),
+            DirectError::BufferTooSmall
+        );
+    }
+}
+
+#[cfg(test)]
+mod get_tests {
+    use super::*;
+    use crate::region::Region;
+    use ckd_topo::Pe;
+
+    fn setup() -> (DirectRegistry<u32>, HandleId, Region, Region) {
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::ib());
+        let recv = Region::alloc(32);
+        let send = Region::alloc(32);
+        let h = reg.create_handle(Pe(1), recv.clone(), u64::MAX, 5).unwrap();
+        reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+        (reg, h, send, recv)
+    }
+
+    #[test]
+    fn get_pulls_the_source_and_delivers_immediately() {
+        let (mut reg, h, send, recv) = setup();
+        send.fill(0x3C);
+        // only the receiving PE may initiate
+        assert_eq!(reg.get(h, Pe(0)).unwrap_err(), DirectError::WrongPe);
+        let req = reg.get(h, Pe(1)).unwrap();
+        assert_eq!((req.src, req.dst), (Pe(0), Pe(1)));
+        let cb = reg.land_get(h).unwrap();
+        assert_eq!(cb, 5);
+        assert_eq!(recv.to_vec(), vec![0x3C; 32]);
+        // state machine: delivered until ready_mark
+        assert_eq!(reg.get(h, Pe(1)).unwrap_err(), DirectError::Overwrite);
+        reg.ready_mark(h).unwrap();
+        reg.get(h, Pe(1)).unwrap();
+    }
+
+    #[test]
+    fn get_and_put_share_the_one_in_flight_rule() {
+        let (mut reg, h, _send, _recv) = setup();
+        reg.get(h, Pe(1)).unwrap();
+        assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::PutInFlight);
+        assert_eq!(reg.get(h, Pe(1)).unwrap_err(), DirectError::PutInFlight);
+    }
+}

@@ -1,0 +1,217 @@
+//! Row-major dense matrices and a cache-blocked DGEMM.
+
+/// A row-major dense matrix view over owned storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Mat {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Wrap existing row-major storage.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Mat {
+        assert_eq!(data.len(), rows * cols);
+        Mat { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The backing storage (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Frobenius-norm distance to another matrix.
+    pub fn dist(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Flops performed by `C += A·B` for the given shapes (2·m·n·k).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// `C += A·B` — naive triple loop in i-k-j order (stride-1 inner loop).
+/// Returns the flop count. Used as the reference for the blocked kernel.
+pub fn dgemm(c: &mut Mat, a: &Mat, b: &Mat) -> f64 {
+    assert_eq!(a.cols, b.rows, "inner dimensions");
+    assert_eq!(c.rows, a.rows);
+    assert_eq!(c.cols, b.cols);
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a.at(i, p);
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = &mut c.data[i * n..(i + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
+            }
+        }
+    }
+    gemm_flops(m, n, k)
+}
+
+/// Cache-blocked `C += A·B` with `bs × bs` tiles. Returns the flop count.
+pub fn dgemm_block(c: &mut Mat, a: &Mat, b: &Mat, bs: usize) -> f64 {
+    assert!(bs > 0);
+    assert_eq!(a.cols, b.rows, "inner dimensions");
+    assert_eq!(c.rows, a.rows);
+    assert_eq!(c.cols, b.cols);
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for i0 in (0..m).step_by(bs) {
+        let i1 = (i0 + bs).min(m);
+        for p0 in (0..k).step_by(bs) {
+            let p1 = (p0 + bs).min(k);
+            for j0 in (0..n).step_by(bs) {
+                let j1 = (j0 + bs).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let aip = a.at(i, p);
+                        let brow = &b.data[p * n + j0..p * n + j1];
+                        let crow = &mut c.data[i * n + j0..i * n + j1];
+                        for (cj, bj) in crow.iter_mut().zip(brow) {
+                            *cj += aip * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gemm_flops(m, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_mat(rows: usize, cols: usize, salt: f64) -> Mat {
+        Mat::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 17) as f64 * 0.01 + salt).sin()
+        })
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = seq_mat(5, 5, 0.3);
+        let eye = Mat::from_fn(5, 5, |r, c| if r == c { 1.0 } else { 0.0 });
+        let mut c = Mat::zeros(5, 5);
+        dgemm(&mut c, &a, &eye);
+        assert!(c.dist(&a) < 1e-12);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut c = Mat::zeros(2, 2);
+        let flops = dgemm(&mut c, &a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(flops, 24.0);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for (m, k, n) in [(7, 9, 5), (16, 16, 16), (33, 17, 21)] {
+            let a = seq_mat(m, k, 0.1);
+            let b = seq_mat(k, n, 0.7);
+            let mut c1 = Mat::zeros(m, n);
+            let mut c2 = Mat::zeros(m, n);
+            dgemm(&mut c1, &a, &b);
+            for bs in [1, 4, 8, 64] {
+                c2.as_mut_slice().fill(0.0);
+                let flops = dgemm_block(&mut c2, &a, &b, bs);
+                assert!(c1.dist(&c2) < 1e-9, "bs={bs} m={m} k={k} n={n}");
+                assert_eq!(flops, gemm_flops(m, n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let a = Mat::from_vec(1, 1, vec![2.0]);
+        let b = Mat::from_vec(1, 1, vec![3.0]);
+        let mut c = Mat::from_vec(1, 1, vec![10.0]);
+        dgemm(&mut c, &a, &b);
+        assert_eq!(c.at(0, 0), 16.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Mat::zeros(2, 3);
+        *m.at_mut(1, 2) = 5.0;
+        assert_eq!(m.at(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 2);
+        let mut c = Mat::zeros(2, 2);
+        dgemm(&mut c, &a, &b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Small dense linear-algebra kernels for the paper's applications.
+//!
+//! The matrix-multiplication benchmark (Fig 3) and OpenAtom's
+//! PairCalculator (Figs 4–5) both bottom out in DGEMM on contiguous
+//! buffers — the reason CkDirect's "land the data exactly where it is
+//! needed" matters: the multiply requires contiguous operands, so the
+//! message-based version must copy received blocks into place first.
+//!
+//! Kernels return the *flop count* they performed so callers can charge
+//! virtual time in the simulator (or skip execution entirely and charge the
+//! same count, via [`gemm_flops`], when running at figure scale).
+
+pub mod gemm;
+pub mod vec;
+
+pub use gemm::{dgemm, dgemm_block, gemm_flops, Mat};
+pub use vec::{axpy, dot, norm2, norm2_diff};

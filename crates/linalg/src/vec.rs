@@ -1,0 +1,61 @@
+//! Vector kernels.
+
+/// `y += alpha * x`. Returns the flop count (2n).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    2.0 * x.len() as f64
+}
+
+/// Dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Euclidean norm of `x - y` (residual checks in the stencil tests).
+pub fn norm2_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        let flops = axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        assert_eq!(flops, 6.0);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2_diff(&[3.0, 4.0], &[0.0, 0.0]), 5.0);
+        assert_eq!(norm2_diff(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_vectors() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+        let mut y: [f64; 0] = [];
+        assert_eq!(axpy(1.0, &[], &mut y), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-implementation parameter sets for the MPI baselines.
+
+use ckd_sim::Time;
+
+/// Software costs of one MPI implementation.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiFlavor {
+    /// Implementation name as printed in the tables.
+    pub name: &'static str,
+    /// Sender software overhead per send.
+    pub o_send: Time,
+    /// Receiver software overhead per delivered message.
+    pub o_recv: Time,
+    /// Tag-matching cost per message (queue walk + descriptor handling).
+    pub match_cost: Time,
+    /// MPI header bytes accompanying each message.
+    pub header_bytes: usize,
+    /// Eager→rendezvous switch point.
+    pub eager_max: usize,
+    /// Receive-side copy out of eager buffers, ps/B.
+    pub eager_copy_ps_per_byte: u64,
+    /// Whether memory registrations are cached (skipping the per-transfer
+    /// registration cost on the rendezvous path).
+    pub reg_cached: bool,
+    /// Extra fixed cost of the rendezvous protocol beyond the wire
+    /// round-trip (descriptor bookkeeping).
+    pub rndv_extra: Time,
+    /// CPU cost per PSCW synchronization call (post/start/complete/wait).
+    pub win_cpu: Time,
+    /// Multiplier on the put data path (one-sided pipelines are often a
+    /// little less tuned than the two-sided path).
+    pub put_beta_factor: f64,
+    /// Multiplier on the rendezvous data path.
+    pub rndv_beta_factor: f64,
+    /// One-sided mid-size pipeline stall: extra one-way delay applied to
+    /// puts whose size falls in `[lo, hi)` — Table 1 shows MVAPICH2 0.9.8's
+    /// `MPI_Put` paying a ~11 µs plateau between 5 KB and 100 KB that
+    /// vanishes again at 500 KB.
+    pub put_bump: Option<(usize, usize, Time)>,
+    /// IBM-MPI quirk: an extra fixed cost applied to messages whose size
+    /// falls in `[lo, hi)` — the paper surmises "some kind of buffering
+    /// threshold" behind the 5–20 KB bump in Table 2.
+    pub buffer_bump: Option<(usize, usize, Time)>,
+}
+
+/// MPICH-VMI 2.2.0 on Abe (Table 1). The VMI stack carries noticeably more
+/// per-message software than MVAPICH, and its large-message path was not
+/// registration-cached.
+pub fn mpich_vmi() -> MpiFlavor {
+    MpiFlavor {
+        name: "MPICH-VMI",
+        o_send: Time::from_ns(200),
+        o_recv: Time::from_ns(250),
+        match_cost: Time::from_ns(250),
+        header_bytes: 16,
+        eager_max: 16 * 1024,
+        eager_copy_ps_per_byte: 1050,
+        reg_cached: false,
+        rndv_extra: Time::from_ns(500),
+        win_cpu: Time::from_ns(900),
+        put_beta_factor: 1.05,
+        rndv_beta_factor: 1.0,
+        put_bump: None,
+        buffer_bump: None,
+    }
+}
+
+/// MVAPICH2 0.9.8 on Abe (Table 1): the tuned verbs MPI — small constants,
+/// registration cache on, eager threshold near 16 KB.
+pub fn mvapich() -> MpiFlavor {
+    MpiFlavor {
+        name: "MVAPICH",
+        o_send: Time::from_ns(120),
+        o_recv: Time::from_ns(150),
+        match_cost: Time::from_ns(200),
+        header_bytes: 16,
+        eager_max: 16 * 1024,
+        eager_copy_ps_per_byte: 950,
+        reg_cached: true,
+        rndv_extra: Time::from_ns(2500),
+        win_cpu: Time::from_ns(800),
+        put_beta_factor: 1.055,
+        rndv_beta_factor: 1.05,
+        put_bump: Some((2 * 1024, 120 * 1024, Time::from_us(10))),
+        buffer_bump: None,
+    }
+}
+
+/// IBM MPI on Blue Gene/P (Table 2), built on the same DCMF layer as
+/// Charm++ — only tag matching and MPI bookkeeping separate it from the
+/// CkDirect BG/P path, plus the mid-size buffering bump the paper observed.
+pub fn ibm_bgp() -> MpiFlavor {
+    MpiFlavor {
+        name: "MPI",
+        o_send: Time::from_ns(800),
+        o_recv: Time::from_ns(800),
+        match_cost: Time::from_ns(500),
+        header_bytes: 16,
+        // no RDMA rendezvous existed on Surveyor: always the send path
+        eager_max: usize::MAX,
+        // DCMF delivers normal messages straight into the posted buffer;
+        // only a small bookkeeping cost grows with size
+        eager_copy_ps_per_byte: 8,
+        reg_cached: true,
+        rndv_extra: Time::ZERO,
+        win_cpu: Time::from_ns(1300),
+        put_beta_factor: 1.0,
+        rndv_beta_factor: 1.0,
+        put_bump: None,
+        buffer_bump: Some((4 * 1024, 24 * 1024, Time::from_us(3))),
+    }
+}
+
+impl MpiFlavor {
+    /// The buffering-bump surcharge for a message of `bytes`.
+    pub fn bump_for(&self, bytes: usize) -> Time {
+        match self.buffer_bump {
+            Some((lo, hi, t)) if bytes >= lo && bytes < hi => t,
+            _ => Time::ZERO,
+        }
+    }
+
+    /// The one-sided mid-size stall for a put of `bytes`.
+    pub fn put_bump_for(&self, bytes: usize) -> Time {
+        match self.put_bump {
+            Some((lo, hi, t)) if bytes >= lo && bytes < hi => t,
+            _ => Time::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_applies_only_in_range() {
+        let f = ibm_bgp();
+        assert_eq!(f.bump_for(100), Time::ZERO);
+        assert_eq!(f.bump_for(5000), Time::from_us(3));
+        assert_eq!(f.bump_for(30_000), Time::ZERO);
+        assert_eq!(mvapich().bump_for(5000), Time::ZERO);
+    }
+
+    #[test]
+    fn flavors_have_distinct_names() {
+        let names = [mpich_vmi().name, mvapich().name, ibm_bgp().name];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Event-driven MPI-like process model — the baselines of Tables 1–2.
+//!
+//! The paper compares CkDirect against MPICH-VMI, MVAPICH2 (two-sided and
+//! `MPI_Put`) and IBM's BG/P MPI. This crate reproduces the *mechanisms*
+//! those baselines pay for:
+//!
+//! * two-sided sends with **tag matching** against posted-receive and
+//!   unexpected-message queues, an eager→rendezvous protocol switch, and a
+//!   receive-side copy on the eager path ([`world`]);
+//! * one-sided `put` inside **post–start–complete–wait** (PSCW) exposure
+//!   epochs — the synchronization the paper blames for `MPI_Put` losing to
+//!   CkDirect even though both move data with RDMA ([`world`]);
+//! * per-implementation constants ([`flavor`]).
+//!
+//! Processes are state machines driven by completion callbacks — the
+//! nonblocking subset (`isend`/`irecv`/PSCW) is exactly what the pingpong
+//! benchmark needs.
+
+pub mod flavor;
+pub mod pingpong;
+pub mod world;
+
+pub use flavor::MpiFlavor;
+pub use pingpong::{pingpong_rtt, PingMode};
+pub use world::{MpiCtx, MpiProc, MpiWorld, Rank, ReqId};

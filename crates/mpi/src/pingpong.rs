@@ -1,0 +1,287 @@
+//! The MPI pingpong benchmark of Tables 1–2, in two-sided and
+//! `MPI_Put`+PSCW variants.
+
+use ckd_net::NetModel;
+use ckd_sim::Time;
+
+use crate::flavor::MpiFlavor;
+use crate::world::{MpiCtx, MpiProc, MpiWorld, Rank, ReqId};
+
+/// Which primitive the pingpong exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PingMode {
+    /// `isend`/`irecv` (what the tables call the plain MPI rows).
+    TwoSided,
+    /// `MPI_Put` under post–start–complete–wait epochs.
+    OneSidedPscw,
+}
+
+const TAG: u32 = 3;
+
+/// Two-sided pingpong endpoint.
+struct TwoSidedProc {
+    peer: Rank,
+    bytes: usize,
+    iters: u32,
+    initiator: bool,
+    recv_req: Option<ReqId>,
+    done: u32,
+}
+
+impl TwoSidedProc {
+    fn fire(&mut self, ctx: &mut MpiCtx<'_>) {
+        ctx.isend(self.peer, TAG, self.bytes);
+        self.recv_req = Some(ctx.irecv(self.peer, TAG, self.bytes));
+    }
+}
+
+impl MpiProc for TwoSidedProc {
+    fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+        if self.initiator {
+            self.fire(ctx);
+        } else {
+            self.recv_req = Some(ctx.irecv(self.peer, TAG, self.bytes));
+        }
+    }
+
+    fn completed(&mut self, ctx: &mut MpiCtx<'_>, req: ReqId) {
+        if Some(req) != self.recv_req {
+            return; // send completion — not the gate
+        }
+        self.done += 1;
+        if self.initiator {
+            if self.done < self.iters {
+                self.fire(ctx);
+            } else {
+                ctx.finalize();
+            }
+        } else {
+            ctx.isend(self.peer, TAG, self.bytes);
+            if self.done < self.iters {
+                self.recv_req = Some(ctx.irecv(self.peer, TAG, self.bytes));
+            }
+        }
+    }
+}
+
+/// PSCW pingpong endpoint: alternates an access epoch (put to the peer)
+/// with an exposure epoch (peer puts back).
+struct PscwProc {
+    peer: Rank,
+    bytes: usize,
+    iters: u32,
+    initiator: bool,
+    start_req: Option<ReqId>,
+    wait_req: Option<ReqId>,
+    done: u32,
+}
+
+impl PscwProc {
+    fn begin_access(&mut self, ctx: &mut MpiCtx<'_>) {
+        self.start_req = Some(ctx.win_start(self.peer));
+    }
+
+    fn begin_exposure(&mut self, ctx: &mut MpiCtx<'_>) {
+        ctx.win_post(self.peer);
+        self.wait_req = Some(ctx.win_wait(self.peer));
+    }
+}
+
+impl MpiProc for PscwProc {
+    fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+        if self.initiator {
+            self.begin_access(ctx);
+            // expose for the reply in parallel with our access epoch
+            self.begin_exposure(ctx);
+        } else {
+            self.begin_exposure(ctx);
+        }
+    }
+
+    fn completed(&mut self, ctx: &mut MpiCtx<'_>, req: ReqId) {
+        if Some(req) == self.start_req {
+            self.start_req = None;
+            ctx.put(self.peer, self.bytes);
+            ctx.win_complete(self.peer);
+        } else if Some(req) == self.wait_req {
+            self.wait_req = None;
+            self.done += 1;
+            if self.initiator {
+                if self.done < self.iters {
+                    self.begin_access(ctx);
+                    self.begin_exposure(ctx);
+                } else {
+                    ctx.finalize();
+                }
+            } else {
+                // reply with our own access epoch, then expose for the next
+                self.begin_access(ctx);
+                if self.done < self.iters {
+                    self.begin_exposure(ctx);
+                }
+            }
+        }
+        // put/complete request completions are not gates
+    }
+}
+
+/// Average round-trip time of `iters` pingpong exchanges of `bytes`
+/// between PE 0 and PE 1 of `net`'s machine under `flavor`.
+pub fn pingpong_rtt(
+    net: &NetModel,
+    flavor: MpiFlavor,
+    bytes: usize,
+    iters: u32,
+    mode: PingMode,
+) -> Time {
+    assert!(iters > 0);
+    let mut w = MpiWorld::new(net.clone(), flavor);
+    assert!(w.nranks() >= 2, "pingpong needs two ranks");
+    // Pick the partner on a different node when one exists: the tables
+    // measure the network, not the intra-node shared-memory path.
+    let mach = net.machine();
+    let peer = (1..w.nranks())
+        .find(|&r| !mach.same_node(ckd_topo::Pe(0), ckd_topo::Pe(r as u32)))
+        .unwrap_or(1);
+    match mode {
+        PingMode::TwoSided => {
+            w.set_proc(
+                0,
+                Box::new(TwoSidedProc {
+                    peer,
+                    bytes,
+                    iters,
+                    initiator: true,
+                    recv_req: None,
+                    done: 0,
+                }),
+            );
+            w.set_proc(
+                peer,
+                Box::new(TwoSidedProc {
+                    peer: 0,
+                    bytes,
+                    iters,
+                    initiator: false,
+                    recv_req: None,
+                    done: 0,
+                }),
+            );
+        }
+        PingMode::OneSidedPscw => {
+            w.set_proc(
+                0,
+                Box::new(PscwProc {
+                    peer,
+                    bytes,
+                    iters,
+                    initiator: true,
+                    start_req: None,
+                    wait_req: None,
+                    done: 0,
+                }),
+            );
+            w.set_proc(
+                peer,
+                Box::new(PscwProc {
+                    peer: 0,
+                    bytes,
+                    iters,
+                    initiator: false,
+                    start_req: None,
+                    wait_req: None,
+                    done: 0,
+                }),
+            );
+        }
+    }
+    let end = w.run();
+    end / iters as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor;
+    use ckd_net::presets;
+    use ckd_topo::Machine as Topo;
+
+    fn ib_net() -> NetModel {
+        presets::ib_abe(Topo::ib_cluster(2, 1))
+    }
+
+    fn bgp_net() -> NetModel {
+        presets::bgp_surveyor(Topo::bgp_partition(4))
+    }
+
+    #[test]
+    fn two_sided_rtt_small_message_plausible() {
+        let rtt = pingpong_rtt(&ib_net(), flavor::mvapich(), 100, 50, PingMode::TwoSided);
+        let us = rtt.as_us_f64();
+        // Table 1: MVAPICH 100 B RTT = 12.3 µs
+        assert!((9.0..16.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn two_sided_rtt_large_message_plausible() {
+        let rtt = pingpong_rtt(
+            &ib_net(),
+            flavor::mvapich(),
+            500_000,
+            5,
+            PingMode::TwoSided,
+        );
+        let us = rtt.as_us_f64();
+        // Table 1: MVAPICH 500 KB RTT = 1386 µs
+        assert!((1250.0..1500.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn pscw_slower_than_two_sided_for_small() {
+        let two = pingpong_rtt(&ib_net(), flavor::mvapich(), 100, 50, PingMode::TwoSided);
+        let one = pingpong_rtt(
+            &ib_net(),
+            flavor::mvapich(),
+            100,
+            50,
+            PingMode::OneSidedPscw,
+        );
+        assert!(one > two, "PSCW {one} must exceed two-sided {two} at 100B");
+    }
+
+    #[test]
+    fn pscw_wins_for_large_messages() {
+        // Table 1: MVAPICH-Put beats two-sided from ~70 KB up
+        let two = pingpong_rtt(
+            &ib_net(),
+            flavor::mvapich(),
+            200_000,
+            5,
+            PingMode::TwoSided,
+        );
+        let one = pingpong_rtt(
+            &ib_net(),
+            flavor::mvapich(),
+            200_000,
+            5,
+            PingMode::OneSidedPscw,
+        );
+        assert!(one < two, "PSCW {one} must beat two-sided {two} at 200KB");
+    }
+
+    #[test]
+    fn bgp_rtt_plausible() {
+        let rtt = pingpong_rtt(&bgp_net(), flavor::ibm_bgp(), 100, 50, PingMode::TwoSided);
+        let us = rtt.as_us_f64();
+        // Table 2: MPI 100 B RTT = 7.6 µs
+        assert!((5.0..11.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn rtt_scales_with_iterations_consistently() {
+        let a = pingpong_rtt(&ib_net(), flavor::mvapich(), 10_000, 10, PingMode::TwoSided);
+        let b = pingpong_rtt(&ib_net(), flavor::mvapich(), 10_000, 100, PingMode::TwoSided);
+        let rel = (a.as_us_f64() - b.as_us_f64()).abs() / b.as_us_f64();
+        assert!(rel < 0.05, "per-iteration RTT unstable: {a} vs {b}");
+    }
+}

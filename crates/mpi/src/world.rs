@@ -1,0 +1,714 @@
+//! The event-driven MPI world: ranks, tag matching, rendezvous, PSCW.
+
+use std::collections::HashMap;
+
+use ckd_net::NetModel;
+use ckd_sim::{EventQueue, Time};
+use ckd_topo::Pe;
+
+use crate::flavor::MpiFlavor;
+
+/// An MPI rank (mapped 1:1 onto machine PEs).
+pub type Rank = usize;
+
+/// A nonblocking-request identifier, unique within a world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u32);
+
+impl std::fmt::Debug for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// An MPI process: a state machine driven by request completions.
+pub trait MpiProc {
+    /// Called once at time zero.
+    fn start(&mut self, ctx: &mut MpiCtx<'_>);
+    /// Called whenever one of this rank's requests completes.
+    fn completed(&mut self, ctx: &mut MpiCtx<'_>, req: ReqId);
+}
+
+const CTRL_BYTES: usize = 32;
+
+enum Ev {
+    EagerArrive {
+        dst: Rank,
+        src: Rank,
+        tag: u32,
+        bytes: usize,
+    },
+    RtsArrive {
+        dst: Rank,
+        src: Rank,
+        tag: u32,
+        token: usize,
+    },
+    CtsArrive {
+        token: usize,
+    },
+    RndvDataArrive {
+        token: usize,
+    },
+    PutArrive {
+        dst: Rank,
+        src: Rank,
+    },
+    PostArrive {
+        dst: Rank,
+        src: Rank,
+    },
+    CompleteArrive {
+        dst: Rank,
+        src: Rank,
+        puts: u32,
+    },
+    Complete {
+        rank: Rank,
+        req: ReqId,
+    },
+}
+
+struct Rendezvous {
+    src: Rank,
+    dst: Rank,
+    bytes: usize,
+    send_req: ReqId,
+    recv_req: Option<ReqId>,
+}
+
+#[derive(Default)]
+struct PscwState {
+    /// Exposure posts received, per peer.
+    posts: HashMap<Rank, u32>,
+    /// `win_start` requests blocked on a post, per peer.
+    start_waiting: HashMap<Rank, ReqId>,
+    /// Puts landed in the current exposure epoch, per origin.
+    puts_landed: HashMap<Rank, u32>,
+    /// Announced put counts from received `complete` messages, per origin.
+    complete_recv: HashMap<Rank, u32>,
+    /// `win_wait` requests blocked on completion, per origin.
+    wait_waiting: HashMap<Rank, ReqId>,
+    /// Puts issued in the current access epoch, per target.
+    puts_sent: HashMap<Rank, u32>,
+}
+
+struct RankState {
+    busy_until: Time,
+    posted: Vec<(Rank, u32, usize, ReqId)>, // (src, tag, bytes, req)
+    unexpected: Vec<(Rank, u32, usize)>,    // eager arrivals with no recv
+    pending_rts: Vec<(Rank, u32, usize)>,   // (src, tag, token)
+    pscw: PscwState,
+}
+
+/// The simulated MPI job.
+pub struct MpiWorld {
+    net: NetModel,
+    flavor: MpiFlavor,
+    events: EventQueue<Ev>,
+    now: Time,
+    ranks: Vec<RankState>,
+    procs: Vec<Option<Box<dyn MpiProc>>>,
+    rndv: Vec<Rendezvous>,
+    next_req: u32,
+    stop: bool,
+}
+
+impl MpiWorld {
+    /// A world with one rank per PE of the network model's machine.
+    pub fn new(net: NetModel, flavor: MpiFlavor) -> MpiWorld {
+        let n = net.machine().npes();
+        MpiWorld {
+            net,
+            flavor,
+            events: EventQueue::new(),
+            now: Time::ZERO,
+            ranks: (0..n)
+                .map(|_| RankState {
+                    busy_until: Time::ZERO,
+                    posted: Vec::new(),
+                    unexpected: Vec::new(),
+                    pending_rts: Vec::new(),
+                    pscw: PscwState::default(),
+                })
+                .collect(),
+            procs: (0..n).map(|_| None).collect(),
+            rndv: Vec::new(),
+            next_req: 0,
+            stop: false,
+        }
+    }
+
+    /// Install the process for `rank`.
+    pub fn set_proc(&mut self, rank: Rank, proc_: Box<dyn MpiProc>) {
+        self.procs[rank] = Some(proc_);
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Run all processes to quiescence; returns the final virtual time.
+    pub fn run(&mut self) -> Time {
+        let ranks_with_procs: Vec<Rank> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter_map(|(r, p)| p.is_some().then_some(r))
+            .collect();
+        for r in ranks_with_procs {
+            self.with_proc(r, |proc_, ctx| proc_.start(ctx));
+        }
+        while !self.stop {
+            let Some((t, ev)) = self.events.pop() else { break };
+            self.now = t;
+            self.dispatch(ev);
+        }
+        self.now
+    }
+
+    fn with_proc(&mut self, rank: Rank, f: impl FnOnce(&mut dyn MpiProc, &mut MpiCtx<'_>)) {
+        let mut proc_ = self.procs[rank].take().expect("rank has a process");
+        let mut ctx = MpiCtx { w: self, rank };
+        f(proc_.as_mut(), &mut ctx);
+        self.procs[rank] = Some(proc_);
+    }
+
+    fn new_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    fn complete_at(&mut self, rank: Rank, req: ReqId, at: Time) {
+        self.events.push(at.max(self.now), Ev::Complete { rank, req });
+    }
+
+    /// Charge CPU on `rank` starting no earlier than `from`; returns the
+    /// completion instant.
+    fn charge(&mut self, rank: Rank, from: Time, cpu: Time) -> Time {
+        let st = &mut self.ranks[rank];
+        st.busy_until = st.busy_until.max(from) + cpu;
+        st.busy_until
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        let f = self.flavor;
+        match ev {
+            Ev::EagerArrive {
+                dst,
+                src,
+                tag,
+                bytes,
+            } => {
+                let pos = self.ranks[dst]
+                    .posted
+                    .iter()
+                    .position(|&(s, t, _, _)| s == src && t == tag);
+                match pos {
+                    Some(i) => {
+                        let (_, _, _, req) = self.ranks[dst].posted.remove(i);
+                        let cpu = f.match_cost
+                            + f.o_recv
+                            + Time::from_ps(f.eager_copy_ps_per_byte * bytes as u64)
+                            + f.bump_for(bytes);
+                        let done = self.charge(dst, self.now, cpu);
+                        self.complete_at(dst, req, done);
+                    }
+                    None => self.ranks[dst].unexpected.push((src, tag, bytes)),
+                }
+            }
+            Ev::RtsArrive {
+                dst,
+                src,
+                tag,
+                token,
+            } => {
+                let pos = self.ranks[dst]
+                    .posted
+                    .iter()
+                    .position(|&(s, t, _, _)| s == src && t == tag);
+                match pos {
+                    Some(i) => {
+                        let (_, _, _, req) = self.ranks[dst].posted.remove(i);
+                        self.rndv[token].recv_req = Some(req);
+                        self.send_cts(dst, token);
+                    }
+                    None => self.ranks[dst].pending_rts.push((src, tag, token)),
+                }
+            }
+            Ev::CtsArrive { token } => {
+                let r = &self.rndv[token];
+                let (src, dst, bytes) = (r.src, r.dst, r.bytes);
+                let reg = if f.reg_cached {
+                    Time::ZERO
+                } else {
+                    self.net.reg_cost(bytes)
+                };
+                let wire = self
+                    .net
+                    .wire(Pe(src as u32), Pe(dst as u32), bytes, false)
+                    .scale_f64(f.rndv_beta_factor);
+                let issue = self.charge(src, self.now, f.o_send + reg);
+                self.events
+                    .push(issue + f.rndv_extra + wire, Ev::RndvDataArrive { token });
+            }
+            Ev::RndvDataArrive { token } => {
+                let r = &self.rndv[token];
+                let (src, dst) = (r.src, r.dst);
+                let (send_req, recv_req) = (r.send_req, r.recv_req.expect("matched"));
+                let done = self.charge(dst, self.now, f.o_recv);
+                self.complete_at(dst, recv_req, done);
+                self.complete_at(src, send_req, self.now);
+            }
+            Ev::PutArrive { dst, src } => {
+                *self.ranks[dst].pscw.puts_landed.entry(src).or_insert(0) += 1;
+                self.check_wait(dst, src);
+            }
+            Ev::PostArrive { dst, src } => {
+                *self.ranks[dst].pscw.posts.entry(src).or_insert(0) += 1;
+                if let Some(req) = self.ranks[dst].pscw.start_waiting.remove(&src) {
+                    *self.ranks[dst].pscw.posts.get_mut(&src).unwrap() -= 1;
+                    let done = self.charge(dst, self.now, f.win_cpu);
+                    self.complete_at(dst, req, done);
+                }
+            }
+            Ev::CompleteArrive { dst, src, puts } => {
+                self.ranks[dst].pscw.complete_recv.insert(src, puts);
+                self.check_wait(dst, src);
+            }
+            Ev::Complete { rank, req } => {
+                self.with_proc(rank, |p, ctx| p.completed(ctx, req));
+            }
+        }
+    }
+
+    fn send_cts(&mut self, from: Rank, token: usize) {
+        let to = self.rndv[token].src;
+        let cpu = self.flavor.match_cost + self.flavor.o_send;
+        let sent = self.charge(from, self.now, cpu);
+        let wire = self.net.wire(Pe(from as u32), Pe(to as u32), CTRL_BYTES, true);
+        self.events.push(sent + wire, Ev::CtsArrive { token });
+    }
+
+    /// Fire a blocked `win_wait(origin)` on `rank` once the origin's
+    /// complete message arrived and all its announced puts landed.
+    fn check_wait(&mut self, rank: Rank, origin: Rank) {
+        let p = &self.ranks[rank].pscw;
+        let Some(&announced) = p.complete_recv.get(&origin) else {
+            return;
+        };
+        let landed = p.puts_landed.get(&origin).copied().unwrap_or(0);
+        if landed < announced {
+            return;
+        }
+        let Some(req) = self.ranks[rank].pscw.wait_waiting.remove(&origin) else {
+            return;
+        };
+        let p = &mut self.ranks[rank].pscw;
+        p.complete_recv.remove(&origin);
+        *p.puts_landed.entry(origin).or_insert(0) -= announced;
+        let cpu = self.flavor.win_cpu;
+        let done = self.charge(rank, self.now, cpu);
+        self.complete_at(rank, req, done);
+    }
+}
+
+/// API surface a process uses during `start`/`completed`.
+pub struct MpiCtx<'a> {
+    w: &'a mut MpiWorld,
+    rank: Rank,
+}
+
+impl MpiCtx<'_> {
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn nranks(&self) -> usize {
+        self.w.nranks()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.w.now
+    }
+
+    /// Stop the world (end of benchmark).
+    pub fn finalize(&mut self) {
+        self.w.stop = true;
+    }
+
+    /// Nonblocking send. Completes locally once the payload is buffered
+    /// (eager) or once the rendezvous data has been pulled (large).
+    pub fn isend(&mut self, dst: Rank, tag: u32, bytes: usize) -> ReqId {
+        let f = self.w.flavor;
+        let req = self.w.new_req();
+        let src = self.rank;
+        let issue = self.w.charge(src, self.w.now, f.o_send);
+        if bytes <= f.eager_max {
+            let wire =
+                self.w
+                    .net
+                    .wire(Pe(src as u32), Pe(dst as u32), bytes + f.header_bytes, true);
+            self.w
+                .events
+                .push(issue + wire, Ev::EagerArrive { dst, src, tag, bytes });
+            self.w.complete_at(src, req, issue);
+        } else {
+            let token = self.w.rndv.len();
+            self.w.rndv.push(Rendezvous {
+                src,
+                dst,
+                bytes,
+                send_req: req,
+                recv_req: None,
+            });
+            let wire = self
+                .w
+                .net
+                .wire(Pe(src as u32), Pe(dst as u32), CTRL_BYTES, true);
+            self.w
+                .events
+                .push(issue + wire, Ev::RtsArrive { dst, src, tag, token });
+        }
+        req
+    }
+
+    /// Nonblocking receive; completes when a matching message has been
+    /// delivered into the user buffer.
+    pub fn irecv(&mut self, src: Rank, tag: u32, bytes: usize) -> ReqId {
+        let f = self.w.flavor;
+        let req = self.w.new_req();
+        let me = self.rank;
+        // unexpected eager message already here?
+        if let Some(i) = self.w.ranks[me]
+            .unexpected
+            .iter()
+            .position(|&(s, t, _)| s == src && t == tag)
+        {
+            let (_, _, got) = self.w.ranks[me].unexpected.remove(i);
+            let cpu = f.match_cost
+                + f.o_recv
+                + Time::from_ps(f.eager_copy_ps_per_byte * got as u64)
+                + f.bump_for(got);
+            let done = self.w.charge(me, self.w.now, cpu);
+            self.w.complete_at(me, req, done);
+            return req;
+        }
+        // pending rendezvous RTS?
+        if let Some(i) = self.w.ranks[me]
+            .pending_rts
+            .iter()
+            .position(|&(s, t, _)| s == src && t == tag)
+        {
+            let (_, _, token) = self.w.ranks[me].pending_rts.remove(i);
+            self.w.rndv[token].recv_req = Some(req);
+            self.w.send_cts(me, token);
+            return req;
+        }
+        self.w.ranks[me].posted.push((src, tag, bytes, req));
+        req
+    }
+
+    /// Expose this rank's window to `origin` (PSCW *post*).
+    pub fn win_post(&mut self, origin: Rank) {
+        let f = self.w.flavor;
+        let me = self.rank;
+        let sent = self.w.charge(me, self.w.now, f.win_cpu);
+        let wire = self
+            .w
+            .net
+            .wire(Pe(me as u32), Pe(origin as u32), CTRL_BYTES, true);
+        self.w
+            .events
+            .push(sent + wire, Ev::PostArrive { dst: origin, src: me });
+    }
+
+    /// Begin an access epoch on `target` (PSCW *start*): completes once the
+    /// target's post has arrived.
+    pub fn win_start(&mut self, target: Rank) -> ReqId {
+        let f = self.w.flavor;
+        let me = self.rank;
+        let req = self.w.new_req();
+        let posts = self.w.ranks[me].pscw.posts.entry(target).or_insert(0);
+        if *posts > 0 {
+            *posts -= 1;
+            let done = self.w.charge(me, self.w.now, f.win_cpu);
+            self.w.complete_at(me, req, done);
+        } else {
+            let prev = self.w.ranks[me].pscw.start_waiting.insert(target, req);
+            assert!(prev.is_none(), "one win_start per peer at a time");
+        }
+        req
+    }
+
+    /// One-sided put into `target`'s window (must be inside an access
+    /// epoch). Completes locally at issue; remote arrival is what
+    /// `win_wait` on the target observes.
+    pub fn put(&mut self, target: Rank, bytes: usize) -> ReqId {
+        let f = self.w.flavor;
+        let me = self.rank;
+        let req = self.w.new_req();
+        let reg = if f.reg_cached {
+            Time::ZERO
+        } else {
+            self.w.net.reg_cost(bytes)
+        };
+        let issue = self.w.charge(me, self.w.now, f.o_send + reg);
+        let wire = self
+            .w
+            .net
+            .wire(Pe(me as u32), Pe(target as u32), bytes, false)
+            .scale_f64(f.put_beta_factor)
+            + f.put_bump_for(bytes);
+        *self.w.ranks[me].pscw.puts_sent.entry(target).or_insert(0) += 1;
+        self.w
+            .events
+            .push(issue + wire, Ev::PutArrive { dst: target, src: me });
+        self.w.complete_at(me, req, issue);
+        req
+    }
+
+    /// End the access epoch on `target` (PSCW *complete*): announces the
+    /// put count; completes locally.
+    pub fn win_complete(&mut self, target: Rank) -> ReqId {
+        let f = self.w.flavor;
+        let me = self.rank;
+        let req = self.w.new_req();
+        let puts = self.w.ranks[me]
+            .pscw
+            .puts_sent
+            .insert(target, 0)
+            .unwrap_or(0);
+        let sent = self.w.charge(me, self.w.now, f.win_cpu);
+        let wire = self
+            .w
+            .net
+            .wire(Pe(me as u32), Pe(target as u32), CTRL_BYTES, true);
+        self.w.events.push(
+            sent + wire,
+            Ev::CompleteArrive {
+                dst: target,
+                src: me,
+                puts,
+            },
+        );
+        self.w.complete_at(me, req, sent);
+        req
+    }
+
+    /// End the exposure epoch for `origin` (PSCW *wait*): completes once
+    /// the origin's complete message and all announced puts have arrived.
+    pub fn win_wait(&mut self, origin: Rank) -> ReqId {
+        let me = self.rank;
+        let req = self.w.new_req();
+        let prev = self.w.ranks[me].pscw.wait_waiting.insert(origin, req);
+        assert!(prev.is_none(), "one win_wait per peer at a time");
+        self.w.check_wait(me, origin);
+        req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor;
+    use ckd_net::presets;
+    use ckd_topo::Machine as Topo;
+
+    fn world(flavor: MpiFlavor) -> MpiWorld {
+        MpiWorld::new(presets::ib_abe(Topo::ib_cluster(2, 1)), flavor)
+    }
+
+    /// Rank 0 sends one message; rank 1 receives it. Records completion
+    /// times.
+    struct OneSend {
+        bytes: usize,
+        req: Option<ReqId>,
+        done_at: Option<Time>,
+    }
+    impl MpiProc for OneSend {
+        fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+            self.req = Some(ctx.isend(1, 7, self.bytes));
+        }
+        fn completed(&mut self, ctx: &mut MpiCtx<'_>, req: ReqId) {
+            assert_eq!(Some(req), self.req);
+            self.done_at = Some(ctx.now());
+        }
+    }
+    struct OneRecv {
+        bytes: usize,
+        pre_post: bool,
+        started: bool,
+        done_at: Option<Time>,
+    }
+    impl MpiProc for OneRecv {
+        fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+            if self.pre_post {
+                ctx.irecv(0, 7, self.bytes);
+                self.started = true;
+            }
+        }
+        fn completed(&mut self, ctx: &mut MpiCtx<'_>, _req: ReqId) {
+            self.done_at = Some(ctx.now());
+        }
+    }
+
+    fn run_one(bytes: usize, pre_post: bool) -> Time {
+        let mut w = world(flavor::mvapich());
+        w.set_proc(
+            0,
+            Box::new(OneSend {
+                bytes,
+                req: None,
+                done_at: None,
+            }),
+        );
+        w.set_proc(
+            1,
+            Box::new(OneRecv {
+                bytes,
+                pre_post,
+                started: false,
+                done_at: None,
+            }),
+        );
+        w.run()
+    }
+
+    #[test]
+    fn eager_message_delivered() {
+        let t = run_one(1000, true);
+        assert!(t > Time::ZERO);
+        assert!(t < Time::from_us(20), "eager 1KB took {t}");
+    }
+
+    #[test]
+    fn rendezvous_message_delivered() {
+        let t = run_one(100_000, true);
+        // rendezvous: ctrl round trip + 100KB at ~1.28 ns/B ≈ 140+ µs
+        assert!(t > Time::from_us(100), "rendezvous 100KB took only {t}");
+        assert!(t < Time::from_us(400));
+    }
+
+    /// Late receiver: eager goes to the unexpected queue, rendezvous RTS
+    /// waits — both must still complete when the recv is finally posted.
+    struct LateRecv {
+        bytes: usize,
+        sends_seen: u32,
+        done_at: Option<Time>,
+    }
+    impl MpiProc for LateRecv {
+        fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+            // post nothing yet; wait for a nudge message that never comes —
+            // instead we post from a timer-ish second request: emulate
+            // lateness by posting the recv for a *different* tag first.
+            let _ = ctx.irecv(0, 99, 8); // never matched
+            let _ = ctx.isend(0, 55, 8); // tells rank 0 we are alive
+        }
+        fn completed(&mut self, ctx: &mut MpiCtx<'_>, _req: ReqId) {
+            if self.sends_seen == 0 {
+                self.sends_seen = 1;
+                // now post the real recv — the message is already waiting
+                ctx.irecv(0, 7, self.bytes);
+            } else {
+                self.done_at = Some(ctx.now());
+                ctx.finalize();
+            }
+        }
+    }
+    struct SendThenAck {
+        bytes: usize,
+    }
+    impl MpiProc for SendThenAck {
+        fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+            let b = self.bytes;
+            ctx.isend(1, 7, b);
+            ctx.irecv(1, 55, 8);
+        }
+        fn completed(&mut self, _ctx: &mut MpiCtx<'_>, _req: ReqId) {}
+    }
+
+    fn run_late(bytes: usize) -> Time {
+        let mut w = world(flavor::mvapich());
+        w.set_proc(0, Box::new(SendThenAck { bytes }));
+        w.set_proc(
+            1,
+            Box::new(LateRecv {
+                bytes,
+                sends_seen: 0,
+                done_at: None,
+            }),
+        );
+        w.run()
+    }
+
+    #[test]
+    fn unexpected_eager_matches_later() {
+        assert!(run_late(512) > Time::ZERO);
+    }
+
+    #[test]
+    fn pending_rts_matches_later() {
+        assert!(run_late(200_000) > Time::from_us(200));
+    }
+
+    /// PSCW: rank 0 puts into rank 1's window; rank 1 waits for it.
+    struct PscwOrigin {
+        start_req: Option<ReqId>,
+        phase: u32,
+    }
+    impl MpiProc for PscwOrigin {
+        fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+            self.start_req = Some(ctx.win_start(1));
+        }
+        fn completed(&mut self, ctx: &mut MpiCtx<'_>, _req: ReqId) {
+            if self.phase == 0 {
+                self.phase = 1;
+                ctx.put(1, 4096);
+                ctx.win_complete(1);
+            }
+        }
+    }
+    struct PscwTarget {
+        wait_done: Option<Time>,
+    }
+    impl MpiProc for PscwTarget {
+        fn start(&mut self, ctx: &mut MpiCtx<'_>) {
+            ctx.win_post(0);
+            ctx.win_wait(0);
+        }
+        fn completed(&mut self, ctx: &mut MpiCtx<'_>, _req: ReqId) {
+            self.wait_done = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn pscw_epoch_completes_after_put_lands() {
+        let mut w = world(flavor::mvapich());
+        w.set_proc(
+            0,
+            Box::new(PscwOrigin {
+                start_req: None,
+                phase: 0,
+            }),
+        );
+        w.set_proc(1, Box::new(PscwTarget { wait_done: None }));
+        let end = w.run();
+        // post must travel, then the put (4 KB), then the complete message:
+        // well over one wire latency, under a handful.
+        assert!(end > Time::from_us(10), "{end}");
+        assert!(end < Time::from_us(60), "{end}");
+    }
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let a = run_one(50_000, true);
+        let b = run_one(50_000, true);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,468 @@
+//! The transfer-cost model: protocol → `(send CPU, delay, recv CPU)`.
+
+use ckd_sim::Time;
+use ckd_topo::{Machine, Pe};
+
+use crate::params::{DcmfParams, FabricParams, IbParams};
+
+/// How a transfer moves through the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Packetised two-sided send through pre-posted bounce buffers; the
+    /// receiver CPU copies the payload out. Used by default Charm++ and MPI
+    /// below their rendezvous thresholds.
+    Eager,
+    /// RTS → CTS → registered RDMA write. `reg_cached` skips the memory
+    /// registration (MPI implementations cache registrations; default
+    /// Charm++ in the paper's era did not).
+    Rendezvous {
+        /// Whether the registration cost is skipped.
+        reg_cached: bool,
+    },
+    /// One-sided RDMA write into a pre-registered remote buffer: the
+    /// CkDirect data path on Infiniband. No receiver CPU at all.
+    RdmaPut,
+    /// A `DCMF_Send` active message (the only path on Blue Gene/P).
+    Dcmf,
+    /// A minimal control message (RTS/CTS/PSCW sync, barrier tokens).
+    Control,
+}
+
+/// Cost decomposition of one transfer.
+///
+/// `delay` is measured from initiation to "data fully usable at the
+/// destination" and includes `send_cpu`. `recv_cpu` is charged on the
+/// destination PE when the data arrives (zero for true one-sided puts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timing {
+    /// How long the source PE's core is busy initiating the transfer.
+    pub send_cpu: Time,
+    /// Initiation → last byte at the destination.
+    pub delay: Time,
+    /// Destination CPU consumed by the arrival itself.
+    pub recv_cpu: Time,
+    /// Destination CPU consumed *during* the protocol, before delivery —
+    /// the rendezvous path's memory registration and RTS handling. Already
+    /// inside `delay`, so executors must charge it as backdated capacity
+    /// (it steals cycles from a busy PE without delaying this transfer
+    /// past its arrival on an idle one).
+    pub overlap_cpu: Time,
+}
+
+impl Timing {
+    /// A zero-cost timing (used for degenerate self-sends in tests).
+    pub const FREE: Timing = Timing {
+        send_cpu: Time::ZERO,
+        delay: Time::ZERO,
+        recv_cpu: Time::ZERO,
+        overlap_cpu: Time::ZERO,
+    };
+}
+
+/// A machine plus its fabric parameters; the single entry point higher
+/// layers use to cost any communication.
+#[derive(Clone)]
+pub struct NetModel {
+    machine: Machine,
+    fabric: FabricParams,
+    /// Route intra-node transfers through the NIC loopback instead of
+    /// shared memory — the behaviour of the paper-era non-SMP Charm++
+    /// machine layers (one process per core, no shared-memory transport).
+    loopback_via_nic: bool,
+}
+
+impl NetModel {
+    /// Couple a machine shape with fabric parameters.
+    pub fn new(machine: Machine, fabric: FabricParams) -> NetModel {
+        NetModel {
+            machine,
+            fabric,
+            loopback_via_nic: false,
+        }
+    }
+
+    /// Use the NIC loopback for intra-node transfers (paper-era non-SMP
+    /// runtime builds).
+    pub fn with_nic_loopback(mut self) -> NetModel {
+        self.loopback_via_nic = true;
+        self
+    }
+
+    /// The machine this model costs transfers for.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Fabric parameters (for layers that need thresholds, e.g. DCMF's
+    /// short-message cutoff).
+    pub fn fabric(&self) -> &FabricParams {
+        &self.fabric
+    }
+
+    /// True when the fabric has a genuine one-sided RDMA path.
+    pub fn has_rdma(&self) -> bool {
+        self.fabric.has_rdma()
+    }
+
+    /// Cost `bytes` from `src` to `dst` under `proto`.
+    ///
+    /// Same-node transfers take the shared-memory path regardless of the
+    /// requested protocol (with `recv_cpu` zeroed for one-sided puts).
+    pub fn timing(&self, src: Pe, dst: Pe, bytes: usize, proto: Protocol) -> Timing {
+        if !self.loopback_via_nic && self.machine.same_node(src, dst) {
+            return self.shmem_timing(bytes, proto);
+        }
+        let hops = self.machine.hops_between_pes(src, dst);
+        match (&self.fabric, proto) {
+            (FabricParams::IbVerbs(p), Protocol::Eager) => ib_eager(p, hops, bytes),
+            (FabricParams::IbVerbs(p), Protocol::Rendezvous { reg_cached }) => {
+                ib_rendezvous(p, hops, bytes, reg_cached)
+            }
+            (FabricParams::IbVerbs(p), Protocol::RdmaPut) => ib_put(p, hops, bytes),
+            (FabricParams::IbVerbs(p), Protocol::Control) => ib_eager(p, hops, p.control_bytes),
+            // DCMF has no RDMA: puts and rendezvous degenerate to sends, as
+            // in the paper's BG/P implementation.
+            (FabricParams::Dcmf(p), Protocol::Dcmf)
+            | (FabricParams::Dcmf(p), Protocol::Eager)
+            | (FabricParams::Dcmf(p), Protocol::Rendezvous { .. })
+            | (FabricParams::Dcmf(p), Protocol::RdmaPut) => dcmf_send(p, hops, bytes),
+            (FabricParams::Dcmf(p), Protocol::Control) => dcmf_send(p, hops, p.control_bytes),
+            (FabricParams::IbVerbs(p), Protocol::Dcmf) => ib_eager(p, hops, bytes),
+        }
+    }
+
+    /// Two-sided message: picks eager vs rendezvous at `eager_max`
+    /// (fabrics without RDMA always use their send path). Returns the
+    /// protocol actually chosen, for tracing.
+    pub fn two_sided(
+        &self,
+        src: Pe,
+        dst: Pe,
+        bytes: usize,
+        eager_max: usize,
+        reg_cached: bool,
+    ) -> (Timing, Protocol) {
+        let proto = if !self.fabric.has_rdma() {
+            Protocol::Dcmf
+        } else if bytes <= eager_max {
+            Protocol::Eager
+        } else {
+            Protocol::Rendezvous { reg_cached }
+        };
+        (self.timing(src, dst, bytes, proto), proto)
+    }
+
+    /// One-sided put into a pre-registered remote buffer (the CkDirect data
+    /// path). On DCMF this is a two-sided send carrying the Info header.
+    pub fn put(&self, src: Pe, dst: Pe, bytes: usize) -> Timing {
+        let proto = if self.fabric.has_rdma() {
+            Protocol::RdmaPut
+        } else {
+            Protocol::Dcmf
+        };
+        let mut t = self.timing(src, dst, bytes, proto);
+        if !self.fabric.has_rdma() {
+            // The BG/P CkDirect implementation sends two quad-words of Info
+            // (receive-buffer pointer, callback, callback data, request
+            // state) alongside the payload.
+            if let FabricParams::Dcmf(p) = &self.fabric {
+                let extra = p.wire.serialize(p.info_bytes);
+                t.delay += extra;
+            }
+        }
+        t
+    }
+
+    /// Receiver-initiated one-sided read (`get`): a request travels to the
+    /// data holder and the payload streams back — an RDMA read on verbs
+    /// (two wire traversals, no remote CPU), or a request message plus a
+    /// reply send on DCMF. The §2 comparison: a get pays the extra
+    /// traversal *and* needs a readiness notification the put does not.
+    pub fn get(&self, data_holder: Pe, initiator: Pe, bytes: usize) -> Timing {
+        if self.machine.same_node(data_holder, initiator) && !self.loopback_via_nic {
+            return self.shmem_timing(bytes, Protocol::RdmaPut);
+        }
+        let hops = self.machine.hops_between_pes(data_holder, initiator);
+        match &self.fabric {
+            FabricParams::IbVerbs(p) => {
+                let w = &p.wire;
+                Timing {
+                    send_cpu: p.rdma_issue,
+                    delay: p.rdma_issue
+                        + w.latency(hops)          // read request
+                        + w.latency(hops)          // response path
+                        + w.serialize(bytes),
+                    recv_cpu: Time::ZERO,
+                    overlap_cpu: Time::ZERO,
+                }
+            }
+            FabricParams::Dcmf(p) => {
+                // request message + data send back, both through the CPU
+                let w = &p.wire;
+                let req = w.latency(hops) + w.serialize(p.control_bytes) + w.per_packet;
+                let data = w.latency(hops)
+                    + w.serialize(bytes + p.info_bytes)
+                    + w.per_packet * w.packets(bytes);
+                Timing {
+                    send_cpu: p.o_send,
+                    delay: p.o_send + req + p.o_recv + p.o_send + data,
+                    recv_cpu: p.o_recv,
+                    overlap_cpu: Time::ZERO,
+                }
+            }
+        }
+    }
+
+    /// Pure wire delay for `bytes` between two PEs, with no CPU terms:
+    /// latency + serialization (+ per-packet costs when `packetized`).
+    ///
+    /// Layers with their own software cost model (the MPI baselines)
+    /// compose this with their own overheads instead of inheriting the
+    /// Charm++ machine-layer constants baked into [`NetModel::timing`].
+    pub fn wire(&self, src: Pe, dst: Pe, bytes: usize, packetized: bool) -> Time {
+        if !self.loopback_via_nic && self.machine.same_node(src, dst) {
+            let sm = self.fabric.shmem();
+            return sm.latency + Time::from_ps(sm.ps_per_byte * bytes as u64);
+        }
+        let hops = self.machine.hops_between_pes(src, dst);
+        let w = self.fabric.wire();
+        let mut t = w.latency(hops) + w.serialize(bytes);
+        if packetized || !self.fabric.has_rdma() {
+            t += w.per_packet * w.packets(bytes);
+        }
+        t
+    }
+
+    /// Memory registration cost for `bytes` on this fabric (zero where
+    /// registration does not exist, i.e. DCMF).
+    pub fn reg_cost(&self, bytes: usize) -> Time {
+        match &self.fabric {
+            FabricParams::IbVerbs(p) => {
+                p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64)
+            }
+            FabricParams::Dcmf(_) => Time::ZERO,
+        }
+    }
+
+    /// Minimal control message (RTS/CTS, PSCW sync, reduction tokens).
+    pub fn control(&self, src: Pe, dst: Pe) -> Timing {
+        let bytes = match &self.fabric {
+            FabricParams::IbVerbs(p) => p.control_bytes,
+            FabricParams::Dcmf(p) => p.control_bytes,
+        };
+        self.timing(src, dst, bytes, Protocol::Control)
+    }
+
+    fn shmem_timing(&self, bytes: usize, proto: Protocol) -> Timing {
+        let sm = self.fabric.shmem();
+        let copy = Time::from_ps(sm.ps_per_byte * bytes as u64);
+        let half = sm.latency / 2;
+        Timing {
+            send_cpu: half + copy,
+            delay: half + copy + half,
+            recv_cpu: if matches!(proto, Protocol::RdmaPut) {
+                Time::ZERO
+            } else {
+                half
+            },
+            overlap_cpu: Time::ZERO,
+        }
+    }
+}
+
+fn ib_eager(p: &IbParams, hops: u32, bytes: usize) -> Timing {
+    let w = &p.wire;
+    let send_cpu = p.o_send;
+    let wire = w.latency(hops) + w.serialize(bytes) + w.per_packet * w.packets(bytes);
+    Timing {
+        send_cpu,
+        delay: send_cpu + wire,
+        recv_cpu: p.o_recv + Time::from_ps(p.eager_copy_ps_per_byte * bytes as u64),
+        overlap_cpu: Time::ZERO,
+    }
+}
+
+fn ib_put(p: &IbParams, hops: u32, bytes: usize) -> Timing {
+    let w = &p.wire;
+    let send_cpu = p.rdma_issue;
+    Timing {
+        send_cpu,
+        delay: send_cpu + w.latency(hops) + w.serialize(bytes),
+        recv_cpu: Time::ZERO,
+        overlap_cpu: Time::ZERO,
+    }
+}
+
+fn ib_rendezvous(p: &IbParams, hops: u32, bytes: usize, reg_cached: bool) -> Timing {
+    let w = &p.wire;
+    let ctrl = w.latency(hops) + w.serialize(p.control_bytes) + w.per_packet;
+    let reg = if reg_cached {
+        Time::ZERO
+    } else {
+        p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64)
+    };
+    // RTS out, receiver handles it and registers, CTS back, sender issues
+    // the RDMA write of the payload.
+    let send_cpu = p.o_send + p.rdma_issue;
+    let delay = p.o_send               // build + post RTS
+        + ctrl                          // RTS on the wire
+        + p.o_recv                      // receiver handles RTS
+        + reg                           // pin + register the buffers
+        + ctrl                          // CTS back
+        + p.rdma_issue                  // sender posts the write
+        + w.latency(hops)
+        + w.serialize(bytes);
+    Timing {
+        send_cpu,
+        delay,
+        recv_cpu: p.o_recv,
+        // the registration and RTS handling consume receiver cycles while
+        // the protocol is in flight
+        overlap_cpu: reg + p.o_recv,
+    }
+}
+
+fn dcmf_send(p: &DcmfParams, hops: u32, bytes: usize) -> Timing {
+    let w = &p.wire;
+    let send_cpu = p.o_send;
+    let wire = w.latency(hops) + w.serialize(bytes) + w.per_packet * w.packets(bytes);
+    let short_copy = if bytes < p.short_max {
+        Time::from_ps(p.short_copy_ps_per_byte * bytes as u64)
+    } else {
+        Time::ZERO
+    };
+    Timing {
+        send_cpu,
+        delay: send_cpu + wire,
+        recv_cpu: p.o_recv + short_copy,
+        overlap_cpu: Time::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn ib(npes: usize) -> NetModel {
+        presets::ib_abe(Machine::ib_cluster(npes, 2))
+    }
+
+    fn bgp(npes: usize) -> NetModel {
+        presets::bgp_surveyor(Machine::bgp_partition(npes))
+    }
+
+    #[test]
+    fn put_beats_eager_at_every_size_on_ib() {
+        let m = ib(4);
+        let (a, b) = (Pe(0), Pe(2)); // different nodes
+        for bytes in [100, 1_000, 10_000, 100_000, 500_000] {
+            let put = m.put(a, b, bytes);
+            let (msg, _) = m.two_sided(a, b, bytes, 20_000, false);
+            let put_total = put.delay + put.recv_cpu;
+            let msg_total = msg.delay + msg.recv_cpu;
+            assert!(
+                put_total < msg_total,
+                "{bytes}B: put {put_total:?} !< msg {msg_total:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rdma_put_has_zero_receiver_cpu() {
+        let m = ib(4);
+        assert_eq!(m.put(Pe(0), Pe(2), 65536).recv_cpu, Time::ZERO);
+    }
+
+    #[test]
+    fn dcmf_put_is_not_zero_copy() {
+        // The BG/P implementation is two-sided: receiver CPU is charged.
+        let m = bgp(8);
+        assert!(m.put(Pe(0), Pe(4), 65536).recv_cpu > Time::ZERO);
+    }
+
+    #[test]
+    fn rendezvous_pays_fixed_cost_over_eager_per_byte() {
+        let m = ib(4);
+        let (a, b) = (Pe(0), Pe(2));
+        let big = 100_000;
+        let (rndv, p1) = m.two_sided(a, b, big, 20_000, false);
+        assert_eq!(p1, Protocol::Rendezvous { reg_cached: false });
+        let put = m.put(a, b, big);
+        // rendezvous = put + (RTS/CTS round trip + registration + overheads)
+        let gap = (rndv.delay - put.delay).as_us_f64();
+        assert!(gap > 10.0, "rendezvous surcharge {gap}us too small");
+        assert!(gap < 80.0, "rendezvous surcharge {gap}us implausible");
+    }
+
+    #[test]
+    fn two_sided_switches_protocol_at_threshold() {
+        let m = ib(4);
+        let (_, p_small) = m.two_sided(Pe(0), Pe(2), 20_000, 20_000, false);
+        let (_, p_big) = m.two_sided(Pe(0), Pe(2), 20_001, 20_000, false);
+        assert_eq!(p_small, Protocol::Eager);
+        assert_eq!(p_big, Protocol::Rendezvous { reg_cached: false });
+    }
+
+    #[test]
+    fn bgp_never_uses_rdma() {
+        let m = bgp(8);
+        assert!(!m.has_rdma());
+        let (_, p) = m.two_sided(Pe(0), Pe(4), 1_000_000, 20_000, false);
+        assert_eq!(p, Protocol::Dcmf);
+    }
+
+    #[test]
+    fn same_node_is_cheap_and_hop_free() {
+        let m = ib(8); // 2 cores/node: PEs 0,1 share a node
+        let near = m.put(Pe(0), Pe(1), 10_000);
+        let far = m.put(Pe(0), Pe(2), 10_000);
+        assert!(near.delay < far.delay);
+    }
+
+    #[test]
+    fn delay_monotone_in_bytes() {
+        let m = ib(4);
+        for proto in [
+            Protocol::Eager,
+            Protocol::Rendezvous { reg_cached: false },
+            Protocol::RdmaPut,
+        ] {
+            let mut last = Time::ZERO;
+            for bytes in [0usize, 64, 4096, 65536, 1 << 20] {
+                let t = m.timing(Pe(0), Pe(2), bytes, proto);
+                assert!(t.delay >= last, "{proto:?} not monotone at {bytes}");
+                last = t.delay;
+            }
+        }
+    }
+
+    #[test]
+    fn more_hops_more_latency_on_torus() {
+        let m = bgp(512);
+        let near = m.put(Pe(0), Pe(4), 100); // adjacent node
+        let mach = m.machine().clone();
+        // find the farthest node from PE0
+        let far_pe = mach
+            .pes()
+            .max_by_key(|&p| mach.hops_between_pes(Pe(0), p))
+            .unwrap();
+        let far = m.put(Pe(0), far_pe, 100);
+        assert!(far.delay > near.delay);
+    }
+
+    #[test]
+    fn control_is_small_and_constant() {
+        let m = ib(4);
+        let c = m.control(Pe(0), Pe(2));
+        assert!(c.delay < Time::from_us(10));
+    }
+
+    #[test]
+    fn reg_cached_rendezvous_is_cheaper() {
+        let m = ib(4);
+        let cold = m.timing(Pe(0), Pe(2), 100_000, Protocol::Rendezvous { reg_cached: false });
+        let warm = m.timing(Pe(0), Pe(2), 100_000, Protocol::Rendezvous { reg_cached: true });
+        assert!(warm.delay < cold.delay);
+    }
+}

@@ -1,0 +1,165 @@
+//! Calibrated parameter presets for the paper's two testbeds.
+//!
+//! Constants are fitted to Tables 1–2 of the paper (one-way time = reported
+//! round trip / 2). We fit the CkDirect rows first — they expose the bare
+//! wire (`put(n) ≈ issue + latency + β·n`) — then back out the software
+//! overheads from the gaps to the other rows. See `EXPERIMENTS.md` for the
+//! resulting fit of every cell.
+
+use ckd_sim::Time;
+use ckd_topo::Machine;
+
+use crate::model::NetModel;
+use crate::params::{DcmfParams, FabricParams, IbParams, SharedMemParams, WireParams};
+
+/// Infiniband parameters fitted to the Abe rows of Table 1.
+///
+/// Derivation from the table (one-way µs):
+/// * CkDirect slope 100 KB→500 KB: (647.2 − 137.7)/400 000 B ≈ **1.27 ns/B**;
+///   we use 1.28 ns/B (≈ 780 MB/s, a credible 2008 SDR/DDR verbs rate).
+/// * CkDirect at 100 B is 6.19 µs ⇒ `rdma_issue + latency ≈ 6.06 µs`; with
+///   a 3-hop fat-tree path: `0.30 + 4.55 + 3×0.35 = 5.90`, the remainder is
+///   the receiver's poll-detection gap charged by the runtime.
+/// * Default Charm++ eager slope exceeds the wire by ≈ 0.45 ns/B — the
+///   receiver-side copy out of the bounce buffers.
+/// * The default-vs-CkDirect gap jumps by ≈ 30 µs between 20 KB and 30 KB —
+///   the eager→rendezvous switch: an RTS/CTS round trip (≈ 2×6 µs) plus an
+///   uncached memory registration (`reg_base ≈ 15 µs` + 0.04 ns/B pinning).
+pub fn ib_abe_params() -> IbParams {
+    IbParams {
+        wire: WireParams {
+            base_latency: Time::from_ns(4550),
+            per_hop: Time::from_ns(350),
+            ps_per_byte: 1280,
+            per_packet: Time::from_ns(300),
+            packet_bytes: 4096,
+        },
+        shmem: SharedMemParams {
+            latency: Time::from_ns(600),
+            ps_per_byte: 250,
+        },
+        o_send: Time::from_ns(800),
+        o_recv: Time::from_ns(1200),
+        eager_copy_ps_per_byte: 450,
+        rdma_issue: Time::from_ns(300),
+        reg_base: Time::from_us(15),
+        reg_ps_per_byte: 40,
+        control_bytes: 32,
+    }
+}
+
+/// Blue Gene/P (Surveyor) parameters fitted to Table 2.
+///
+/// Derivation:
+/// * CkDirect slope 100 KB→500 KB: (1338.5 − 271.8)/400 000 B ≈ **2.67 ns/B**
+///   (≈ 375 MB/s, consistent with BG/P's 425 MB/s links).
+/// * CkDirect at 100 B is 2.57 µs one-way, bracketing the 1.9 µs DCMF
+///   latency the paper cites from its reference \[8\]: `o_send 0.30 + base 1.20 + hop 0.05 +
+///   serialize ≈ 0.35 + o_recv 0.30 + short copy ≈ 0.03 + runtime callback`.
+/// * The torus moves 240 B packets; the per-packet cost is small but gives
+///   packetised sends their slightly super-linear mid-range growth.
+/// * No RDMA: "the supporting rendezvous protocol was not installed on
+///   Surveyor", so the model exposes no one-sided path at all.
+pub fn bgp_surveyor_params() -> DcmfParams {
+    DcmfParams {
+        wire: WireParams {
+            base_latency: Time::from_ns(1200),
+            per_hop: Time::from_ns(50),
+            ps_per_byte: 2640,
+            per_packet: Time::from_ns(5),
+            packet_bytes: 240,
+        },
+        shmem: SharedMemParams {
+            latency: Time::from_ns(900),
+            ps_per_byte: 400,
+        },
+        o_send: Time::from_ns(300),
+        o_recv: Time::from_ns(300),
+        short_max: 224,
+        short_copy_ps_per_byte: 300,
+        info_bytes: 32,
+        control_bytes: 16,
+    }
+}
+
+/// A ready-to-use model of the Abe Infiniband cluster.
+pub fn ib_abe(machine: Machine) -> NetModel {
+    NetModel::new(machine, FabricParams::IbVerbs(ib_abe_params()))
+}
+
+/// A ready-to-use model of the Surveyor Blue Gene/P.
+pub fn bgp_surveyor(machine: Machine) -> NetModel {
+    NetModel::new(machine, FabricParams::Dcmf(bgp_surveyor_params()))
+}
+
+/// An idealised fabric for unit tests: crossbar wiring, round constants.
+pub fn test_fabric(machine: Machine) -> NetModel {
+    NetModel::new(
+        machine,
+        FabricParams::IbVerbs(IbParams {
+            wire: WireParams {
+                base_latency: Time::from_us(1),
+                per_hop: Time::from_ns(100),
+                ps_per_byte: 1000,
+                per_packet: Time::from_ns(100),
+                packet_bytes: 4096,
+            },
+            shmem: SharedMemParams {
+                latency: Time::from_ns(500),
+                ps_per_byte: 250,
+            },
+            o_send: Time::from_ns(500),
+            o_recv: Time::from_ns(500),
+            eager_copy_ps_per_byte: 400,
+            rdma_issue: Time::from_ns(200),
+            reg_base: Time::from_us(10),
+            reg_ps_per_byte: 40,
+            control_bytes: 32,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckd_topo::Pe;
+
+    /// Raw-wire sanity: the CkDirect put path alone must land within ~1 µs of
+    /// the paper's one-way value minus runtime costs (tight calibration of
+    /// the *full* path happens in the pingpong app tests).
+    #[test]
+    fn ib_put_100b_near_table1() {
+        let m = ib_abe(Machine::ib_cluster(256, 8));
+        // choose PEs on different leaf switches: 3 hops, the common case
+        let t = m.put(Pe(0), Pe(200), 100);
+        let us = t.delay.as_us_f64();
+        assert!((5.0..6.4).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn ib_put_500kb_near_table1() {
+        let m = ib_abe(Machine::ib_cluster(256, 8));
+        let t = m.put(Pe(0), Pe(200), 500_000);
+        let us = t.delay.as_us_f64();
+        // paper: 647 µs one-way including runtime detection
+        assert!((620.0..660.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn bgp_put_100b_near_table2() {
+        let m = bgp_surveyor(Machine::bgp_partition(8));
+        let t = m.put(Pe(0), Pe(4), 100);
+        let total = (t.delay + t.recv_cpu).as_us_f64();
+        // paper: 2.57 µs one-way including runtime callback cost
+        assert!((1.8..2.6).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn bgp_put_500kb_near_table2() {
+        let m = bgp_surveyor(Machine::bgp_partition(8));
+        let t = m.put(Pe(0), Pe(4), 500_000);
+        let total = (t.delay + t.recv_cpu).as_us_f64();
+        // paper: 1338 µs one-way
+        assert!((1280.0..1400.0).contains(&total), "got {total}");
+    }
+}

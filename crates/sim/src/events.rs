@@ -1,0 +1,206 @@
+//! The event queue: a priority queue over `(Time, sequence)` keys.
+//!
+//! The queue is generic over the event payload so that each layer of the
+//! stack (network, runtime, MPI model) can define its own event enum and pay
+//! no boxing cost. FIFO order among same-timestamp events is guaranteed by a
+//! monotonically increasing sequence number, which is what makes the whole
+//! simulation deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* entry.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    /// The timestamp of the most recently popped event. Pushing an event
+    /// earlier than this is a causality violation and panics in debug builds.
+    horizon: Time,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the horizon at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            horizon: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            horizon: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `ev` to fire at absolute time `at`.
+    ///
+    /// `at` may equal the current horizon (same-timestamp events run in FIFO
+    /// push order) but must not precede it.
+    #[inline]
+    pub fn push(&mut self, at: Time, ev: E) {
+        debug_assert!(
+            at >= self.horizon,
+            "causality violation: scheduling at {at} behind horizon {}",
+            self.horizon
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Remove and return the earliest event, advancing the horizon to its
+    /// timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.horizon);
+        self.horizon = e.at;
+        self.popped += 1;
+        Some((e.at, e.ev))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The virtual time of the most recently popped event.
+    #[inline]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Total number of events ever popped (a cheap progress metric).
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), "c");
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_advances() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(7), ());
+        assert_eq!(q.horizon(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.horizon(), Time::from_ns(7));
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    #[cfg(debug_assertions)]
+    fn rejects_events_behind_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), ());
+        q.pop();
+        q.push(Time::from_ns(5), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(40), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_ns(20), 2);
+        q.push(Time::from_ns(30), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(3), "x");
+        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+        assert_eq!(q.len(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_ns(3));
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! Virtual time as integer picoseconds.
+//!
+//! Picosecond resolution lets per-byte network costs (≈ 1.28 ns/B on the
+//! paper's Infiniband cluster) be represented exactly as integers while a
+//! `u64` still spans ~213 days of virtual time — far beyond any experiment.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, stored as whole picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from whole picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounds to nearest picosecond).
+    ///
+    /// Negative or non-finite inputs clamp to zero: cost models occasionally
+    /// produce tiny negative corrections from float noise and a virtual
+    /// duration can never be negative.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Time {
+        if !s.is_finite() || s <= 0.0 {
+            return Time::ZERO;
+        }
+        Time((s * 1e12).round() as u64)
+    }
+
+    /// Construct from fractional microseconds (common unit in the paper).
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Time {
+        Time::from_secs_f64(us * 1e-6)
+    }
+
+    /// Construct from fractional nanoseconds.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Time {
+        Time::from_secs_f64(ns * 1e-9)
+    }
+
+    /// Whole picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Fractional microseconds (the unit of the paper's tables).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition, clamping at [`Time::MAX`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Multiply a duration by a dimensionless factor, rounding to nearest.
+    ///
+    /// Used by cost models for fractional scalings (e.g. congestion factors).
+    #[inline]
+    pub fn scale_f64(self, factor: f64) -> Time {
+        Time::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Time {
+    /// Human-oriented rendering with an auto-selected unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps < 1_000 {
+            write!(f, "{ps}ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.3}ns", ps as f64 / 1e3)
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.3}us", ps as f64 / 1e6)
+        } else if ps < 1_000_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else {
+            write!(f, "{:.3}s", ps as f64 / 1e12)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs_f64(1.0), Time::from_ms(1_000));
+    }
+
+    #[test]
+    fn float_roundtrip_is_close() {
+        let t = Time::from_us_f64(22.924);
+        assert!((t.as_us_f64() - 22.924).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(Time::from_secs_f64(-1.0), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NAN), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NEG_INFINITY), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(5);
+        let b = Time::from_ns(3);
+        assert_eq!(a + b, Time::from_ns(8));
+        assert_eq!(a - b, Time::from_ns(2));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a * 2, Time::from_ns(10));
+        assert_eq!(a / 5, Time::from_ns(1));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: Time = (1..=4).map(Time::from_ns).sum();
+        assert_eq!(total, Time::from_ns(10));
+    }
+
+    #[test]
+    fn scale() {
+        assert_eq!(Time::from_ns(100).scale_f64(1.5), Time::from_ns(150));
+        assert_eq!(Time::from_ns(100).scale_f64(0.0), Time::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Time::from_ps(12).to_string(), "12ps");
+        assert_eq!(Time::from_us_f64(22.924).to_string(), "22.924us");
+        assert_eq!(Time::ZERO.to_string(), "0s");
+    }
+}

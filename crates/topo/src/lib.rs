@@ -1,0 +1,22 @@
+//! Machine shapes, interconnect topologies and chare→PE mappers.
+//!
+//! The paper's two testbeds differ structurally, not just in constants:
+//!
+//! * **NCSA Abe** — multicore Infiniband cluster (8 cores/node in the paper's
+//!   stencil runs, 2 cores/node in the OpenAtom runs): message cost depends
+//!   mostly on whether the peer is on the same node; the fat-tree adds a
+//!   small per-stage cost.
+//! * **ANL Surveyor (Blue Gene/P)** — 4 cores/node on a 3-D torus with
+//!   deterministic XYZ routing: latency grows with hop count.
+//!
+//! [`Machine`] couples a [`Topology`] with a cores-per-node count and exposes
+//! the PE-level queries (`same_node`, `hops_between_pes`) the network models
+//! need.
+
+pub mod machine;
+pub mod mapping;
+pub mod topology;
+
+pub use machine::{Machine, NodeId, Pe};
+pub use mapping::{Dims, Idx, Mapper};
+pub use topology::{Crossbar, FatTree, Topology, Torus3D};

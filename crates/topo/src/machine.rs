@@ -1,0 +1,208 @@
+//! Processing elements, nodes, and the machine = topology × cores/node.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::topology::{Crossbar, FatTree, Topology, Torus3D};
+
+/// A processing element (one core running one scheduler), numbered densely
+/// from 0. Charm++ calls this a "PE".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pe(pub u32);
+
+impl Pe {
+    /// Dense index as `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+impl fmt::Display for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// A physical node (shared memory domain) in the machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A machine: an interconnect [`Topology`] over nodes, each node holding a
+/// fixed number of PEs. PEs are numbered node-major: PE `p` lives on node
+/// `p / cores_per_node`.
+#[derive(Clone)]
+pub struct Machine {
+    topo: Arc<dyn Topology>,
+    cores_per_node: usize,
+    npes: usize,
+}
+
+impl Machine {
+    /// Build a machine from any topology.
+    pub fn new(topo: Arc<dyn Topology>, cores_per_node: usize) -> Machine {
+        assert!(cores_per_node > 0, "need at least one core per node");
+        let npes = topo.nodes() * cores_per_node;
+        Machine {
+            topo,
+            cores_per_node,
+            npes,
+        }
+    }
+
+    /// An Abe-like Infiniband cluster: fat-tree with 24-port leaf switches.
+    ///
+    /// `pes` must be a multiple of `cores_per_node` (the paper uses 8 for the
+    /// stencil/matmul runs and 2 for the OpenAtom runs).
+    pub fn ib_cluster(pes: usize, cores_per_node: usize) -> Machine {
+        assert!(pes > 0 && pes.is_multiple_of(cores_per_node));
+        let nodes = pes / cores_per_node;
+        Machine::new(Arc::new(FatTree::new(nodes, 24)), cores_per_node)
+    }
+
+    /// A Surveyor-like Blue Gene/P partition: near-cubic 3-D torus, 4
+    /// cores/node (BG/P "VN mode" uses all 4 cores as PEs).
+    pub fn bgp_partition(pes: usize) -> Machine {
+        const CORES: usize = 4;
+        assert!(pes > 0 && pes.is_multiple_of(CORES), "BG/P VN mode needs 4 PEs/node");
+        Machine::new(Arc::new(Torus3D::fitting(pes / CORES)), CORES)
+    }
+
+    /// A single-switch test machine.
+    pub fn crossbar(pes: usize, cores_per_node: usize) -> Machine {
+        assert!(pes > 0 && pes.is_multiple_of(cores_per_node));
+        Machine::new(Arc::new(Crossbar::new(pes / cores_per_node)), cores_per_node)
+    }
+
+    /// Number of PEs.
+    #[inline]
+    pub fn npes(&self) -> usize {
+        self.npes
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.topo.nodes()
+    }
+
+    /// PEs per node.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// The node hosting a PE.
+    #[inline]
+    pub fn node_of(&self, pe: Pe) -> NodeId {
+        debug_assert!(pe.idx() < self.npes, "{pe} out of range");
+        NodeId((pe.idx() / self.cores_per_node) as u32)
+    }
+
+    /// Core index of a PE within its node.
+    #[inline]
+    pub fn core_of(&self, pe: Pe) -> usize {
+        pe.idx() % self.cores_per_node
+    }
+
+    /// True when both PEs share a node (shared-memory communication).
+    #[inline]
+    pub fn same_node(&self, a: Pe, b: Pe) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Network hops between the nodes of two PEs (0 on the same node).
+    #[inline]
+    pub fn hops_between_pes(&self, a: Pe, b: Pe) -> u32 {
+        self.topo.hops(self.node_of(a), self.node_of(b))
+    }
+
+    /// Iterate all PEs.
+    pub fn pes(&self) -> impl Iterator<Item = Pe> {
+        (0..self.npes as u32).map(Pe)
+    }
+
+    /// Underlying topology (for model-specific queries).
+    pub fn topology(&self) -> &dyn Topology {
+        &*self.topo
+    }
+
+    /// One-line description for experiment logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} x {} cores = {} PEs [{}]",
+            self.nodes(),
+            self.cores_per_node,
+            self.npes,
+            self.topo.describe()
+        )
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Machine({})", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_node_mapping_is_node_major() {
+        let m = Machine::crossbar(8, 4);
+        assert_eq!(m.node_of(Pe(0)), NodeId(0));
+        assert_eq!(m.node_of(Pe(3)), NodeId(0));
+        assert_eq!(m.node_of(Pe(4)), NodeId(1));
+        assert_eq!(m.core_of(Pe(5)), 1);
+        assert!(m.same_node(Pe(0), Pe(3)));
+        assert!(!m.same_node(Pe(3), Pe(4)));
+    }
+
+    #[test]
+    fn hops_zero_on_same_node() {
+        let m = Machine::bgp_partition(64);
+        assert_eq!(m.hops_between_pes(Pe(0), Pe(3)), 0);
+        assert!(m.hops_between_pes(Pe(0), Pe(63)) > 0);
+    }
+
+    #[test]
+    fn ib_cluster_shape() {
+        let m = Machine::ib_cluster(256, 8);
+        assert_eq!(m.nodes(), 32);
+        assert_eq!(m.npes(), 256);
+        assert_eq!(m.cores_per_node(), 8);
+        // nodes 0..23 share a leaf switch, 24 is across the core stage
+        assert_eq!(m.hops_between_pes(Pe(0), Pe(8)), 1);
+        assert_eq!(m.hops_between_pes(Pe(0), Pe(24 * 8)), 3);
+    }
+
+    #[test]
+    fn bgp_partition_shape() {
+        let m = Machine::bgp_partition(4096);
+        assert_eq!(m.nodes(), 1024);
+        assert_eq!(m.cores_per_node(), 4);
+    }
+
+    #[test]
+    fn pes_iterator_is_dense() {
+        let m = Machine::crossbar(6, 2);
+        let all: Vec<_> = m.pes().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], Pe(0));
+        assert_eq!(all[5], Pe(5));
+    }
+}

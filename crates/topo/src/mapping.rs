@@ -1,0 +1,275 @@
+//! Chare-array index spaces and their placement onto PEs.
+//!
+//! Charm++ object-based virtualization places many chares per PE; the
+//! mapping strategy matters for halo-exchange locality (Fig 2 depends on a
+//! block map keeping neighboring cuboids on nearby PEs).
+
+use crate::machine::Pe;
+
+/// Extents of a 1–4 dimensional chare array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Dims {
+    d: [u32; 4],
+    rank: u8,
+}
+
+impl Dims {
+    /// 1-D extent.
+    pub fn d1(a: usize) -> Dims {
+        Dims {
+            d: [a as u32, 1, 1, 1],
+            rank: 1,
+        }
+    }
+
+    /// 2-D extents.
+    pub fn d2(a: usize, b: usize) -> Dims {
+        Dims {
+            d: [a as u32, b as u32, 1, 1],
+            rank: 2,
+        }
+    }
+
+    /// 3-D extents.
+    pub fn d3(a: usize, b: usize, c: usize) -> Dims {
+        Dims {
+            d: [a as u32, b as u32, c as u32, 1],
+            rank: 3,
+        }
+    }
+
+    /// 4-D extents.
+    pub fn d4(a: usize, b: usize, c: usize, e: usize) -> Dims {
+        Dims {
+            d: [a as u32, b as u32, c as u32, e as u32],
+            rank: 4,
+        }
+    }
+
+    /// Number of dimensions (1–4).
+    pub fn rank(&self) -> u8 {
+        self.rank
+    }
+
+    /// Extent along axis `k` (1 for axes beyond the rank).
+    pub fn extent(&self, k: usize) -> usize {
+        self.d[k] as usize
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.d.iter().map(|&x| x as usize).product()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linearization of an index.
+    pub fn linear(&self, idx: Idx) -> usize {
+        debug_assert!(self.contains(idx), "{idx:?} outside {self:?}");
+        let d = &self.d;
+        (((idx.d[3] as usize * d[2] as usize) + idx.d[2] as usize) * d[1] as usize
+            + idx.d[1] as usize)
+            * d[0] as usize
+            + idx.d[0] as usize
+    }
+
+    /// Inverse of [`Dims::linear`].
+    pub fn unlinear(&self, lin: usize) -> Idx {
+        debug_assert!(lin < self.len());
+        let d = &self.d;
+        let a = lin % d[0] as usize;
+        let r = lin / d[0] as usize;
+        let b = r % d[1] as usize;
+        let r = r / d[1] as usize;
+        let c = r % d[2] as usize;
+        let e = r / d[2] as usize;
+        Idx {
+            d: [a as u32, b as u32, c as u32, e as u32],
+        }
+    }
+
+    /// True when `idx` lies inside the extents.
+    pub fn contains(&self, idx: Idx) -> bool {
+        (0..4).all(|k| idx.d[k] < self.d[k])
+    }
+
+    /// Iterate all indices in linearization order.
+    pub fn iter(&self) -> impl Iterator<Item = Idx> + '_ {
+        (0..self.len()).map(|l| self.unlinear(l))
+    }
+}
+
+/// An index into a chare array (axes beyond the rank are zero).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct Idx {
+    d: [u32; 4],
+}
+
+impl Idx {
+    /// 1-D index.
+    pub fn i1(a: usize) -> Idx {
+        Idx {
+            d: [a as u32, 0, 0, 0],
+        }
+    }
+
+    /// 2-D index.
+    pub fn i2(a: usize, b: usize) -> Idx {
+        Idx {
+            d: [a as u32, b as u32, 0, 0],
+        }
+    }
+
+    /// 3-D index.
+    pub fn i3(a: usize, b: usize, c: usize) -> Idx {
+        Idx {
+            d: [a as u32, b as u32, c as u32, 0],
+        }
+    }
+
+    /// 4-D index.
+    pub fn i4(a: usize, b: usize, c: usize, e: usize) -> Idx {
+        Idx {
+            d: [a as u32, b as u32, c as u32, e as u32],
+        }
+    }
+
+    /// Component along axis `k`.
+    pub fn at(&self, k: usize) -> usize {
+        self.d[k] as usize
+    }
+
+    /// Components as a `[x, y, z, w]` array.
+    pub fn as_array(&self) -> [usize; 4] {
+        [
+            self.d[0] as usize,
+            self.d[1] as usize,
+            self.d[2] as usize,
+            self.d[3] as usize,
+        ]
+    }
+}
+
+/// Placement strategies for chare-array elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mapper {
+    /// Contiguous blocks of the linearized index space per PE: keeps
+    /// row-major-adjacent elements co-resident (good halo locality).
+    Block,
+    /// Element `i` on PE `i mod npes`: spreads consecutive elements.
+    RoundRobin,
+}
+
+impl Mapper {
+    /// The home PE of the element with linearized index `lin` out of `total`
+    /// elements on `npes` PEs.
+    pub fn pe_for(&self, lin: usize, total: usize, npes: usize) -> Pe {
+        debug_assert!(lin < total && npes > 0);
+        match self {
+            Mapper::Block => {
+                // Ceil-sized blocks: the first `total % npes` PEs get one
+                // extra element, matching Charm++'s DefaultArrayMap.
+                let base = total / npes;
+                let extra = total % npes;
+                let cut = (base + 1) * extra;
+                let pe = if lin < cut {
+                    lin / (base + 1)
+                } else {
+                    // lin >= cut implies base > 0 (with base == 0 every
+                    // element is inside the `extra` region)
+                    extra + (lin - cut) / base.max(1)
+                };
+                Pe(pe as u32)
+            }
+            Mapper::RoundRobin => Pe((lin % npes) as u32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_roundtrip_all_ranks() {
+        for dims in [
+            Dims::d1(7),
+            Dims::d2(3, 5),
+            Dims::d3(2, 3, 4),
+            Dims::d4(2, 2, 3, 3),
+        ] {
+            for l in 0..dims.len() {
+                let idx = dims.unlinear(l);
+                assert!(dims.contains(idx));
+                assert_eq!(dims.linear(idx), l, "{dims:?} at {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_order_x_fastest() {
+        let dims = Dims::d3(4, 3, 2);
+        assert_eq!(dims.linear(Idx::i3(1, 0, 0)), 1);
+        assert_eq!(dims.linear(Idx::i3(0, 1, 0)), 4);
+        assert_eq!(dims.linear(Idx::i3(0, 0, 1)), 12);
+    }
+
+    #[test]
+    fn iter_covers_every_index_once() {
+        let dims = Dims::d2(5, 4);
+        let all: Vec<_> = dims.iter().collect();
+        assert_eq!(all.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for i in all {
+            assert!(seen.insert(i));
+        }
+    }
+
+    #[test]
+    fn block_map_is_balanced_and_contiguous() {
+        let (total, npes) = (22, 5);
+        let mut counts = vec![0usize; npes];
+        let mut last_pe = 0usize;
+        for l in 0..total {
+            let pe = Mapper::Block.pe_for(l, total, npes).idx();
+            assert!(pe >= last_pe, "block map must be monotone");
+            last_pe = pe;
+            counts[pe] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), total);
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(mx - mn <= 1, "imbalance {counts:?}");
+    }
+
+    #[test]
+    fn block_map_fewer_elements_than_pes() {
+        for l in 0..3 {
+            let pe = Mapper::Block.pe_for(l, 3, 8);
+            assert!(pe.idx() < 8);
+        }
+        // distinct elements land on distinct PEs
+        let pes: std::collections::HashSet<_> =
+            (0..3).map(|l| Mapper::Block.pe_for(l, 3, 8)).collect();
+        assert_eq!(pes.len(), 3);
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        assert_eq!(Mapper::RoundRobin.pe_for(0, 10, 4), Pe(0));
+        assert_eq!(Mapper::RoundRobin.pe_for(5, 10, 4), Pe(1));
+        assert_eq!(Mapper::RoundRobin.pe_for(9, 10, 4), Pe(1));
+    }
+
+    #[test]
+    fn virtualization_ratio_eight() {
+        // 8 chares per PE, the paper's best ratio for Jacobi: block mapping
+        // must put exactly 8 consecutive chares on each PE.
+        let (total, npes) = (256, 32);
+        for l in 0..total {
+            assert_eq!(Mapper::Block.pe_for(l, total, npes), Pe((l / 8) as u32));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Interconnect topologies at node granularity.
+
+use crate::machine::NodeId;
+
+/// A node-level interconnect shape: how many nodes exist and how many hops
+/// (switch/router traversals) separate any two of them.
+pub trait Topology: Send + Sync {
+    /// Number of nodes in the machine.
+    fn nodes(&self) -> usize;
+
+    /// Router/switch hops between two nodes. `hops(a, a) == 0`.
+    fn hops(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// Largest hop count between any node pair (network diameter).
+    fn diameter(&self) -> u32;
+
+    /// A short human-readable description for experiment logs.
+    fn describe(&self) -> String;
+}
+
+/// Idealised single-switch network: every distinct pair is one hop apart.
+#[derive(Clone, Debug)]
+pub struct Crossbar {
+    nodes: usize,
+}
+
+impl Crossbar {
+    /// A crossbar over `nodes` nodes.
+    pub fn new(nodes: usize) -> Crossbar {
+        assert!(nodes > 0, "topology needs at least one node");
+        Crossbar { nodes }
+    }
+}
+
+impl Topology for Crossbar {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        u32::from(a != b)
+    }
+
+    fn diameter(&self) -> u32 {
+        u32::from(self.nodes > 1)
+    }
+
+    fn describe(&self) -> String {
+        format!("crossbar({} nodes)", self.nodes)
+    }
+}
+
+/// Two-level fat-tree, the shape of Abe's Infiniband fabric: nodes hang off
+/// leaf switches of a given radix; leaf switches connect through a core
+/// stage. Same leaf → 1 hop, different leaf → 3 hops (leaf, core, leaf).
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    nodes: usize,
+    leaf_radix: usize,
+}
+
+impl FatTree {
+    /// A fat-tree over `nodes` nodes with `leaf_radix` nodes per leaf switch.
+    pub fn new(nodes: usize, leaf_radix: usize) -> FatTree {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(leaf_radix > 0, "leaf radix must be positive");
+        FatTree { nodes, leaf_radix }
+    }
+
+    fn leaf_of(&self, n: NodeId) -> usize {
+        n.0 as usize / self.leaf_radix
+    }
+}
+
+impl Topology for FatTree {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            0
+        } else if self.leaf_of(a) == self.leaf_of(b) {
+            1
+        } else {
+            3
+        }
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.nodes <= 1 {
+            0
+        } else if self.nodes <= self.leaf_radix {
+            1
+        } else {
+            3
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("fat-tree({} nodes, radix {})", self.nodes, self.leaf_radix)
+    }
+}
+
+/// 3-D torus with deterministic dimension-ordered (XYZ) routing — the Blue
+/// Gene/P interconnect. Hop count is the wrap-around Manhattan distance.
+#[derive(Clone, Debug)]
+pub struct Torus3D {
+    dims: [usize; 3],
+}
+
+impl Torus3D {
+    /// A torus with the given X×Y×Z extents.
+    pub fn new(dims: [usize; 3]) -> Torus3D {
+        assert!(dims.iter().all(|&d| d > 0), "torus dims must be positive");
+        Torus3D { dims }
+    }
+
+    /// Pick a near-cubic torus that holds at least `nodes` nodes — mirrors
+    /// how Blue Gene partitions are allocated for a job of a given size.
+    pub fn fitting(nodes: usize) -> Torus3D {
+        assert!(nodes > 0);
+        let mut x = (nodes as f64).cbrt().floor().max(1.0) as usize;
+        while x > 1 && !nodes.is_multiple_of(x) {
+            x -= 1;
+        }
+        let rest = nodes / x;
+        let mut y = (rest as f64).sqrt().floor().max(1.0) as usize;
+        while y > 1 && !rest.is_multiple_of(y) {
+            y -= 1;
+        }
+        let z = rest / y;
+        Torus3D::new([x, y, z])
+    }
+
+    /// Torus extents.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Node id → (x, y, z) coordinate.
+    pub fn coords(&self, n: NodeId) -> [usize; 3] {
+        let [dx, dy, _dz] = self.dims;
+        let i = n.0 as usize;
+        [i % dx, (i / dx) % dy, i / (dx * dy)]
+    }
+
+    /// (x, y, z) coordinate → node id.
+    pub fn node_at(&self, c: [usize; 3]) -> NodeId {
+        let [dx, dy, dz] = self.dims;
+        debug_assert!(c[0] < dx && c[1] < dy && c[2] < dz);
+        NodeId((c[0] + c[1] * dx + c[2] * dx * dy) as u32)
+    }
+
+    fn axis_dist(extent: usize, a: usize, b: usize) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(extent - d) as u32
+    }
+}
+
+impl Topology for Torus3D {
+    fn nodes(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        (0..3)
+            .map(|k| Self::axis_dist(self.dims[k], ca[k], cb[k]))
+            .sum()
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&d| (d / 2) as u32).sum()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "torus({}x{}x{})",
+            self.dims[0], self.dims[1], self.dims[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_hops() {
+        let t = Crossbar::new(4);
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(Crossbar::new(1).diameter(), 0);
+    }
+
+    #[test]
+    fn fat_tree_hops() {
+        let t = FatTree::new(32, 8);
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 1); // same leaf
+        assert_eq!(t.hops(NodeId(0), NodeId(8)), 3); // across core
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(FatTree::new(8, 8).diameter(), 1);
+    }
+
+    #[test]
+    fn torus_coords_roundtrip() {
+        let t = Torus3D::new([4, 3, 2]);
+        for n in 0..t.nodes() as u32 {
+            let c = t.coords(NodeId(n));
+            assert_eq!(t.node_at(c), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn torus_wraparound_distance() {
+        let t = Torus3D::new([8, 8, 8]);
+        let a = t.node_at([0, 0, 0]);
+        let b = t.node_at([7, 0, 0]);
+        assert_eq!(t.hops(a, b), 1, "wraps around the ring");
+        let c = t.node_at([4, 4, 4]);
+        assert_eq!(t.hops(a, c), 12);
+        assert_eq!(t.diameter(), 12);
+    }
+
+    #[test]
+    fn torus_hops_symmetric() {
+        let t = Torus3D::new([5, 4, 3]);
+        for i in 0..t.nodes() as u32 {
+            for j in 0..t.nodes() as u32 {
+                assert_eq!(t.hops(NodeId(i), NodeId(j)), t.hops(NodeId(j), NodeId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn fitting_covers_requested_nodes() {
+        for n in [1, 2, 7, 64, 100, 512, 1024, 4096] {
+            let t = Torus3D::fitting(n);
+            assert!(t.nodes() >= n, "{n} -> {:?}", t.dims());
+            assert_eq!(t.nodes(), n, "factorisation should be exact: {n}");
+        }
+    }
+}

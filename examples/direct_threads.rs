@@ -1,0 +1,96 @@
+//! The real-thread rendering of CkDirect's out-of-band trick: a put is a
+//! plain write into the receiver's buffer whose final word — stored last,
+//! with `Release` ordering — overwrites the sentinel pattern; the receiver
+//! detects it with one `Acquire` load per poll. No locks, no queue, no
+//! scheduler hand-off.
+//!
+//! ```text
+//! cargo run --release --example direct_threads
+//! ```
+
+use std::thread;
+use std::time::Instant;
+
+use ckdirect::direct;
+
+const OOB: u64 = u64::MAX;
+const SIZE: usize = 4096;
+const ITERS: u64 = 20_000;
+
+fn main() {
+    println!("one-slot direct channel: {SIZE}-byte messages, {ITERS} iterations");
+
+    // --- cross-thread iterative exchange (the paper's usage pattern) ----
+    let (mut tx, mut rx) = direct::channel(SIZE, OOB);
+    let t0 = Instant::now();
+    let producer = thread::spawn(move || {
+        let mut msg = vec![0u8; SIZE];
+        for it in 0..ITERS {
+            // wait for the receiver's ready (the application-level
+            // synchronization the paper relies on)
+            while !tx.receiver_ready() {
+                thread::yield_now();
+            }
+            msg[..8].copy_from_slice(&it.to_le_bytes());
+            tx.put(&msg).expect("receiver armed");
+        }
+    });
+    let mut checks: u64 = 0;
+    for it in 0..ITERS {
+        loop {
+            checks += 1;
+            if rx.poll() {
+                break;
+            }
+            thread::yield_now();
+        }
+        // zero-copy read straight out of the landed buffer
+        rx.with_data(|v| {
+            assert_eq!(v.word(0), it, "iteration stamp mismatch");
+        });
+        rx.arm(); // CkDirect_ready
+    }
+    producer.join().unwrap();
+    let dt = t0.elapsed();
+    println!(
+        "cross-thread: {:.2} us per exchange ({} sentinel checks total)",
+        dt.as_secs_f64() * 1e6 / ITERS as f64,
+        checks
+    );
+
+    // --- single-threaded data-path cost (put + poll + arm) vs the
+    // --- message-path analogue (allocate + enqueue + dequeue) -----------
+    println!("single-thread data path (ns/op):");
+    println!(
+        "{:<10} {:>20} {:>20}",
+        "size", "direct put+poll+arm", "alloc+queue+dequeue"
+    );
+    for size in [64usize, 1024, SIZE] {
+        let (mut tx, mut rx) = direct::channel(size, OOB);
+        let payload = vec![0x5Au8; size];
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            tx.put(&payload).unwrap();
+            assert!(rx.poll());
+            rx.with_data(|v| std::hint::black_box(v.word(0)));
+            rx.arm();
+        }
+        let direct_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+
+        let (qtx, qrx) = crossbeam::channel::unbounded::<Vec<u8>>();
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            qtx.send(payload.clone()).unwrap(); // alloc + copy (envelope path)
+            let m = qrx.recv().unwrap(); // queue hand-off
+            std::hint::black_box(m[0]);
+        }
+        let queue_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+        println!("{size:<10} {direct_ns:>20.0} {queue_ns:>20.0}");
+    }
+    println!();
+    println!("the direct path saves allocation and queueing (dominant for small");
+    println!("messages); both paths copy the payload once in shared memory, so");
+    println!("large-message costs converge — on a real RDMA NIC the direct path");
+    println!("also drops the copy, which is the simulated machine's put model.");
+    println!("(full statistics: `cargo bench --bench wallclock`)");
+}

@@ -1,0 +1,8 @@
+//! Re-exports for examples and integration tests.
+pub use ckd_apps as apps;
+pub use ckd_charm as charm;
+pub use ckd_mpi as mpi;
+pub use ckd_net as net;
+pub use ckd_sim as sim;
+pub use ckd_topo as topo;
+pub use ckdirect as direct;
