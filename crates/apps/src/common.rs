@@ -48,8 +48,7 @@ impl Platform {
                 Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib())
             }
             Platform::Bgp => {
-                let net =
-                    presets::bgp_surveyor(Topo::bgp_partition(pes)).with_nic_loopback();
+                let net = presets::bgp_surveyor(Topo::bgp_partition(pes)).with_nic_loopback();
                 Machine::new(net, RtsConfig::bgp(), DirectConfig::bgp())
             }
         }

@@ -13,7 +13,7 @@
 //! rendezvous avoidance.
 
 use bytes::Bytes;
-use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Msg, RedOp, RedTarget, RedVal};
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, RedOp, RedTarget, RedVal};
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Mapper};
 use ckdirect::{HandleId, Region};
@@ -227,12 +227,36 @@ impl JacobiChare {
             for y in 0..b[1] {
                 for x in 0..b[0] {
                     let c = self.block_at(x, y, z);
-                    let xm = if x > 0 { self.block_at(x - 1, y, z) } else { self.ghost_at(0, y, z) };
-                    let xp = if x + 1 < b[0] { self.block_at(x + 1, y, z) } else { self.ghost_at(1, y, z) };
-                    let ym = if y > 0 { self.block_at(x, y - 1, z) } else { self.ghost_at(2, x, z) };
-                    let yp = if y + 1 < b[1] { self.block_at(x, y + 1, z) } else { self.ghost_at(3, x, z) };
-                    let zm = if z > 0 { self.block_at(x, y, z - 1) } else { self.ghost_at(4, x, y) };
-                    let zp = if z + 1 < b[2] { self.block_at(x, y, z + 1) } else { self.ghost_at(5, x, y) };
+                    let xm = if x > 0 {
+                        self.block_at(x - 1, y, z)
+                    } else {
+                        self.ghost_at(0, y, z)
+                    };
+                    let xp = if x + 1 < b[0] {
+                        self.block_at(x + 1, y, z)
+                    } else {
+                        self.ghost_at(1, y, z)
+                    };
+                    let ym = if y > 0 {
+                        self.block_at(x, y - 1, z)
+                    } else {
+                        self.ghost_at(2, x, z)
+                    };
+                    let yp = if y + 1 < b[1] {
+                        self.block_at(x, y + 1, z)
+                    } else {
+                        self.ghost_at(3, x, z)
+                    };
+                    let zm = if z > 0 {
+                        self.block_at(x, y, z - 1)
+                    } else {
+                        self.ghost_at(4, x, y)
+                    };
+                    let zp = if z + 1 < b[2] {
+                        self.block_at(x, y, z + 1)
+                    } else {
+                        self.ghost_at(5, x, y)
+                    };
                     let v = (c + xm + xp + ym + yp + zm + zp) / 7.0;
                     self.next[(z * b[1] + y) * b[0] + x] = v;
                     maxr = maxr.max((v - c).abs());
@@ -281,7 +305,9 @@ impl JacobiChare {
     fn send_faces(&mut self, ctx: &mut Ctx<'_>) {
         let mut scratch = Vec::new();
         for dir in 0..6 {
-            let Some(nb) = self.neighbors[dir] else { continue };
+            let Some(nb) = self.neighbors[dir] else {
+                continue;
+            };
             let wire_bytes = self.cfg.face_elems(dir) * 8;
             match self.cfg.variant {
                 Variant::Msg => {
@@ -366,7 +392,9 @@ impl JacobiChare {
 impl JacobiChare {
     fn ensure_channels(&mut self, ctx: &mut Ctx<'_>) {
         for dir in 0..6 {
-            let Some(nb) = self.neighbors[dir] else { continue };
+            let Some(nb) = self.neighbors[dir] else {
+                continue;
+            };
             let len = self.region_len(dir);
             let recv = Region::alloc(len);
             let wire = self.cfg.face_elems(dir) * 8;
@@ -395,29 +423,24 @@ impl JacobiChare {
 impl Chare for JacobiChare {
     fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
         match msg.ep {
-            EP_SETUP => {
-                match self.cfg.variant {
-                    Variant::Msg => {
+            EP_SETUP => match self.cfg.variant {
+                Variant::Msg => {
+                    ctx.contribute(RedVal::Unit, RedOp::Barrier, RedTarget::Broadcast(EP_ITER));
+                }
+                Variant::Ckd => {
+                    self.ensure_channels(ctx);
+                    if self.n_neighbors == 0 {
                         ctx.contribute(RedVal::Unit, RedOp::Barrier, RedTarget::Broadcast(EP_ITER));
                     }
-                    Variant::Ckd => {
-                        self.ensure_channels(ctx);
-                        if self.n_neighbors == 0 {
-                            ctx.contribute(
-                                RedVal::Unit,
-                                RedOp::Barrier,
-                                RedTarget::Broadcast(EP_ITER),
-                            );
-                        }
-                    }
                 }
-            }
+            },
             EP_HANDLE => {
                 let hm = *msg.payload.downcast::<HandleMsg>().unwrap();
                 let len = self.region_len(hm.dir);
                 let send = Region::alloc(len);
                 send.set_last_word(0x5AA5_5AA5_5AA5_5AA5);
-                ctx.direct_assoc_local(hm.handle, send.clone()).expect("assoc");
+                ctx.direct_assoc_local(hm.handle, send.clone())
+                    .expect("assoc");
                 self.send_regions[hm.dir] = Some(send);
                 self.send_handles[hm.dir] = Some(hm.handle);
                 self.setup_acks += 1;
@@ -454,6 +477,13 @@ impl Chare for JacobiChare {
 
 /// Run the stencil; panics if the domain does not divide evenly.
 pub fn run_jacobi(platform: Platform, pes: usize, cfg: JacobiCfg) -> JacobiResult {
+    let mut m = platform.machine(pes);
+    run_jacobi_on(&mut m, cfg)
+}
+
+/// [`run_jacobi`] on a caller-supplied machine, so tracing or learning can
+/// be enabled before the run starts.
+pub fn run_jacobi_on(m: &mut Machine, cfg: JacobiCfg) -> JacobiResult {
     for k in 0..3 {
         assert_eq!(
             cfg.domain[k] % cfg.chares[k],
@@ -461,7 +491,6 @@ pub fn run_jacobi(platform: Platform, pes: usize, cfg: JacobiCfg) -> JacobiResul
             "chare grid must divide the domain"
         );
     }
-    let mut m = platform.machine(pes);
     let dims = Dims::d3(cfg.chares[0], cfg.chares[1], cfg.chares[2]);
     let arr = m.create_array("jacobi", dims, Mapper::Block, |idx| {
         Box::new(JacobiChare::new(cfg, idx))
@@ -475,7 +504,8 @@ pub fn run_jacobi(platform: Platform, pes: usize, cfg: JacobiCfg) -> JacobiResul
         for (d, step) in DIRS.iter().enumerate() {
             let q: Vec<isize> = (0..3).map(|k| p[k] as isize + step[k]).collect();
             if (0..3).all(|k| q[k] >= 0 && (q[k] as usize) < cfg.chares[k]) {
-                neighbors[d] = Some(m.element(arr, Idx::i3(q[0] as usize, q[1] as usize, q[2] as usize)));
+                neighbors[d] =
+                    Some(m.element(arr, Idx::i3(q[0] as usize, q[1] as usize, q[2] as usize)));
                 count += 1;
             }
         }

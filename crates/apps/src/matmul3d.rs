@@ -16,7 +16,7 @@
 
 use bytes::Bytes;
 use ckd_charm::{Chare, Ctx, EntryId, Msg, RedOp, RedTarget, RedVal};
-use ckd_linalg::{gemm_flops, dgemm_block, Mat};
+use ckd_linalg::{dgemm_block, gemm_flops, Mat};
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Mapper};
 use ckdirect::{HandleId, Region};
@@ -414,7 +414,14 @@ impl MatmulChare {
                 let home = ctx.element(ctx.me().array, Idx::i3(x, y, 0));
                 ctx.send(
                     home,
-                    Msg::value(EP_BLOCK, BlockMsg { kind: Kind::C(z), data }, wire),
+                    Msg::value(
+                        EP_BLOCK,
+                        BlockMsg {
+                            kind: Kind::C(z),
+                            data,
+                        },
+                        wire,
+                    ),
                 );
             }
             Variant::Ckd => {
@@ -482,7 +489,17 @@ impl MatmulChare {
             self.a_recv = Some(r);
             self.a_recv_handle = Some(h);
             let home = ctx.element(arr, Idx::i3(x, 0, z));
-            ctx.send(home, Msg::value(EP_HANDLE, HandleMsg { kind: Kind::A, handle: h }, 16));
+            ctx.send(
+                home,
+                Msg::value(
+                    EP_HANDLE,
+                    HandleMsg {
+                        kind: Kind::A,
+                        handle: h,
+                    },
+                    16,
+                ),
+            );
         }
         if self.needs_b() {
             let r = Region::alloc(len);
@@ -492,7 +509,17 @@ impl MatmulChare {
             self.b_recv = Some(r);
             self.b_recv_handle = Some(h);
             let home = ctx.element(arr, Idx::i3(0, y, z));
-            ctx.send(home, Msg::value(EP_HANDLE, HandleMsg { kind: Kind::B, handle: h }, 16));
+            ctx.send(
+                home,
+                Msg::value(
+                    EP_HANDLE,
+                    HandleMsg {
+                        kind: Kind::B,
+                        handle: h,
+                    },
+                    16,
+                ),
+            );
         }
         if self.is_c_home() {
             for src_z in 1..self.cfg.grid {
@@ -505,7 +532,14 @@ impl MatmulChare {
                 let src = ctx.element(arr, Idx::i3(x, y, src_z));
                 ctx.send(
                     src,
-                    Msg::value(EP_HANDLE, HandleMsg { kind: Kind::C(src_z), handle: h }, 16),
+                    Msg::value(
+                        EP_HANDLE,
+                        HandleMsg {
+                            kind: Kind::C(src_z),
+                            handle: h,
+                        },
+                        16,
+                    ),
                 );
             }
         }
@@ -558,7 +592,8 @@ impl Chare for MatmulChare {
                     Kind::C(_) => {
                         let r = Region::alloc(len);
                         r.set_last_word(0x5AA5_5AA5_5AA5_5AA5);
-                        ctx.direct_assoc_local(hm.handle, r.clone()).expect("assoc c");
+                        ctx.direct_assoc_local(hm.handle, r.clone())
+                            .expect("assoc c");
                         self.c_send_region = Some(r);
                         self.c_out = Some(hm.handle);
                     }
@@ -641,7 +676,11 @@ impl Chare for MatmulChare {
     }
 }
 
-fn build(platform: Platform, pes: usize, cfg: MatmulCfg) -> (ckd_charm::Machine, ckd_charm::ArrayId) {
+fn build(
+    platform: Platform,
+    pes: usize,
+    cfg: MatmulCfg,
+) -> (ckd_charm::Machine, ckd_charm::ArrayId) {
     assert_eq!(cfg.n % cfg.grid, 0, "grid must divide N");
     let mut m = platform.machine(pes);
     let dims = Dims::d3(cfg.grid, cfg.grid, cfg.grid);
@@ -661,7 +700,10 @@ pub fn run_matmul(platform: Platform, pes: usize, cfg: MatmulCfg) -> MatmulResul
     let dims = Dims::d3(cfg.grid, cfg.grid, cfg.grid);
     for lin in 0..dims.len() {
         let c = m
-            .chare::<MatmulChare>(ckd_charm::ChareRef { array: arr, lin: lin as u32 })
+            .chare::<MatmulChare>(ckd_charm::ChareRef {
+                array: arr,
+                lin: lin as u32,
+            })
             .unwrap();
         assert_eq!(c.iter, cfg.iters, "chare {lin} incomplete");
         t0 = t0.min(c.t_first.expect("ran"));
@@ -687,7 +729,10 @@ pub fn run_matmul_verify(platform: Platform, pes: usize, cfg: MatmulCfg) -> (Mat
     for lin in 0..dims.len() {
         let idx = dims.unlinear(lin);
         let c = m
-            .chare::<MatmulChare>(ckd_charm::ChareRef { array: arr, lin: lin as u32 })
+            .chare::<MatmulChare>(ckd_charm::ChareRef {
+                array: arr,
+                lin: lin as u32,
+            })
             .unwrap();
         t0 = t0.min(c.t_first.expect("ran"));
         t1 = t1.max(c.t_done);

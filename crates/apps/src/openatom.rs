@@ -390,8 +390,10 @@ impl Chare for Pc {
             EP_SETUP => {
                 // a GS asked for a channel: create the inbound window and
                 // return the handle
-                let (gs_ref, _s, _left) =
-                    *msg.payload.downcast::<(ckd_charm::ChareRef, usize, bool)>().unwrap();
+                let (gs_ref, _s, _left) = *msg
+                    .payload
+                    .downcast::<(ckd_charm::ChareRef, usize, bool)>()
+                    .unwrap();
                 let len = self.inner.cfg.points_bytes().clamp(16, 64);
                 let region = Region::alloc(len);
                 let h = ctx
@@ -541,7 +543,7 @@ pub fn run_openatom(platform: Platform, pes: usize, cfg: OpenAtomCfg) -> OpenAto
             .unwrap();
         assert_eq!(c.inner.dgemms, cfg.steps, "PC {lin} incomplete");
     }
-    let (_, _, poll_checks) = m.direct_counters();
+    let poll_checks = m.direct_counters().poll_checks;
     OpenAtomResult {
         time_per_step: (t1 - t0) / cfg.steps as u64,
         total,

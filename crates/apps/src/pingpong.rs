@@ -297,12 +297,7 @@ pub fn charm_pingpong(
 /// [`charm_pingpong`] on a caller-built machine — the ablation benches use
 /// this to sweep runtime-cost parameters (header size, scheduler overhead,
 /// rendezvous threshold).
-pub fn charm_pingpong_on(
-    mut m: Machine,
-    variant: Variant,
-    bytes: usize,
-    iters: u32,
-) -> PingResult {
+pub fn charm_pingpong_on(mut m: Machine, variant: Variant, bytes: usize, iters: u32) -> PingResult {
     assert!(iters > 0);
     let (pa, pb) = cross_node_pes(&m);
     let npes = m.npes();
@@ -381,8 +376,12 @@ mod tests {
     /// Table 1, 500 KB: Default 1399 µs, CkDirect 1294 µs (±10%).
     #[test]
     fn table1_500kb_both() {
-        let msg = charm_pingpong(ABE, Variant::Msg, 500_000, 10).rtt.as_us_f64();
-        let ckd = charm_pingpong(ABE, Variant::Ckd, 500_000, 10).rtt.as_us_f64();
+        let msg = charm_pingpong(ABE, Variant::Msg, 500_000, 10)
+            .rtt
+            .as_us_f64();
+        let ckd = charm_pingpong(ABE, Variant::Ckd, 500_000, 10)
+            .rtt
+            .as_us_f64();
         assert!((1260.0..1540.0).contains(&msg), "msg {msg}");
         assert!((1165.0..1425.0).contains(&ckd), "ckd {ckd}");
         assert!(ckd < msg);

@@ -81,7 +81,10 @@ fn ablation_ready_split(steps: u32) {
 
 fn ablation_header(iters: u32) {
     banner("Ablation 2: envelope size vs small-message RTT (100 B pingpong, Abe)");
-    println!("{:<12} {:>12} {:>12}", "env bytes", "MSG RTT us", "CKD RTT us");
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "env bytes", "MSG RTT us", "CKD RTT us"
+    );
     for env in [0usize, 40, 80, 160, 320] {
         let mut cfg = RtsConfig::ib_abe();
         cfg.env_bytes = env;
@@ -98,7 +101,10 @@ fn ablation_header(iters: u32) {
 
 fn ablation_sched(iters: u32) {
     banner("Ablation 3: scheduler overhead vs RTT (100 B pingpong, Abe)");
-    println!("{:<12} {:>12} {:>12}", "sched us", "MSG RTT us", "CKD RTT us");
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "sched us", "MSG RTT us", "CKD RTT us"
+    );
     for sched_ns in [0u64, 1000, 2500, 5000, 10000] {
         let mut cfg = RtsConfig::ib_abe();
         cfg.sched = Time::from_ns(sched_ns);
@@ -249,6 +255,7 @@ fn ablation_learning(iters: u32) {
 
     let run = |learned: bool| {
         let mut m = ib_machine_with(ckd_charm::RtsConfig::ib_abe());
+        ckd_bench::maybe_trace(&mut m);
         if learned {
             m.enable_learning(LearnConfig { threshold: 3 });
         }
@@ -271,8 +278,16 @@ fn ablation_learning(iters: u32) {
         m.seed(p, Msg::value(EP_START, c, 8));
         m.run();
         let end = m.chare::<Prod>(p).unwrap().t_done;
-        let (installed, hits, misses) = m.learning_totals();
-        (end / iters as u64, installed, hits, misses)
+        let t = m.learning_totals();
+        ckd_bench::trace_epilogue(
+            if learned {
+                "learned channels"
+            } else {
+                "messages"
+            },
+            &m,
+        );
+        (end / iters as u64, t.installed, t.hits, t.misses)
     };
     let (msg_rt, _, _, _) = run(false);
     let (learn_rt, installed, hits, misses) = run(true);

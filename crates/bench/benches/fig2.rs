@@ -54,7 +54,12 @@ fn main() {
     let iters = if s == Scale::Quick { 3 } else { 8 };
 
     banner("Fig 2(a): Jacobi3D improvement, Infiniband (paper: ~12% at 256 PEs)");
-    let ib_pes = pick(s, &[16, 64], &[16, 32, 64, 128, 256], &[16, 32, 64, 128, 256]);
+    let ib_pes = pick(
+        s,
+        &[16, 64],
+        &[16, 32, 64, 128, 256],
+        &[16, 32, 64, 128, 256],
+    );
     series(Platform::IbAbe { cores_per_node: 8 }, &ib_pes, iters);
 
     banner("Fig 2(b): Jacobi3D improvement, Blue Gene/P (paper: gains grow 64->4096)");

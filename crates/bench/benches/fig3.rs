@@ -58,6 +58,11 @@ fn main() {
     series(Platform::Bgp, &bgp, iters);
 
     banner("Fig 3(b): MatMul 2048x2048, Abe (Infiniband)");
-    let abe = pick(s, &[16, 64], &[16, 32, 64, 128, 256], &[16, 32, 64, 128, 256]);
+    let abe = pick(
+        s,
+        &[16, 64],
+        &[16, 32, 64, 128, 256],
+        &[16, 32, 64, 128, 256],
+    );
     series(Platform::IbAbe { cores_per_node: 8 }, &abe, iters);
 }

@@ -47,22 +47,32 @@ fn main() {
     println!("paper values:");
     ckd_bench::print_row(
         "Default CHARM++",
-        &[22.924, 25.110, 47.340, 66.176, 96.215, 160.470, 191.343, 271.803, 353.305, 1399.145],
+        &[
+            22.924, 25.110, 47.340, 66.176, 96.215, 160.470, 191.343, 271.803, 353.305, 1399.145,
+        ],
     );
     ckd_bench::print_row(
         "CkDirect CHARM++",
-        &[12.383, 16.108, 29.330, 43.136, 68.927, 93.422, 120.954, 195.248, 275.322, 1294.358],
+        &[
+            12.383, 16.108, 29.330, 43.136, 68.927, 93.422, 120.954, 195.248, 275.322, 1294.358,
+        ],
     );
     ckd_bench::print_row(
         "MPICH-VMI",
-        &[12.367, 19.669, 37.318, 60.892, 102.684, 127.591, 201.148, 322.687, 332.690, 1396.942],
+        &[
+            12.367, 19.669, 37.318, 60.892, 102.684, 127.591, 201.148, 322.687, 332.690, 1396.942,
+        ],
     );
     ckd_bench::print_row(
         "MVAPICH",
-        &[12.302, 19.436, 37.311, 56.249, 88.659, 119.452, 144.973, 236.545, 315.692, 1386.051],
+        &[
+            12.302, 19.436, 37.311, 56.249, 88.659, 119.452, 144.973, 236.545, 315.692, 1386.051,
+        ],
     );
     ckd_bench::print_row(
         "MVAPICH-Put",
-        &[16.801, 22.821, 51.750, 64.202, 94.250, 120.218, 146.028, 232.021, 308.942, 1369.516],
+        &[
+            16.801, 22.821, 51.750, 64.202, 94.250, 120.218, 146.028, 232.021, 308.942, 1369.516,
+        ],
     );
 }

@@ -39,18 +39,26 @@ fn main() {
     println!("paper values:");
     ckd_bench::print_row(
         "Default CHARM++",
-        &[14.467, 20.822, 44.822, 72.976, 128.166, 186.771, 240.306, 400.226, 560.634, 2693.601],
+        &[
+            14.467, 20.822, 44.822, 72.976, 128.166, 186.771, 240.306, 400.226, 560.634, 2693.601,
+        ],
     );
     ckd_bench::print_row(
         "CkDirect CHARM++",
-        &[5.133, 11.379, 33.112, 60.675, 115.103, 169.552, 223.599, 383.732, 543.491, 2677.072],
+        &[
+            5.133, 11.379, 33.112, 60.675, 115.103, 169.552, 223.599, 383.732, 543.491, 2677.072,
+        ],
     );
     ckd_bench::print_row(
         "MPI",
-        &[7.606, 13.936, 39.903, 66.661, 120.548, 173.041, 226.739, 386.712, 546.740, 2680.459],
+        &[
+            7.606, 13.936, 39.903, 66.661, 120.548, 173.041, 226.739, 386.712, 546.740, 2680.459,
+        ],
     );
     ckd_bench::print_row(
         "MPI-Put",
-        &[14.049, 17.836, 39.963, 67.972, 122.693, 178.571, 232.629, 392.388, 552.708, 2685.972],
+        &[
+            14.049, 17.836, 39.963, 67.972, 122.693, 178.571, 232.629, 392.388, 552.708, 2685.972,
+        ],
     );
 }

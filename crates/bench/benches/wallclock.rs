@@ -1,95 +1,110 @@
-//! Criterion wall-clock benches of the real (non-simulated) components:
+//! Wall-clock benches of the real (non-simulated) components:
 //!
 //! * the real-thread `DirectChannel` data path (put + poll + arm) against a
 //!   conventional queue+dispatch message path — the host-machine analogue
 //!   of Table 1's CkDirect-vs-messages comparison;
 //! * the discrete-event queue;
 //! * the full simulated scheduler (virtual-events per wall second).
+//!
+//! A small self-contained timing harness (median of repeated batches)
+//! replaces an external benchmark framework so the workspace builds with no
+//! network access.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
 
 use ckd_apps::pingpong::charm_pingpong;
 use ckd_apps::{Platform, Variant};
 use ckd_sim::{EventQueue, Time};
 use ckdirect::direct;
 
+/// Median ns/op over `reps` batches of `iters` calls each.
+fn time_ns<F: FnMut()>(reps: usize, iters: u64, mut f: F) -> f64 {
+    // warmup
+    for _ in 0..iters / 4 + 1 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
 /// One-slot direct channel: put → poll → arm, single-threaded (isolates
 /// the per-operation software cost, independent of core count).
-fn bench_direct_channel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("direct_channel");
+fn bench_direct_channel() {
+    println!("-- direct_channel (ns/op, median of 7) --");
+    println!(
+        "{:<10} {:>20} {:>20}",
+        "size", "put_poll_arm", "queue_dispatch"
+    );
     for size in [64usize, 1024, 16 * 1024] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("put_poll_arm_{size}B"), |b| {
-            let (mut tx, mut rx) = direct::channel(size, u64::MAX);
-            let payload = vec![0x5Au8; size];
-            b.iter(|| {
-                tx.put(&payload).expect("armed");
-                assert!(rx.poll());
-                rx.with_data(|v| std::hint::black_box(v.word(0)));
-                rx.arm();
-            });
+        let (mut tx, mut rx) = direct::channel(size, u64::MAX);
+        let payload = vec![0x5Au8; size];
+        let direct_ns = time_ns(7, 20_000, || {
+            tx.put(&payload).expect("armed");
+            assert!(rx.poll());
+            rx.with_data(|v| std::hint::black_box(v.word(0)));
+            rx.arm();
         });
         // the "message path": allocate, enqueue, dequeue, dispatch, copy out
-        g.bench_function(format!("queue_dispatch_{size}B"), |b| {
-            let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
-            let payload = vec![0x5Au8; size];
-            b.iter(|| {
-                tx.send(payload.clone()).unwrap(); // alloc + copy (envelope path)
-                let msg = rx.recv().unwrap(); // scheduler dequeue
-                std::hint::black_box(msg[0]);
-            });
+        let (qtx, qrx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let queue_ns = time_ns(7, 20_000, || {
+            qtx.send(payload.clone()).unwrap(); // alloc + copy (envelope path)
+            let msg = qrx.recv().unwrap(); // scheduler dequeue
+            std::hint::black_box(msg[0]);
         });
+        println!("{size:<10} {direct_ns:>20.1} {queue_ns:>20.1}");
     }
-    g.finish();
+    println!();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1024u64 {
-                // pseudo-shuffled timestamps
-                q.push(Time::from_ns((i * 7919) % 104729), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            std::hint::black_box(acc)
-        });
+fn bench_event_queue() {
+    let ns = time_ns(7, 200, || {
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1024u64 {
+            // pseudo-shuffled timestamps
+            q.push(Time::from_ns((i * 7919) % 104729), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        std::hint::black_box(acc);
     });
+    println!("-- event_queue --");
+    println!(
+        "push_pop_1k: {:.1} us/batch ({:.1} ns/event)",
+        ns / 1e3,
+        ns / 1024.0
+    );
+    println!();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("charm_pingpong_msg_100x1KB", |b| {
-        b.iter(|| {
-            charm_pingpong(
+fn bench_simulator() {
+    println!("-- simulator (wall ms per 100x1KB pingpong) --");
+    for (label, variant) in [("msg", Variant::Msg), ("ckd", Variant::Ckd)] {
+        let ns = time_ns(5, 3, || {
+            std::hint::black_box(charm_pingpong(
                 Platform::IbAbe { cores_per_node: 2 },
-                Variant::Msg,
+                variant,
                 1024,
                 100,
-            )
+            ));
         });
-    });
-    g.bench_function("charm_pingpong_ckd_100x1KB", |b| {
-        b.iter(|| {
-            charm_pingpong(
-                Platform::IbAbe { cores_per_node: 2 },
-                Variant::Ckd,
-                1024,
-                100,
-            )
-        });
-    });
-    g.finish();
+        println!("charm_pingpong_{label}_100x1KB: {:.2} ms", ns / 1e6);
+    }
+    println!();
 }
 
-criterion_group!(
-    benches,
-    bench_direct_channel,
-    bench_event_queue,
-    bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    bench_direct_channel();
+    bench_event_queue();
+    bench_simulator();
+}

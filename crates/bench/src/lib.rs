@@ -9,9 +9,35 @@
 //!
 //! * `CKD_QUICK=1` — shrink sweeps for smoke runs (CI);
 //! * `CKD_FULL=1` — extend sweeps to the paper's largest configurations
-//!   (4096 simulated PEs; several minutes of wall time).
+//!   (4096 simulated PEs; several minutes of wall time);
+//! * `CKD_TRACE=1` — enable `ckd-trace` on machines the bench opts in via
+//!   [`maybe_trace`]; each opted-in run then dumps a text summary through
+//!   [`trace_epilogue`]. Off by default so timing loops stay untouched.
 
+use ckd_charm::{text_summary, Machine, TraceConfig};
 use ckd_sim::Time;
+
+/// True when `CKD_TRACE=1` asks benches to collect traces.
+pub fn tracing_requested() -> bool {
+    std::env::var_os("CKD_TRACE").is_some_and(|v| v == "1")
+}
+
+/// Enable tracing on `m` when `CKD_TRACE=1`; no-op (and no overhead beyond
+/// this check) otherwise. Call right after building the machine.
+pub fn maybe_trace(m: &mut Machine) {
+    if tracing_requested() {
+        m.enable_tracing(TraceConfig::default());
+    }
+}
+
+/// Print the trace summary for a labeled run if tracing was enabled.
+pub fn trace_epilogue(label: &str, m: &Machine) {
+    if let Some(summary) = text_summary(m.tracer()) {
+        println!();
+        println!("--- trace summary: {label} ---");
+        print!("{summary}");
+    }
+}
 
 /// Sweep scale selected by environment variables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

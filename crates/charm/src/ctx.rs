@@ -1,10 +1,11 @@
 //! The per-invocation context handed to entry methods and CkDirect
 //! callbacks: the user-facing API of the runtime.
 
-use ckd_net::FabricParams;
+use ckd_net::{FabricParams, Protocol, Timing};
 use ckd_sim::Time;
 use ckd_topo::{Idx, Pe};
-use ckdirect::{DirectError, HandleId, Region, StridedSpec};
+use ckd_trace::ProtoClass;
+use ckdirect::{DirectError, HandleId, PutRequest, Region, StridedSpec};
 
 use crate::array::ArrayId;
 use crate::chare::ChareRef;
@@ -114,16 +115,38 @@ impl<'a> Ctx<'a> {
     pub fn send(&mut self, to: ChareRef, msg: Msg) {
         let dst = self.m.home_pe(to);
         let bytes = msg.size + self.m.cfg.env_bytes;
-        let alloc = self.m.cfg.alloc
-            + Time::from_ps(self.m.cfg.alloc_ps_per_byte * bytes as u64);
-        let (t, _proto) = self
+        let alloc = self.m.cfg.alloc + Time::from_ps(self.m.cfg.alloc_ps_per_byte * bytes as u64);
+        let (t, proto) = self
             .m
             .net
             .two_sided(self.pe, dst, bytes, self.m.cfg.eager_max, false);
+        let pclass = ProtoClass::from(proto);
         let begin = self.start + self.elapsed;
         self.elapsed += alloc + t.send_cpu;
         self.m.stats.msgs_sent += 1;
         self.m.stats.msg_bytes += msg.size as u64;
+        self.m.stats.proto.record(proto, msg.size as u64);
+        self.m.pes[self.pe.idx()]
+            .stats
+            .proto_sent
+            .record(proto, msg.size as u64);
+        if self.m.tracer.is_enabled() {
+            self.m.tracer.msg_send(
+                self.pe.idx(),
+                begin,
+                dst.0,
+                msg.ep.0,
+                msg.size as u64,
+                pclass,
+                t.delay,
+            );
+            if pclass == ProtoClass::Rendezvous {
+                // reconstructed handshake leg (see `Ev::MsgArrive::proto`)
+                self.m
+                    .tracer
+                    .rts(self.pe.idx(), begin, dst.0, msg.size as u64);
+            }
+        }
         self.m.events.push(
             begin + alloc + t.delay,
             Ev::MsgArrive {
@@ -132,6 +155,8 @@ impl<'a> Ctx<'a> {
                 msg,
                 recv_cpu: t.recv_cpu,
                 overlap_cpu: t.overlap_cpu,
+                from: self.pe,
+                proto: pclass,
             },
         );
     }
@@ -183,8 +208,7 @@ impl<'a> Ctx<'a> {
                     let t = self.m.net.put(req.src, req.dst, req.bytes);
                     let begin = self.start + self.elapsed;
                     self.elapsed += t.send_cpu;
-                    self.m.stats.puts += 1;
-                    self.m.stats.put_bytes += req.bytes as u64;
+                    self.record_put(h, &req, &t, begin);
                     self.m.events.push(
                         begin + t.delay,
                         Ev::DirectLand {
@@ -235,8 +259,12 @@ impl<'a> Ctx<'a> {
                 st_pe.busy_until = st_pe.busy_until.max(now) + reg;
                 st_pe.stats.busy += reg;
             }
-            let trip = self.m.net.control(self.pe, dst_pe).delay
-                + self.m.net.control(dst_pe, self.pe).delay;
+            let ship = self.m.net.control(self.pe, dst_pe).delay;
+            let ack = self.m.net.control(dst_pe, self.pe).delay;
+            let trip = ship + ack;
+            // the handle ships in one control packet each way
+            self.m.record_control(self.pe, ship);
+            self.m.record_control(dst_pe, ack);
             let st = self.m.learner.streams.get_mut(&key).unwrap();
             st.handle = Some(h);
             st.send_region = Some(send);
@@ -262,6 +290,8 @@ impl<'a> Ctx<'a> {
                 msg,
                 recv_cpu: Time::ZERO,
                 overlap_cpu: Time::ZERO,
+                from: self.pe,
+                proto: ProtoClass::Control,
             },
         );
     }
@@ -395,8 +425,7 @@ impl<'a> Ctx<'a> {
         let t = self.m.net.put(req.src, req.dst, req.bytes);
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
-        self.m.stats.puts += 1;
-        self.m.stats.put_bytes += req.bytes as u64;
+        self.record_put(handle, &req, &t, begin);
         self.m.events.push(
             begin + t.delay,
             Ev::DirectLand {
@@ -421,8 +450,7 @@ impl<'a> Ctx<'a> {
         let t = self.m.net.get(req.src, req.dst, req.bytes);
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
-        self.m.stats.puts += 1;
-        self.m.stats.put_bytes += req.bytes as u64;
+        self.record_put(handle, &req, &t, begin);
         self.m.events.push(
             begin + t.delay,
             Ev::DirectGetLand {
@@ -484,8 +512,34 @@ impl<'a> Ctx<'a> {
 
     fn charge_registration(&mut self, bytes: usize) {
         if let FabricParams::IbVerbs(p) = self.m.net.fabric() {
-            self.elapsed +=
-                p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64);
+            self.elapsed += p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64);
         }
+    }
+
+    /// Shared accounting for one-sided transfers (puts, learned puts, gets):
+    /// aggregate counters, the per-protocol breakdown, and the trace record
+    /// that starts the issue→callback latency clock.
+    fn record_put(&mut self, handle: HandleId, req: &PutRequest, t: &Timing, begin: Time) {
+        let proto = if self.m.net.has_rdma() {
+            Protocol::RdmaPut
+        } else {
+            Protocol::Dcmf
+        };
+        self.m.stats.puts += 1;
+        self.m.stats.put_bytes += req.bytes as u64;
+        self.m.stats.proto.record(proto, req.bytes as u64);
+        self.m.pes[self.pe.idx()]
+            .stats
+            .proto_sent
+            .record(proto, req.bytes as u64);
+        self.m.tracer.put_issue(
+            self.pe.idx(),
+            begin,
+            req.dst.0,
+            handle.0,
+            req.bytes as u64,
+            ProtoClass::from(proto),
+            t.delay,
+        );
     }
 }

@@ -91,6 +91,17 @@ impl LearnState {
     }
 }
 
+/// Aggregate learning-framework results across all streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LearningTotals {
+    /// Streams for which a persistent channel has been installed.
+    pub installed: usize,
+    /// Sends that went one-sided through a learned channel.
+    pub hits: u64,
+    /// Post-installation sends that fell back to ordinary messages.
+    pub misses: u64,
+}
+
 /// All learning state of a machine.
 #[derive(Default)]
 pub struct Learner {
@@ -99,16 +110,13 @@ pub struct Learner {
 }
 
 impl Learner {
-    /// Totals across streams: `(installed channels, hits, misses)`.
-    pub fn totals(&self) -> (usize, u64, u64) {
-        let installed = self
-            .streams
-            .values()
-            .filter(|s| s.handle.is_some())
-            .count();
-        let hits = self.streams.values().map(|s| s.hits).sum();
-        let misses = self.streams.values().map(|s| s.misses).sum();
-        (installed, hits, misses)
+    /// Totals across streams.
+    pub fn totals(&self) -> LearningTotals {
+        LearningTotals {
+            installed: self.streams.values().filter(|s| s.handle.is_some()).count(),
+            hits: self.streams.values().map(|s| s.hits).sum(),
+            misses: self.streams.values().map(|s| s.misses).sum(),
+        }
     }
 }
 
@@ -120,6 +128,6 @@ mod tests {
     fn defaults() {
         assert_eq!(LearnConfig::default().threshold, 3);
         let l = Learner::default();
-        assert_eq!(l.totals(), (0, 0, 0));
+        assert_eq!(l.totals(), LearningTotals::default());
     }
 }

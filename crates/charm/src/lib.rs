@@ -32,7 +32,11 @@ pub use array::ArrayId;
 pub use chare::{Chare, ChareRef};
 pub use config::{ComputeParams, RtsConfig};
 pub use ctx::Ctx;
-pub use learn::LearnConfig;
+pub use learn::{LearnConfig, LearningTotals};
 pub use machine::Machine;
 pub use msg::{EntryId, Msg, Payload};
 pub use reduction::{RedOp, RedTarget, RedVal};
+pub use stats::{MachineStats, PeStats, ProtoBreakdown, ProtoCounters};
+// Tracing entry points, re-exported so applications need not depend on
+// `ckd-trace` directly for the common enable/export flow.
+pub use ckd_trace::{chrome_trace_json, text_summary, TraceConfig, Tracer};

@@ -25,20 +25,19 @@
 
 use std::collections::VecDeque;
 
-use ckd_net::NetModel;
+use ckd_net::{NetModel, Protocol};
 use ckd_sim::{EventQueue, Time};
 use ckd_topo::{Dims, Idx, Mapper, Pe};
-use ckdirect::{DirectConfig, DirectRegistry, HandleId, LandOutcome};
+use ckd_trace::{BusyKind, ProtoClass, TraceConfig, Tracer};
+use ckdirect::{DirectConfig, DirectRegistry, HandleId, LandOutcome, RegistryCounters};
 
 use crate::array::{ArrayId, ArrayInfo};
 use crate::chare::{Chare, ChareRef};
 use crate::config::RtsConfig;
 use crate::ctx::Ctx;
-use crate::learn::{LearnConfig, Learner};
+use crate::learn::{LearnConfig, Learner, LearningTotals};
 use crate::msg::{EntryId, Msg, Payload};
-use crate::reduction::{
-    tree_children, tree_parent, RedOp, RedPeState, RedTarget, RedVal,
-};
+use crate::reduction::{tree_children, tree_parent, RedOp, RedPeState, RedTarget, RedVal};
 use crate::stats::{MachineStats, PeStats};
 
 /// CkDirect completion-callback token: which chare to poke, and how.
@@ -71,6 +70,13 @@ pub(crate) enum Ev {
         /// Receiver CPU consumed during the wire protocol (rendezvous
         /// registration): backdated capacity, see `ckd_net::Timing`.
         overlap_cpu: Time,
+        /// PE the message left from (trace attribution only).
+        from: Pe,
+        /// Protocol family the model chose for the transfer. The tracer
+        /// emits a pseudo-CTS on arrival for rendezvous transfers — the net
+        /// model collapses the RTS/CTS handshake into one `Timing`, so the
+        /// handshake legs are reconstructed, not separately simulated.
+        proto: ProtoClass,
     },
     /// A CkDirect put finished landing in its receive buffer.
     DirectLand { handle: HandleId, recv_cpu: Time },
@@ -121,6 +127,7 @@ pub struct Machine {
     pub(crate) red: Vec<Vec<RedPeState>>,
     pub(crate) learner: Learner,
     pub(crate) stats: MachineStats,
+    pub(crate) tracer: Tracer,
     pub(crate) stop: bool,
 }
 
@@ -149,6 +156,7 @@ impl Machine {
             red: Vec::new(),
             learner: Learner::default(),
             stats: MachineStats::default(),
+            tracer: Tracer::disabled(),
             stop: false,
         }
     }
@@ -159,10 +167,21 @@ impl Machine {
         self.learner.cfg = Some(cfg);
     }
 
-    /// Learning-framework totals: `(installed channels, one-sided hits,
-    /// fallback misses)`.
-    pub fn learning_totals(&self) -> (usize, u64, u64) {
+    /// Learning-framework totals across all observed streams.
+    pub fn learning_totals(&self) -> LearningTotals {
         self.learner.totals()
+    }
+
+    /// Start collecting a trace: per-PE event rings plus the aggregated
+    /// metrics registry (`ckd-trace`). Call before [`Machine::run`]; with
+    /// tracing never enabled every instrumentation point costs one branch.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.tracer = Tracer::enabled(cfg, self.npes());
+    }
+
+    /// The tracing handle (disabled unless [`Machine::enable_tracing`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Convenience: a machine whose CkDirect backend matches the fabric
@@ -196,8 +215,8 @@ impl Machine {
         &self.pes[pe.idx()].stats
     }
 
-    /// Lifetime CkDirect counters `(puts, deliveries, poll_checks)`.
-    pub fn direct_counters(&self) -> (u64, u64, u64) {
+    /// Lifetime CkDirect counters across every channel.
+    pub fn direct_counters(&self) -> RegistryCounters {
         self.direct.counters()
     }
 
@@ -232,7 +251,8 @@ impl Machine {
         self.arrays.push(info);
         self.locals.push(locals);
         self.chares.push(elems);
-        self.red.push((0..self.npes()).map(|_| RedPeState::new()).collect());
+        self.red
+            .push((0..self.npes()).map(|_| RedPeState::new()).collect());
         id
     }
 
@@ -273,6 +293,8 @@ impl Machine {
                 msg,
                 recv_cpu: Time::ZERO,
                 overlap_cpu: Time::ZERO,
+                from: pe,
+                proto: ProtoClass::Control,
             },
         );
     }
@@ -319,7 +341,14 @@ impl Machine {
                 msg,
                 recv_cpu,
                 overlap_cpu,
+                from,
+                proto,
             } => {
+                if proto == ProtoClass::Rendezvous {
+                    // reconstructed handshake leg: the receiver cleared the
+                    // sender to write (see `Ev::MsgArrive::proto`)
+                    self.tracer.cts(pe.idx(), self.now, from.0);
+                }
                 let st = &mut self.pes[pe.idx()];
                 // protocol-time CPU: steals capacity from a busy PE but
                 // cannot push this message past its own arrival on an idle
@@ -335,6 +364,14 @@ impl Machine {
                 self.ensure_loop(pe, Time::ZERO);
             }
             Ev::DirectLand { handle, recv_cpu } => {
+                if self.tracer.is_enabled() {
+                    if let (Ok(pe), Ok(bytes)) =
+                        (self.direct.recv_pe(handle), self.direct.wire_bytes(handle))
+                    {
+                        self.tracer
+                            .put_land(pe.idx(), self.now, handle.0, bytes as u64);
+                    }
+                }
                 match self.direct.land(handle).expect("land on live channel") {
                     LandOutcome::AwaitPoll => {
                         // Polling backend: the receiving scheduler will
@@ -362,6 +399,12 @@ impl Machine {
             Ev::DirectGetLand { handle, recv_cpu } => {
                 let cb = self.direct.land_get(handle).expect("get on live channel");
                 let pe = self.direct.recv_pe(handle).expect("live channel");
+                if self.tracer.is_enabled() {
+                    if let Ok(bytes) = self.direct.wire_bytes(handle) {
+                        self.tracer
+                            .put_land(pe.idx(), self.now, handle.0, bytes as u64);
+                    }
+                }
                 let start = {
                     let st = &mut self.pes[pe.idx()];
                     st.busy_until = st.busy_until.max(self.now) + recv_cpu;
@@ -412,6 +455,10 @@ impl Machine {
         self.pes[pe.idx()].loop_scheduled = false;
         let start = self.pes[pe.idx()].busy_until.max(self.now);
         let mut elapsed = Time::ZERO;
+        if self.tracer.is_enabled() {
+            let depth = self.pes[pe.idx()].queue.len() as u32;
+            self.tracer.queue_depth(pe.idx(), self.now, depth);
+        }
 
         // CkDirect poll sweep (IbPoll backend): check every armed handle.
         if self.net.has_rdma() {
@@ -419,6 +466,13 @@ impl Machine {
             if sweep.checked > 0 {
                 elapsed += self.cfg.poll_per_handle * sweep.checked as u64;
                 self.pes[pe.idx()].stats.poll_checks += sweep.checked as u64;
+                self.tracer.poll_sweep(
+                    pe.idx(),
+                    start,
+                    start + elapsed,
+                    sweep.checked as u32,
+                    sweep.deliveries.len() as u32,
+                );
             }
             if !sweep.deliveries.is_empty() {
                 let cbs: Vec<(DirectCb, HandleId)> = sweep
@@ -434,6 +488,8 @@ impl Machine {
         if let Some((target, msg)) = self.pes[pe.idx()].queue.pop_front() {
             elapsed += self.cfg.sched;
             self.pes[pe.idx()].stats.msgs_delivered += 1;
+            self.tracer
+                .msg_deliver(pe.idx(), start + elapsed, msg.ep.0, msg.size as u64);
             elapsed = self.run_entry(pe, target, start, elapsed, msg);
         }
 
@@ -447,6 +503,19 @@ impl Machine {
             let at = st.busy_until;
             self.events.push(at, Ev::PeLoop { pe });
         }
+    }
+
+    /// Account one control packet issued from `pe` in the per-protocol
+    /// breakdowns (reduction hops, broadcast forwarding, handle shipping).
+    /// `delay` is the wire latency the packet was charged.
+    pub(crate) fn record_control(&mut self, pe: Pe, delay: Time) {
+        let bytes = self.net.control_bytes() as u64;
+        self.stats.proto.record(Protocol::Control, bytes);
+        self.pes[pe.idx()]
+            .stats
+            .proto_sent
+            .record(Protocol::Control, bytes);
+        self.tracer.control_transfer(bytes, delay);
     }
 
     /// Schedule a scheduler iteration on `pe` if none is pending.
@@ -472,9 +541,12 @@ impl Machine {
         let mut chare = self.chares[target.array.idx()][target.lin as usize]
             .take()
             .unwrap_or_else(|| panic!("{target:?} missing (reentrant delivery?)"));
+        let entry_begin = start + elapsed;
         let mut ctx = Ctx::new(self, pe, target, start, elapsed);
         chare.entry(&mut ctx, msg);
         let (elapsed, pending) = ctx.finish();
+        self.tracer
+            .busy(pe.idx(), entry_begin, start + elapsed, BusyKind::Entry);
         self.chares[target.array.idx()][target.lin as usize] = Some(chare);
         self.run_callbacks(pe, start, elapsed, pending)
     }
@@ -489,12 +561,15 @@ impl Machine {
         mut pending: Vec<(DirectCb, HandleId)>,
     ) -> Time {
         while let Some((cb, handle)) = pending.pop() {
+            let cb_begin = start + elapsed;
             elapsed += self.cfg.callback_cost;
             // strided destinations pay the scatter copy at delivery
             if let Ok(Some(bytes)) = self.direct.strided_recv_bytes(handle) {
                 elapsed += self.cfg.compute.bytes(2 * bytes as u64);
             }
             self.pes[pe.idx()].stats.callbacks += 1;
+            self.tracer
+                .callback_fire(pe.idx(), start + elapsed, handle.0);
             let target = cb.target;
             let mut chare = self.chares[target.array.idx()][target.lin as usize]
                 .take()
@@ -521,6 +596,8 @@ impl Machine {
             }
             let (e, more) = ctx.finish();
             elapsed = e;
+            self.tracer
+                .busy(pe.idx(), cb_begin, start + elapsed, BusyKind::Callback);
             self.chares[target.array.idx()][target.lin as usize] = Some(chare);
             if let CbKind::Learned(_) = cb.kind {
                 // the runtime owns learned channels: re-arm immediately so
@@ -543,6 +620,7 @@ impl Machine {
         op: RedOp,
         target: RedTarget,
     ) {
+        self.tracer.reduce_contribute(pe.idx(), self.now, array.0);
         let red = &mut self.red[array.idx()][pe.idx()];
         red.absorb(v, 1, op, target);
         red.got_local += 1;
@@ -570,6 +648,7 @@ impl Machine {
         match tree_parent(&self.arrays[array.idx()].participants, pe) {
             Some(parent) => {
                 let t = self.net.control(pe, parent);
+                self.record_control(pe, t.delay);
                 // the send costs a sliver of CPU on this PE
                 let st = &mut self.pes[pe.idx()];
                 st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
@@ -595,6 +674,7 @@ impl Machine {
                     "reduction lost contributions"
                 );
                 self.stats.reductions += 1;
+                self.tracer.reduce_complete(pe.idx(), self.now, array.0);
                 match target {
                     RedTarget::Broadcast(ep) => {
                         let payload = Payload::value(value);
@@ -603,6 +683,7 @@ impl Machine {
                     RedTarget::Single(aref, ep) => {
                         let dst = self.home_pe(aref);
                         let t = self.net.control(pe, dst);
+                        self.record_control(pe, t.delay);
                         self.events.push(
                             self.now + t.delay,
                             Ev::MsgArrive {
@@ -611,6 +692,8 @@ impl Machine {
                                 msg: Msg::value(ep, value, 8),
                                 recv_cpu: t.recv_cpu,
                                 overlap_cpu: Time::ZERO,
+                                from: pe,
+                                proto: ProtoClass::Control,
                             },
                         );
                     }
@@ -627,6 +710,7 @@ impl Machine {
             self.bcast_at(array, root, msg.ep, msg.payload, msg.size);
         } else {
             let t = self.net.control(from, root);
+            self.record_control(from, t.delay);
             let st = &mut self.pes[from.idx()];
             st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
             st.stats.busy += t.send_cpu;
@@ -650,6 +734,7 @@ impl Machine {
         let children = tree_children(&self.arrays[array.idx()].participants, pe);
         for child in children {
             let t = self.net.control(pe, child);
+            self.record_control(pe, t.delay);
             let st = &mut self.pes[pe.idx()];
             st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
             st.stats.busy += t.send_cpu;

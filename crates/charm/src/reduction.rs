@@ -242,7 +242,10 @@ mod tests {
         let ps = vec![Pe(3), Pe(17), Pe(30), Pe(31), Pe(90)];
         assert_eq!(tree_parent(&ps, Pe(3)), None);
         assert_eq!(tree_parent(&ps, Pe(90)), Some(Pe(3)));
-        assert_eq!(tree_children(&ps, Pe(3)), vec![Pe(17), Pe(30), Pe(31), Pe(90)]);
+        assert_eq!(
+            tree_children(&ps, Pe(3)),
+            vec![Pe(17), Pe(30), Pe(31), Pe(90)]
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use ckd_charm::{
-    Chare, ChareRef, Ctx, EntryId, LearnConfig, Machine, Msg, RtsConfig,
+    Chare, ChareRef, Ctx, EntryId, LearnConfig, LearningTotals, Machine, Msg, RtsConfig,
 };
 use ckd_net::presets;
 use ckd_sim::Time;
@@ -120,13 +120,17 @@ fn learner_installs_a_channel_and_switches_to_puts() {
     let consumer = m.chare::<Consumer>(c).unwrap();
     assert_eq!(consumer.received, ROUNDS);
     assert_eq!(consumer.corrupt, 0, "learned deliveries must be intact");
-    let (installed, hits, misses) = m.learning_totals();
-    assert_eq!(installed, 1);
-    assert!(hits >= (ROUNDS - 5) as u64, "only {hits} one-sided rounds");
-    assert_eq!(misses, 0, "ack-synchronized stream never falls back");
-    let (puts, deliveries, _) = m.direct_counters();
-    assert_eq!(puts, hits);
-    assert_eq!(deliveries, hits);
+    let totals = m.learning_totals();
+    assert_eq!(totals.installed, 1);
+    assert!(
+        totals.hits >= (ROUNDS - 5) as u64,
+        "only {} one-sided rounds",
+        totals.hits
+    );
+    assert_eq!(totals.misses, 0, "ack-synchronized stream never falls back");
+    let c = m.direct_counters();
+    assert_eq!(c.puts, totals.hits);
+    assert_eq!(c.deliveries, totals.hits);
 }
 
 #[test]
@@ -135,8 +139,8 @@ fn learning_disabled_means_pure_messages() {
     m.run();
     let consumer = m.chare::<Consumer>(c).unwrap();
     assert_eq!(consumer.received, ROUNDS);
-    assert_eq!(m.learning_totals(), (0, 0, 0));
-    assert_eq!(m.direct_counters().0, 0, "no puts without learning");
+    assert_eq!(m.learning_totals(), LearningTotals::default());
+    assert_eq!(m.direct_counters().puts, 0, "no puts without learning");
     assert_eq!(m.stats().msgs_sent as u32, 2 * ROUNDS); // data + acks
 }
 
@@ -199,7 +203,11 @@ fn learner_keys_streams_by_size() {
     impl TwoSize {
         fn fire(&mut self, ctx: &mut Ctx<'_>) {
             self.round += 1;
-            let size = if self.round.is_multiple_of(2) { 1024 } else { 2048 };
+            let size = if self.round.is_multiple_of(2) {
+                1024
+            } else {
+                2048
+            };
             let consumer = self.consumer.unwrap();
             ctx.send_learned(consumer, Msg::bytes(EP_DATA, Bytes::from(vec![1u8; size])));
         }
@@ -239,9 +247,9 @@ fn learner_keys_streams_by_size() {
     m.seed(c, Msg::value(EP_START, p, 8));
     m.seed(p, Msg::value(EP_START, c, 8));
     m.run();
-    let (installed, hits, _) = m.learning_totals();
-    assert_eq!(installed, 2, "one channel per (ep, size) stream");
-    assert!(hits > 0);
+    let totals = m.learning_totals();
+    assert_eq!(totals.installed, 2, "one channel per (ep, size) stream");
+    assert!(totals.hits > 0);
 }
 
 #[test]
@@ -278,5 +286,5 @@ fn non_bytes_payloads_never_learn() {
     m.seed(a, Msg::value(EP_START, b, 8));
     m.run();
     assert_eq!(m.chare::<ValueSender>(b).unwrap().n, 5);
-    assert_eq!(m.learning_totals(), (0, 0, 0));
+    assert_eq!(m.learning_totals(), LearningTotals::default());
 }

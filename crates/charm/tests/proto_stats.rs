@@ -1,0 +1,301 @@
+//! Reconciliation tests: the per-protocol breakdown added to
+//! `MachineStats`/`PeStats` must agree with the aggregate counters it was
+//! derived from, and with the `ckd-trace` metrics registry when tracing is
+//! enabled — all three views are fed from the same instrumentation points.
+
+use bytes::Bytes;
+use ckd_charm::{
+    Chare, ChareRef, Ctx, EntryId, LearnConfig, Machine, Msg, ProtoBreakdown, RedOp, RedTarget,
+    RedVal, RtsConfig, TraceConfig,
+};
+use ckd_net::presets;
+use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
+use ckd_trace::ProtoClass;
+use ckdirect::DirectConfig;
+
+const EP_START: EntryId = EntryId(0);
+const EP_SMALL: EntryId = EntryId(1);
+const EP_BIG: EntryId = EntryId(2);
+const EP_DONE: EntryId = EntryId(3);
+const EP_DATA: EntryId = EntryId(4);
+const EP_ACK: EntryId = EntryId(5);
+
+const SMALL: usize = 64; // well under eager_max
+const BIG: usize = 64 * 1024; // well over eager_max -> rendezvous
+
+fn ib_machine(pes: usize, cores: usize) -> Machine {
+    let net = presets::ib_abe(Topo::ib_cluster(pes, cores));
+    Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib())
+}
+
+/// Sum the per-PE breakdowns field-wise; must equal the machine-wide one.
+fn sum_pe_breakdowns(m: &Machine) -> ProtoBreakdown {
+    let mut total = ProtoBreakdown::default();
+    for pe in 0..m.npes() {
+        let p = &m.pe_stats(ckd_topo::Pe(pe as u32)).proto_sent;
+        for (t, s) in [
+            (&mut total.eager, &p.eager),
+            (&mut total.rendezvous, &p.rendezvous),
+            (&mut total.rdma_put, &p.rdma_put),
+            (&mut total.dcmf, &p.dcmf),
+            (&mut total.control, &p.control),
+        ] {
+            t.count += s.count;
+            t.bytes += s.bytes;
+        }
+    }
+    total
+}
+
+fn assert_breakdowns_equal(a: &ProtoBreakdown, b: &ProtoBreakdown) {
+    assert_eq!(a.eager, b.eager, "eager mismatch");
+    assert_eq!(a.rendezvous, b.rendezvous, "rendezvous mismatch");
+    assert_eq!(a.rdma_put, b.rdma_put, "rdma-put mismatch");
+    assert_eq!(a.dcmf, b.dcmf, "dcmf mismatch");
+    assert_eq!(a.control, b.control, "control mismatch");
+}
+
+// ------------------------------------------------- two-sided reconciliation
+
+/// Each round sends one eager-sized and one rendezvous-sized message to the
+/// peer, then both contribute to a barrier (control traffic).
+struct Exchanger {
+    peer_lin: usize,
+    rounds_left: u32,
+    small_seen: u32,
+    big_seen: u32,
+}
+
+impl Chare for Exchanger {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let peer = ctx.element(ctx.me().array, Idx::i1(self.peer_lin));
+        match msg.ep {
+            EP_START | EP_DONE => {
+                if msg.ep == EP_DONE && self.rounds_left == 0 {
+                    return;
+                }
+                if self.rounds_left > 0 {
+                    self.rounds_left -= 1;
+                    ctx.send(peer, Msg::value(EP_SMALL, 7u32, SMALL));
+                    ctx.send(peer, Msg::value(EP_BIG, 9u32, BIG));
+                }
+                ctx.barrier(EP_DONE);
+            }
+            EP_SMALL => self.small_seen += 1,
+            EP_BIG => self.big_seen += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn two_sided_breakdown_reconciles_with_aggregates() {
+    const ROUNDS: u32 = 6;
+    let mut m = ib_machine(4, 1);
+    m.enable_tracing(TraceConfig::default());
+    let arr = m.create_array("x", Dims::d1(2), Mapper::RoundRobin, |idx| {
+        Box::new(Exchanger {
+            peer_lin: 1 - idx.at(0),
+            rounds_left: ROUNDS,
+            small_seen: 0,
+            big_seen: 0,
+        })
+    });
+    m.seed_broadcast(arr, Msg::signal(EP_START));
+    m.run();
+
+    let s = m.stats();
+    // both chares ran all rounds
+    for lin in 0..2 {
+        let c = m.chare::<Exchanger>(m.element(arr, Idx::i1(lin))).unwrap();
+        assert_eq!(c.small_seen, ROUNDS);
+        assert_eq!(c.big_seen, ROUNDS);
+    }
+    // protocol split is exact: one eager + one rendezvous per round per chare
+    assert_eq!(s.proto.eager.count, 2 * ROUNDS as u64);
+    assert_eq!(s.proto.rendezvous.count, 2 * ROUNDS as u64);
+    assert_eq!(s.proto.rdma_put.count, 0);
+    assert_eq!(s.proto.dcmf.count, 0);
+    assert!(
+        s.proto.control.count > 0,
+        "barriers produce control packets"
+    );
+    // ...and reconciles with the aggregates
+    assert_eq!(s.proto.two_sided().count, s.msgs_sent);
+    assert_eq!(s.proto.two_sided().bytes, s.msg_bytes);
+    assert_eq!(s.proto.eager.bytes, 2 * (ROUNDS as u64) * SMALL as u64);
+    assert_eq!(s.proto.rendezvous.bytes, 2 * (ROUNDS as u64) * BIG as u64);
+    // per-PE breakdowns sum to the machine-wide one
+    assert_breakdowns_equal(&sum_pe_breakdowns(&m), &s.proto);
+    // the trace metrics saw the identical split
+    let metrics = m.tracer().metrics().unwrap();
+    for (class, counters) in [
+        (ProtoClass::Eager, s.proto.eager),
+        (ProtoClass::Rendezvous, s.proto.rendezvous),
+        (ProtoClass::RdmaPut, s.proto.rdma_put),
+        (ProtoClass::Control, s.proto.control),
+    ] {
+        let t = metrics.proto_stat(class);
+        assert_eq!(t.count, counters.count, "{class:?} count");
+        assert_eq!(t.bytes, counters.bytes, "{class:?} bytes");
+    }
+    // every rendezvous transfer produced one reconstructed RTS and CTS
+    assert_eq!(metrics.rts, s.proto.rendezvous.count);
+    assert_eq!(metrics.cts, s.proto.rendezvous.count);
+}
+
+// ------------------------------------------------------- put reconciliation
+
+struct Producer {
+    consumer: Option<ChareRef>,
+    round: u32,
+    rounds: u32,
+}
+
+impl Chare for Producer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.consumer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                self.fire(ctx);
+            }
+            EP_ACK => {
+                if self.round < self.rounds {
+                    self.fire(ctx);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+impl Producer {
+    fn fire(&mut self, ctx: &mut Ctx<'_>) {
+        self.round += 1;
+        let payload = vec![0x5au8; 4096];
+        let consumer = self.consumer.unwrap();
+        ctx.send_learned(consumer, Msg::bytes(EP_DATA, Bytes::from(payload)));
+    }
+}
+
+struct AckingConsumer {
+    producer: Option<ChareRef>,
+    received: u32,
+}
+
+impl Chare for AckingConsumer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => self.producer = Some(*msg.payload.downcast::<ChareRef>().unwrap()),
+            EP_DATA => {
+                self.received += 1;
+                ctx.send(self.producer.unwrap(), Msg::signal(EP_ACK));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn put_breakdown_reconciles_with_aggregates() {
+    const ROUNDS: u32 = 16;
+    let mut m = ib_machine(4, 1);
+    m.enable_learning(LearnConfig { threshold: 3 });
+    m.enable_tracing(TraceConfig::default());
+    let prod = m.create_array("p", Dims::d1(1), Mapper::Block, |_| {
+        Box::new(Producer {
+            consumer: None,
+            round: 0,
+            rounds: ROUNDS,
+        })
+    });
+    let cons = m.create_array("c", Dims::d1(4), Mapper::Block, |_| {
+        Box::new(AckingConsumer {
+            producer: None,
+            received: 0,
+        })
+    });
+    let p = m.element(prod, Idx::i1(0));
+    let c = m.element(cons, Idx::i1(3));
+    m.seed(c, Msg::value(EP_START, p, 8));
+    m.seed(p, Msg::value(EP_START, c, 8));
+    m.run();
+
+    let s = m.stats();
+    let totals = m.learning_totals();
+    assert_eq!(totals.installed, 1);
+    assert!(totals.hits > 0, "learned channel never went one-sided");
+    // on the RDMA fabric every put is an rdma-put; counts and bytes match
+    assert_eq!(s.proto.rdma_put.count, s.puts);
+    assert_eq!(s.proto.rdma_put.bytes, s.put_bytes);
+    assert_eq!(s.puts, totals.hits);
+    assert_eq!(s.proto.two_sided().count, s.msgs_sent);
+    assert_eq!(s.proto.two_sided().bytes, s.msg_bytes);
+    assert_breakdowns_equal(&sum_pe_breakdowns(&m), &s.proto);
+    // trace metrics agree with the stats breakdown and the registry
+    let metrics = m.tracer().metrics().unwrap();
+    assert_eq!(metrics.proto_stat(ProtoClass::RdmaPut).count, s.puts);
+    assert_eq!(metrics.proto_stat(ProtoClass::RdmaPut).bytes, s.put_bytes);
+    let reg = m.direct_counters();
+    assert_eq!(reg.puts, s.puts);
+    assert_eq!(
+        metrics.put_to_callback_ns.count(),
+        reg.deliveries,
+        "each delivered put closes one issue→callback latency sample"
+    );
+}
+
+#[test]
+fn tracing_is_off_by_default() {
+    let m = ib_machine(2, 1);
+    assert!(!m.tracer().is_enabled());
+    assert!(m.tracer().metrics().is_none());
+}
+
+#[test]
+fn contributes_show_up_in_reduce_counters() {
+    const ROUNDS: u32 = 4;
+    let mut m = ib_machine(4, 1);
+    m.enable_tracing(TraceConfig::default());
+    let arr = m.create_array("x", Dims::d1(4), Mapper::Block, |_| {
+        Box::new(Reducer {
+            generations: 0,
+            rounds: ROUNDS,
+        })
+    });
+    m.seed_broadcast(arr, Msg::signal(EP_START));
+    m.run();
+    let metrics = m.tracer().metrics().unwrap();
+    // one contribute per element per generation, one completion per generation
+    assert_eq!(metrics.reduce_contribs, 4 * ROUNDS as u64);
+    assert_eq!(metrics.reduce_completes, ROUNDS as u64);
+    assert_eq!(m.stats().reductions, ROUNDS as u64);
+}
+
+struct Reducer {
+    generations: u32,
+    rounds: u32,
+}
+
+impl Chare for Reducer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => ctx.contribute(
+                RedVal::F64(1.0),
+                RedOp::SumF64,
+                RedTarget::Broadcast(EP_DONE),
+            ),
+            EP_DONE => {
+                self.generations += 1;
+                if self.generations < self.rounds {
+                    ctx.contribute(
+                        RedVal::F64(1.0),
+                        RedOp::SumF64,
+                        RedTarget::Broadcast(EP_DONE),
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,9 +1,7 @@
 //! Integration tests of the message-driven runtime: scheduling, arrays,
 //! reductions, broadcasts, and the CkDirect wiring.
 
-use ckd_charm::{
-    Chare, Ctx, EntryId, Machine, Msg, Payload, RedOp, RedTarget, RedVal, RtsConfig,
-};
+use ckd_charm::{Chare, Ctx, EntryId, Machine, Msg, Payload, RedOp, RedTarget, RedVal, RtsConfig};
 use ckd_net::presets;
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
@@ -425,10 +423,13 @@ fn poll_checks_are_counted() {
     let recv_ref = m.element(recv_arr, Idx::i1(0));
     m.seed(recv_ref, Msg::value(EP_START, sender_ref, 8));
     m.run();
-    let (puts, deliveries, checks) = m.direct_counters();
-    assert_eq!(puts, 3);
-    assert_eq!(deliveries, 3);
-    assert!(checks >= deliveries, "every delivery needs at least one check");
+    let c = m.direct_counters();
+    assert_eq!(c.puts, 3);
+    assert_eq!(c.deliveries, 3);
+    assert!(
+        c.poll_checks >= c.deliveries,
+        "every delivery needs at least one check"
+    );
 }
 
 // ------------------------------------------------------- broadcast payloads
@@ -547,7 +548,8 @@ impl Chare for StridedSend {
 impl StridedSend {
     fn fire(&mut self, ctx: &mut Ctx<'_>, scale: f64) {
         for r in 0..4 {
-            self.matrix.write_f64s(r * 4 * 8 + 8, &[scale * (r as f64 + 1.0)]);
+            self.matrix
+                .write_f64s(r * 4 * 8 + 8, &[scale * (r as f64 + 1.0)]);
         }
         ctx.direct_put(self.handle.unwrap()).unwrap();
     }
@@ -714,10 +716,7 @@ fn user_broadcast_reaches_every_element_per_call() {
     m.run();
     for lin in 0..15 {
         let c = m
-            .chare::<BcastSink>(ckd_charm::ChareRef {
-                array: sink,
-                lin,
-            })
+            .chare::<BcastSink>(ckd_charm::ChareRef { array: sink, lin })
             .unwrap();
         assert_eq!(c.hits, 2, "element {lin}");
     }
@@ -773,5 +772,8 @@ fn send_local_is_cheap_and_ordered() {
     let per_hop = (c.t_end - c.t_start).as_us_f64() / 10.0;
     // alloc (0.7us) + sched (2.5us), and crucially no wire latency (~5.9us)
     assert!(per_hop < 4.0, "local enqueue costs {per_hop}us per hop");
-    assert!(per_hop > 2.0, "scheduler cost must still be paid: {per_hop}us");
+    assert!(
+        per_hop > 2.0,
+        "scheduler cost must still be paid: {per_hop}us"
+    );
 }

@@ -89,6 +89,8 @@ pub(crate) struct Channel<C> {
     pub puts: u64,
     /// Total callbacks delivered on this channel.
     pub deliveries: u64,
+    /// Times this channel's sentinel was examined by a poll sweep.
+    pub checks: u64,
 }
 
 impl<C> Channel<C> {
@@ -110,6 +112,7 @@ impl<C> Channel<C> {
             collided: false,
             puts: 0,
             deliveries: 0,
+            checks: 0,
         }
     }
 }

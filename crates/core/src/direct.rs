@@ -69,11 +69,23 @@ struct Shared {
     armed_gen: AtomicU64,
 }
 
+/// Lifetime counters of one side of a real-thread channel (observability;
+/// counted locally, never shared between threads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SideStats {
+    /// Successful puts (sender) or detected arrivals (receiver).
+    pub completed: u64,
+    /// Rejected puts (sender) or empty polls (receiver) — the per-operation
+    /// overhead a trace wants to see.
+    pub attempts: u64,
+}
+
 /// The sender half: issues one-sided puts into the receiver's buffer.
 pub struct DirectSender {
     shared: Arc<Shared>,
     /// Generation of the last put this sender issued.
     put_gen: u64,
+    stats: SideStats,
 }
 
 /// The receiver half: owns the buffer, arms it, and polls for arrivals.
@@ -83,6 +95,7 @@ pub struct DirectReceiver {
     armed: u64,
     /// True between a detected arrival and the next `arm`.
     holding_data: bool,
+    stats: SideStats,
 }
 
 /// Create a channel moving fixed-size messages of `size` bytes (must be a
@@ -107,11 +120,13 @@ pub fn channel(size: usize, oob: u64) -> (DirectSender, DirectReceiver) {
         DirectSender {
             shared: shared.clone(),
             put_gen: 0,
+            stats: SideStats::default(),
         },
         DirectReceiver {
             shared,
             armed: 1,
             holding_data: false,
+            stats: SideStats::default(),
         },
     )
 }
@@ -128,6 +143,7 @@ impl DirectSender {
     /// Returns without blocking; the receiver discovers the data by
     /// polling. No allocation, no locks, one `Release` store.
     pub fn put(&mut self, payload: &[u8]) -> Result<(), PutError> {
+        self.stats.attempts += 1;
         let words = &self.shared.words;
         if payload.len() != words.len() * 8 {
             return Err(PutError::SizeMismatch);
@@ -151,7 +167,13 @@ impl DirectSender {
         // Publish: the final payload word replaces the sentinel. Release
         // makes every earlier Relaxed store visible to the Acquire poller.
         words[n - 1].store(last, Ordering::Release);
+        self.stats.completed += 1;
         Ok(())
+    }
+
+    /// Put attempts and successes so far (observability).
+    pub fn stats(&self) -> SideStats {
+        self.stats
     }
 
     /// Whether the receiver has re-armed since this sender's last put —
@@ -176,6 +198,7 @@ impl DirectReceiver {
         if self.holding_data {
             return None; // already delivered; must arm before the next one
         }
+        self.stats.attempts += 1;
         let words = &self.shared.words;
         let n = words.len();
         let last = words[n - 1].load(Ordering::Acquire);
@@ -183,6 +206,7 @@ impl DirectReceiver {
             return None;
         }
         self.holding_data = true;
+        self.stats.completed += 1;
         let mut out = vec![0u8; n * 8];
         for i in 0..n - 1 {
             let w = words[i].load(Ordering::Relaxed);
@@ -198,13 +222,20 @@ impl DirectReceiver {
         if self.holding_data {
             return true;
         }
+        self.stats.attempts += 1;
         let n = self.shared.words.len();
         if self.shared.words[n - 1].load(Ordering::Acquire) != self.shared.oob {
             self.holding_data = true;
+            self.stats.completed += 1;
             true
         } else {
             false
         }
+    }
+
+    /// Sentinel checks and detected arrivals so far (observability).
+    pub fn stats(&self) -> SideStats {
+        self.stats
     }
 
     /// Read the landed message in place (zero copy). Panics unless
@@ -385,6 +416,29 @@ mod tests {
             rx.arm();
         }
         sender.join().unwrap();
+    }
+
+    #[test]
+    fn side_stats_count_operations() {
+        let (mut tx, mut rx) = channel(16, OOB);
+        assert!(!rx.poll()); // empty check
+        tx.put(&[1u8; 16]).unwrap();
+        assert_eq!(tx.put(&[2u8; 16]).unwrap_err(), PutError::WouldOverwrite);
+        assert!(rx.poll());
+        assert_eq!(
+            tx.stats(),
+            SideStats {
+                completed: 1,
+                attempts: 2
+            }
+        );
+        assert_eq!(
+            rx.stats(),
+            SideStats {
+                completed: 1,
+                attempts: 2
+            }
+        );
     }
 
     #[test]

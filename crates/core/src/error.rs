@@ -46,9 +46,7 @@ pub enum DirectError {
 impl fmt::Display for DirectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
-            DirectError::BufferTooSmall => {
-                "buffer smaller than the 8-byte out-of-band pattern"
-            }
+            DirectError::BufferTooSmall => "buffer smaller than the 8-byte out-of-band pattern",
             DirectError::SizeMismatch => "sender and receiver buffer sizes differ",
             DirectError::RegionOutOfBounds => "region exceeds its backing buffer",
             DirectError::NotAssociated => "put on a handle with no associated send buffer",

@@ -40,5 +40,8 @@ pub mod strided;
 pub use channel::{DataPhase, DirectBackend, HandleId};
 pub use error::DirectError;
 pub use region::Region;
-pub use registry::{DirectConfig, DirectRegistry, LandOutcome, PutRequest, SweepOutcome};
+pub use registry::{
+    ChannelCounters, DirectConfig, DirectRegistry, LandOutcome, PutRequest, RegistryCounters,
+    SweepOutcome,
+};
 pub use strided::StridedSpec;

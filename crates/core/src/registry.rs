@@ -86,6 +86,31 @@ pub struct SweepOutcome<C> {
     pub deliveries: Vec<(HandleId, C)>,
 }
 
+/// Lifetime counters of a [`DirectRegistry`], named so metrics consumers
+/// never rely on positional tuple fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryCounters {
+    /// Puts issued across all channels.
+    pub puts: u64,
+    /// Callbacks delivered across all channels.
+    pub deliveries: u64,
+    /// Sentinel checks performed by poll sweeps.
+    pub poll_checks: u64,
+}
+
+/// Per-channel lifetime counters (observability snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelCounters {
+    /// Puts issued on this channel.
+    pub puts: u64,
+    /// Callbacks delivered on this channel.
+    pub deliveries: u64,
+    /// Times this channel's sentinel was examined by a poll sweep.
+    pub checks: u64,
+    /// Bytes charged on the wire per put.
+    pub wire_bytes: usize,
+}
+
 /// All CkDirect channels of one simulated machine.
 pub struct DirectRegistry<C> {
     cfg: DirectConfig,
@@ -377,7 +402,9 @@ impl<C: Clone> DirectRegistry<C> {
                     spec.scatter(&ch.recv, backing);
                 }
                 self.total_deliveries += 1;
-                Ok(LandOutcome::Deliver(self.channels[handle.idx()].callback.clone()))
+                Ok(LandOutcome::Deliver(
+                    self.channels[handle.idx()].callback.clone(),
+                ))
             }
         }
     }
@@ -398,8 +425,8 @@ impl<C: Clone> DirectRegistry<C> {
         let mut keep = Vec::with_capacity(q.len());
         for id in q {
             let ch = &mut self.channels[id.idx()];
-            let arrived =
-                ch.phase == DataPhase::Landed && ch.recv.last_word() != ch.oob;
+            ch.checks += 1;
+            let arrived = ch.phase == DataPhase::Landed && ch.recv.last_word() != ch.oob;
             if arrived {
                 ch.phase = DataPhase::Delivered;
                 ch.marked = false;
@@ -532,13 +559,30 @@ impl<C: Clone> DirectRegistry<C> {
         self.channels.len()
     }
 
-    /// Lifetime counters: `(puts, deliveries, poll_checks)`.
-    pub fn counters(&self) -> (u64, u64, u64) {
-        (self.total_puts, self.total_deliveries, self.total_poll_checks)
+    /// Lifetime counters across all channels.
+    pub fn counters(&self) -> RegistryCounters {
+        RegistryCounters {
+            puts: self.total_puts,
+            deliveries: self.total_deliveries,
+            poll_checks: self.total_poll_checks,
+        }
+    }
+
+    /// Per-channel lifetime counters (observability snapshot).
+    pub fn channel_counters(&self, handle: HandleId) -> Result<ChannelCounters, DirectError> {
+        let ch = self.chan(handle)?;
+        Ok(ChannelCounters {
+            puts: ch.puts,
+            deliveries: ch.deliveries,
+            checks: ch.checks,
+            wire_bytes: ch.wire_bytes,
+        })
     }
 
     fn chan(&self, handle: HandleId) -> Result<&Channel<C>, DirectError> {
-        self.channels.get(handle.idx()).ok_or(DirectError::BadHandle)
+        self.channels
+            .get(handle.idx())
+            .ok_or(DirectError::BadHandle)
     }
 
     fn chan_mut(&mut self, handle: HandleId) -> Result<&mut Channel<C>, DirectError> {
@@ -559,9 +603,7 @@ mod tests {
         let mut reg = Reg::new(2, cfg);
         let recv = Region::alloc(64);
         let send = Region::alloc(64);
-        let h = reg
-            .create_handle(Pe(1), recv.clone(), u64::MAX, 7)
-            .unwrap();
+        let h = reg.create_handle(Pe(1), recv.clone(), u64::MAX, 7).unwrap();
         reg.assoc_local(h, Pe(0), send.clone()).unwrap();
         (reg, h, send, recv)
     }
@@ -595,8 +637,12 @@ mod tests {
         let delivered = land_and_sweep(&mut reg, h);
         assert_eq!(delivered.len(), 1);
         assert_eq!(recv.to_vec()[0], 4);
-        assert_eq!(reg.counters().0, 2);
-        assert_eq!(reg.counters().1, 2);
+        assert_eq!(reg.counters().puts, 2);
+        assert_eq!(reg.counters().deliveries, 2);
+        let cc = reg.channel_counters(h).unwrap();
+        assert_eq!(cc.puts, 2);
+        assert_eq!(cc.deliveries, 2);
+        assert!(cc.checks >= 2);
     }
 
     #[test]
@@ -656,7 +702,8 @@ mod tests {
     fn tiny_buffer_rejected() {
         let mut reg = Reg::new(1, DirectConfig::ib());
         assert_eq!(
-            reg.create_handle(Pe(0), Region::alloc(7), 1, 0).unwrap_err(),
+            reg.create_handle(Pe(0), Region::alloc(7), 1, 0)
+                .unwrap_err(),
             DirectError::BufferTooSmall
         );
     }

@@ -187,7 +187,10 @@ mod tests {
             count: 4,
         };
         col0.scatter(&wire, &dst);
-        assert_eq!(dst.to_vec(), vec![2, 0, 0, 0, 6, 0, 0, 0, 10, 0, 0, 0, 14, 0, 0, 0]);
+        assert_eq!(
+            dst.to_vec(),
+            vec![2, 0, 0, 0, 6, 0, 0, 0, 10, 0, 0, 0, 14, 0, 0, 0]
+        );
     }
 
     #[test]

@@ -224,13 +224,7 @@ mod tests {
 
     #[test]
     fn two_sided_rtt_large_message_plausible() {
-        let rtt = pingpong_rtt(
-            &ib_net(),
-            flavor::mvapich(),
-            500_000,
-            5,
-            PingMode::TwoSided,
-        );
+        let rtt = pingpong_rtt(&ib_net(), flavor::mvapich(), 500_000, 5, PingMode::TwoSided);
         let us = rtt.as_us_f64();
         // Table 1: MVAPICH 500 KB RTT = 1386 µs
         assert!((1250.0..1500.0).contains(&us), "got {us}");
@@ -252,13 +246,7 @@ mod tests {
     #[test]
     fn pscw_wins_for_large_messages() {
         // Table 1: MVAPICH-Put beats two-sided from ~70 KB up
-        let two = pingpong_rtt(
-            &ib_net(),
-            flavor::mvapich(),
-            200_000,
-            5,
-            PingMode::TwoSided,
-        );
+        let two = pingpong_rtt(&ib_net(), flavor::mvapich(), 200_000, 5, PingMode::TwoSided);
         let one = pingpong_rtt(
             &ib_net(),
             flavor::mvapich(),
@@ -280,7 +268,13 @@ mod tests {
     #[test]
     fn rtt_scales_with_iterations_consistently() {
         let a = pingpong_rtt(&ib_net(), flavor::mvapich(), 10_000, 10, PingMode::TwoSided);
-        let b = pingpong_rtt(&ib_net(), flavor::mvapich(), 10_000, 100, PingMode::TwoSided);
+        let b = pingpong_rtt(
+            &ib_net(),
+            flavor::mvapich(),
+            10_000,
+            100,
+            PingMode::TwoSided,
+        );
         let rel = (a.as_us_f64() - b.as_us_f64()).abs() / b.as_us_f64();
         assert!(rel < 0.05, "per-iteration RTT unstable: {a} vs {b}");
     }

@@ -161,7 +161,9 @@ impl MpiWorld {
             self.with_proc(r, |proc_, ctx| proc_.start(ctx));
         }
         while !self.stop {
-            let Some((t, ev)) = self.events.pop() else { break };
+            let Some((t, ev)) = self.events.pop() else {
+                break;
+            };
             self.now = t;
             self.dispatch(ev);
         }
@@ -182,7 +184,8 @@ impl MpiWorld {
     }
 
     fn complete_at(&mut self, rank: Rank, req: ReqId, at: Time) {
-        self.events.push(at.max(self.now), Ev::Complete { rank, req });
+        self.events
+            .push(at.max(self.now), Ev::Complete { rank, req });
     }
 
     /// Charge CPU on `rank` starting no earlier than `from`; returns the
@@ -288,7 +291,9 @@ impl MpiWorld {
         let to = self.rndv[token].src;
         let cpu = self.flavor.match_cost + self.flavor.o_send;
         let sent = self.charge(from, self.now, cpu);
-        let wire = self.net.wire(Pe(from as u32), Pe(to as u32), CTRL_BYTES, true);
+        let wire = self
+            .net
+            .wire(Pe(from as u32), Pe(to as u32), CTRL_BYTES, true);
         self.events.push(sent + wire, Ev::CtsArrive { token });
     }
 
@@ -354,9 +359,15 @@ impl MpiCtx<'_> {
                 self.w
                     .net
                     .wire(Pe(src as u32), Pe(dst as u32), bytes + f.header_bytes, true);
-            self.w
-                .events
-                .push(issue + wire, Ev::EagerArrive { dst, src, tag, bytes });
+            self.w.events.push(
+                issue + wire,
+                Ev::EagerArrive {
+                    dst,
+                    src,
+                    tag,
+                    bytes,
+                },
+            );
             self.w.complete_at(src, req, issue);
         } else {
             let token = self.w.rndv.len();
@@ -371,9 +382,15 @@ impl MpiCtx<'_> {
                 .w
                 .net
                 .wire(Pe(src as u32), Pe(dst as u32), CTRL_BYTES, true);
-            self.w
-                .events
-                .push(issue + wire, Ev::RtsArrive { dst, src, tag, token });
+            self.w.events.push(
+                issue + wire,
+                Ev::RtsArrive {
+                    dst,
+                    src,
+                    tag,
+                    token,
+                },
+            );
         }
         req
     }
@@ -423,9 +440,13 @@ impl MpiCtx<'_> {
             .w
             .net
             .wire(Pe(me as u32), Pe(origin as u32), CTRL_BYTES, true);
-        self.w
-            .events
-            .push(sent + wire, Ev::PostArrive { dst: origin, src: me });
+        self.w.events.push(
+            sent + wire,
+            Ev::PostArrive {
+                dst: origin,
+                src: me,
+            },
+        );
     }
 
     /// Begin an access epoch on `target` (PSCW *start*): completes once the
@@ -466,9 +487,13 @@ impl MpiCtx<'_> {
             .scale_f64(f.put_beta_factor)
             + f.put_bump_for(bytes);
         *self.w.ranks[me].pscw.puts_sent.entry(target).or_insert(0) += 1;
-        self.w
-            .events
-            .push(issue + wire, Ev::PutArrive { dst: target, src: me });
+        self.w.events.push(
+            issue + wire,
+            Ev::PutArrive {
+                dst: target,
+                src: me,
+            },
+        );
         self.w.complete_at(me, req, issue);
         req
     }

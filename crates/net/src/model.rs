@@ -244,13 +244,18 @@ impl NetModel {
         }
     }
 
-    /// Minimal control message (RTS/CTS, PSCW sync, reduction tokens).
-    pub fn control(&self, src: Pe, dst: Pe) -> Timing {
-        let bytes = match &self.fabric {
+    /// Wire size of one control packet on this fabric (RTS/CTS, PSCW sync,
+    /// reduction tokens) — what [`NetModel::control`] charges for.
+    pub fn control_bytes(&self) -> usize {
+        match &self.fabric {
             FabricParams::IbVerbs(p) => p.control_bytes,
             FabricParams::Dcmf(p) => p.control_bytes,
-        };
-        self.timing(src, dst, bytes, Protocol::Control)
+        }
+    }
+
+    /// Minimal control message (RTS/CTS, PSCW sync, reduction tokens).
+    pub fn control(&self, src: Pe, dst: Pe) -> Timing {
+        self.timing(src, dst, self.control_bytes(), Protocol::Control)
     }
 
     fn shmem_timing(&self, bytes: usize, proto: Protocol) -> Timing {
@@ -461,8 +466,18 @@ mod tests {
     #[test]
     fn reg_cached_rendezvous_is_cheaper() {
         let m = ib(4);
-        let cold = m.timing(Pe(0), Pe(2), 100_000, Protocol::Rendezvous { reg_cached: false });
-        let warm = m.timing(Pe(0), Pe(2), 100_000, Protocol::Rendezvous { reg_cached: true });
+        let cold = m.timing(
+            Pe(0),
+            Pe(2),
+            100_000,
+            Protocol::Rendezvous { reg_cached: false },
+        );
+        let warm = m.timing(
+            Pe(0),
+            Pe(2),
+            100_000,
+            Protocol::Rendezvous { reg_cached: true },
+        );
         assert!(warm.delay < cold.delay);
     }
 }

@@ -4,9 +4,11 @@
 //! seed plus a textual stream label, so re-running any benchmark with the
 //! same seed reproduces the exact same workload regardless of how many other
 //! streams were drawn in between.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) seeded through SplitMix64 — no external crates, so
+//! the simulation core builds in fully offline environments and the streams
+//! are identical on every platform.
 
 /// FNV-1a over a byte string; used only for deriving sub-seeds, never for
 /// anything adversarial.
@@ -19,21 +21,34 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One SplitMix64 step: used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A deterministic RNG handle carrying its root seed so that independent
 /// sub-streams can be split off by label.
 #[derive(Clone)]
 pub struct DetRng {
     seed: u64,
-    rng: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Root RNG for an experiment.
     pub fn new(seed: u64) -> DetRng {
-        DetRng {
-            seed,
-            rng: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { seed, state }
     }
 
     /// Derive an independent stream identified by `label`.
@@ -56,19 +71,44 @@ impl DetRng {
         self.seed
     }
 
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 high bits → the standard [0, 1) double construction
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.rng.gen_range(lo..hi)
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // rejection sampling for an unbiased draw
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return lo + x % span;
+            }
+        }
     }
 
     /// Uniform `f64` in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        lo + self.uniform() * (hi - lo)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -78,12 +118,15 @@ impl DetRng {
 
     /// Fill a byte buffer with pseudo-random data (payload generation).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.rng.fill(buf);
-    }
-
-    /// Access the underlying `rand` RNG for distributions not wrapped here.
-    pub fn inner(&mut self) -> &mut SmallRng {
-        &mut self.rng
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&w[..rest.len()]);
+        }
     }
 }
 
@@ -131,6 +174,20 @@ mod tests {
     }
 
     #[test]
+    fn range_stays_in_bounds_and_hits_extremes() {
+        let mut r = DetRng::new(5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let x = r.range(10, 14);
+            assert!((10..14).contains(&x));
+            seen_lo |= x == 10;
+            seen_hi |= x == 13;
+        }
+        assert!(seen_lo && seen_hi, "a 4-value range should hit both ends");
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::new(11);
         assert!(!r.chance(0.0));
@@ -149,5 +206,22 @@ mod tests {
         a.fill_bytes(&mut ba);
         b.fill_bytes(&mut bb);
         assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut r = DetRng::new(2);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 bytes all zero is ~2^-104");
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = DetRng::new(1234);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.uniform()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
     }
 }

@@ -169,7 +169,7 @@ impl Sampler {
 }
 
 /// Power-of-two bucketed histogram over `u64` magnitudes (bytes, ns, counts).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
     total: u64,

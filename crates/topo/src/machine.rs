@@ -76,14 +76,20 @@ impl Machine {
     /// cores/node (BG/P "VN mode" uses all 4 cores as PEs).
     pub fn bgp_partition(pes: usize) -> Machine {
         const CORES: usize = 4;
-        assert!(pes > 0 && pes.is_multiple_of(CORES), "BG/P VN mode needs 4 PEs/node");
+        assert!(
+            pes > 0 && pes.is_multiple_of(CORES),
+            "BG/P VN mode needs 4 PEs/node"
+        );
         Machine::new(Arc::new(Torus3D::fitting(pes / CORES)), CORES)
     }
 
     /// A single-switch test machine.
     pub fn crossbar(pes: usize, cores_per_node: usize) -> Machine {
         assert!(pes > 0 && pes.is_multiple_of(cores_per_node));
-        Machine::new(Arc::new(Crossbar::new(pes / cores_per_node)), cores_per_node)
+        Machine::new(
+            Arc::new(Crossbar::new(pes / cores_per_node)),
+            cores_per_node,
+        )
     }
 
     /// Number of PEs.

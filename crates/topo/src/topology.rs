@@ -176,10 +176,7 @@ impl Topology for Torus3D {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "torus({}x{}x{})",
-            self.dims[0], self.dims[1], self.dims[2]
-        )
+        format!("torus({}x{}x{})", self.dims[0], self.dims[1], self.dims[2])
     }
 }
 

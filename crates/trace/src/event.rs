@@ -1,0 +1,198 @@
+//! The typed trace record vocabulary.
+//!
+//! Every record is stamped with the virtual time at which it was observed.
+//! Span-shaped records (poll sweeps, busy intervals) additionally carry their
+//! start time so exporters can render them as duration events; everything
+//! else is an instant.
+
+use ckd_net::Protocol;
+use ckd_sim::Time;
+
+/// Protocol family of a transfer, collapsed from [`ckd_net::Protocol`] so the
+/// trace layer can index fixed-size per-protocol tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtoClass {
+    /// Two-sided packetised send through bounce buffers.
+    Eager,
+    /// RTS/CTS handshake followed by a registered RDMA write.
+    Rendezvous,
+    /// One-sided RDMA write into a pre-registered buffer (CkDirect on IB).
+    RdmaPut,
+    /// DCMF-style injected message (BG/P, no RDMA).
+    Dcmf,
+    /// Small fixed-size control traffic (acks, ready marks, CTS packets).
+    Control,
+}
+
+impl ProtoClass {
+    /// Number of protocol classes (size of per-protocol tables).
+    pub const COUNT: usize = 5;
+
+    /// All classes in canonical (deterministic) order.
+    pub const ALL: [ProtoClass; ProtoClass::COUNT] = [
+        ProtoClass::Eager,
+        ProtoClass::Rendezvous,
+        ProtoClass::RdmaPut,
+        ProtoClass::Dcmf,
+        ProtoClass::Control,
+    ];
+
+    /// Stable index into per-protocol tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ProtoClass::Eager => 0,
+            ProtoClass::Rendezvous => 1,
+            ProtoClass::RdmaPut => 2,
+            ProtoClass::Dcmf => 3,
+            ProtoClass::Control => 4,
+        }
+    }
+
+    /// Short human-readable label used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoClass::Eager => "eager",
+            ProtoClass::Rendezvous => "rendezvous",
+            ProtoClass::RdmaPut => "rdma-put",
+            ProtoClass::Dcmf => "dcmf",
+            ProtoClass::Control => "control",
+        }
+    }
+}
+
+impl From<Protocol> for ProtoClass {
+    fn from(p: Protocol) -> ProtoClass {
+        match p {
+            Protocol::Eager => ProtoClass::Eager,
+            Protocol::Rendezvous { .. } => ProtoClass::Rendezvous,
+            Protocol::RdmaPut => ProtoClass::RdmaPut,
+            Protocol::Dcmf => ProtoClass::Dcmf,
+            Protocol::Control => ProtoClass::Control,
+        }
+    }
+}
+
+/// What a PE was doing during a busy span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusyKind {
+    /// Executing an entry method (message delivery handler).
+    Entry,
+    /// Running a CkDirect completion callback.
+    Callback,
+    /// Application compute charged via `Ctx::compute`.
+    Compute,
+    /// Scheduler / envelope overhead.
+    Sched,
+}
+
+impl BusyKind {
+    /// Label used as the Chrome trace event name.
+    pub fn label(self) -> &'static str {
+        match self {
+            BusyKind::Entry => "entry",
+            BusyKind::Callback => "callback",
+            BusyKind::Compute => "compute",
+            BusyKind::Sched => "sched",
+        }
+    }
+}
+
+/// One trace record. The owning [`Record`] supplies the timestamp; span
+/// variants carry their own `start`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A two-sided message left this PE.
+    MsgSend {
+        /// Destination PE.
+        dst: u32,
+        /// Entry-point id.
+        ep: u32,
+        /// Payload bytes on the wire.
+        bytes: u64,
+        /// Protocol the model chose for this transfer.
+        proto: ProtoClass,
+    },
+    /// A message's entry method is about to run on this PE.
+    MsgDeliver {
+        /// Entry-point id.
+        ep: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A CkDirect put was issued from this PE.
+    PutIssue {
+        /// Destination PE.
+        dst: u32,
+        /// Channel handle.
+        handle: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Protocol carrying the put (rdma-put on IB, dcmf on BG/P).
+        proto: ProtoClass,
+    },
+    /// Put payload (and sentinel) landed in the destination buffer.
+    PutLand {
+        /// Channel handle.
+        handle: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// The receiver-side completion callback ran for a channel.
+    CallbackFire {
+        /// Channel handle.
+        handle: u32,
+    },
+    /// One polling sweep over the registered ready handles (span).
+    PollSweep {
+        /// When the sweep began.
+        start: Time,
+        /// Handles examined.
+        checked: u32,
+        /// Handles found complete and delivered.
+        delivered: u32,
+    },
+    /// Rendezvous request-to-send issued (instant, source side).
+    RendezvousRts {
+        /// Destination PE.
+        dst: u32,
+        /// Payload that will follow.
+        bytes: u64,
+    },
+    /// Rendezvous clear-to-send / payload acceptance (instant, receiver side).
+    RendezvousCts {
+        /// Source PE of the transfer.
+        src: u32,
+    },
+    /// A PE contributed to a reduction.
+    ReduceContribute {
+        /// Reduction sequence number.
+        red: u32,
+    },
+    /// A reduction completed at its root.
+    ReduceComplete {
+        /// Reduction sequence number.
+        red: u32,
+    },
+    /// The PE was busy from `start` to the record timestamp (span).
+    Busy {
+        /// When the span began.
+        start: Time,
+        /// What the PE was doing.
+        kind: BusyKind,
+    },
+    /// Scheduler queue depth sampled at an event boundary (counter).
+    QueueDepth {
+        /// Messages waiting in this PE's scheduler queue.
+        depth: u32,
+    },
+}
+
+/// A timestamped trace record as stored in a per-PE ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Virtual time of the record (for spans: the end of the span).
+    pub at: Time,
+    /// The event payload.
+    pub ev: TraceEvent,
+}

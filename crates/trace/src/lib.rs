@@ -1,0 +1,36 @@
+//! Projections-style tracing for the simulated CkDirect runtime.
+//!
+//! The paper's results are all *decompositions* of where time goes —
+//! envelope overhead, scheduler trips, rendezvous round-trips, the
+//! ReadyMark/ReadyPollQ polling window — and Charm++ ships the Projections
+//! tool to make exactly those visible. This crate is the reproduction's
+//! equivalent, built for the deterministic discrete-event machine:
+//!
+//! * [`TraceEvent`] — a typed, virtual-time-stamped record vocabulary
+//!   (message send/deliver, put issue/land, callback fire, poll sweeps,
+//!   rendezvous RTS/CTS, reductions, PE busy spans, queue-depth samples),
+//!   buffered per PE in bounded [`EventRing`]s with drop counters.
+//! * [`Metrics`] — per-protocol and per-channel counters plus latency
+//!   histograms (reusing `ckd_sim`'s [`Histogram`]), including the
+//!   put-issue→callback latency that one-sided systems make so hard to see.
+//! * Two exporters — [`chrome_trace_json`] (Perfetto-loadable, one track per
+//!   PE) and [`text_summary`] (per-protocol byte/count/latency breakdowns).
+//!
+//! The runtime holds a [`Tracer`] handle: a disabled tracer is a single
+//! `Option` discriminant check per instrumentation point, so the hot paths
+//! cost nothing measurable when tracing is off. All output is deterministic:
+//! two identical runs export byte-identical traces.
+//!
+//! [`Histogram`]: ckd_sim::Histogram
+
+mod event;
+mod export;
+mod metrics;
+mod ring;
+mod tracer;
+
+pub use event::{BusyKind, ProtoClass, Record, TraceEvent};
+pub use export::{chrome_trace_json, text_summary};
+pub use metrics::{ChannelStat, Metrics, ProtoStat};
+pub use ring::EventRing;
+pub use tracer::{TraceConfig, TraceInner, Tracer};

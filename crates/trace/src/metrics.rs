@@ -1,0 +1,166 @@
+//! Aggregated metrics fed from the same instrumentation points as the event
+//! rings.
+//!
+//! Everything here is deterministic: per-protocol tables are fixed-size
+//! arrays indexed by [`ProtoClass::index`], and per-channel stats live in a
+//! `BTreeMap` so iteration order never depends on hashing.
+
+use std::collections::BTreeMap;
+
+use ckd_sim::{Histogram, Time};
+
+use crate::event::ProtoClass;
+
+/// Count / byte / latency triple for one protocol class.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtoStat {
+    /// Transfers using this protocol.
+    pub count: u64,
+    /// Payload bytes moved by this protocol.
+    pub bytes: u64,
+    /// Modeled end-to-end delay per transfer, in nanoseconds.
+    pub latency_ns: Histogram,
+    /// Sum of modeled delays in nanoseconds (for mean computation).
+    pub latency_sum_ns: u64,
+}
+
+impl ProtoStat {
+    /// Mean modeled delay in nanoseconds; 0 when no transfers were seen.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-channel (per-handle) CkDirect statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStat {
+    /// Puts issued on this channel.
+    pub puts: u64,
+    /// Payloads landed and delivered on this channel.
+    pub deliveries: u64,
+    /// Payload bytes put through this channel.
+    pub bytes: u64,
+    /// Put-issue → callback-fire latency, in nanoseconds.
+    pub put_to_callback_ns: Histogram,
+    /// Sum of issue→callback latencies in nanoseconds.
+    pub put_lat_sum_ns: u64,
+}
+
+impl ChannelStat {
+    /// Mean issue→callback latency in nanoseconds; 0 without completions.
+    pub fn mean_put_latency_ns(&self) -> f64 {
+        let n = self.put_to_callback_ns.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.put_lat_sum_ns as f64 / n as f64
+        }
+    }
+}
+
+/// The metrics registry attached to an enabled tracer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Per-protocol transfer stats, indexed by [`ProtoClass::index`].
+    pub proto: [ProtoStat; ProtoClass::COUNT],
+    /// Put-issue → callback-fire latency across all channels (ns).
+    pub put_to_callback_ns: Histogram,
+    /// Sum of issue→callback latencies across all channels (ns).
+    pub put_lat_sum_ns: u64,
+    /// Handles examined per polling sweep.
+    pub poll_checked: Histogram,
+    /// Handles delivered per polling sweep (poll-window occupancy).
+    pub poll_delivered: Histogram,
+    /// Scheduler queue depth sampled at event boundaries.
+    pub queue_depth: Histogram,
+    /// Per-channel stats keyed by handle id (sorted, deterministic).
+    pub channels: BTreeMap<u32, ChannelStat>,
+    /// Rendezvous RTS packets observed.
+    pub rts: u64,
+    /// Rendezvous CTS packets observed.
+    pub cts: u64,
+    /// Reduction contributions observed.
+    pub reduce_contribs: u64,
+    /// Reductions completed at a root.
+    pub reduce_completes: u64,
+}
+
+impl Metrics {
+    /// Fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one transfer under its protocol class.
+    #[inline]
+    pub fn record_transfer(&mut self, proto: ProtoClass, bytes: u64, delay: Time) {
+        let s = &mut self.proto[proto.index()];
+        s.count += 1;
+        s.bytes += bytes;
+        let ns = delay.as_ps() / 1_000;
+        s.latency_ns.record(ns);
+        s.latency_sum_ns += ns;
+    }
+
+    /// Record a put-issue → callback latency for `handle`.
+    #[inline]
+    pub fn record_put_latency(&mut self, handle: u32, delay: Time) {
+        let ns = delay.as_ps() / 1_000;
+        self.put_to_callback_ns.record(ns);
+        self.put_lat_sum_ns += ns;
+        let ch = self.channels.entry(handle).or_default();
+        ch.put_to_callback_ns.record(ns);
+        ch.put_lat_sum_ns += ns;
+    }
+
+    /// Stats row for one protocol class.
+    pub fn proto_stat(&self, p: ProtoClass) -> &ProtoStat {
+        &self.proto[p.index()]
+    }
+
+    /// Total transfers across all protocol classes.
+    pub fn total_count(&self) -> u64 {
+        self.proto.iter().map(|s| s.count).sum()
+    }
+
+    /// Total payload bytes across all protocol classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.proto.iter().map(|s| s.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_accounting_by_class() {
+        let mut m = Metrics::new();
+        m.record_transfer(ProtoClass::Eager, 512, Time::from_us(3));
+        m.record_transfer(ProtoClass::Eager, 256, Time::from_us(2));
+        m.record_transfer(ProtoClass::RdmaPut, 4096, Time::from_us(9));
+        assert_eq!(m.proto_stat(ProtoClass::Eager).count, 2);
+        assert_eq!(m.proto_stat(ProtoClass::Eager).bytes, 768);
+        assert_eq!(m.proto_stat(ProtoClass::RdmaPut).count, 1);
+        assert_eq!(m.total_count(), 3);
+        assert_eq!(m.total_bytes(), 768 + 4096);
+        assert_eq!(m.proto_stat(ProtoClass::Eager).latency_ns.count(), 2);
+    }
+
+    #[test]
+    fn put_latency_feeds_global_and_channel() {
+        let mut m = Metrics::new();
+        m.record_put_latency(7, Time::from_us(12));
+        m.record_put_latency(7, Time::from_us(14));
+        m.record_put_latency(9, Time::from_us(5));
+        assert_eq!(m.put_to_callback_ns.count(), 3);
+        assert_eq!(m.channels[&7].put_to_callback_ns.count(), 2);
+        assert_eq!(m.channels[&9].put_to_callback_ns.count(), 1);
+        let handles: Vec<_> = m.channels.keys().copied().collect();
+        assert_eq!(handles, vec![7, 9], "BTreeMap keeps deterministic order");
+    }
+}

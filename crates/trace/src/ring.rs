@@ -1,0 +1,118 @@
+//! Bounded per-PE event storage.
+//!
+//! Tracing a long run can produce far more records than memory should hold,
+//! so each PE buffers into a fixed-capacity ring. When the ring is full the
+//! *oldest* record is overwritten (the most recent window of activity is the
+//! useful one for debugging) and a drop counter records how much history was
+//! lost — saturation is always visible, never silent.
+
+use std::collections::VecDeque;
+
+use crate::event::Record;
+
+/// Fixed-capacity ring of trace records with overwrite-oldest semantics.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: VecDeque<Record>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` records (`cap` ≥ 1 is enforced).
+    pub fn new(cap: usize) -> EventRing {
+        let cap = cap.max(1);
+        EventRing {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest one if the ring is full.
+    #[inline]
+    pub fn push(&mut self, rec: Record) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use ckd_sim::Time;
+
+    fn rec(i: u64) -> Record {
+        Record {
+            at: Time::from_ns(i),
+            ev: TraceEvent::QueueDepth { depth: i as u32 },
+        }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(rec(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let times: Vec<_> = r.iter().map(|x| x.at.as_ps()).collect();
+        assert_eq!(times, vec![0, 1_000, 2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn saturation_reports_drop_count_and_keeps_newest() {
+        let mut r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(rec(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6, "6 of 10 records must be counted as lost");
+        let times: Vec<_> = r.iter().map(|x| x.at).collect();
+        assert_eq!(
+            times,
+            (6..10).map(Time::from_ns).collect::<Vec<_>>(),
+            "the newest window survives"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(rec(1));
+        r.push(rec(2));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -77,7 +77,7 @@ fn main() {
         }
         let direct_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
 
-        let (qtx, qrx) = crossbeam::channel::unbounded::<Vec<u8>>();
+        let (qtx, qrx) = std::sync::mpsc::channel::<Vec<u8>>();
         let t0 = Instant::now();
         for _ in 0..ITERS {
             qtx.send(payload.clone()).unwrap(); // alloc + copy (envelope path)

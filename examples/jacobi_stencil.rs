@@ -7,9 +7,7 @@
 //! cargo run --release --example jacobi_stencil
 //! ```
 
-use ckd_apps::jacobi3d::{
-    improvement_percent, run_jacobi_grid, serial_jacobi, JacobiCfg,
-};
+use ckd_apps::jacobi3d::{improvement_percent, run_jacobi_grid, serial_jacobi, JacobiCfg};
 use ckd_apps::{Platform, Variant};
 
 fn main() {

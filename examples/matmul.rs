@@ -48,8 +48,7 @@ fn main() {
         "time per multiplication: MSG {:.1} us, CKD {:.1} us ({:.1}% faster)",
         msg_result.time_per_iter.as_us_f64(),
         ckd_result.time_per_iter.as_us_f64(),
-        100.0
-            * (msg_result.time_per_iter.as_secs_f64() - ckd_result.time_per_iter.as_secs_f64())
+        100.0 * (msg_result.time_per_iter.as_secs_f64() - ckd_result.time_per_iter.as_secs_f64())
             / msg_result.time_per_iter.as_secs_f64()
     );
     println!("(scaling behaviour: `cargo bench --bench fig3`)");

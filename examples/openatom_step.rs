@@ -77,9 +77,7 @@ fn main() {
     );
     println!();
     if naive.time_per_step > msg.time_per_step {
-        println!(
-            "naive polling made CkDirect SLOWER than messages (the paper's §5.2 experience);"
-        );
+        println!("naive polling made CkDirect SLOWER than messages (the paper's §5.2 experience);");
     }
     println!(
         "bounding the polling window cut sentinel checks by {:.1}x and made CkDirect {:.1}% faster than messages",

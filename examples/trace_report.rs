@@ -1,0 +1,90 @@
+//! Trace a jacobi3d run on the Abe (Infiniband) preset and emit both
+//! `ckd-trace` exports:
+//!
+//! * `target/jacobi3d.trace.json` — Chrome trace-event JSON; open it in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see one
+//!   timeline track per PE with message sends, put issues/landings,
+//!   callback fires, poll sweeps, and busy spans.
+//! * `target/jacobi3d.summary.txt` — plain-text per-protocol and
+//!   per-channel breakdown.
+//!
+//! The example also cross-checks the trace metrics against the machine's
+//! own counters: the per-protocol put/message counts visible in the export
+//! must reconcile with `MachineStats`.
+
+use ckd_apps::jacobi3d::{run_jacobi_on, JacobiCfg};
+use ckd_apps::{Platform, Variant};
+use ckd_charm::{chrome_trace_json, text_summary, TraceConfig};
+use ckd_trace::ProtoClass;
+
+fn main() {
+    let pes = 8;
+    let mut m = Platform::IbAbe { cores_per_node: 8 }.machine(pes);
+    m.enable_tracing(TraceConfig::default());
+
+    let cfg = JacobiCfg {
+        domain: [48, 48, 48],
+        chares: [4, 2, 2], // 2 chares per PE
+        iters: 12,
+        variant: Variant::Ckd,
+        real_compute: true,
+    };
+    let res = run_jacobi_on(&mut m, cfg);
+
+    // --- reconcile trace metrics with the machine's own counters ---------
+    let stats = m.stats().clone();
+    let metrics = m.tracer().metrics().expect("tracing was enabled");
+    let puts_traced = metrics.proto_stat(ProtoClass::RdmaPut).count;
+    let msgs_traced = metrics.proto_stat(ProtoClass::Eager).count
+        + metrics.proto_stat(ProtoClass::Rendezvous).count
+        + metrics.proto_stat(ProtoClass::Dcmf).count;
+    assert_eq!(
+        puts_traced, stats.puts,
+        "traced puts must match MachineStats"
+    );
+    assert_eq!(
+        puts_traced, stats.proto.rdma_put.count,
+        "trace and stats breakdowns disagree on puts"
+    );
+    assert_eq!(
+        msgs_traced, stats.msgs_sent,
+        "traced messages must match MachineStats"
+    );
+    assert_eq!(
+        metrics.proto_stat(ProtoClass::RdmaPut).bytes,
+        stats.put_bytes,
+        "traced put bytes must match MachineStats"
+    );
+    assert_eq!(
+        metrics.proto_stat(ProtoClass::Control).count,
+        stats.proto.control.count,
+        "traced control packets must match the stats breakdown"
+    );
+    let direct = m.direct_counters();
+    assert_eq!(
+        metrics.put_to_callback_ns.count(),
+        direct.deliveries,
+        "every delivered put closes one latency sample"
+    );
+
+    // --- emit both exports ----------------------------------------------
+    let json = chrome_trace_json(m.tracer()).expect("enabled tracer exports");
+    let summary = text_summary(m.tracer()).expect("enabled tracer exports");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/jacobi3d.trace.json", &json).expect("write trace json");
+    std::fs::write("target/jacobi3d.summary.txt", &summary).expect("write summary");
+
+    println!("{summary}");
+    println!(
+        "jacobi3d {}x{}x{} on {} PEs: {} iters, {} / iter",
+        cfg.domain[0], cfg.domain[1], cfg.domain[2], pes, res.iters, res.time_per_iter
+    );
+    println!(
+        "wrote target/jacobi3d.trace.json ({} bytes) — load it in Perfetto",
+        json.len()
+    );
+    println!(
+        "wrote target/jacobi3d.summary.txt ({} bytes)",
+        summary.len()
+    );
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, lints.
+#
+# The development environment has no network access, so every cargo call
+# runs with --offline; the workspace is std-only (plus the vendored
+# crates/bytes) and needs nothing from a registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test --offline --workspace -q
+
+if cargo fmt --version >/dev/null 2>&1; then
+    run cargo fmt --all --check
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lints"
+fi
+
+echo "All checks passed."

@@ -31,10 +31,7 @@ fn ckdirect_wins_table1_at_every_size() {
             ("MVAPICH", mvapich),
             ("MVAPICH-Put", put),
         ] {
-            assert!(
-                ckd < rtt,
-                "{bytes}B: CkDirect {ckd} !< {name} {rtt}"
-            );
+            assert!(ckd < rtt, "{bytes}B: CkDirect {ckd} !< {name} {rtt}");
         }
     }
 }
@@ -75,13 +72,7 @@ fn stencil_correct_on_all_transport_platform_combinations() {
                     real_compute: true,
                 },
             );
-            assert_eq!(
-                grid,
-                reference,
-                "{} / {:?}",
-                platform.label(),
-                variant
-            );
+            assert_eq!(grid, reference, "{} / {:?}", platform.label(), variant);
         }
     }
 }
