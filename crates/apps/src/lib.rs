@@ -16,6 +16,7 @@
 pub mod common;
 pub mod jacobi3d;
 pub mod matmul3d;
+pub mod mutants;
 pub mod openatom;
 pub mod pingpong;
 

@@ -279,8 +279,7 @@ impl MatmulChare {
             Variant::Msg => {
                 let data = block
                     .as_ref()
-                    .map(Self::mat_to_bytes)
-                    .unwrap_or_else(|| Bytes::from(vec![0u8; 64]));
+                    .map_or_else(|| Bytes::from(vec![0u8; 64]), Self::mat_to_bytes);
                 let c = self.cfg.grid;
                 let [x, y, z] = self.pos;
                 for k in 1..c {
@@ -676,24 +675,26 @@ impl Chare for MatmulChare {
     }
 }
 
-fn build(
-    platform: Platform,
-    pes: usize,
-    cfg: MatmulCfg,
-) -> (ckd_charm::Machine, ckd_charm::ArrayId) {
+fn build(m: &mut ckd_charm::Machine, cfg: MatmulCfg) -> ckd_charm::ArrayId {
     assert_eq!(cfg.n % cfg.grid, 0, "grid must divide N");
-    let mut m = platform.machine(pes);
     let dims = Dims::d3(cfg.grid, cfg.grid, cfg.grid);
     let arr = m.create_array("matmul", dims, Mapper::Block, |idx| {
         Box::new(MatmulChare::new(cfg, idx))
     });
     m.seed_broadcast(arr, Msg::signal(EP_SETUP));
-    (m, arr)
+    arr
 }
 
 /// Run the multiplication benchmark.
 pub fn run_matmul(platform: Platform, pes: usize, cfg: MatmulCfg) -> MatmulResult {
-    let (mut m, arr) = build(platform, pes, cfg);
+    let mut m = platform.machine(pes);
+    run_matmul_on(&mut m, cfg)
+}
+
+/// [`run_matmul`] on a caller-built machine — used by the sanitizer suite
+/// to run with race checking enabled and inspect the diagnostics after.
+pub fn run_matmul_on(m: &mut ckd_charm::Machine, cfg: MatmulCfg) -> MatmulResult {
+    let arr = build(m, cfg);
     let total = m.run();
     let mut t0 = Time::MAX;
     let mut t1 = Time::ZERO;
@@ -719,7 +720,8 @@ pub fn run_matmul(platform: Platform, pes: usize, cfg: MatmulCfg) -> MatmulResul
 /// Run with real data and return the assembled `C` (verification helper).
 pub fn run_matmul_verify(platform: Platform, pes: usize, cfg: MatmulCfg) -> (MatmulResult, Mat) {
     assert!(cfg.real_compute);
-    let (mut m, arr) = build(platform, pes, cfg);
+    let mut m = platform.machine(pes);
+    let arr = build(&mut m, cfg);
     let total = m.run();
     let nb = cfg.nb();
     let mut out = Mat::zeros(cfg.n, cfg.n);

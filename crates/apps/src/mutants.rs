@@ -1,0 +1,217 @@
+//! Deliberately-racy mutants of the application protocols, used to prove
+//! the happens-before sanitizer (`ckd-race`) catches real lifecycle races.
+//!
+//! Each mutant reproduces a bug class the paper's unsynchronized put model
+//! makes possible when the application skips its side of the contract:
+//!
+//! * [`MutantKind::SkipReadyJacobi`] — a halo-exchange-style ring where the
+//!   receiver "forgets" one `CkDirect_ready` re-arm, so the next put finds
+//!   the landing window still holding unconsumed data;
+//! * [`MutantKind::EarlyReadPingpong`] — a pingpong where the receiver reads
+//!   the landing window on a hint message, *before* the completion callback
+//!   says the payload finished landing;
+//! * [`MutantKind::DoublePutMatmul`] — a matmul-style producer that issues
+//!   two back-to-back puts on the same channel without waiting for the
+//!   first to complete.
+//!
+//! The mutants intentionally swallow the runtime's rejections (the bug is
+//! that the app *ignores* the contract), so each carries `ckd-lint` allow
+//! markers where the static lint would otherwise flag the misuse.
+
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg};
+use ckd_race::SanitizerConfig;
+use ckd_topo::{Dims, Idx, Mapper};
+use ckdirect::{HandleId, Region};
+
+use crate::common::{Platform, OOB_PATTERN};
+
+const EP_START: EntryId = EntryId(0);
+const EP_HANDSHAKE: EntryId = EntryId(1);
+const EP_HINT: EntryId = EntryId(2);
+
+/// Which deliberately-broken protocol to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutantKind {
+    /// Receiver skips one `ready` re-arm; the next put overwrites an
+    /// unconsumed buffer.
+    SkipReadyJacobi,
+    /// Receiver reads the landing window before the completion callback.
+    EarlyReadPingpong,
+    /// Sender issues a second put while the first is still in flight.
+    DoublePutMatmul,
+}
+
+impl MutantKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MutantKind::SkipReadyJacobi => "skip-ready-jacobi",
+            MutantKind::EarlyReadPingpong => "early-read-pingpong",
+            MutantKind::DoublePutMatmul => "double-put-matmul",
+        }
+    }
+}
+
+/// One endpoint of a bidirectional CkDirect exchange, with the mutant's
+/// specific misbehavior switched in by `kind`.
+struct MutantPeer {
+    kind: MutantKind,
+    peer: Option<ChareRef>,
+    initiator: bool,
+    iters: u32,
+    bounces: u32,
+    recv_region: Region,
+    send_region: Region,
+    recv_handle: Option<HandleId>,
+    send_handle: Option<HandleId>,
+}
+
+impl MutantPeer {
+    fn new(kind: MutantKind, bytes: usize, iters: u32, initiator: bool) -> MutantPeer {
+        let len = bytes.max(8);
+        let send_region = Region::alloc(len);
+        send_region.set_last_word(0x5AA5_5AA5_5AA5_5AA5);
+        MutantPeer {
+            kind,
+            peer: None,
+            initiator,
+            iters,
+            bounces: 0,
+            recv_region: Region::alloc(len),
+            send_region,
+            recv_handle: None,
+            send_handle: None,
+        }
+    }
+
+    /// Put toward the peer, deliberately ignoring a rejection — the mutant
+    /// models an app that does not check the runtime's verdict.
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        let h = self.send_handle.expect("handshake done");
+        if self.kind == MutantKind::EarlyReadPingpong {
+            // hint the peer that data is on the way *before* the put
+            // completes — the peer will read the window on this hint
+            ctx.send(self.peer.unwrap(), Msg::signal(EP_HINT));
+        }
+        // ckd-lint: allow(swallowed-direct-error)
+        let _ = ctx.direct_put(h); // bug under test: rejection ignored
+        if self.kind == MutantKind::DoublePutMatmul && self.bounces == 0 {
+            // second put without waiting for the first completion
+            // ckd-lint: allow(swallowed-direct-error) ckd-lint: allow(double-put-same-handle)
+            let _ = ctx.direct_put(h);
+        }
+    }
+}
+
+impl Chare for MutantPeer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.peer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                let h = ctx
+                    .direct_create_handle(self.recv_region.clone(), OOB_PATTERN, 0)
+                    .expect("create");
+                self.recv_handle = Some(h);
+                ctx.send(self.peer.unwrap(), Msg::value(EP_HANDSHAKE, h, 16));
+            }
+            EP_HANDSHAKE => {
+                let h = *msg.payload.downcast::<HandleId>().unwrap();
+                ctx.direct_assoc_local(h, self.send_region.clone())
+                    .expect("assoc");
+                self.send_handle = Some(h);
+                if self.initiator {
+                    self.serve(ctx);
+                }
+            }
+            EP_HINT => {
+                // bug under test: peek at the landing window before the
+                // completion callback has fired
+                let h = self.recv_handle.expect("created");
+                // ckd-lint: allow(recv-read-outside-callback)
+                let r = ctx.direct_recv_region(h).expect("region");
+                let _ = r.len();
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, handle: HandleId) {
+        self.bounces += 1;
+        let skip = self.kind == MutantKind::SkipReadyJacobi
+            && !self.initiator
+            && self.bounces == self.iters / 2;
+        if skip {
+            // bug under test: this iteration's re-arm is forgotten, so the
+            // initiator's next put lands on an unconsumed window
+        } else {
+            ctx.direct_ready(handle).expect("ready");
+        }
+        if self.bounces < self.iters {
+            self.serve(ctx);
+        }
+    }
+}
+
+/// Build, run, and return the machine for `kind` with the sanitizer on.
+/// The caller inspects `machine.sanitizer()` for the diagnostics the race
+/// produced.
+pub fn run_mutant(kind: MutantKind) -> Machine {
+    let platform = Platform::IbAbe { cores_per_node: 2 };
+    let mut m = platform.machine(4);
+    m.enable_sanitizer(SanitizerConfig::default());
+    let (iters, bytes) = match kind {
+        // large payloads so the hint message outruns the landing put
+        MutantKind::EarlyReadPingpong => (4, 100_000),
+        _ => (6, 1_000),
+    };
+    let npes = m.npes();
+    let arr = m.create_array("mutant", Dims::d1(npes), Mapper::Block, |idx| {
+        Box::new(MutantPeer::new(kind, bytes, iters, idx.at(0) == 0)) as Box<dyn Chare>
+    });
+    let a = m.element(arr, Idx::i1(0));
+    let b = m.element(arr, Idx::i1(1));
+    m.seed(a, Msg::value(EP_START, b, 8));
+    m.seed(b, Msg::value(EP_START, a, 8));
+    m.run();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckd_race::RaceKind;
+
+    fn kinds(m: &Machine) -> Vec<RaceKind> {
+        m.sanitizer().diagnostics().iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn skip_ready_is_caught_as_overwrite() {
+        let m = run_mutant(MutantKind::SkipReadyJacobi);
+        assert!(
+            kinds(&m).contains(&RaceKind::OverwriteUnconsumed),
+            "got {:?}",
+            kinds(&m)
+        );
+    }
+
+    #[test]
+    fn early_read_is_caught() {
+        let m = run_mutant(MutantKind::EarlyReadPingpong);
+        assert!(
+            kinds(&m).contains(&RaceKind::ReadBeforeCompletion),
+            "got {:?}",
+            kinds(&m)
+        );
+    }
+
+    #[test]
+    fn double_put_is_caught_as_in_flight() {
+        let m = run_mutant(MutantKind::DoublePutMatmul);
+        assert!(
+            kinds(&m).contains(&RaceKind::PutWhileInFlight),
+            "got {:?}",
+            kinds(&m)
+        );
+    }
+}

@@ -439,9 +439,15 @@ impl Chare for Pc {
 
 /// Run the mini-OpenAtom benchmark.
 pub fn run_openatom(platform: Platform, pes: usize, cfg: OpenAtomCfg) -> OpenAtomResult {
+    let mut m = platform.machine(pes);
+    run_openatom_on(&mut m, cfg)
+}
+
+/// [`run_openatom`] on a caller-built machine — used by the sanitizer suite
+/// to run with race checking enabled and inspect the diagnostics after.
+pub fn run_openatom_on(m: &mut ckd_charm::Machine, cfg: OpenAtomCfg) -> OpenAtomResult {
     assert_eq!(cfg.nstates % cfg.grain, 0, "grain must divide nstates");
     assert!(cfg.pts * 8 >= 16, "points buffer too small");
-    let mut m = platform.machine(pes);
     let g = cfg.g();
 
     let gs_dims = Dims::d2(cfg.nstates, cfg.nplanes);

@@ -290,16 +290,22 @@ pub fn charm_pingpong(
     bytes: usize,
     iters: u32,
 ) -> PingResult {
-    let m = platform.machine(platform.min_pes().max(8));
-    charm_pingpong_on(m, variant, bytes, iters)
+    let mut m = platform.machine(platform.min_pes().max(8));
+    charm_pingpong_on(&mut m, variant, bytes, iters)
 }
 
 /// [`charm_pingpong`] on a caller-built machine — the ablation benches use
 /// this to sweep runtime-cost parameters (header size, scheduler overhead,
-/// rendezvous threshold).
-pub fn charm_pingpong_on(mut m: Machine, variant: Variant, bytes: usize, iters: u32) -> PingResult {
+/// rendezvous threshold), and the sanitizer suite to inspect diagnostics
+/// after the run.
+pub fn charm_pingpong_on(
+    m: &mut Machine,
+    variant: Variant,
+    bytes: usize,
+    iters: u32,
+) -> PingResult {
     assert!(iters > 0);
-    let (pa, pb) = cross_node_pes(&m);
+    let (pa, pb) = cross_node_pes(m);
     let npes = m.npes();
     // Map a 1-per-PE array and use the elements homed on the two PEs.
     let mk = |initiator: bool| -> Box<dyn Chare> {

@@ -88,8 +88,8 @@ fn ablation_header(iters: u32) {
     for env in [0usize, 40, 80, 160, 320] {
         let mut cfg = RtsConfig::ib_abe();
         cfg.env_bytes = env;
-        let msg = charm_pingpong_on(ib_machine_with(cfg), Variant::Msg, 100, iters).rtt;
-        let ckd = charm_pingpong_on(ib_machine_with(cfg), Variant::Ckd, 100, iters).rtt;
+        let msg = charm_pingpong_on(&mut ib_machine_with(cfg), Variant::Msg, 100, iters).rtt;
+        let ckd = charm_pingpong_on(&mut ib_machine_with(cfg), Variant::Ckd, 100, iters).rtt;
         println!(
             "{:<12} {:>12.3} {:>12.3}",
             env,
@@ -108,8 +108,8 @@ fn ablation_sched(iters: u32) {
     for sched_ns in [0u64, 1000, 2500, 5000, 10000] {
         let mut cfg = RtsConfig::ib_abe();
         cfg.sched = Time::from_ns(sched_ns);
-        let msg = charm_pingpong_on(ib_machine_with(cfg), Variant::Msg, 100, iters).rtt;
-        let ckd = charm_pingpong_on(ib_machine_with(cfg), Variant::Ckd, 100, iters).rtt;
+        let msg = charm_pingpong_on(&mut ib_machine_with(cfg), Variant::Msg, 100, iters).rtt;
+        let ckd = charm_pingpong_on(&mut ib_machine_with(cfg), Variant::Ckd, 100, iters).rtt;
         println!(
             "{:<12.1} {:>12.3} {:>12.3}",
             sched_ns as f64 / 1000.0,
@@ -161,7 +161,7 @@ fn ablation_rendezvous(iters: u32) {
     for max_kb in [8usize, 16, 24, 32, 64] {
         let mut cfg = RtsConfig::ib_abe();
         cfg.eager_max = max_kb * 1024;
-        let msg = charm_pingpong_on(ib_machine_with(cfg), Variant::Msg, 30_000, iters).rtt;
+        let msg = charm_pingpong_on(&mut ib_machine_with(cfg), Variant::Msg, 30_000, iters).rtt;
         println!("{:<14} {:>12.3}", max_kb, msg.as_us_f64());
     }
     println!("(the default 20 KB switch makes 30 KB messages pay the rendezvous)");

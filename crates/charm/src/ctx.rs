@@ -2,6 +2,7 @@
 //! callbacks: the user-facing API of the runtime.
 
 use ckd_net::{FabricParams, Protocol, Timing};
+use ckd_race::DirectOp;
 use ckd_sim::Time;
 use ckd_topo::{Idx, Pe};
 use ckd_trace::ProtoClass;
@@ -11,7 +12,7 @@ use crate::array::ArrayId;
 use crate::chare::ChareRef;
 use crate::learn::{LearnKey, LearnState};
 use crate::machine::{CbKind, DirectCb, Ev, Machine};
-use crate::msg::{Msg, Payload};
+use crate::msg::{EntryId, Msg, Payload};
 use crate::reduction::{RedOp, RedTarget, RedVal};
 
 /// Execution context of one entry-method or callback invocation.
@@ -147,6 +148,7 @@ impl<'a> Ctx<'a> {
                     .rts(self.pe.idx(), begin, dst.0, msg.size as u64);
             }
         }
+        let edge = self.m.san.edge_out(self.pe.idx());
         self.m.events.push(
             begin + alloc + t.delay,
             Ev::MsgArrive {
@@ -157,6 +159,7 @@ impl<'a> Ctx<'a> {
                 overlap_cpu: t.overlap_cpu,
                 from: self.pe,
                 proto: pclass,
+                edge,
             },
         );
     }
@@ -196,11 +199,18 @@ impl<'a> Ctx<'a> {
             .entry(key)
             .or_insert_with(LearnState::new);
         st.observed += 1;
+        let observed = st.observed;
+        let installed = st.handle.is_some();
+        let active = if now >= st.active_at {
+            st.handle.zip(st.send_region.clone())
+        } else {
+            None
+        };
 
         // fast path: an active channel
-        if let (Some(h), true) = (st.handle, now >= st.active_at) {
-            let region = st.send_region.clone().expect("installed with handle");
+        if let Some((h, region)) = active {
             region.copy_from_slice(data);
+            self.m.san.set_ctx(self.pe.idx(), now);
             match self.m.direct.put(h, self.pe) {
                 Ok(req) => {
                     // pack into the window: the copy an RDMA path still pays
@@ -216,61 +226,89 @@ impl<'a> Ctx<'a> {
                             recv_cpu: t.recv_cpu,
                         },
                     );
-                    self.m.learner.streams.get_mut(&key).unwrap().hits += 1;
+                    if let Some(st) = self.m.learner.streams.get_mut(&key) {
+                        st.hits += 1;
+                    }
                     return;
                 }
                 Err(_) => {
                     // receiver still holds the previous iteration (or the
-                    // payload collides with the pattern): fall back
-                    self.m.learner.streams.get_mut(&key).unwrap().misses += 1;
+                    // payload collides with the pattern): fall back. This is
+                    // the protocol's designed escape hatch, not a race — the
+                    // sanitizer exempts runtime-managed channels for the same
+                    // reason.
+                    if let Some(st) = self.m.learner.streams.get_mut(&key) {
+                        st.misses += 1;
+                    }
                     return self.send(to, msg);
                 }
             }
         }
 
         // observation path: maybe install a channel for next time
-        if st.handle.is_none() && st.observed >= cfg.threshold {
-            let dst_pe = self.m.home_pe(to);
-            let recv = Region::alloc(msg.size);
-            let send = Region::alloc(msg.size);
-            send.set_last_word(!u64::MAX); // anything but the pattern
-            let h = self
-                .m
-                .direct
-                .create_handle(
-                    dst_pe,
-                    recv,
-                    u64::MAX,
-                    DirectCb {
-                        target: to,
-                        kind: CbKind::Learned(msg.ep),
-                    },
-                )
-                .expect("learned channel");
+        if !installed && observed >= cfg.threshold {
+            self.install_learned_channel(to, key, msg.ep, msg.size, now);
+        }
+        self.send(to, msg);
+    }
+
+    /// Create and wire up a learned channel for `key`. A failure is reported
+    /// to the sanitizer (when enabled) and otherwise absorbed: the stream
+    /// simply keeps using plain messages.
+    fn install_learned_channel(
+        &mut self,
+        to: ChareRef,
+        key: LearnKey,
+        ep: EntryId,
+        size: usize,
+        now: Time,
+    ) {
+        let dst_pe = self.m.home_pe(to);
+        let recv = Region::alloc(size);
+        let send = Region::alloc(size);
+        send.set_last_word(!u64::MAX); // anything but the pattern
+        self.m.san.set_ctx(self.pe.idx(), now);
+        let h = match self.m.direct.create_handle(
+            dst_pe,
+            recv,
+            u64::MAX,
+            DirectCb {
+                target: to,
+                kind: CbKind::Learned(ep),
+            },
+        ) {
+            Ok(h) => h,
+            Err(_) => return, // could not create a channel: keep messaging
+        };
+        // the runtime owns this channel's re-arm protocol and falls back to
+        // a plain message whenever a put is rejected, so its unsynchronized
+        // puts are safe by construction
+        self.m.san.mark_runtime_managed(h);
+        if let Err(e) = self.m.direct.assoc_local(h, self.pe, send.clone()) {
             self.m
-                .direct
-                .assoc_local(h, self.pe, send.clone())
-                .expect("learned assoc");
-            // registration on both PEs, handle shipping as a control trip
-            self.charge_registration(msg.size);
-            if let ckd_net::FabricParams::IbVerbs(p) = self.m.net.fabric() {
-                let reg = p.reg_base + Time::from_ps(p.reg_ps_per_byte * msg.size as u64);
-                let st_pe = &mut self.m.pes[dst_pe.idx()];
-                st_pe.busy_until = st_pe.busy_until.max(now) + reg;
-                st_pe.stats.busy += reg;
-            }
-            let ship = self.m.net.control(self.pe, dst_pe).delay;
-            let ack = self.m.net.control(dst_pe, self.pe).delay;
-            let trip = ship + ack;
-            // the handle ships in one control packet each way
-            self.m.record_control(self.pe, ship);
-            self.m.record_control(dst_pe, ack);
-            let st = self.m.learner.streams.get_mut(&key).unwrap();
+                .san
+                .op_failed(self.pe.idx(), now, h, DirectOp::Assoc, e);
+            return;
+        }
+        // registration on both PEs, handle shipping as a control trip
+        self.charge_registration(size);
+        if let FabricParams::IbVerbs(p) = self.m.net.fabric() {
+            let reg = p.reg_base + Time::from_ps(p.reg_ps_per_byte * size as u64);
+            let st_pe = &mut self.m.pes[dst_pe.idx()];
+            st_pe.busy_until = st_pe.busy_until.max(now) + reg;
+            st_pe.stats.busy += reg;
+        }
+        let ship = self.m.net.control(self.pe, dst_pe).delay;
+        let ack = self.m.net.control(dst_pe, self.pe).delay;
+        let trip = ship + ack;
+        // the handle ships in one control packet each way
+        self.m.record_control(self.pe, ship);
+        self.m.record_control(dst_pe, ack);
+        if let Some(st) = self.m.learner.streams.get_mut(&key) {
             st.handle = Some(h);
             st.send_region = Some(send);
             st.active_at = now + trip;
         }
-        self.send(to, msg);
     }
 
     /// Enqueue a message for a chare on *this* PE without any network or
@@ -292,6 +330,9 @@ impl<'a> Ctx<'a> {
                 overlap_cpu: Time::ZERO,
                 from: self.pe,
                 proto: ProtoClass::Control,
+                // same-PE delivery: program order is already a
+                // happens-before edge, no token needed
+                edge: 0,
             },
         );
     }
@@ -329,6 +370,7 @@ impl<'a> Ctx<'a> {
         tag: u32,
     ) -> Result<HandleId, DirectError> {
         self.charge_registration(recv.len());
+        self.san_ctx();
         self.m.direct.create_handle(
             self.pe,
             recv,
@@ -352,6 +394,7 @@ impl<'a> Ctx<'a> {
         wire_bytes: usize,
     ) -> Result<HandleId, DirectError> {
         self.charge_registration(wire_bytes);
+        self.san_ctx();
         self.m.direct.create_handle_wire(
             self.pe,
             recv,
@@ -375,6 +418,7 @@ impl<'a> Ctx<'a> {
         tag: u32,
     ) -> Result<HandleId, DirectError> {
         self.charge_registration(spec.payload_len());
+        self.san_ctx();
         self.m.direct.create_handle_strided(
             self.pe,
             backing,
@@ -396,9 +440,11 @@ impl<'a> Ctx<'a> {
         spec: StridedSpec,
     ) -> Result<(), DirectError> {
         self.charge_registration(spec.payload_len());
+        let now = self.san_ctx();
         self.m
             .direct
             .assoc_local_strided(handle, self.pe, backing, spec)
+            .map_err(|e| self.san_fail(now, handle, DirectOp::Assoc, e))
     }
 
     /// `CkDirect_assocLocal`: bind this chare's `send` buffer to a handle
@@ -409,7 +455,11 @@ impl<'a> Ctx<'a> {
         send: Region,
     ) -> Result<(), DirectError> {
         self.charge_registration(send.len());
-        self.m.direct.assoc_local(handle, self.pe, send)
+        let now = self.san_ctx();
+        self.m
+            .direct
+            .assoc_local(handle, self.pe, send)
+            .map_err(|e| self.san_fail(now, handle, DirectOp::Assoc, e))
     }
 
     /// `CkDirect_put`: the one-sided transfer. Pays only the RDMA issue
@@ -421,7 +471,12 @@ impl<'a> Ctx<'a> {
         if let Some(bytes) = self.m.direct.strided_send_bytes(handle)? {
             self.charge_bytes(2 * bytes as u64);
         }
-        let req = self.m.direct.put(handle, self.pe)?;
+        let now = self.san_ctx();
+        let req = self
+            .m
+            .direct
+            .put(handle, self.pe)
+            .map_err(|e| self.san_fail(now, handle, DirectOp::Put, e))?;
         let t = self.m.net.put(req.src, req.dst, req.bytes);
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
@@ -446,7 +501,12 @@ impl<'a> Ctx<'a> {
         if let Some(bytes) = self.m.direct.strided_send_bytes(handle)? {
             self.charge_bytes(2 * bytes as u64);
         }
-        let req = self.m.direct.get(handle, self.pe)?;
+        let now = self.san_ctx();
+        let req = self
+            .m
+            .direct
+            .get(handle, self.pe)
+            .map_err(|e| self.san_fail(now, handle, DirectOp::Get, e))?;
         let t = self.m.net.get(req.src, req.dst, req.bytes);
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
@@ -472,7 +532,11 @@ impl<'a> Ctx<'a> {
     /// pattern, without resuming polling. Call as soon as the data has been
     /// consumed.
     pub fn direct_ready_mark(&mut self, handle: HandleId) -> Result<(), DirectError> {
-        self.m.direct.ready_mark(handle)
+        let now = self.san_ctx();
+        self.m
+            .direct
+            .ready_mark(handle)
+            .map_err(|e| self.san_fail(now, handle, DirectOp::ReadyMark, e))
     }
 
     /// `CkDirect_ReadyPollQ`: resume polling the handle. Call just before
@@ -480,20 +544,28 @@ impl<'a> Ctx<'a> {
     /// the per-handle poll cost (§5.2 of the paper). If the put already
     /// landed, the callback fires right after this invocation returns.
     pub fn direct_ready_poll_q(&mut self, handle: HandleId) -> Result<(), DirectError> {
-        if let Some(cb) = self.m.direct.ready_poll_q(handle)? {
-            debug_assert_eq!(
-                self.m.direct.recv_pe(handle),
-                Ok(self.pe),
-                "ready_poll_q from a non-owner PE"
-            );
-            self.pending.push((cb, handle));
+        let now = self.san_ctx();
+        match self.m.direct.ready_poll_q(handle) {
+            Ok(Some(cb)) => {
+                debug_assert_eq!(
+                    self.m.direct.recv_pe(handle),
+                    Ok(self.pe),
+                    "ready_poll_q from a non-owner PE"
+                );
+                self.pending.push((cb, handle));
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => Err(self.san_fail(now, handle, DirectOp::ReadyPollQ, e)),
         }
-        Ok(())
     }
 
     /// The receive window of a channel (the same storage registered at
     /// creation — reading it *is* reading the landed data).
     pub fn direct_recv_region(&self, handle: HandleId) -> Result<Region, DirectError> {
+        self.m
+            .san
+            .read_region(self.pe.idx(), self.start + self.elapsed, handle);
         self.m.direct.recv_region(handle)
     }
 
@@ -508,6 +580,22 @@ impl<'a> Ctx<'a> {
     /// Stop the machine after this invocation (end of the program).
     pub fn exit(&mut self) {
         self.m.stop = true;
+    }
+
+    /// Point the sanitizer's virtual clock at this PE before a direct op,
+    /// returning the current virtual time for any follow-up report.
+    fn san_ctx(&mut self) -> Time {
+        let now = self.start + self.elapsed;
+        self.m.san.set_ctx(self.pe.idx(), now);
+        now
+    }
+
+    /// Report a rejected direct op to the sanitizer. The error still
+    /// propagates to the caller — the sanitizer only records the race the
+    /// rejection is evidence of.
+    fn san_fail(&self, now: Time, handle: HandleId, op: DirectOp, err: DirectError) -> DirectError {
+        self.m.san.op_failed(self.pe.idx(), now, handle, op, err);
+        err
     }
 
     fn charge_registration(&mut self, bytes: usize) {

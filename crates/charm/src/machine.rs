@@ -26,6 +26,7 @@
 use std::collections::VecDeque;
 
 use ckd_net::{NetModel, Protocol};
+use ckd_race::{Sanitizer, SanitizerConfig};
 use ckd_sim::{EventQueue, Time};
 use ckd_topo::{Dims, Idx, Mapper, Pe};
 use ckd_trace::{BusyKind, ProtoClass, TraceConfig, Tracer};
@@ -77,6 +78,8 @@ pub(crate) enum Ev {
         /// model collapses the RTS/CTS handshake into one `Timing`, so the
         /// handshake legs are reconstructed, not separately simulated.
         proto: ProtoClass,
+        /// Sanitizer happens-before edge token (0 when disabled).
+        edge: u64,
     },
     /// A CkDirect put finished landing in its receive buffer.
     DirectLand { handle: HandleId, recv_cpu: Time },
@@ -93,6 +96,9 @@ pub(crate) enum Ev {
         op: RedOp,
         target: RedTarget,
         recv_cpu: Time,
+        /// Sanitizer happens-before edge token carrying the child subtree's
+        /// contributions (0 when disabled).
+        edge: u64,
     },
     /// Broadcast propagating down the PE tree.
     BcastDown {
@@ -102,6 +108,8 @@ pub(crate) enum Ev {
         payload: Payload,
         size: usize,
         recv_cpu: Time,
+        /// Sanitizer happens-before edge token (0 when disabled).
+        edge: u64,
     },
 }
 
@@ -128,6 +136,7 @@ pub struct Machine {
     pub(crate) learner: Learner,
     pub(crate) stats: MachineStats,
     pub(crate) tracer: Tracer,
+    pub(crate) san: Sanitizer,
     pub(crate) stop: bool,
 }
 
@@ -157,6 +166,7 @@ impl Machine {
             learner: Learner::default(),
             stats: MachineStats::default(),
             tracer: Tracer::disabled(),
+            san: Sanitizer::disabled(),
             stop: false,
         }
     }
@@ -182,6 +192,23 @@ impl Machine {
     /// The tracing handle (disabled unless [`Machine::enable_tracing`] ran).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Start race checking: per-PE vector clocks plus a per-handle
+    /// lifecycle state machine fed by the registry's transition probe
+    /// (`ckd-race`). Call before [`Machine::run`]; never enabling it keeps
+    /// every hook at one branch and the registry probe-free, so runs are
+    /// bit-identical to a build without the sanitizer.
+    pub fn enable_sanitizer(&mut self, cfg: SanitizerConfig) {
+        self.san = Sanitizer::enabled(cfg, self.npes());
+        self.direct
+            .set_probe(self.san.probe().expect("sanitizer just enabled"));
+    }
+
+    /// The sanitizer handle (disabled unless
+    /// [`Machine::enable_sanitizer`] ran).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.san
     }
 
     /// Convenience: a machine whose CkDirect backend matches the fabric
@@ -295,6 +322,7 @@ impl Machine {
                 overlap_cpu: Time::ZERO,
                 from: pe,
                 proto: ProtoClass::Control,
+                edge: 0,
             },
         );
     }
@@ -343,7 +371,9 @@ impl Machine {
                 overlap_cpu,
                 from,
                 proto,
+                edge,
             } => {
+                self.san.edge_in(pe.idx(), edge);
                 if proto == ProtoClass::Rendezvous {
                     // reconstructed handshake leg: the receiver cleared the
                     // sender to write (see `Ev::MsgArrive::proto`)
@@ -372,6 +402,11 @@ impl Machine {
                             .put_land(pe.idx(), self.now, handle.0, bytes as u64);
                     }
                 }
+                if self.san.is_enabled() {
+                    if let Ok(pe) = self.direct.recv_pe(handle) {
+                        self.san.set_ctx(pe.idx(), self.now);
+                    }
+                }
                 match self.direct.land(handle).expect("land on live channel") {
                     LandOutcome::AwaitPoll => {
                         // Polling backend: the receiving scheduler will
@@ -397,6 +432,11 @@ impl Machine {
                 }
             }
             Ev::DirectGetLand { handle, recv_cpu } => {
+                if self.san.is_enabled() {
+                    if let Ok(pe) = self.direct.recv_pe(handle) {
+                        self.san.set_ctx(pe.idx(), self.now);
+                    }
+                }
                 let cb = self.direct.land_get(handle).expect("get on live channel");
                 let pe = self.direct.recv_pe(handle).expect("live channel");
                 if self.tracer.is_enabled() {
@@ -425,7 +465,9 @@ impl Machine {
                 op,
                 target,
                 recv_cpu,
+                edge,
             } => {
+                self.san.red_absorb(array.0, to.idx(), edge);
                 let st = &mut self.pes[to.idx()];
                 st.busy_until = st.busy_until.max(self.now) + recv_cpu;
                 st.stats.busy += recv_cpu;
@@ -441,7 +483,9 @@ impl Machine {
                 payload,
                 size,
                 recv_cpu,
+                edge,
             } => {
+                self.san.edge_in(to.idx(), edge);
                 let st = &mut self.pes[to.idx()];
                 st.busy_until = st.busy_until.max(self.now) + recv_cpu;
                 st.stats.busy += recv_cpu;
@@ -462,6 +506,7 @@ impl Machine {
 
         // CkDirect poll sweep (IbPoll backend): check every armed handle.
         if self.net.has_rdma() {
+            self.san.set_ctx(pe.idx(), start);
             let sweep = self.direct.poll_sweep(pe);
             if sweep.checked > 0 {
                 elapsed += self.cfg.poll_per_handle * sweep.checked as u64;
@@ -602,6 +647,7 @@ impl Machine {
             if let CbKind::Learned(_) = cb.kind {
                 // the runtime owns learned channels: re-arm immediately so
                 // the sender's next iteration can put again
+                self.san.set_ctx(pe.idx(), start + elapsed);
                 if let Ok(Some(cb2)) = self.direct.ready(handle) {
                     pending.push((cb2, handle));
                 }
@@ -621,6 +667,7 @@ impl Machine {
         target: RedTarget,
     ) {
         self.tracer.reduce_contribute(pe.idx(), self.now, array.0);
+        self.san.red_contribute(array.0, pe.idx());
         let red = &mut self.red[array.idx()][pe.idx()];
         red.absorb(v, 1, op, target);
         red.got_local += 1;
@@ -653,6 +700,7 @@ impl Machine {
                 let st = &mut self.pes[pe.idx()];
                 st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
                 st.stats.busy += t.send_cpu;
+                let edge = self.san.red_up(array.0, pe.idx());
                 self.events.push(
                     self.now + t.delay,
                     Ev::ReduceUp {
@@ -663,6 +711,7 @@ impl Machine {
                         op,
                         target,
                         recv_cpu: t.recv_cpu,
+                        edge,
                     },
                 );
             }
@@ -675,6 +724,9 @@ impl Machine {
                 );
                 self.stats.reductions += 1;
                 self.tracer.reduce_complete(pe.idx(), self.now, array.0);
+                // every contribution happens-before whatever the root does
+                // next (the release broadcast / client delivery)
+                self.san.red_complete(array.0, pe.idx());
                 match target {
                     RedTarget::Broadcast(ep) => {
                         let payload = Payload::value(value);
@@ -684,6 +736,7 @@ impl Machine {
                         let dst = self.home_pe(aref);
                         let t = self.net.control(pe, dst);
                         self.record_control(pe, t.delay);
+                        let edge = self.san.edge_out(pe.idx());
                         self.events.push(
                             self.now + t.delay,
                             Ev::MsgArrive {
@@ -694,6 +747,7 @@ impl Machine {
                                 overlap_cpu: Time::ZERO,
                                 from: pe,
                                 proto: ProtoClass::Control,
+                                edge,
                             },
                         );
                     }
@@ -714,6 +768,7 @@ impl Machine {
             let st = &mut self.pes[from.idx()];
             st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
             st.stats.busy += t.send_cpu;
+            let edge = self.san.edge_out(from.idx());
             self.events.push(
                 self.now + t.delay,
                 Ev::BcastDown {
@@ -723,6 +778,7 @@ impl Machine {
                     payload: msg.payload,
                     size: msg.size,
                     recv_cpu: t.recv_cpu,
+                    edge,
                 },
             );
         }
@@ -738,6 +794,7 @@ impl Machine {
             let st = &mut self.pes[pe.idx()];
             st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
             st.stats.busy += t.send_cpu;
+            let edge = self.san.edge_out(pe.idx());
             self.events.push(
                 self.now + t.delay,
                 Ev::BcastDown {
@@ -747,6 +804,7 @@ impl Machine {
                     payload: payload.clone(),
                     size,
                     recv_cpu: t.recv_cpu,
+                    edge,
                 },
             );
         }

@@ -41,7 +41,7 @@ pub use channel::{DataPhase, DirectBackend, HandleId};
 pub use error::DirectError;
 pub use region::Region;
 pub use registry::{
-    ChannelCounters, DirectConfig, DirectRegistry, LandOutcome, PutRequest, RegistryCounters,
-    SweepOutcome,
+    ChannelCounters, DirectConfig, DirectRegistry, LandOutcome, LifecycleProbe, PutRequest,
+    RegistryCounters, SweepOutcome, Transition,
 };
 pub use strided::StridedSpec;

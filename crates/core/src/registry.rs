@@ -53,6 +53,34 @@ impl DirectConfig {
     }
 }
 
+/// One observed channel-lifecycle transition, reported to an installed
+/// [`LifecycleProbe`] at the exact point the registry commits it.
+///
+/// This is the ground-truth feed for external checkers (the `ckd-race`
+/// sanitizer mirrors its per-handle state machine from these), so the
+/// vocabulary is the registry's own: only *successful* operations emit a
+/// transition — a rejected `put` changes no state and fires nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// `create_handle` succeeded: the receive window exists and is armed.
+    Created,
+    /// `assoc_local` succeeded: the channel has a bound send buffer.
+    Associated,
+    /// `put` was accepted; bytes are now (logically) on the wire.
+    PutIssued,
+    /// `get` was accepted; the pull is in flight.
+    GetIssued,
+    /// The payload landed in the receive window (IbPoll: not yet noticed).
+    Landed,
+    /// The completion callback was handed to the executor for delivery.
+    Delivered,
+    /// `ready_mark` (or the BG/P `ready` release) re-armed the channel.
+    Marked,
+}
+
+/// Observer invoked on every committed lifecycle transition.
+pub type LifecycleProbe = Box<dyn FnMut(HandleId, Transition)>;
+
 /// What a successful `put` asks the executor to do: move `bytes` from
 /// `src` to `dst` and call [`DirectRegistry::land`] on arrival.
 #[derive(Clone, Copy, Debug)]
@@ -121,6 +149,9 @@ pub struct DirectRegistry<C> {
     total_puts: u64,
     total_deliveries: u64,
     total_poll_checks: u64,
+    /// Lifecycle observer (the ckd-race sanitizer); `None` costs one branch
+    /// per committed transition.
+    probe: Option<LifecycleProbe>,
 }
 
 impl<C: Clone> DirectRegistry<C> {
@@ -133,6 +164,26 @@ impl<C: Clone> DirectRegistry<C> {
             total_puts: 0,
             total_deliveries: 0,
             total_poll_checks: 0,
+            probe: None,
+        }
+    }
+
+    /// Install (or replace) the lifecycle probe. Every state transition the
+    /// registry commits from now on is reported through it.
+    pub fn set_probe(&mut self, probe: LifecycleProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// Remove the lifecycle probe, returning the registry to its
+    /// zero-observer configuration.
+    pub fn clear_probe(&mut self) {
+        self.probe = None;
+    }
+
+    #[inline]
+    fn emit(&mut self, handle: HandleId, t: Transition) {
+        if let Some(p) = self.probe.as_mut() {
+            p(handle, t);
         }
     }
 
@@ -165,6 +216,7 @@ impl<C: Clone> DirectRegistry<C> {
             self.pollq[recv_pe.idx()].push(id);
         }
         self.channels.push(ch);
+        self.emit(id, Transition::Created);
         Ok(id)
     }
 
@@ -282,6 +334,7 @@ impl<C: Clone> DirectRegistry<C> {
         }
         ch.send_pe = Some(send_pe);
         ch.send = Some(send);
+        self.emit(handle, Transition::Associated);
         Ok(())
     }
 
@@ -321,6 +374,7 @@ impl<C: Clone> DirectRegistry<C> {
         ch.phase = DataPhase::InFlight;
         ch.puts += 1;
         self.total_puts += 1;
+        self.emit(handle, Transition::PutIssued);
         Ok(PutRequest {
             handle,
             src: send_pe,
@@ -351,6 +405,7 @@ impl<C: Clone> DirectRegistry<C> {
         ch.phase = DataPhase::InFlight;
         ch.puts += 1;
         self.total_puts += 1;
+        self.emit(handle, Transition::GetIssued);
         Ok(PutRequest {
             handle,
             src: send_pe,
@@ -373,6 +428,7 @@ impl<C: Clone> DirectRegistry<C> {
             spec.scatter(&ch.recv, backing);
         }
         self.total_deliveries += 1;
+        self.emit(handle, Transition::Delivered);
         Ok(self.channels[handle.idx()].callback.clone())
     }
 
@@ -392,6 +448,7 @@ impl<C: Clone> DirectRegistry<C> {
                     // see the sentinel change. Record the pathology.
                     ch.collided = true;
                 }
+                self.emit(handle, Transition::Landed);
                 Ok(LandOutcome::AwaitPoll)
             }
             DirectBackend::DcmfCallback => {
@@ -402,6 +459,8 @@ impl<C: Clone> DirectRegistry<C> {
                     spec.scatter(&ch.recv, backing);
                 }
                 self.total_deliveries += 1;
+                self.emit(handle, Transition::Landed);
+                self.emit(handle, Transition::Delivered);
                 Ok(LandOutcome::Deliver(
                     self.channels[handle.idx()].callback.clone(),
                 ))
@@ -437,6 +496,9 @@ impl<C: Clone> DirectRegistry<C> {
                 }
                 self.total_deliveries += 1;
                 deliveries.push((id, ch.callback.clone()));
+                if let Some(p) = self.probe.as_mut() {
+                    p(id, Transition::Delivered);
+                }
             } else {
                 keep.push(id);
             }
@@ -461,6 +523,7 @@ impl<C: Clone> DirectRegistry<C> {
                 ch.recv.set_last_word(ch.oob);
                 ch.marked = true;
                 ch.phase = DataPhase::Empty;
+                self.emit(handle, Transition::Marked);
                 Ok(())
             }
             DataPhase::Empty if ch.marked => Err(DirectError::NotDelivered),
@@ -490,6 +553,7 @@ impl<C: Clone> DirectRegistry<C> {
                 }
                 let cb = ch.callback.clone();
                 self.total_deliveries += 1;
+                self.emit(handle, Transition::Delivered);
                 Ok(Some(cb))
             }
             DataPhase::Empty | DataPhase::InFlight | DataPhase::Landed => {
@@ -524,6 +588,7 @@ impl<C: Clone> DirectRegistry<C> {
         if ch.phase == DataPhase::Delivered {
             ch.phase = DataPhase::Empty;
             ch.marked = true;
+            self.emit(handle, Transition::Marked);
         }
         Ok(())
     }
@@ -838,6 +903,43 @@ mod tests {
         assert_eq!(reg.poll_sweep(Pe(2)).deliveries, vec![(h2, 2)]);
         assert_eq!(r1.to_vec(), vec![0x5A; 32]);
         assert_eq!(r2.to_vec(), vec![0x5A; 32]);
+    }
+
+    #[test]
+    fn probe_sees_the_whole_lifecycle_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(u32, Transition)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut reg = Reg::new(2, DirectConfig::ib());
+        let sink = Rc::clone(&seen);
+        reg.set_probe(Box::new(move |h, t| sink.borrow_mut().push((h.0, t))));
+        let recv = Region::alloc(64);
+        let send = Region::alloc(64);
+        let h = reg.create_handle(Pe(1), recv, u64::MAX, 7).unwrap();
+        reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+        send.fill(3);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        reg.poll_sweep(Pe(1));
+        reg.ready(h).unwrap();
+        assert_eq!(
+            seen.borrow().as_slice(),
+            &[
+                (h.0, Transition::Created),
+                (h.0, Transition::Associated),
+                (h.0, Transition::PutIssued),
+                (h.0, Transition::Landed),
+                (h.0, Transition::Delivered),
+                (h.0, Transition::Marked),
+            ]
+        );
+        // rejected operations commit nothing and report nothing
+        let before = seen.borrow().len();
+        assert!(reg.assoc_local(h, Pe(0), send.clone()).is_err());
+        assert_eq!(seen.borrow().len(), before);
+        reg.clear_probe();
+        reg.put(h, Pe(0)).unwrap();
+        assert_eq!(seen.borrow().len(), before, "cleared probe is silent");
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! `lint_direct` — static CkDirect protocol-lifecycle lint.
+//!
+//! Usage: `lint_direct <path> [<path> …]`
+//!
+//! Recursively scans every `.rs` file under the given paths for lifecycle
+//! misuse patterns (see `ckd_race::lint`) and prints one finding per line
+//! in `file:line: [rule] message` form. Exits non-zero when anything is
+//! found, so it can gate CI (`scripts/check.sh`). Suppress a finding in
+//! source with `// ckd-lint: allow(<rule>)`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if paths.is_empty() {
+        eprintln!("usage: lint_direct <path> [<path> …]");
+        eprintln!("rules: {}", ckd_race::RULES.join(", "));
+        return ExitCode::from(2);
+    }
+    match ckd_race::lint_paths(&paths) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint_direct: clean ({} path(s) scanned)", paths.len());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("lint_direct: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint_direct: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Vector clocks over simulated PEs.
+//!
+//! The sanitizer tracks one clock per PE, advanced at every event the
+//! scheduler executes and joined along every happens-before edge the runtime
+//! models (message delivery, reduction/broadcast trees, put completion).
+//! Because each PE's scheduler is sequential, program order within a PE is a
+//! real happens-before edge, so joining at *event dispatch* is sound: it can
+//! only under-approximate concurrency (miss a race), never invent one.
+
+use std::fmt;
+
+/// A fixed-width vector clock, one component per PE.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for a machine with `npes` PEs.
+    pub fn new(npes: usize) -> VectorClock {
+        VectorClock {
+            components: vec![0; npes],
+        }
+    }
+
+    /// Advance `pe`'s own component by one local event.
+    pub fn tick(&mut self, pe: usize) {
+        if let Some(c) = self.components.get_mut(pe) {
+            *c += 1;
+        }
+    }
+
+    /// Component for `pe` (0 when out of range).
+    pub fn get(&self, pe: usize) -> u64 {
+        self.components.get(pe).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum: absorb everything `other` has witnessed.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (c, o) in self.components.iter_mut().zip(&other.components) {
+            *c = (*c).max(*o);
+        }
+    }
+
+    /// `self ≤ other` pointwise: every event `self` has witnessed, `other`
+    /// has witnessed too — i.e. `self` happens-before-or-equals `other`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.components
+            .iter()
+            .enumerate()
+            .all(|(pe, &c)| c <= other.get(pe))
+    }
+
+    /// True when neither clock dominates the other: the two snapshots are
+    /// causally concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_leq() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.concurrent_with(&b));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(!a.concurrent_with(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        assert_eq!(b.get(2), 0);
+    }
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let z = VectorClock::new(2);
+        let mut a = VectorClock::new(2);
+        a.tick(1);
+        assert!(z.leq(&a));
+        assert!(z.leq(&z));
+    }
+
+    #[test]
+    fn join_widens_when_sizes_differ() {
+        let mut small = VectorClock::new(1);
+        let mut big = VectorClock::new(4);
+        big.tick(3);
+        small.join(&big);
+        assert_eq!(small.get(3), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut c = VectorClock::new(3);
+        c.tick(1);
+        assert_eq!(c.to_string(), "[0,1,0]");
+    }
+}

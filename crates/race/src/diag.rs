@@ -1,0 +1,169 @@
+//! Sanitizer diagnostics: what raced, where, and which edge was missing.
+//!
+//! Every diagnostic names *two* events — the earlier one that established
+//! the state being violated and the later one that violated it — each with
+//! its PE and virtual time, plus the happens-before edge whose absence made
+//! the pair a race. This is the provenance the paper's users never had: on
+//! real hardware an unsynchronized put silently corrupts the receive buffer;
+//! here the deterministic virtual-time schedule lets us say exactly which
+//! `ready` was skipped.
+
+use std::fmt;
+
+use ckd_sim::Time;
+
+/// The category of protocol violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceKind {
+    /// A put targeted a window whose previous payload the receiver has been
+    /// handed but has not released with `ready_mark` — the put would
+    /// overwrite data the receiver may still be reading.
+    OverwriteUnconsumed,
+    /// A second put was issued while one was still on the wire.
+    PutWhileInFlight,
+    /// A put on a handle whose sender never called `assoc_local`.
+    PutUnassociated,
+    /// `assoc_local` called twice on the same handle.
+    DoubleAssoc,
+    /// The payload's final word equals the out-of-band pattern: arrival
+    /// would be undetectable to the polling receiver.
+    OobCollision,
+    /// `ready` / `ready_mark` on a handle whose current payload never
+    /// completed delivery (no data to release).
+    ReadyNeverCompleted,
+    /// `ready_poll_q` without a preceding `ready_mark`.
+    PollWithoutMark,
+    /// The receiver read the landing window before the completion callback
+    /// delivered the payload.
+    ReadBeforeCompletion,
+    /// A put that the registry accepted but whose issue was causally
+    /// concurrent with the receiver's re-arm: nothing ordered the receiver's
+    /// `ready` before this put, so a different (legal) schedule overwrites
+    /// live data. This is the paper's core hazard caught by vector clocks
+    /// even when the timing happened to work out.
+    UnsynchronizedPut,
+    /// Operation issued from a PE the channel is not bound to.
+    WrongPe,
+    /// Any other rejected channel operation (bad handle, size mismatch …).
+    ProtocolError,
+}
+
+impl RaceKind {
+    /// Stable kebab-case name used in reports and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            RaceKind::OverwriteUnconsumed => "overwrite-unconsumed",
+            RaceKind::PutWhileInFlight => "put-while-in-flight",
+            RaceKind::PutUnassociated => "put-unassociated",
+            RaceKind::DoubleAssoc => "double-assoc",
+            RaceKind::OobCollision => "oob-collision",
+            RaceKind::ReadyNeverCompleted => "ready-never-completed",
+            RaceKind::PollWithoutMark => "poll-without-mark",
+            RaceKind::ReadBeforeCompletion => "read-before-completion",
+            RaceKind::UnsynchronizedPut => "unsynchronized-put",
+            RaceKind::WrongPe => "wrong-pe",
+            RaceKind::ProtocolError => "protocol-error",
+        }
+    }
+}
+
+/// One of the two events a diagnostic names: what happened, where, when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRef {
+    /// PE whose scheduler executed the event.
+    pub pe: usize,
+    /// Virtual time of the event.
+    pub at: Time,
+    /// Short human label ("put", "delivery", "ready_mark" …).
+    pub what: &'static str,
+}
+
+impl fmt::Display for EventRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @pe{} t={:.3}us",
+            self.what,
+            self.pe,
+            self.at.as_us_f64()
+        )
+    }
+}
+
+/// One detected violation with full virtual-time provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Violation category.
+    pub kind: RaceKind,
+    /// The channel involved.
+    pub handle: u32,
+    /// The earlier event this violation races against (None when the
+    /// violating call is wrong in isolation, e.g. a bad handle).
+    pub first: Option<EventRef>,
+    /// The violating event.
+    pub second: EventRef,
+    /// The happens-before edge whose absence made this a race — phrased as
+    /// the fix ("receiver's ready_mark must happen-before sender's put").
+    pub missing_edge: &'static str,
+    /// When vector clocks were consulted: whether `first` actually
+    /// happened-before `second` (true means the *state* was wrong even
+    /// though the timing was ordered; false means genuinely concurrent).
+    pub hb_ordered: Option<bool>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ckh{}: ", self.kind.name(), self.handle)?;
+        match &self.first {
+            Some(first) => write!(f, "{first} vs {}", self.second)?,
+            None => write!(f, "{}", self.second)?,
+        }
+        write!(f, " — missing edge: {}", self.missing_edge)?;
+        if let Some(ordered) = self.hb_ordered {
+            let rel = if ordered { "ordered" } else { "concurrent" };
+            write!(f, " [clocks: {rel}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_events_and_times() {
+        let d = Diagnostic {
+            kind: RaceKind::OverwriteUnconsumed,
+            handle: 3,
+            first: Some(EventRef {
+                pe: 1,
+                at: Time::from_us(120),
+                what: "delivery",
+            }),
+            second: EventRef {
+                pe: 0,
+                at: Time::from_us(150),
+                what: "put",
+            },
+            missing_edge: "receiver ready_mark must happen-before sender put",
+            hb_ordered: Some(false),
+        };
+        let s = d.to_string();
+        assert!(s.contains("overwrite-unconsumed"));
+        assert!(s.contains("ckh3"));
+        assert!(s.contains("delivery @pe1 t=120.000us"));
+        assert!(s.contains("put @pe0 t=150.000us"));
+        assert!(s.contains("missing edge"));
+        assert!(s.contains("concurrent"));
+    }
+
+    #[test]
+    fn kinds_have_stable_names() {
+        assert_eq!(RaceKind::UnsynchronizedPut.name(), "unsynchronized-put");
+        assert_eq!(
+            RaceKind::ReadBeforeCompletion.name(),
+            "read-before-completion"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! **ckd-race** — a happens-before sanitizer and protocol-lifecycle lint
+//! for the CkDirect layer.
+//!
+//! CkDirect's premise is that "the application's own iteration structure is
+//! the only synchronization": a put lands directly in the receiver's buffer
+//! with no envelope and no handshake, so a mis-structured application
+//! silently corrupts its own data. On real hardware nothing notices. This
+//! crate is the checker the paper's users never had, built on two
+//! advantages of the simulated runtime: deterministic virtual time and full
+//! event visibility.
+//!
+//! * [`Sanitizer`] — the dynamic half. Per-PE [`VectorClock`]s advance at
+//!   every scheduler event and join along every happens-before edge the
+//!   runtime models (message delivery, reduction/broadcast trees, put
+//!   completion); a per-handle state machine fed by the registry's
+//!   lifecycle probe flags overwrites, early reads, double puts, skipped
+//!   re-arms, and — via the clocks — puts that *happened* to work but were
+//!   causally unsynchronized. Enabled with `Machine::enable_sanitizer()`;
+//!   a disabled sanitizer is one branch per hook.
+//! * [`lint`] — the static half: a std-only source scanner for lifecycle
+//!   misuse patterns (`direct_put` with no reachable `direct_ready`,
+//!   `direct_recv_region` outside a completion callback, …), runnable
+//!   offline via the `lint_direct` binary.
+//!
+//! Every [`Diagnostic`] names the two racing events with their PEs and
+//! virtual times plus the missing happens-before edge, phrased as the fix.
+
+pub mod clock;
+pub mod diag;
+pub mod lint;
+pub mod sanitizer;
+
+pub use clock::VectorClock;
+pub use diag::{Diagnostic, EventRef, RaceKind};
+pub use lint::{lint_file, lint_paths, lint_source, LintFinding, RULES};
+pub use sanitizer::{DirectOp, SanCore, Sanitizer, SanitizerConfig};

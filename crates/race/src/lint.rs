@@ -1,0 +1,423 @@
+//! Static protocol-lifecycle lint for CkDirect application source.
+//!
+//! A std-only, heuristic source scanner — deliberately not a full parser —
+//! that walks `.rs` files for lifecycle misuse patterns the dynamic
+//! sanitizer would only catch at run time:
+//!
+//! * `put-without-ready` — a file issues `direct_put` but never re-arms
+//!   with any `direct_ready*` form: after the first exchange every further
+//!   put must fail or overwrite live data.
+//! * `pollq-without-mark` — `direct_ready_poll_q` with no
+//!   `direct_ready_mark` anywhere: poll-queue insertion without a mark is
+//!   rejected (`NotMarked`) on the polling backend.
+//! * `recv-read-outside-callback` — `direct_recv_region` called from a
+//!   function that is not a completion callback: before the callback the
+//!   window may hold a partial payload.
+//! * `double-put-same-handle` — two `direct_put` calls on the same handle
+//!   expression within one function body with no `ready` between them:
+//!   channels carry one message at a time.
+//! * `swallowed-direct-error` — a `direct_*` result discarded with `let _ =`
+//!   or `.ok()`: protocol violations become silent exactly like on real
+//!   hardware.
+//!
+//! False positives are suppressed in source with
+//! `// ckd-lint: allow(<rule>)` on the offending line or the line above,
+//! or `// ckd-lint: allow-file(<rule>)` anywhere for the whole file.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Source file (as given, not canonicalized).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name.
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// All rule names, for `--help`-style listings and tests.
+pub const RULES: &[&str] = &[
+    "put-without-ready",
+    "pollq-without-mark",
+    "recv-read-outside-callback",
+    "double-put-same-handle",
+    "swallowed-direct-error",
+];
+
+/// Lint one source text. `label` is used for reporting only.
+pub fn lint_source(label: &Path, src: &str) -> Vec<LintFinding> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    let allowed_file = |rule: &str| src.contains(&format!("ckd-lint: allow-file({rule})"));
+    let allowed_at = |rule: &str, line_idx: usize| {
+        let here = lines.get(line_idx).copied().unwrap_or("");
+        let above = if line_idx > 0 {
+            lines[line_idx - 1]
+        } else {
+            ""
+        };
+        let tag = format!("ckd-lint: allow({rule})");
+        here.contains(&tag) || above.contains(&tag)
+    };
+    let mut push = |rule: &'static str, line_idx: usize, message: String| {
+        if !allowed_file(rule) && !allowed_at(rule, line_idx) {
+            findings.push(LintFinding {
+                file: label.to_path_buf(),
+                line: line_idx + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // strip line comments so commented-out calls don't count
+    fn code_line(l: &str) -> &str {
+        l.split("//").next().unwrap_or("")
+    }
+    let has_put = lines
+        .iter()
+        .position(|l| code_line(l).contains("direct_put("));
+    let has_ready = lines.iter().any(|l| {
+        let c = code_line(l);
+        c.contains("direct_ready(")
+            || c.contains("direct_ready_mark(")
+            || c.contains("direct_ready_poll_q(")
+    });
+    if let Some(idx) = has_put {
+        if !has_ready {
+            push(
+                "put-without-ready",
+                idx,
+                "direct_put with no direct_ready/ready_mark/ready_poll_q anywhere in this file; \
+                 the channel can never be re-armed for a second iteration"
+                    .into(),
+            );
+        }
+    }
+
+    let has_pollq = lines
+        .iter()
+        .position(|l| code_line(l).contains("direct_ready_poll_q("));
+    let has_mark = lines
+        .iter()
+        .any(|l| code_line(l).contains("direct_ready_mark("));
+    if let Some(idx) = has_pollq {
+        if !has_mark {
+            push(
+                "pollq-without-mark",
+                idx,
+                "direct_ready_poll_q with no direct_ready_mark in this file; \
+                 poll-queue insertion without a mark is rejected (NotMarked)"
+                    .into(),
+            );
+        }
+    }
+
+    for f in functions(&lines) {
+        lint_function(&lines, &f, &mut push);
+    }
+
+    findings
+}
+
+/// A function's extent in the line list.
+struct FnSpan {
+    name: String,
+    /// Line indices covered by the body (inclusive start of `fn` line).
+    start: usize,
+    end: usize,
+}
+
+/// Locate `fn name(..) { .. }` spans by brace counting. Heuristic: good
+/// enough for this workspace's formatting (rustfmt, one fn per `fn ` token).
+fn functions(lines: &[&str]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].split("//").next().unwrap_or("");
+        if let Some(pos) = code.find("fn ") {
+            // only definition sites: the prefix may hold visibility and
+            // qualifier keywords, nothing else
+            let ok_prefix = code[..pos].split_whitespace().all(|t| {
+                matches!(t, "pub" | "async" | "unsafe" | "const" | "default")
+                    || t.starts_with("pub(")
+                    || t.starts_with("extern")
+            });
+            let rest = &code[pos + 3..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ok_prefix && !name.is_empty() {
+                // find the opening brace, then balance
+                let mut depth = 0i32;
+                let mut opened = false;
+                let mut j = i;
+                'scan: while j < lines.len() {
+                    let c = lines[j].split("//").next().unwrap_or("");
+                    for ch in c.chars() {
+                        match ch {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => {
+                                depth -= 1;
+                                if opened && depth == 0 {
+                                    break 'scan;
+                                }
+                            }
+                            ';' if !opened => break 'scan, // fn signature only (trait decl)
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                let end = j.min(lines.len() - 1);
+                if opened {
+                    spans.push(FnSpan {
+                        name,
+                        start: i,
+                        end,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn lint_function<F: FnMut(&'static str, usize, String)>(lines: &[&str], f: &FnSpan, push: &mut F) {
+    let is_callback = f.name.contains("callback");
+    // last handle expression put inside this body, pending a ready
+    let mut pending_put: Option<(String, usize)> = None;
+    for (idx, line) in lines.iter().enumerate().take(f.end + 1).skip(f.start) {
+        let code = line.split("//").next().unwrap_or("");
+
+        if code.contains("direct_recv_region(") && !is_callback {
+            push(
+                "recv-read-outside-callback",
+                idx,
+                format!(
+                    "direct_recv_region in fn `{}` (not a completion callback); \
+                     the window may hold a partial payload here",
+                    f.name
+                ),
+            );
+        }
+
+        if code.contains("direct_ready") {
+            pending_put = None;
+        }
+        if let Some(arg) = call_arg(code, "direct_put(") {
+            if let Some((prev, prev_idx)) = &pending_put {
+                if *prev == arg {
+                    push(
+                        "double-put-same-handle",
+                        idx,
+                        format!(
+                            "second direct_put on `{arg}` in fn `{}` with no ready since \
+                             line {}; channels carry one message at a time",
+                            f.name,
+                            prev_idx + 1
+                        ),
+                    );
+                }
+            }
+            pending_put = Some((arg, idx));
+        }
+
+        let trimmed = code.trim_start();
+        let swallowed = (trimmed.starts_with("let _ =") && code.contains(".direct_"))
+            || (code.contains(".direct_") && code.contains(").ok()"));
+        if swallowed {
+            push(
+                "swallowed-direct-error",
+                idx,
+                format!(
+                    "discarded CkDirect result in fn `{}`; a rejected operation \
+                     becomes a silent data race",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+/// First argument expression of `call` on this line, textually.
+fn call_arg(code: &str, call: &str) -> Option<String> {
+    let pos = code.find(call)?;
+    let rest = &code[pos + call.len()..];
+    let arg: String = rest
+        .chars()
+        .take_while(|c| *c != ',' && *c != ')')
+        .collect();
+    let arg = arg.trim().to_string();
+    if arg.is_empty() {
+        None
+    } else {
+        Some(arg)
+    }
+}
+
+/// Lint one file from disk.
+pub fn lint_file(path: &Path) -> io::Result<Vec<LintFinding>> {
+    let src = fs::read_to_string(path)?;
+    Ok(lint_source(path, &src))
+}
+
+/// Recursively lint every `.rs` file under each path (files are linted
+/// directly). Deterministic order: paths as given, directory entries
+/// sorted.
+pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Vec<LintFinding>> {
+    let mut findings = Vec::new();
+    for p in paths {
+        walk(p, &mut findings)?;
+    }
+    Ok(findings)
+}
+
+fn walk(path: &Path, findings: &mut Vec<LintFinding>) -> io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for e in entries {
+            walk(&e, findings)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "rs") {
+        findings.extend(lint_file(path)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<LintFinding> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn put_without_ready_fires_and_ready_silences() {
+        let bad = "fn iterate(ctx: &mut Ctx) {\n    ctx.direct_put(h).unwrap();\n}\n";
+        let hits = lint(bad);
+        assert!(
+            hits.iter().any(|f| f.rule == "put-without-ready"),
+            "{hits:?}"
+        );
+        let good = "fn iterate(ctx: &mut Ctx) {\n    ctx.direct_put(h).unwrap();\n}\n\
+                    fn direct_callback(ctx: &mut Ctx) {\n    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(good).iter().all(|f| f.rule != "put-without-ready"));
+    }
+
+    #[test]
+    fn pollq_without_mark() {
+        let bad = "fn go(ctx: &mut Ctx) {\n    ctx.direct_ready_poll_q(h).unwrap();\n}\n";
+        assert!(lint(bad).iter().any(|f| f.rule == "pollq-without-mark"));
+        let good = "fn a(ctx: &mut Ctx) {\n    ctx.direct_ready_mark(h).unwrap();\n}\n\
+                    fn b(ctx: &mut Ctx) {\n    ctx.direct_ready_poll_q(h).unwrap();\n}\n";
+        assert!(lint(good).iter().all(|f| f.rule != "pollq-without-mark"));
+    }
+
+    #[test]
+    fn recv_read_outside_callback() {
+        let bad = "fn on_iter(ctx: &mut Ctx) {\n    let r = ctx.direct_recv_region(h);\n    \
+                   ctx.direct_ready(h).ok_or(0);\n}\n";
+        let hits = lint(bad);
+        assert!(
+            hits.iter().any(|f| f.rule == "recv-read-outside-callback"),
+            "{hits:?}"
+        );
+        let good = "fn direct_callback(ctx: &mut Ctx, h: H) {\n    \
+                    let r = ctx.direct_recv_region(h);\n    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(good)
+            .iter()
+            .all(|f| f.rule != "recv-read-outside-callback"));
+    }
+
+    #[test]
+    fn double_put_same_handle_needs_ready_between() {
+        let bad = "fn send(ctx: &mut Ctx) {\n    ctx.direct_put(self.h).unwrap();\n    \
+                   ctx.direct_put(self.h).unwrap();\n    ctx.direct_ready(self.h).unwrap();\n}\n";
+        let hits = lint(bad);
+        assert_eq!(
+            hits.iter()
+                .filter(|f| f.rule == "double-put-same-handle")
+                .count(),
+            1,
+            "{hits:?}"
+        );
+        // different handles: fine
+        let ok = "fn send(ctx: &mut Ctx) {\n    ctx.direct_put(self.left).unwrap();\n    \
+                  ctx.direct_put(self.right).unwrap();\n    ctx.direct_ready(self.left).unwrap();\n}\n";
+        assert!(lint(ok).iter().all(|f| f.rule != "double-put-same-handle"));
+        // ready between: fine
+        let ok2 = "fn send(ctx: &mut Ctx) {\n    ctx.direct_put(self.h).unwrap();\n    \
+                   ctx.direct_ready(self.h).unwrap();\n    ctx.direct_put(self.h).unwrap();\n}\n";
+        assert!(lint(ok2).iter().all(|f| f.rule != "double-put-same-handle"));
+    }
+
+    #[test]
+    fn swallowed_errors_are_reported() {
+        let bad = "fn send(ctx: &mut Ctx) {\n    let _ = ctx.direct_put(h);\n    \
+                   ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(bad).iter().any(|f| f.rule == "swallowed-direct-error"));
+        let bad2 = "fn send(ctx: &mut Ctx) {\n    ctx.direct_put(h).ok();\n    \
+                    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(bad2)
+            .iter()
+            .any(|f| f.rule == "swallowed-direct-error"));
+    }
+
+    #[test]
+    fn allow_comments_suppress() {
+        let src = "fn send(ctx: &mut Ctx) {\n    // ckd-lint: allow(swallowed-direct-error)\n    \
+                   let _ = ctx.direct_put(h);\n    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(src).iter().all(|f| f.rule != "swallowed-direct-error"));
+        let file_level = "// ckd-lint: allow-file(put-without-ready)\n\
+                          fn send(ctx: &mut Ctx) {\n    ctx.direct_put(h).unwrap();\n}\n";
+        assert!(lint(file_level)
+            .iter()
+            .all(|f| f.rule != "put-without-ready"));
+    }
+
+    #[test]
+    fn commented_calls_do_not_count() {
+        let src = "fn send(ctx: &mut Ctx) {\n    // ctx.direct_put(h).unwrap();\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn findings_render_with_location() {
+        let src = "fn go(ctx: &mut Ctx) {\n    ctx.direct_ready_poll_q(h).unwrap();\n}\n";
+        let f = &lint(src)[0];
+        assert!(f.to_string().starts_with("test.rs:2: [pollq-without-mark]"));
+    }
+}

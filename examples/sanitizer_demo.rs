@@ -1,0 +1,29 @@
+//! Catch a real CkDirect race with the happens-before sanitizer.
+//!
+//! Runs the `skip-ready-jacobi` mutant — a halo-exchange ring whose
+//! receiver "forgets" one `CkDirect_ready` re-arm — and prints the
+//! sanitizer's diagnostics: the two racing events with PEs and virtual
+//! times, and the synchronization edge whose absence makes them a race.
+//!
+//! ```console
+//! $ cargo run --release --example sanitizer_demo
+//! ```
+
+use ckd_apps::mutants::{run_mutant, MutantKind};
+
+fn main() {
+    for kind in [
+        MutantKind::SkipReadyJacobi,
+        MutantKind::EarlyReadPingpong,
+        MutantKind::DoublePutMatmul,
+    ] {
+        let m = run_mutant(kind);
+        println!("== mutant: {}", kind.label());
+        print!("{}", m.sanitizer().report());
+        assert!(
+            !m.sanitizer().is_clean(),
+            "the mutant must be caught — a clean run here is a sanitizer bug"
+        );
+        println!();
+    }
+}

@@ -27,4 +27,16 @@ else
     echo "==> cargo clippy not installed; skipping lints"
 fi
 
+# CkDirect lifecycle lint: a std-only static pass over the application and
+# example sources (put-without-ready, reads outside callbacks, swallowed
+# direct errors, ...). Deliberate misuse in the mutant suite is annotated
+# with `ckd-lint: allow(...)` markers, so a clean run is expected.
+run cargo run --release --offline -q -p ckd-race --bin lint_direct -- \
+    crates/apps/src examples
+
+# Racy-mutant suite: every deliberately-broken app must be *caught* by the
+# happens-before sanitizer, and the correct apps must stay clean.
+run cargo test --release --offline -q -p ckd-apps mutants
+run cargo test --release --offline -q --test sanitizer_races
+
 echo "All checks passed."
