@@ -13,7 +13,9 @@
 //! rendezvous avoidance.
 
 use bytes::Bytes;
-use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, RedOp, RedTarget, RedVal};
+use ckd_charm::{
+    Chare, ChareRef, Ctx, EntryId, Machine, Msg, PutOutcome, RedOp, RedTarget, RedVal,
+};
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Mapper};
 use ckdirect::{HandleId, Region};
@@ -86,6 +88,9 @@ pub struct JacobiResult {
     pub iters: u32,
     /// Final max-residual (0 in modeled runs).
     pub residual: f64,
+    /// Puts the runtime reported retried or degraded, summed over chares
+    /// (always 0 without fault injection).
+    pub lossy_puts: u64,
 }
 
 /// Handle-shipping payload: which direction (from the receiver's view) and
@@ -127,6 +132,8 @@ struct JacobiChare {
     ghosts_in: usize,
     setup_acks: usize,
     residual: f64,
+    /// Puts the runtime reported as retried or degraded (fault injection).
+    lossy_puts: u64,
     t_first_iter: Option<Time>,
     t_done: Time,
 }
@@ -158,6 +165,7 @@ impl JacobiChare {
             ghosts_in: 0,
             setup_acks: 0,
             residual: 0.0,
+            lossy_puts: 0,
             t_first_iter: None,
             t_done: Time::ZERO,
         }
@@ -339,8 +347,13 @@ impl JacobiChare {
                         // stamp the iteration so landings are observable
                         region.write_f64s(0, &[self.iter as f64 + 1.0]);
                     }
-                    ctx.direct_put(self.send_handles[dir].expect("assoc'd"))
-                        .expect("put");
+                    match ctx
+                        .direct_put(self.send_handles[dir].expect("assoc'd"))
+                        .expect("put")
+                    {
+                        PutOutcome::Sent => {}
+                        PutOutcome::Retried { .. } | PutOutcome::Degraded => self.lossy_puts += 1,
+                    }
                 }
             }
         }
@@ -529,6 +542,7 @@ pub fn run_jacobi_on(m: &mut Machine, cfg: JacobiCfg) -> JacobiResult {
     let t1 = c0.t_done;
     // global residual = max over chares
     let mut residual = 0.0f64;
+    let mut lossy_puts = 0u64;
     for lin in 0..dims.len() {
         let c = m
             .chare::<JacobiChare>(ckd_charm::ChareRef {
@@ -537,6 +551,7 @@ pub fn run_jacobi_on(m: &mut Machine, cfg: JacobiCfg) -> JacobiResult {
             })
             .unwrap();
         residual = residual.max(c.residual);
+        lossy_puts += c.lossy_puts;
         assert_eq!(c.iter, cfg.iters, "chare {lin} incomplete");
     }
     JacobiResult {
@@ -544,13 +559,20 @@ pub fn run_jacobi_on(m: &mut Machine, cfg: JacobiCfg) -> JacobiResult {
         total,
         iters: cfg.iters,
         residual,
+        lossy_puts,
     }
 }
 
 /// Run and assemble the full global grid (verification helper).
 pub fn run_jacobi_grid(platform: Platform, pes: usize, cfg: JacobiCfg) -> (JacobiResult, Vec<f64>) {
-    assert!(cfg.real_compute);
     let mut m = platform.machine(pes);
+    run_jacobi_grid_on(&mut m, cfg)
+}
+
+/// [`run_jacobi_grid`] on a caller-supplied machine, so fault injection or
+/// tracing can be enabled before the run starts.
+pub fn run_jacobi_grid_on(m: &mut Machine, cfg: JacobiCfg) -> (JacobiResult, Vec<f64>) {
+    assert!(cfg.real_compute);
     let dims = Dims::d3(cfg.chares[0], cfg.chares[1], cfg.chares[2]);
     let arr = m.create_array("jacobi", dims, Mapper::Block, |idx| {
         Box::new(JacobiChare::new(cfg, idx))
@@ -584,6 +606,7 @@ pub fn run_jacobi_grid(platform: Platform, pes: usize, cfg: JacobiCfg) -> (Jacob
     let [nx, ny, nz] = cfg.domain;
     let mut grid = vec![0.0f64; nx * ny * nz];
     let mut residual = 0.0f64;
+    let mut lossy_puts = 0u64;
     let mut t0 = Time::MAX;
     let mut t1 = Time::ZERO;
     for lin in 0..dims.len() {
@@ -595,6 +618,7 @@ pub fn run_jacobi_grid(platform: Platform, pes: usize, cfg: JacobiCfg) -> (Jacob
             })
             .unwrap();
         residual = residual.max(c.residual);
+        lossy_puts += c.lossy_puts;
         t0 = t0.min(c.t_first_iter.unwrap());
         t1 = t1.max(c.t_done);
         for z in 0..b[2] {
@@ -614,6 +638,7 @@ pub fn run_jacobi_grid(platform: Platform, pes: usize, cfg: JacobiCfg) -> (Jacob
             total,
             iters: cfg.iters,
             residual,
+            lossy_puts,
         },
         grid,
     )

@@ -15,7 +15,7 @@
 //! the contiguous operand panel (the copy CkDirect avoids, per the paper).
 
 use bytes::Bytes;
-use ckd_charm::{Chare, Ctx, EntryId, Msg, RedOp, RedTarget, RedVal};
+use ckd_charm::{Chare, Ctx, EntryId, Msg, PutOutcome, RedOp, RedTarget, RedVal};
 use ckd_linalg::{dgemm_block, gemm_flops, Mat};
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Mapper};
@@ -102,6 +102,9 @@ pub struct MatmulResult {
     pub total: Time,
     /// Iterations executed.
     pub iters: u32,
+    /// Puts the runtime reported retried or degraded, summed over chares
+    /// (always 0 without fault injection).
+    pub lossy_puts: u64,
 }
 
 /// Deterministic input generators (global element coordinates).
@@ -147,6 +150,7 @@ struct MatmulChare {
     got_b: bool,
     computed: bool,
     c_in: usize,
+    lossy_puts: u64,
     t_first: Option<Time>,
     t_done: Time,
 }
@@ -182,8 +186,17 @@ impl MatmulChare {
             got_b: false,
             computed: false,
             c_in: 0,
+            lossy_puts: 0,
             t_first: None,
             t_done: Time::ZERO,
+        }
+    }
+
+    /// Issue one put and fold its outcome into the lossy-put counter.
+    fn put_counted(&mut self, ctx: &mut Ctx<'_>, h: HandleId) {
+        match ctx.direct_put(h).expect("put") {
+            PutOutcome::Sent => {}
+            PutOutcome::Retried { .. } | PutOutcome::Degraded => self.lossy_puts += 1,
         }
     }
 
@@ -324,7 +337,7 @@ impl MatmulChare {
                         Kind::C(_) => unreachable!(),
                     };
                     for h in outs {
-                        ctx.direct_put(h).expect("put");
+                        self.put_counted(ctx, h);
                     }
                 }
             }
@@ -431,7 +444,8 @@ impl MatmulChare {
                 } else {
                     region.write_f64s(0, &[self.iter as f64 + 1.0]);
                 }
-                ctx.direct_put(self.c_out.expect("assoc'd")).expect("put c");
+                let h = self.c_out.expect("assoc'd");
+                self.put_counted(ctx, h);
             }
         }
         self.finish_iteration(ctx);
@@ -698,6 +712,7 @@ pub fn run_matmul_on(m: &mut ckd_charm::Machine, cfg: MatmulCfg) -> MatmulResult
     let total = m.run();
     let mut t0 = Time::MAX;
     let mut t1 = Time::ZERO;
+    let mut lossy_puts = 0u64;
     let dims = Dims::d3(cfg.grid, cfg.grid, cfg.grid);
     for lin in 0..dims.len() {
         let c = m
@@ -707,6 +722,7 @@ pub fn run_matmul_on(m: &mut ckd_charm::Machine, cfg: MatmulCfg) -> MatmulResult
             })
             .unwrap();
         assert_eq!(c.iter, cfg.iters, "chare {lin} incomplete");
+        lossy_puts += c.lossy_puts;
         t0 = t0.min(c.t_first.expect("ran"));
         t1 = t1.max(c.t_done);
     }
@@ -714,20 +730,28 @@ pub fn run_matmul_on(m: &mut ckd_charm::Machine, cfg: MatmulCfg) -> MatmulResult
         time_per_iter: (t1 - t0) / cfg.iters as u64,
         total,
         iters: cfg.iters,
+        lossy_puts,
     }
 }
 
 /// Run with real data and return the assembled `C` (verification helper).
 pub fn run_matmul_verify(platform: Platform, pes: usize, cfg: MatmulCfg) -> (MatmulResult, Mat) {
-    assert!(cfg.real_compute);
     let mut m = platform.machine(pes);
-    let arr = build(&mut m, cfg);
+    run_matmul_verify_on(&mut m, cfg)
+}
+
+/// [`run_matmul_verify`] on a caller-built machine, so fault injection or
+/// tracing can be enabled before the run starts.
+pub fn run_matmul_verify_on(m: &mut ckd_charm::Machine, cfg: MatmulCfg) -> (MatmulResult, Mat) {
+    assert!(cfg.real_compute);
+    let arr = build(m, cfg);
     let total = m.run();
     let nb = cfg.nb();
     let mut out = Mat::zeros(cfg.n, cfg.n);
     let dims = Dims::d3(cfg.grid, cfg.grid, cfg.grid);
     let mut t0 = Time::MAX;
     let mut t1 = Time::ZERO;
+    let mut lossy_puts = 0u64;
     for lin in 0..dims.len() {
         let idx = dims.unlinear(lin);
         let c = m
@@ -738,6 +762,7 @@ pub fn run_matmul_verify(platform: Platform, pes: usize, cfg: MatmulCfg) -> (Mat
             .unwrap();
         t0 = t0.min(c.t_first.expect("ran"));
         t1 = t1.max(c.t_done);
+        lossy_puts += c.lossy_puts;
         if idx.at(2) == 0 {
             let block = c.c.as_ref().expect("C-home has the sum");
             for r in 0..nb {
@@ -752,6 +777,7 @@ pub fn run_matmul_verify(platform: Platform, pes: usize, cfg: MatmulCfg) -> (Mat
             time_per_iter: (t1 - t0) / cfg.iters as u64,
             total,
             iters: cfg.iters,
+            lossy_puts,
         },
         out,
     )

@@ -93,11 +93,11 @@ impl MutantPeer {
             // completes — the peer will read the window on this hint
             ctx.send(self.peer.unwrap(), Msg::signal(EP_HINT));
         }
-        // ckd-lint: allow(swallowed-direct-error)
+        // ckd-lint: allow(swallowed-direct-error) ckd-lint: allow(ignored-put-outcome)
         let _ = ctx.direct_put(h); // bug under test: rejection ignored
         if self.kind == MutantKind::DoublePutMatmul && self.bounces == 0 {
             // second put without waiting for the first completion
-            // ckd-lint: allow(swallowed-direct-error) ckd-lint: allow(double-put-same-handle)
+            // ckd-lint: allow(swallowed-direct-error) ckd-lint: allow(double-put-same-handle) ckd-lint: allow(ignored-put-outcome)
             let _ = ctx.direct_put(h);
         }
     }

@@ -29,7 +29,7 @@
 //! `ReadyMark` right after the DGEMM and `ReadyPollQ` only when the step
 //! broadcast announces the forward path is imminent.
 
-use ckd_charm::{ArrayId, Chare, Ctx, EntryId, Msg, RedOp, RedTarget, RedVal};
+use ckd_charm::{ArrayId, Chare, Ctx, EntryId, Msg, PutOutcome, RedOp, RedTarget, RedVal};
 use ckd_linalg::gemm_flops;
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Mapper};
@@ -91,6 +91,9 @@ pub struct OpenAtomResult {
     /// Total sentinel checks performed by poll sweeps (polling-cost
     /// evidence for the §5.2 ablation).
     pub poll_checks: u64,
+    /// Puts the runtime reported retried or degraded, summed over GS chares
+    /// (always 0 without fault injection).
+    pub lossy_puts: u64,
 }
 
 /// Handle-shipping payload: `(slot, handle)` where slot identifies which of
@@ -115,6 +118,7 @@ struct GsChare {
     transpose_in: bool,
     results_in: usize,
     phase1_done: bool,
+    lossy_puts: u64,
     t_first: Option<Time>,
     t_done: Time,
 }
@@ -156,8 +160,12 @@ impl GsChare {
             Variant::Ckd => {
                 let region = self.send_region.as_ref().expect("setup done");
                 region.write_f64s(0, &[self.step as f64 + 1.0]);
-                for &h in &self.out_handles {
-                    ctx.direct_put(h).expect("put points");
+                let outs = self.out_handles.clone();
+                for h in outs {
+                    match ctx.direct_put(h).expect("put points") {
+                        PutOutcome::Sent => {}
+                        PutOutcome::Retried { .. } | PutOutcome::Degraded => self.lossy_puts += 1,
+                    }
                 }
             }
         }
@@ -464,6 +472,7 @@ pub fn run_openatom_on(m: &mut ckd_charm::Machine, cfg: OpenAtomCfg) -> OpenAtom
                 transpose_in: false,
                 results_in: 0,
                 phase1_done: false,
+                lossy_puts: 0,
                 t_first: None,
                 t_done: Time::ZERO,
             },
@@ -530,6 +539,7 @@ pub fn run_openatom_on(m: &mut ckd_charm::Machine, cfg: OpenAtomCfg) -> OpenAtom
     assert_eq!(c0.inner.step, cfg.steps, "incomplete run");
     let t0 = c0.inner.t_first.expect("stepped");
     let mut t1 = Time::ZERO;
+    let mut lossy_puts = 0u64;
     for lin in 0..gs_dims.len() {
         let c = m
             .chare::<Gs>(ckd_charm::ChareRef {
@@ -539,6 +549,7 @@ pub fn run_openatom_on(m: &mut ckd_charm::Machine, cfg: OpenAtomCfg) -> OpenAtom
             .unwrap();
         assert_eq!(c.inner.step, cfg.steps, "GS {lin} incomplete");
         t1 = t1.max(c.inner.t_done);
+        lossy_puts += c.inner.lossy_puts;
     }
     for lin in 0..pc_dims.len() {
         let c = m
@@ -555,6 +566,7 @@ pub fn run_openatom_on(m: &mut ckd_charm::Machine, cfg: OpenAtomCfg) -> OpenAtom
         total,
         steps: cfg.steps,
         poll_checks,
+        lossy_puts,
     }
 }
 

@@ -8,7 +8,7 @@
 //! Reported: average round-trip time, excluding setup (timing starts at the
 //! first bounce, as the paper averages over a thousand iterations).
 
-use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg};
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, PutOutcome};
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Mapper, Pe};
 use ckdirect::{HandleId, Region};
@@ -26,6 +26,9 @@ pub struct PingResult {
     pub rtt: Time,
     /// Exchanges measured.
     pub iters: u32,
+    /// Puts the runtime reported retried or degraded (initiator side;
+    /// always 0 without fault injection).
+    pub lossy_puts: u64,
 }
 
 /// Message-variant endpoint.
@@ -77,7 +80,12 @@ struct CkdPinger {
     send_region: Region,
     recv_handle: Option<HandleId>,
     send_handle: Option<HandleId>,
+    /// A put landed before our own handshake finished (the peer's
+    /// handshake message was delayed, e.g. by a lossy-fabric retransmit);
+    /// the reply is owed as soon as the handle arrives.
+    reply_owed: bool,
     bounces: u32,
+    lossy_puts: u64,
     t_first: Option<Time>,
     t_last: Time,
 }
@@ -98,15 +106,22 @@ impl CkdPinger {
             send_region,
             recv_handle: None,
             send_handle: None,
+            reply_owed: false,
             bounces: 0,
+            lossy_puts: 0,
             t_first: None,
             t_last: Time::ZERO,
         }
     }
 
     fn serve(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.direct_put(self.send_handle.expect("handshake done"))
-            .expect("put");
+        match ctx
+            .direct_put(self.send_handle.expect("handshake done"))
+            .expect("put")
+        {
+            PutOutcome::Sent => {}
+            PutOutcome::Retried { .. } | PutOutcome::Degraded => self.lossy_puts += 1,
+        }
     }
 }
 
@@ -135,6 +150,9 @@ impl Chare for CkdPinger {
                 if self.initiator {
                     self.t_first = Some(ctx.now());
                     self.serve(ctx);
+                } else if self.reply_owed {
+                    self.reply_owed = false;
+                    self.serve(ctx);
                 }
             }
             other => panic!("unexpected {other:?}"),
@@ -150,6 +168,12 @@ impl Chare for CkdPinger {
             if self.bounces >= self.iters {
                 return;
             }
+        }
+        if self.send_handle.is_none() {
+            // data beat our handshake here (delayed handshake message on a
+            // lossy fabric); reply once the handle shows up
+            self.reply_owed = true;
+            return;
         }
         self.serve(ctx);
     }
@@ -270,6 +294,7 @@ pub fn charm_pingpong_get(platform: Platform, bytes: usize, iters: u32) -> PingR
     PingResult {
         rtt: (c.t_last - c.t_first.expect("ran")) / iters as u64,
         iters,
+        lossy_puts: 0,
     }
 }
 
@@ -331,20 +356,21 @@ pub fn charm_pingpong_on(
     m.seed(b, Msg::value(EP_START, a, 8));
     m.run();
 
-    let (t_first, t_last, bounces) = match variant {
+    let (t_first, t_last, bounces, lossy_puts) = match variant {
         Variant::Msg => {
             let c = m.chare::<MsgPinger>(a).unwrap();
-            (c.t_first.expect("ran"), c.t_last, c.bounces)
+            (c.t_first.expect("ran"), c.t_last, c.bounces, 0)
         }
         Variant::Ckd => {
             let c = m.chare::<CkdPinger>(a).unwrap();
-            (c.t_first.expect("ran"), c.t_last, c.bounces)
+            (c.t_first.expect("ran"), c.t_last, c.bounces, c.lossy_puts)
         }
     };
     assert_eq!(bounces, iters, "pingpong did not complete");
     PingResult {
         rtt: (t_last - t_first) / iters as u64,
         iters,
+        lossy_puts,
     }
 }
 

@@ -3,7 +3,7 @@
 
 use ckd_net::{FabricParams, Protocol, Timing};
 use ckd_race::DirectOp;
-use ckd_sim::Time;
+use ckd_sim::{FaultOp, Time};
 use ckd_topo::{Idx, Pe};
 use ckd_trace::ProtoClass;
 use ckdirect::{DirectError, HandleId, PutRequest, Region, StridedSpec};
@@ -14,6 +14,27 @@ use crate::learn::{LearnKey, LearnState};
 use crate::machine::{CbKind, DirectCb, Ev, Machine};
 use crate::msg::{EntryId, Msg, Payload};
 use crate::reduction::{RedOp, RedTarget, RedVal};
+
+/// What [`Ctx::direct_put`] reports about the transfer it issued. With
+/// faults disabled every put is [`PutOutcome::Sent`]; under fault injection
+/// the other variants surface channel health to the application without
+/// changing its data-delivery semantics (the reliability layer retransmits
+/// either way).
+#[must_use = "a degraded or retried channel is worth reacting to; match the outcome or discard it explicitly"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Issued on the direct-RDMA fast path, no retransmissions so far.
+    Sent,
+    /// Issued direct, but this channel has needed `retries` cumulative
+    /// retransmissions — a flaky but still-direct path.
+    Retried {
+        /// Cumulative retransmits charged to the channel so far.
+        retries: u32,
+    },
+    /// The channel crossed the retransmission threshold and this put paid
+    /// conventional rendezvous timing instead of the direct path.
+    Degraded,
+}
 
 /// Execution context of one entry-method or callback invocation.
 ///
@@ -149,8 +170,12 @@ impl<'a> Ctx<'a> {
             }
         }
         let edge = self.m.san.edge_out(self.pe.idx());
-        self.m.events.push(
-            begin + alloc + t.delay,
+        self.m.rel_push(
+            begin + alloc,
+            t.delay,
+            (self.pe.0, dst.0),
+            FaultOp::Msg,
+            None,
             Ev::MsgArrive {
                 pe: dst,
                 target: to,
@@ -218,9 +243,14 @@ impl<'a> Ctx<'a> {
                     let t = self.m.net.put(req.src, req.dst, req.bytes);
                     let begin = self.start + self.elapsed;
                     self.elapsed += t.send_cpu;
-                    self.record_put(h, &req, &t, begin);
-                    self.m.events.push(
-                        begin + t.delay,
+                    let proto = self.direct_proto();
+                    self.record_put(h, &req, &t, begin, proto);
+                    self.m.rel_push(
+                        begin,
+                        t.delay,
+                        (req.src.0, req.dst.0),
+                        FaultOp::Put,
+                        Some((h, req.seq)),
                         Ev::DirectLand {
                             handle: h,
                             recv_cpu: t.recv_cpu,
@@ -466,7 +496,14 @@ impl<'a> Ctx<'a> {
     /// cost on this PE; the receiver pays nothing until its poll sweep
     /// detects the sentinel overwrite (Infiniband) or the delivery callback
     /// fires (Blue Gene/P).
-    pub fn direct_put(&mut self, handle: HandleId) -> Result<(), DirectError> {
+    ///
+    /// The returned [`PutOutcome`] reports channel health under fault
+    /// injection: a channel that crossed the retransmission threshold
+    /// degrades to conventional rendezvous timing ([`PutOutcome::Degraded`])
+    /// — the reproduction's stand-in for tearing down a flaky RDMA path.
+    /// Delivery semantics are identical in every case; retransmission is the
+    /// runtime's job, not the application's.
+    pub fn direct_put(&mut self, handle: HandleId) -> Result<PutOutcome, DirectError> {
         // strided sources pay the gather copy here, on the sender
         if let Some(bytes) = self.m.direct.strided_send_bytes(handle)? {
             self.charge_bytes(2 * bytes as u64);
@@ -477,18 +514,36 @@ impl<'a> Ctx<'a> {
             .direct
             .put(handle, self.pe)
             .map_err(|e| self.san_fail(now, handle, DirectOp::Put, e))?;
-        let t = self.m.net.put(req.src, req.dst, req.bytes);
+        let degraded = self.m.rel.as_ref().is_some_and(|r| r.is_degraded(handle));
+        let retries = self.m.rel.as_ref().map_or(0, |r| r.retries_of(handle));
+        let (outcome, t, proto) = if degraded {
+            self.m.stats.rel.degraded_puts += 1;
+            let (t, proto) = self.m.net.two_sided(req.src, req.dst, req.bytes, 0, true);
+            (PutOutcome::Degraded, t, proto)
+        } else {
+            let outcome = if retries > 0 {
+                PutOutcome::Retried { retries }
+            } else {
+                PutOutcome::Sent
+            };
+            let t = self.m.net.put(req.src, req.dst, req.bytes);
+            (outcome, t, self.direct_proto())
+        };
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
-        self.record_put(handle, &req, &t, begin);
-        self.m.events.push(
-            begin + t.delay,
+        self.record_put(handle, &req, &t, begin, proto);
+        self.m.rel_push(
+            begin,
+            t.delay,
+            (req.src.0, req.dst.0),
+            FaultOp::Put,
+            Some((handle, req.seq)),
             Ev::DirectLand {
                 handle,
                 recv_cpu: t.recv_cpu,
             },
         );
-        Ok(())
+        Ok(outcome)
     }
 
     /// `CkDirect_get` (§2's comparison variant): the receiver *pulls* the
@@ -510,7 +565,8 @@ impl<'a> Ctx<'a> {
         let t = self.m.net.get(req.src, req.dst, req.bytes);
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
-        self.record_put(handle, &req, &t, begin);
+        let proto = self.direct_proto();
+        self.record_put(handle, &req, &t, begin, proto);
         self.m.events.push(
             begin + t.delay,
             Ev::DirectGetLand {
@@ -604,15 +660,27 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Shared accounting for one-sided transfers (puts, learned puts, gets):
-    /// aggregate counters, the per-protocol breakdown, and the trace record
-    /// that starts the issue→callback latency clock.
-    fn record_put(&mut self, handle: HandleId, req: &PutRequest, t: &Timing, begin: Time) {
-        let proto = if self.m.net.has_rdma() {
+    /// The protocol a healthy one-sided transfer uses on this fabric.
+    fn direct_proto(&self) -> Protocol {
+        if self.m.net.has_rdma() {
             Protocol::RdmaPut
         } else {
             Protocol::Dcmf
-        };
+        }
+    }
+
+    /// Shared accounting for one-sided transfers (puts, learned puts, gets):
+    /// aggregate counters, the per-protocol breakdown, and the trace record
+    /// that starts the issue→callback latency clock. `proto` is the caller's
+    /// because a degraded put records rendezvous, not RDMA.
+    fn record_put(
+        &mut self,
+        handle: HandleId,
+        req: &PutRequest,
+        t: &Timing,
+        begin: Time,
+        proto: Protocol,
+    ) {
         self.m.stats.puts += 1;
         self.m.stats.put_bytes += req.bytes as u64;
         self.m.stats.proto.record(proto, req.bytes as u64);

@@ -26,12 +26,13 @@ pub mod learn;
 pub mod machine;
 pub mod msg;
 pub mod reduction;
+pub(crate) mod rel;
 pub mod stats;
 
 pub use array::ArrayId;
 pub use chare::{Chare, ChareRef};
 pub use config::{ComputeParams, RtsConfig};
-pub use ctx::Ctx;
+pub use ctx::{Ctx, PutOutcome};
 pub use learn::{LearnConfig, LearningTotals};
 pub use machine::Machine;
 pub use msg::{EntryId, Msg, Payload};
@@ -40,3 +41,7 @@ pub use stats::{MachineStats, PeStats, ProtoBreakdown, ProtoCounters};
 // Tracing entry points, re-exported so applications need not depend on
 // `ckd-trace` directly for the common enable/export flow.
 pub use ckd_trace::{chrome_trace_json, text_summary, TraceConfig, Tracer};
+// Fault-injection entry points, likewise re-exported for the common
+// enable/inspect flow of chaos tests and experiments.
+pub use ckd_net::{RelStats, RetryPolicy};
+pub use ckd_sim::{FaultCounts, FaultKind, FaultOp, FaultPlan, FaultProbs};

@@ -25,9 +25,9 @@
 
 use std::collections::VecDeque;
 
-use ckd_net::{NetModel, Protocol};
+use ckd_net::{NetModel, Protocol, RelStats, RetryPolicy};
 use ckd_race::{Sanitizer, SanitizerConfig};
-use ckd_sim::{EventQueue, Time};
+use ckd_sim::{EventQueue, FaultAction, FaultCounts, FaultOp, FaultPlan, Time};
 use ckd_topo::{Dims, Idx, Mapper, Pe};
 use ckd_trace::{BusyKind, ProtoClass, TraceConfig, Tracer};
 use ckdirect::{DirectConfig, DirectRegistry, HandleId, LandOutcome, RegistryCounters};
@@ -39,6 +39,7 @@ use crate::ctx::Ctx;
 use crate::learn::{LearnConfig, Learner, LearningTotals};
 use crate::msg::{EntryId, Msg, Payload};
 use crate::reduction::{tree_children, tree_parent, RedOp, RedPeState, RedTarget, RedVal};
+use crate::rel::{Pending, ReliableLayer};
 use crate::stats::{MachineStats, PeStats};
 
 /// CkDirect completion-callback token: which chare to poke, and how.
@@ -61,6 +62,7 @@ pub enum CbKind {
     Learned(EntryId),
 }
 
+#[derive(Clone)]
 pub(crate) enum Ev {
     /// A two-sided message finished arriving at `pe`.
     MsgArrive {
@@ -111,6 +113,24 @@ pub(crate) enum Ev {
         /// Sanitizer happens-before edge token (0 when disabled).
         edge: u64,
     },
+    /// Fault-plane arrival of a reliable packet: carries the real delivery
+    /// event (`inner`) plus the protocol header the receiver checks. Fresh
+    /// and intact ⇒ dispatch `inner` at this very instant (identical timing
+    /// to the unfaulted run); corrupted or duplicated ⇒ discard.
+    RelDeliver {
+        token: u64,
+        link: (u32, u32),
+        seq: u64,
+        kind: FaultOp,
+        corrupted: bool,
+        inner: Box<Ev>,
+    },
+    /// A reliability ack reached the sender: retire the pending packet.
+    /// Charges no PE time and emits no trace record — pure NIC protocol.
+    RelAck { token: u64 },
+    /// Retransmission timer: if the packet is still pending at this exact
+    /// attempt, resend it through the fault plane with backoff.
+    RelTimer { token: u64, attempt: u32 },
 }
 
 pub(crate) struct PeState {
@@ -137,6 +157,10 @@ pub struct Machine {
     pub(crate) stats: MachineStats,
     pub(crate) tracer: Tracer,
     pub(crate) san: Sanitizer,
+    /// Fault injection + reliable delivery; `None` (the default) costs one
+    /// branch per send/put and leaves event flow bit-identical to a build
+    /// without the fault plane.
+    pub(crate) rel: Option<Box<ReliableLayer>>,
     pub(crate) stop: bool,
 }
 
@@ -167,6 +191,7 @@ impl Machine {
             stats: MachineStats::default(),
             tracer: Tracer::disabled(),
             san: Sanitizer::disabled(),
+            rel: None,
             stop: false,
         }
     }
@@ -209,6 +234,34 @@ impl Machine {
     /// [`Machine::enable_sanitizer`] ran).
     pub fn sanitizer(&self) -> &Sanitizer {
         &self.san
+    }
+
+    /// Enable fault injection and the reliable-delivery machinery that
+    /// survives it, with the default [`RetryPolicy`] and a degradation
+    /// threshold of 8 cumulative retransmits per channel. Call before
+    /// [`Machine::run`]; never enabling this keeps every send/put hook at
+    /// one branch, and runs are bit-identical to the pre-fault runtime.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.enable_faults_with(plan, RetryPolicy::default(), 8);
+    }
+
+    /// [`Machine::enable_faults`] with an explicit retransmission policy
+    /// and degradation threshold (`degrade_after` cumulative retransmits
+    /// flip a channel's puts to rendezvous timing; `u32::MAX` never
+    /// degrades, `0` degrades every channel up front).
+    pub fn enable_faults_with(&mut self, plan: FaultPlan, policy: RetryPolicy, degrade_after: u32) {
+        self.rel = Some(Box::new(ReliableLayer::new(plan, policy, degrade_after)));
+    }
+
+    /// What the fault plane injected, when faults are enabled.
+    pub fn fault_counts(&self) -> Option<FaultCounts> {
+        self.rel.as_ref().map(|r| r.plan.counts())
+    }
+
+    /// Reliability-layer counters (also available as
+    /// [`MachineStats::rel`]). All zero when faults were never enabled.
+    pub fn rel_stats(&self) -> RelStats {
+        self.stats.rel
     }
 
     /// Convenience: a machine whose CkDirect backend matches the fabric
@@ -491,7 +544,228 @@ impl Machine {
                 st.stats.busy += recv_cpu;
                 self.bcast_at(array, to, ep, payload, size);
             }
+            Ev::RelDeliver {
+                token,
+                link,
+                seq,
+                kind,
+                corrupted,
+                inner,
+            } => self.rel_deliver(token, link, seq, kind, corrupted, *inner),
+            Ev::RelAck { token } => self.rel_ack(token),
+            Ev::RelTimer { token, attempt } => self.rel_timer(token, attempt),
         }
+    }
+
+    // ---- reliable delivery over the fault plane ---------------------------
+
+    /// Schedule a remote delivery event, routing it through the fault plane
+    /// when faults are enabled. `begin` is the issue instant on the sender
+    /// and `delay` the one-way wire latency: an unfaulted packet delivers at
+    /// `begin + delay`, bit-identically to a direct `events.push` — which is
+    /// exactly what happens when faults are off or the traffic never crosses
+    /// the fabric (same-PE links). `put` carries `(handle, put_seq)` so
+    /// duplicated one-sided puts can be replayed idempotently.
+    pub(crate) fn rel_push(
+        &mut self,
+        begin: Time,
+        delay: Time,
+        link: (u32, u32),
+        kind: FaultOp,
+        put: Option<(HandleId, u64)>,
+        ev: Ev,
+    ) {
+        if self.rel.is_none() || link.0 == link.1 {
+            self.events.push(begin + delay, ev);
+            return;
+        }
+        let rel = self.rel.as_mut().expect("checked above");
+        let token = rel.next_token;
+        rel.next_token += 1;
+        let seq = match put {
+            Some((_, s)) => s,
+            None => rel.seqs.alloc(link),
+        };
+        rel.pending.insert(
+            token,
+            Pending {
+                ev,
+                link,
+                seq,
+                attempt: 0,
+                wire_delay: delay,
+                kind,
+                handle: put.map(|(h, _)| h),
+            },
+        );
+        self.rel_transmit(token, begin);
+    }
+
+    /// Submit pending packet `token` to the fault plane at `at`, schedule
+    /// the consequences, and arm its retransmission timer.
+    fn rel_transmit(&mut self, token: u64, at: Time) {
+        let rel = self.rel.as_mut().expect("rel enabled");
+        let Some(p) = rel.pending.get(&token) else {
+            return; // acked in the meantime
+        };
+        let (link, kind, seq, wire_delay, attempt) =
+            (p.link, p.kind, p.seq, p.wire_delay, p.attempt);
+        let ev = p.ev.clone();
+        let action = rel.plan.decide(at, link, kind);
+        let timeout = rel.policy.timeout(attempt);
+        let mk = |inner: Ev, corrupted: bool| Ev::RelDeliver {
+            token,
+            link,
+            seq,
+            kind,
+            corrupted,
+            inner: Box::new(inner),
+        };
+        match action {
+            FaultAction::Deliver => self.events.push(at + wire_delay, mk(ev, false)),
+            FaultAction::Drop => {
+                self.stats.rel.drops_injected += 1;
+                self.tracer.rel_drop(link.0 as usize, at, link.1);
+            }
+            FaultAction::Corrupt => {
+                self.stats.rel.corrupts_injected += 1;
+                self.events.push(at + wire_delay, mk(ev, true));
+            }
+            FaultAction::Duplicate { extra } => {
+                self.stats.rel.dups_injected += 1;
+                self.events.push(at + wire_delay, mk(ev.clone(), false));
+                self.events.push(at + wire_delay + extra, mk(ev, false));
+            }
+            FaultAction::Delay { extra } => {
+                self.stats.rel.delays_injected += 1;
+                self.events.push(at + wire_delay + extra, mk(ev, false));
+            }
+        }
+        self.events
+            .push(at + timeout, Ev::RelTimer { token, attempt });
+    }
+
+    /// A reliable packet arrived: verify, dedup, ack, and (when fresh and
+    /// intact) dispatch the real delivery event at this very instant.
+    fn rel_deliver(
+        &mut self,
+        token: u64,
+        link: (u32, u32),
+        seq: u64,
+        kind: FaultOp,
+        corrupted: bool,
+        inner: Ev,
+    ) {
+        if corrupted {
+            // Receiver-side detection — the NIC's link CRC for messages,
+            // the per-put CRC folded into the sentinel word for one-sided
+            // puts. The damaged landing is discarded (for a put, the
+            // sentinel stays armed), no ack is sent, and the sender's
+            // timer will retransmit.
+            self.stats.rel.corrupt_detected += 1;
+            if kind == FaultOp::Put {
+                if let Ev::DirectLand { handle, .. } = &inner {
+                    self.direct
+                        .corrupt_landing(*handle, seq)
+                        .expect("live channel");
+                }
+            }
+            return;
+        }
+        let fresh = match kind {
+            FaultOp::Put => {
+                if let Ev::DirectLand { handle, .. } = &inner {
+                    self.direct
+                        .accept_landing(*handle, seq)
+                        .expect("live channel")
+                } else {
+                    true
+                }
+            }
+            _ => self
+                .rel
+                .as_mut()
+                .expect("rel enabled")
+                .seqs
+                .accept(link, seq),
+        };
+        // Ack every intact arrival — a duplicate re-acks, in case the
+        // original ack was the packet that died.
+        self.rel_send_ack(token, link);
+        if fresh {
+            self.dispatch(inner);
+        } else {
+            self.stats.rel.dups_suppressed += 1;
+        }
+    }
+
+    /// Emit the reliability ack for `token` back across the fault plane.
+    /// Acks are NIC-level protocol: they charge no PE time, carry no trace
+    /// record, and are invisible to the scheduler — only their loss has a
+    /// consequence (a spurious retransmission, suppressed by seqno dedup).
+    fn rel_send_ack(&mut self, token: u64, link: (u32, u32)) {
+        let t = self.net.control(Pe(link.1), Pe(link.0));
+        let rel = self.rel.as_mut().expect("rel enabled");
+        match rel.plan.decide(self.now, (link.1, link.0), FaultOp::Ack) {
+            FaultAction::Deliver => self.events.push(self.now + t.delay, Ev::RelAck { token }),
+            FaultAction::Drop | FaultAction::Corrupt => {
+                // a corrupted ack fails its CRC at the sender NIC — lost
+                // either way
+                self.stats.rel.acks_lost += 1;
+            }
+            FaultAction::Duplicate { extra } => {
+                self.events.push(self.now + t.delay, Ev::RelAck { token });
+                self.events
+                    .push(self.now + t.delay + extra, Ev::RelAck { token });
+            }
+            FaultAction::Delay { extra } => self
+                .events
+                .push(self.now + t.delay + extra, Ev::RelAck { token }),
+        }
+    }
+
+    /// An ack reached the sender: retire the pending packet. A stale ack
+    /// (duplicate, or late after retransmission already re-acked) is a
+    /// no-op.
+    fn rel_ack(&mut self, token: u64) {
+        let rel = self.rel.as_mut().expect("rel enabled");
+        if rel.pending.remove(&token).is_some() {
+            self.stats.rel.acks += 1;
+        }
+    }
+
+    /// Retransmission timer fired: if the packet is still pending at this
+    /// exact attempt, resend it with exponentially backed-off timeout.
+    /// Retries are unbounded — a probabilistic plan delivers eventually
+    /// (with probability 1), explicit triggers are one-shot, and stall
+    /// windows end.
+    fn rel_timer(&mut self, token: u64, attempt: u32) {
+        let rel = self.rel.as_mut().expect("rel enabled");
+        let Some(p) = rel.pending.get_mut(&token) else {
+            return; // acked: the common case for every timer of a clean run
+        };
+        if p.attempt != attempt {
+            return; // a newer transmission owns the live timer
+        }
+        p.attempt += 1;
+        let next_attempt = p.attempt;
+        let handle = p.handle;
+        let sender = p.link.0;
+        self.stats.rel.timeouts += 1;
+        self.stats.rel.retries += 1;
+        if let Some(h) = handle {
+            // degradation bookkeeping: after `degrade_after` cumulative
+            // retransmits, this channel's future puts pay rendezvous timing
+            let r = rel.handle_retries.entry(h.0).or_insert(0);
+            *r += 1;
+            if *r >= rel.degrade_after && rel.degraded.insert(h.0) {
+                self.stats.rel.degraded_channels += 1;
+            }
+        }
+        let backoff = rel.policy.timeout(next_attempt);
+        self.tracer
+            .rel_retry(sender as usize, self.now, next_attempt, backoff);
+        self.rel_transmit(token, self.now);
     }
 
     /// One scheduler iteration: poll sweep, then at most one message.

@@ -1,0 +1,103 @@
+//! The reliable-delivery layer: what survives the fault plane.
+//!
+//! When faults are enabled ([`crate::Machine::enable_faults`]), every
+//! remote message and every CkDirect put passes through this layer instead
+//! of being scheduled directly:
+//!
+//! * the sender records a **pending entry** (the delivery event, its link,
+//!   its sequence number) and submits the packet to the
+//!   [`FaultPlan`](ckd_sim::FaultPlan), which may deliver, drop, corrupt,
+//!   duplicate, or delay it;
+//! * the receiver acks every intact arrival (acks traverse the fault plane
+//!   too), dedups by sequence number — [`ckd_net::LinkSeqs`] for messages,
+//!   [`DirectRegistry::accept_landing`](ckdirect::DirectRegistry::accept_landing)
+//!   for puts — and detects corruption (link CRC for messages, the per-put
+//!   CRC folded into the sentinel word for one-sided puts), discarding the
+//!   damaged landing so the channel stays armed for the retransmission;
+//! * an unacked packet's timer fires with exponential backoff
+//!   ([`ckd_net::RetryPolicy`]) and the sender retransmits — *without*
+//!   re-running the application-visible issue path, so a put is counted
+//!   once in `MachineStats::puts` no matter how many times it crosses the
+//!   wire, and the race sanitizer's lifecycle probe never sees a double
+//!   `PutIssued`;
+//! * a channel whose puts keep needing retransmission degrades to
+//!   rendezvous-style timing (`PutOutcome::Degraded`), the reproduction's
+//!   stand-in for tearing down a flaky RDMA path and falling back to the
+//!   default two-sided protocol.
+//!
+//! With faults never enabled the machine holds `rel: None` and every hook
+//! is one branch — runs are bit-identical to the pre-fault-plane runtime.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ckd_net::{LinkSeqs, RetryPolicy};
+use ckd_sim::{FaultOp, FaultPlan, Time};
+use ckdirect::HandleId;
+
+use crate::machine::Ev;
+
+/// One unacked packet, owned by the (conceptual) sender NIC.
+pub(crate) struct Pending {
+    /// The delivery event to (re)schedule; replayed verbatim on retransmit.
+    pub ev: Ev,
+    /// Directed link `(from, to)` the packet travels.
+    pub link: (u32, u32),
+    /// Sequence number on the wire (per-link for messages, per-channel for
+    /// puts).
+    pub seq: u64,
+    /// Transmission attempt counter (0 = original send).
+    pub attempt: u32,
+    /// Wire delay of one transmission (constant per packet; re-used by
+    /// retransmissions).
+    pub wire_delay: Time,
+    /// What the fault plane sees this packet as (message or put).
+    pub kind: FaultOp,
+    /// The channel, when this packet is a one-sided put.
+    pub handle: Option<HandleId>,
+}
+
+/// All reliability state of a machine with fault injection enabled.
+pub(crate) struct ReliableLayer {
+    /// The fault schedule packets are submitted to.
+    pub plan: FaultPlan,
+    /// Retransmission backoff policy.
+    pub policy: RetryPolicy,
+    /// Cumulative retransmits on one channel before it degrades to
+    /// rendezvous timing. `u32::MAX` disables degradation.
+    pub degrade_after: u32,
+    /// Unacked packets by token.
+    pub pending: BTreeMap<u64, Pending>,
+    /// Next packet token.
+    pub next_token: u64,
+    /// Message-path sequence numbers + receiver dedup.
+    pub seqs: LinkSeqs,
+    /// Cumulative retransmits per channel handle.
+    pub handle_retries: BTreeMap<u32, u32>,
+    /// Channels degraded to rendezvous timing.
+    pub degraded: BTreeSet<u32>,
+}
+
+impl ReliableLayer {
+    pub(crate) fn new(plan: FaultPlan, policy: RetryPolicy, degrade_after: u32) -> ReliableLayer {
+        ReliableLayer {
+            plan,
+            policy,
+            degrade_after,
+            pending: BTreeMap::new(),
+            next_token: 0,
+            seqs: LinkSeqs::new(),
+            handle_retries: BTreeMap::new(),
+            degraded: BTreeSet::new(),
+        }
+    }
+
+    /// Cumulative retransmits charged to `handle` so far.
+    pub(crate) fn retries_of(&self, handle: HandleId) -> u32 {
+        self.handle_retries.get(&handle.0).copied().unwrap_or(0)
+    }
+
+    /// Whether `handle` has degraded to rendezvous timing.
+    pub(crate) fn is_degraded(&self, handle: HandleId) -> bool {
+        self.degraded.contains(&handle.0)
+    }
+}

@@ -1,6 +1,6 @@
 //! Execution statistics gathered by the machine.
 
-use ckd_net::Protocol;
+use ckd_net::{Protocol, RelStats};
 use ckd_sim::Time;
 
 /// Transfer count and payload bytes for one protocol family.
@@ -104,4 +104,9 @@ pub struct MachineStats {
     pub events: u64,
     /// Per-protocol breakdown of every modeled transfer.
     pub proto: ProtoBreakdown,
+    /// Reliability-layer counters (all zero when faults are disabled).
+    /// Retransmits live here and *only* here: `puts`/`msgs_sent` count each
+    /// application-level transfer exactly once however many times the fault
+    /// plane forced it back onto the wire.
+    pub rel: RelStats,
 }

@@ -5,8 +5,8 @@
 
 use bytes::Bytes;
 use ckd_charm::{
-    Chare, ChareRef, Ctx, EntryId, LearnConfig, Machine, Msg, ProtoBreakdown, RedOp, RedTarget,
-    RedVal, RtsConfig, TraceConfig,
+    Chare, ChareRef, Ctx, EntryId, FaultPlan, LearnConfig, Machine, Msg, ProtoBreakdown, RedOp,
+    RedTarget, RedVal, RtsConfig, TraceConfig,
 };
 use ckd_net::presets;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
@@ -242,6 +242,83 @@ fn put_breakdown_reconciles_with_aggregates() {
         metrics.put_to_callback_ns.count(),
         reg.deliveries,
         "each delivered put closes one issue→callback latency sample"
+    );
+}
+
+/// Under an injected-fault plan a retransmitted put still counts exactly
+/// once in every app-visible aggregate — `puts`, `put_bytes`, the
+/// per-protocol breakdown, and the registry all match a fault-free run of
+/// the same program. The replays surface only in the reliability stats and
+/// the trace metrics' dedicated counters.
+#[test]
+fn retransmitted_puts_count_once_with_retries_separate() {
+    const ROUNDS: u32 = 16;
+    let run = |plan: Option<FaultPlan>| {
+        let mut m = ib_machine(4, 1);
+        m.enable_learning(LearnConfig { threshold: 3 });
+        m.enable_tracing(TraceConfig::default());
+        if let Some(p) = plan {
+            m.enable_faults(p);
+        }
+        let prod = m.create_array("p", Dims::d1(1), Mapper::Block, |_| {
+            Box::new(Producer {
+                consumer: None,
+                round: 0,
+                rounds: ROUNDS,
+            })
+        });
+        let cons = m.create_array("c", Dims::d1(4), Mapper::Block, |_| {
+            Box::new(AckingConsumer {
+                producer: None,
+                received: 0,
+            })
+        });
+        let p = m.element(prod, Idx::i1(0));
+        let c = m.element(cons, Idx::i1(3));
+        m.seed(c, Msg::value(EP_START, p, 8));
+        m.seed(p, Msg::value(EP_START, c, 8));
+        m.run();
+        let received = m.chare::<AckingConsumer>(c).unwrap().received;
+        (m, received)
+    };
+    let (clean, clean_rx) = run(None);
+    let (faulty, faulty_rx) = run(Some(
+        FaultPlan::new(0xACED).with_drop(0.15).with_corrupt(0.05),
+    ));
+
+    let rel = faulty.rel_stats();
+    assert!(rel.retries > 0, "the plan never bit a put or message");
+    // the program itself is oblivious: every payload arrived exactly once
+    assert_eq!(clean_rx, ROUNDS);
+    assert_eq!(faulty_rx, ROUNDS);
+    // app-visible aggregates are identical to the fault-free run — each
+    // logical put counted once no matter how often the fabric replayed it
+    let (cs, fs) = (clean.stats(), faulty.stats());
+    assert_eq!(fs.puts, cs.puts, "retransmits inflated `puts`");
+    assert_eq!(
+        fs.put_bytes, cs.put_bytes,
+        "retransmits inflated `put_bytes`"
+    );
+    assert_eq!(
+        fs.msgs_sent, cs.msgs_sent,
+        "retransmits inflated `msgs_sent`"
+    );
+    assert_eq!(fs.proto.rdma_put, cs.proto.rdma_put);
+    assert_eq!(fs.proto.two_sided().count, cs.proto.two_sided().count);
+    assert_breakdowns_equal(&sum_pe_breakdowns(&faulty), &fs.proto);
+    // the registry agrees: one landing consumed per logical put
+    let (creg, freg) = (clean.direct_counters(), faulty.direct_counters());
+    assert_eq!(freg.puts, creg.puts);
+    assert_eq!(freg.deliveries, creg.deliveries);
+    assert_eq!(freg.puts, fs.puts);
+    // the retries are visible — but only in the reliability plane
+    let metrics = faulty.tracer().metrics().unwrap();
+    assert_eq!(metrics.retries, rel.retries, "trace metrics track retries");
+    assert_eq!(metrics.drops, rel.drops_injected);
+    assert_eq!(
+        metrics.proto_stat(ProtoClass::RdmaPut).count,
+        fs.puts,
+        "trace put records exclude retransmissions"
     );
 }
 

@@ -1,7 +1,9 @@
 //! Integration tests of the message-driven runtime: scheduling, arrays,
 //! reductions, broadcasts, and the CkDirect wiring.
 
-use ckd_charm::{Chare, Ctx, EntryId, Machine, Msg, Payload, RedOp, RedTarget, RedVal, RtsConfig};
+use ckd_charm::{
+    Chare, Ctx, EntryId, Machine, Msg, Payload, PutOutcome, RedOp, RedTarget, RedVal, RtsConfig,
+};
 use ckd_net::presets;
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
@@ -293,7 +295,11 @@ impl DirectSend {
         let base = self.round as f64;
         self.region
             .write_f64s(0, &[base, base * 2.0, base * 3.0, base * 4.0]);
-        ctx.direct_put(self.handle.unwrap()).unwrap();
+        assert_eq!(
+            ctx.direct_put(self.handle.unwrap()).unwrap(),
+            PutOutcome::Sent,
+            "no faults enabled, so every put is clean"
+        );
     }
 }
 
@@ -551,7 +557,11 @@ impl StridedSend {
             self.matrix
                 .write_f64s(r * 4 * 8 + 8, &[scale * (r as f64 + 1.0)]);
         }
-        ctx.direct_put(self.handle.unwrap()).unwrap();
+        assert_eq!(
+            ctx.direct_put(self.handle.unwrap()).unwrap(),
+            PutOutcome::Sent,
+            "no faults enabled, so every put is clean"
+        );
     }
 }
 

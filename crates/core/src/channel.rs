@@ -91,6 +91,13 @@ pub(crate) struct Channel<C> {
     pub deliveries: u64,
     /// Times this channel's sentinel was examined by a poll sweep.
     pub checks: u64,
+    /// Highest put sequence number that has landed (0 = none yet). Lets the
+    /// reliability layer replay a duplicated RDMA put idempotently.
+    pub landed_seq: u64,
+    /// Duplicate landings suppressed before delivery.
+    pub dup_landings: u64,
+    /// Corrupted landings detected by the per-put CRC and re-armed.
+    pub corrupt_landings: u64,
 }
 
 impl<C> Channel<C> {
@@ -113,6 +120,9 @@ impl<C> Channel<C> {
             puts: 0,
             deliveries: 0,
             checks: 0,
+            landed_seq: 0,
+            dup_landings: 0,
+            corrupt_landings: 0,
         }
     }
 }

@@ -282,6 +282,300 @@ impl DirectReceiver {
     }
 }
 
+/// CRC32 (IEEE 802.3, reflected) over `data` — the checksum folded into a
+/// checked channel's protocol word. Table-free bitwise form: this runs once
+/// per put on buffers that are small by RDMA standards, and keeping it
+/// dependency-free matters more than throughput here.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// What one checked poll observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckedRecv {
+    /// Nothing has landed; the channel is still armed.
+    Empty,
+    /// A fresh, intact message (the receiver must [`CheckedReceiver::arm`]
+    /// before the next put, exactly like the unchecked channel).
+    Data(Vec<u8>),
+    /// The landing failed its CRC (bit-flip or torn write): the payload was
+    /// discarded and the channel **re-armed itself** so the sender's
+    /// retransmission can land. Counted once per damaged landing.
+    Corrupt,
+    /// A replay of an already-consumed sequence number: suppressed and the
+    /// channel re-armed itself. Counted once per duplicate landing.
+    Duplicate,
+}
+
+/// Receiver-side counters of the checked channel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckedStats {
+    /// Fresh messages delivered.
+    pub delivered: u64,
+    /// Landings rejected by the CRC (corrupted or torn).
+    pub corrupt_detected: u64,
+    /// Landings suppressed as duplicate sequence numbers.
+    pub dups_suppressed: u64,
+}
+
+/// Sender half of a checked channel: like [`DirectSender`] but every put
+/// carries `(seq, crc)` in a protocol word published last, and the fault
+/// hooks let tests damage a put the way a faulty fabric would.
+pub struct CheckedSender {
+    shared: Arc<Shared>,
+    put_gen: u64,
+    /// Sequence number of the last logical put (replays keep it).
+    seq: u32,
+    /// Last payload, kept so [`CheckedSender::put_duplicate`] can replay it.
+    last_payload: Vec<u8>,
+}
+
+/// Receiver half of a checked channel.
+pub struct CheckedReceiver {
+    shared: Arc<Shared>,
+    armed: u64,
+    holding_data: bool,
+    /// Highest sequence number consumed.
+    last_seq: u32,
+    stats: CheckedStats,
+}
+
+/// Create a *checked* channel moving fixed-size messages of `size` payload
+/// bytes. The wire image is one word longer than the payload: the final
+/// word is the protocol word `(seq << 32) | crc32(payload)`, doing double
+/// duty as the out-of-band sentinel (armed == it holds `oob`). This is the
+/// "CRC folded into the sentinel" layout: arrival detection, integrity and
+/// replay filtering all ride on the one word that is written last.
+pub fn channel_checked(size: usize, oob: u64) -> (CheckedSender, CheckedReceiver) {
+    assert!(size >= 8, "channel needs at least one payload word");
+    assert_eq!(size % 8, 0, "channel size must be a multiple of 8");
+    let nwords = size / 8 + 1; // payload + protocol word
+    let words: Box<[AtomicU64]> = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+    words[nwords - 1].store(oob, Ordering::Relaxed);
+    let shared = Arc::new(Shared {
+        words,
+        oob,
+        armed_gen: AtomicU64::new(1),
+    });
+    (
+        CheckedSender {
+            shared: shared.clone(),
+            put_gen: 0,
+            seq: 0,
+            last_payload: Vec::new(),
+        },
+        CheckedReceiver {
+            shared,
+            armed: 1,
+            holding_data: false,
+            last_seq: 0,
+            stats: CheckedStats::default(),
+        },
+    )
+}
+
+impl CheckedSender {
+    /// Payload size in bytes (the wire image adds one protocol word).
+    pub fn size(&self) -> usize {
+        (self.shared.words.len() - 1) * 8
+    }
+
+    fn claim_arming(&mut self) -> Result<(), PutError> {
+        let armed = self.shared.armed_gen.load(Ordering::Acquire);
+        if armed <= self.put_gen {
+            return Err(PutError::WouldOverwrite);
+        }
+        self.put_gen = armed;
+        Ok(())
+    }
+
+    /// Store payload words (optionally skipping `skip` to model a torn
+    /// write), then publish `proto` as the protocol word.
+    fn store(&self, payload: &[u8], skip: Option<usize>, proto: u64) {
+        let words = &self.shared.words;
+        for (i, chunk) in payload.chunks_exact(8).enumerate() {
+            if skip == Some(i) {
+                continue;
+            }
+            let w = u64::from_le_bytes(chunk.try_into().unwrap());
+            words[i].store(w, Ordering::Relaxed);
+        }
+        words[words.len() - 1].store(proto, Ordering::Release);
+    }
+
+    fn proto_word(&self, seq: u32, payload: &[u8]) -> Result<u64, PutError> {
+        let proto = (u64::from(seq) << 32) | u64::from(crc32(payload));
+        // The protocol word is the sentinel; a put whose (seq, crc) happens
+        // to equal the pattern would be undetectable, same pathology as the
+        // unchecked channel's OobCollision.
+        if proto == self.shared.oob {
+            return Err(PutError::OobCollision);
+        }
+        Ok(proto)
+    }
+
+    /// A clean put: next sequence number, correct CRC.
+    pub fn put(&mut self, payload: &[u8]) -> Result<(), PutError> {
+        if payload.len() != self.size() {
+            return Err(PutError::SizeMismatch);
+        }
+        let proto = self.proto_word(self.seq + 1, payload)?;
+        self.claim_arming()?;
+        self.seq += 1;
+        self.last_payload = payload.to_vec();
+        self.store(payload, None, proto);
+        Ok(())
+    }
+
+    /// Fault hook: the fabric flips bits in payload word `damage_word`
+    /// in flight. The CRC was computed over the intended payload, so the
+    /// receiver's check fails and the landing is discarded. Pass the index
+    /// one past the payload (`size()/8`) to damage the protocol word
+    /// itself — the "corrupted last 8 bytes" case.
+    pub fn put_corrupted(&mut self, payload: &[u8], damage_word: usize) -> Result<(), PutError> {
+        if payload.len() != self.size() {
+            return Err(PutError::SizeMismatch);
+        }
+        let npayload = payload.len() / 8;
+        assert!(damage_word <= npayload, "damage_word out of range");
+        let mut proto = self.proto_word(self.seq + 1, payload)?;
+        self.claim_arming()?;
+        self.seq += 1;
+        self.last_payload = payload.to_vec();
+        if damage_word == npayload {
+            proto ^= 1; // damaged CRC field; still != oob in practice
+            self.store(payload, None, proto);
+        } else {
+            let mut damaged = payload.to_vec();
+            damaged[damage_word * 8] ^= 0x01;
+            self.store(&damaged, None, proto);
+        }
+        Ok(())
+    }
+
+    /// Fault hook: a torn write — the protocol word lands but payload word
+    /// `missing_word` never does (stale contents remain). Real RDMA
+    /// completes in order; a faulty or replayed transfer may not.
+    pub fn put_torn(&mut self, payload: &[u8], missing_word: usize) -> Result<(), PutError> {
+        if payload.len() != self.size() {
+            return Err(PutError::SizeMismatch);
+        }
+        assert!(
+            missing_word < payload.len() / 8,
+            "missing_word out of range"
+        );
+        let proto = self.proto_word(self.seq + 1, payload)?;
+        self.claim_arming()?;
+        self.seq += 1;
+        self.last_payload = payload.to_vec();
+        self.store(payload, Some(missing_word), proto);
+        Ok(())
+    }
+
+    /// Fault hook: the fabric replays the last put (same payload, same
+    /// sequence number) after the receiver re-armed. The receiver's seqno
+    /// filter must suppress it.
+    pub fn put_duplicate(&mut self) -> Result<(), PutError> {
+        assert!(self.seq > 0, "nothing to replay yet");
+        // no early return may consume the payload: a rejected replay must
+        // leave the sender able to try again
+        let proto = self.proto_word(self.seq, &self.last_payload)?;
+        self.claim_arming()?;
+        let payload = std::mem::take(&mut self.last_payload);
+        self.store(&payload, None, proto);
+        self.last_payload = payload;
+        Ok(())
+    }
+
+    /// Retransmit the last put unchanged (same seq, correct CRC) — what a
+    /// sender does after a corrupt/torn landing re-armed the channel. The
+    /// receiver accepts it iff the original never made it through.
+    pub fn retransmit(&mut self) -> Result<(), PutError> {
+        self.put_duplicate()
+    }
+
+    /// Whether the receiver has (re-)armed since this sender's last put.
+    pub fn receiver_ready(&self) -> bool {
+        self.shared.armed_gen.load(Ordering::Acquire) > self.put_gen
+    }
+}
+
+impl CheckedReceiver {
+    /// Payload size in bytes.
+    pub fn size(&self) -> usize {
+        (self.shared.words.len() - 1) * 8
+    }
+
+    /// Re-arm after consuming a delivered message (corrupt and duplicate
+    /// landings re-arm themselves).
+    pub fn arm(&mut self) {
+        let n = self.shared.words.len();
+        self.shared.words[n - 1].store(self.shared.oob, Ordering::Relaxed);
+        self.armed += 1;
+        self.holding_data = false;
+        self.shared.armed_gen.store(self.armed, Ordering::Release);
+    }
+
+    /// Receiver-side counters.
+    pub fn stats(&self) -> CheckedStats {
+        self.stats
+    }
+
+    /// Poll once. Integrity and replay checks happen here, at the receiver,
+    /// from the landed bytes alone — the sender gets no say.
+    pub fn try_recv(&mut self) -> CheckedRecv {
+        if self.holding_data {
+            return CheckedRecv::Empty;
+        }
+        let words = &self.shared.words;
+        let n = words.len();
+        let proto = words[n - 1].load(Ordering::Acquire);
+        if proto == self.shared.oob {
+            return CheckedRecv::Empty;
+        }
+        let seq = (proto >> 32) as u32;
+        let crc = proto as u32;
+        let mut payload = vec![0u8; (n - 1) * 8];
+        for i in 0..n - 1 {
+            let w = words[i].load(Ordering::Relaxed);
+            payload[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        if crc32(&payload) != crc {
+            self.stats.corrupt_detected += 1;
+            self.arm(); // discard + re-arm: the retransmission can land
+            return CheckedRecv::Corrupt;
+        }
+        if seq <= self.last_seq {
+            self.stats.dups_suppressed += 1;
+            self.arm();
+            return CheckedRecv::Duplicate;
+        }
+        self.last_seq = seq;
+        self.holding_data = true;
+        self.stats.delivered += 1;
+        CheckedRecv::Data(payload)
+    }
+
+    /// Spin until a *fresh intact* message lands, suppressing corrupt and
+    /// duplicate landings along the way (tests and micro-benchmarks).
+    pub fn recv_spin(&mut self) -> Vec<u8> {
+        loop {
+            if let CheckedRecv::Data(m) = self.try_recv() {
+                return m;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Zero-copy view of a landed message as little-endian words.
 pub struct WordView<'a> {
     words: &'a [AtomicU64],
@@ -449,5 +743,136 @@ mod tests {
         rx.recv_spin();
         rx.arm();
         assert_eq!(rx.generation(), 2);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn checked_clean_roundtrip() {
+        let (mut tx, mut rx) = channel_checked(32, OOB);
+        assert_eq!(rx.try_recv(), CheckedRecv::Empty);
+        let msg: Vec<u8> = (0..32).map(|i| i as u8).collect();
+        tx.put(&msg).unwrap();
+        assert_eq!(rx.try_recv(), CheckedRecv::Data(msg));
+        rx.arm();
+        assert_eq!(
+            rx.stats(),
+            CheckedStats {
+                delivered: 1,
+                ..CheckedStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn checked_corrupt_payload_detected_exactly_once_then_retransmit_lands() {
+        let (mut tx, mut rx) = channel_checked(32, OOB);
+        let msg = vec![5u8; 32];
+        tx.put_corrupted(&msg, 1).unwrap();
+        assert_eq!(rx.try_recv(), CheckedRecv::Corrupt, "CRC catches the flip");
+        assert_eq!(
+            rx.try_recv(),
+            CheckedRecv::Empty,
+            "detected once, then re-armed"
+        );
+        assert!(tx.receiver_ready(), "corrupt landing re-armed the channel");
+        tx.retransmit().unwrap();
+        assert_eq!(rx.try_recv(), CheckedRecv::Data(msg));
+        assert_eq!(
+            rx.stats(),
+            CheckedStats {
+                delivered: 1,
+                corrupt_detected: 1,
+                dups_suppressed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn checked_corrupt_last_8_bytes_detected() {
+        // The damaged word is the sentinel/protocol word itself.
+        let (mut tx, mut rx) = channel_checked(16, OOB);
+        tx.put_corrupted(&[3u8; 16], 2).unwrap();
+        assert_eq!(rx.try_recv(), CheckedRecv::Corrupt);
+        assert_eq!(rx.stats().corrupt_detected, 1);
+        tx.retransmit().unwrap();
+        assert_eq!(rx.recv_spin(), vec![3u8; 16]);
+    }
+
+    #[test]
+    fn checked_torn_write_detected_exactly_once() {
+        let (mut tx, mut rx) = channel_checked(24, OOB);
+        // Leave stale bytes behind so the missing word is visibly wrong.
+        tx.put(&[0xAAu8; 24]).unwrap();
+        rx.recv_spin();
+        rx.arm();
+        tx.put_torn(&[0xBBu8; 24], 1).unwrap();
+        assert_eq!(
+            rx.try_recv(),
+            CheckedRecv::Corrupt,
+            "torn write caught by CRC"
+        );
+        assert_eq!(rx.try_recv(), CheckedRecv::Empty);
+        tx.retransmit().unwrap();
+        assert_eq!(rx.recv_spin(), vec![0xBBu8; 24]);
+        assert_eq!(
+            rx.stats(),
+            CheckedStats {
+                delivered: 2,
+                corrupt_detected: 1,
+                dups_suppressed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn checked_duplicate_landing_suppressed_exactly_once() {
+        let (mut tx, mut rx) = channel_checked(16, OOB);
+        let msg = vec![7u8; 16];
+        tx.put(&msg).unwrap();
+        assert_eq!(rx.try_recv(), CheckedRecv::Data(msg.clone()));
+        rx.arm();
+        // The fabric replays the same put after the re-arm.
+        tx.put_duplicate().unwrap();
+        assert_eq!(
+            rx.try_recv(),
+            CheckedRecv::Duplicate,
+            "seqno filter suppresses it"
+        );
+        assert_eq!(
+            rx.try_recv(),
+            CheckedRecv::Empty,
+            "suppressed once, re-armed"
+        );
+        // A genuinely new put still gets through.
+        let msg2 = vec![8u8; 16];
+        tx.put(&msg2).unwrap();
+        assert_eq!(rx.try_recv(), CheckedRecv::Data(msg2));
+        assert_eq!(
+            rx.stats(),
+            CheckedStats {
+                delivered: 2,
+                corrupt_detected: 0,
+                dups_suppressed: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn checked_size_checks_match_unchecked() {
+        let (mut tx, _rx) = channel_checked(16, OOB);
+        assert_eq!(tx.size(), 16);
+        assert_eq!(tx.put(&[0u8; 8]).unwrap_err(), PutError::SizeMismatch);
+        tx.put(&[1u8; 16]).unwrap();
+        assert_eq!(tx.put(&[2u8; 16]).unwrap_err(), PutError::WouldOverwrite);
     }
 }

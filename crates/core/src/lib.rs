@@ -38,6 +38,7 @@ pub mod registry;
 pub mod strided;
 
 pub use channel::{DataPhase, DirectBackend, HandleId};
+pub use direct::{crc32, CheckedRecv, CheckedStats};
 pub use error::DirectError;
 pub use region::Region;
 pub use registry::{

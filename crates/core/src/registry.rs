@@ -93,6 +93,11 @@ pub struct PutRequest {
     pub dst: Pe,
     /// Payload size (the full registered window).
     pub bytes: usize,
+    /// Per-channel put sequence number (1-based; `ch.puts` at issue). A
+    /// reliability layer stamps it on the wire so [`DirectRegistry::
+    /// accept_landing`] can suppress duplicated or retransmit-raced
+    /// landings idempotently.
+    pub seq: u64,
 }
 
 /// What `land` tells the executor.
@@ -124,6 +129,10 @@ pub struct RegistryCounters {
     pub deliveries: u64,
     /// Sentinel checks performed by poll sweeps.
     pub poll_checks: u64,
+    /// Duplicate landings suppressed by [`DirectRegistry::accept_landing`].
+    pub dup_landings: u64,
+    /// Corrupted landings reported via [`DirectRegistry::corrupt_landing`].
+    pub corrupt_landings: u64,
 }
 
 /// Per-channel lifetime counters (observability snapshot).
@@ -137,6 +146,10 @@ pub struct ChannelCounters {
     pub checks: u64,
     /// Bytes charged on the wire per put.
     pub wire_bytes: usize,
+    /// Duplicate landings suppressed on this channel.
+    pub dup_landings: u64,
+    /// Corrupted landings detected (and re-armed) on this channel.
+    pub corrupt_landings: u64,
 }
 
 /// All CkDirect channels of one simulated machine.
@@ -149,6 +162,8 @@ pub struct DirectRegistry<C> {
     total_puts: u64,
     total_deliveries: u64,
     total_poll_checks: u64,
+    total_dup_landings: u64,
+    total_corrupt_landings: u64,
     /// Lifecycle observer (the ckd-race sanitizer); `None` costs one branch
     /// per committed transition.
     probe: Option<LifecycleProbe>,
@@ -164,6 +179,8 @@ impl<C: Clone> DirectRegistry<C> {
             total_puts: 0,
             total_deliveries: 0,
             total_poll_checks: 0,
+            total_dup_landings: 0,
+            total_corrupt_landings: 0,
             probe: None,
         }
     }
@@ -373,6 +390,7 @@ impl<C: Clone> DirectRegistry<C> {
         }
         ch.phase = DataPhase::InFlight;
         ch.puts += 1;
+        let seq = ch.puts;
         self.total_puts += 1;
         self.emit(handle, Transition::PutIssued);
         Ok(PutRequest {
@@ -380,6 +398,7 @@ impl<C: Clone> DirectRegistry<C> {
             src: send_pe,
             dst: self.channels[handle.idx()].recv_pe,
             bytes: self.channels[handle.idx()].wire_bytes,
+            seq,
         })
     }
 
@@ -404,6 +423,7 @@ impl<C: Clone> DirectRegistry<C> {
         }
         ch.phase = DataPhase::InFlight;
         ch.puts += 1;
+        let seq = ch.puts;
         self.total_puts += 1;
         self.emit(handle, Transition::GetIssued);
         Ok(PutRequest {
@@ -411,6 +431,7 @@ impl<C: Clone> DirectRegistry<C> {
             src: send_pe,
             dst: from_pe,
             bytes: self.channels[handle.idx()].wire_bytes,
+            seq,
         })
     }
 
@@ -466,6 +487,45 @@ impl<C: Clone> DirectRegistry<C> {
                 ))
             }
         }
+    }
+
+    /// Reliability-layer gate, called *before* [`Self::land`] when fault
+    /// injection is active: is put `seq` a fresh landing on this channel?
+    ///
+    /// Returns `Ok(true)` for a first arrival (recording the high-water
+    /// mark) and `Ok(false)` for a duplicated or retransmit-raced copy,
+    /// which the caller must discard without touching channel state — the
+    /// idempotent-replay half of "exactly one delivery per put". A
+    /// suppressed duplicate emits no [`Transition`], so lifecycle probes
+    /// (the race sanitizer) never see a double landing.
+    pub fn accept_landing(&mut self, handle: HandleId, seq: u64) -> Result<bool, DirectError> {
+        let ch = self.chan_mut(handle)?;
+        if seq <= ch.landed_seq {
+            ch.dup_landings += 1;
+            self.total_dup_landings += 1;
+            return Ok(false);
+        }
+        ch.landed_seq = seq;
+        Ok(true)
+    }
+
+    /// Reliability-layer gate: a put arrived corrupted (its CRC, folded
+    /// into the sentinel word on the wire, failed at the receiver). The
+    /// payload is discarded, the sentinel stays armed, and the channel
+    /// remains `InFlight` awaiting the sender's retransmission — the
+    /// receiver never consumes the damaged bytes.
+    /// Returns `false` (and changes nothing) when `seq` is a replay of an
+    /// already-consumed put — a damaged duplicate of data the receiver has
+    /// long since delivered protects nothing.
+    pub fn corrupt_landing(&mut self, handle: HandleId, seq: u64) -> Result<bool, DirectError> {
+        let ch = self.chan_mut(handle)?;
+        if seq <= ch.landed_seq {
+            return Ok(false);
+        }
+        debug_assert_eq!(ch.phase, DataPhase::InFlight, "corruption outside a put?");
+        ch.corrupt_landings += 1;
+        self.total_corrupt_landings += 1;
+        Ok(true)
     }
 
     /// One scan of `pe`'s polling queue (IbPoll backend): check each armed
@@ -630,6 +690,8 @@ impl<C: Clone> DirectRegistry<C> {
             puts: self.total_puts,
             deliveries: self.total_deliveries,
             poll_checks: self.total_poll_checks,
+            dup_landings: self.total_dup_landings,
+            corrupt_landings: self.total_corrupt_landings,
         }
     }
 
@@ -641,6 +703,8 @@ impl<C: Clone> DirectRegistry<C> {
             deliveries: ch.deliveries,
             checks: ch.checks,
             wire_bytes: ch.wire_bytes,
+            dup_landings: ch.dup_landings,
+            corrupt_landings: ch.corrupt_landings,
         })
     }
 
@@ -735,6 +799,55 @@ mod tests {
         assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::PutInFlight);
         reg.poll_sweep(Pe(1));
         assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::Overwrite);
+    }
+
+    #[test]
+    fn accept_landing_suppresses_replays_idempotently() {
+        let (mut reg, h, _send, _recv) = setup(DirectConfig::ib());
+        let req = reg.put(h, Pe(0)).unwrap();
+        assert_eq!(req.seq, 1, "put seqs are 1-based");
+        assert!(
+            reg.accept_landing(h, req.seq).unwrap(),
+            "first arrival lands"
+        );
+        let delivered = land_and_sweep(&mut reg, h);
+        assert_eq!(delivered.len(), 1);
+        reg.ready(h).unwrap();
+        // the fabric replays the old put after delivery: suppressed, state
+        // untouched, counted once per copy
+        assert!(!reg.accept_landing(h, req.seq).unwrap());
+        assert!(!reg.accept_landing(h, req.seq).unwrap());
+        assert_eq!(reg.phase(h).unwrap(), DataPhase::Empty);
+        assert_eq!(reg.counters().dup_landings, 2);
+        assert_eq!(reg.channel_counters(h).unwrap().dup_landings, 2);
+        // the next genuine put is fresh
+        let req2 = reg.put(h, Pe(0)).unwrap();
+        assert_eq!(req2.seq, 2);
+        assert!(reg.accept_landing(h, req2.seq).unwrap());
+    }
+
+    #[test]
+    fn corrupt_landing_keeps_channel_armed_for_retransmit() {
+        let (mut reg, h, send, recv) = setup(DirectConfig::ib());
+        send.fill(6);
+        let req = reg.put(h, Pe(0)).unwrap();
+        // The wire damaged the payload: CRC fails at the receiver, the
+        // bytes are discarded, and the channel waits for the retransmit.
+        assert!(reg.corrupt_landing(h, req.seq).unwrap());
+        assert_eq!(reg.phase(h).unwrap(), DataPhase::InFlight);
+        assert_eq!(recv.last_word(), u64::MAX, "sentinel still armed");
+        assert_eq!(reg.counters().corrupt_landings, 1);
+        // The retransmission of the same seq is a fresh landing.
+        assert!(reg.accept_landing(h, req.seq).unwrap());
+        let delivered = land_and_sweep(&mut reg, h);
+        assert_eq!(delivered, vec![(h, 7)]);
+        assert_eq!(recv.to_vec(), vec![6u8; 64]);
+        assert_eq!(reg.counters().puts, 1, "one logical put despite the retry");
+        assert_eq!(reg.channel_counters(h).unwrap().corrupt_landings, 1);
+        // a damaged *replay* of the already-consumed put protects nothing:
+        // ignored, whatever phase the channel is in by now
+        assert!(!reg.corrupt_landing(h, req.seq).unwrap());
+        assert_eq!(reg.counters().corrupt_landings, 1);
     }
 
     #[test]

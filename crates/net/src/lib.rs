@@ -24,6 +24,8 @@
 pub mod model;
 pub mod params;
 pub mod presets;
+pub mod proto;
 
 pub use model::{NetModel, Protocol, Timing};
 pub use params::{DcmfParams, FabricParams, IbParams, SharedMemParams, WireParams};
+pub use proto::{LinkSeqs, RelStats, RetryPolicy};

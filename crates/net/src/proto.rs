@@ -1,0 +1,193 @@
+//! Reliability protocol state: retry/backoff policy, per-link sequence
+//! numbers with receiver-side dedup, and the counters the runtime exposes.
+//!
+//! This module holds the *state machines* of the reliable-delivery layer;
+//! the executor in `ckd-charm` owns the event plumbing (timers, acks,
+//! retransmission) and the fault plane in `ckd-sim` decides what the fabric
+//! does to each packet. Keeping the pure state here means it can be unit
+//! tested without a simulator and reused by both the message path and the
+//! one-sided put path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ckd_sim::Time;
+
+/// A directed link between two PEs.
+pub type RelLink = (u32, u32);
+
+/// Exponential-backoff retransmission policy.
+///
+/// Attempt `0` (the first retransmit) waits `base`; each further attempt
+/// multiplies by `factor`, saturating at `cap`. The defaults are deliberately
+/// far above the simulated fabrics' round-trip times (~1–10 µs) so that a
+/// fault-free run never spuriously retransmits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Timeout before the first retransmission.
+    pub base: Time,
+    /// Multiplier applied per subsequent attempt.
+    pub factor: u32,
+    /// Upper bound on any single timeout.
+    pub cap: Time,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Time::from_us(100),
+            factor: 2,
+            cap: Time::from_us(10_000),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Timeout to arm after sending attempt number `attempt` (0-based).
+    pub fn timeout(&self, attempt: u32) -> Time {
+        let mut t = self.base;
+        for _ in 0..attempt {
+            t = t * u64::from(self.factor);
+            if t >= self.cap {
+                return self.cap;
+            }
+        }
+        t.min(self.cap)
+    }
+}
+
+/// Per-link sequence allocation (sender side) and dedup window (receiver
+/// side).
+///
+/// Sequence numbers are 1-based so `0` can mean "nothing landed yet" in
+/// channel state. The receiver remembers every seq it has accepted per link;
+/// with delayed/reordered delivery a simple high-water mark would wrongly
+/// reject late-but-new packets, so we keep the full set (bounded in practice
+/// by messages per link per run).
+#[derive(Clone, Debug, Default)]
+pub struct LinkSeqs {
+    next: BTreeMap<RelLink, u64>,
+    seen: BTreeMap<RelLink, BTreeSet<u64>>,
+}
+
+impl LinkSeqs {
+    /// New empty state.
+    pub fn new() -> LinkSeqs {
+        LinkSeqs::default()
+    }
+
+    /// Sender side: allocate the next sequence number on `link`.
+    pub fn alloc(&mut self, link: RelLink) -> u64 {
+        let n = self.next.entry(link).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Receiver side: first sighting of `seq` on `link`? Duplicates return
+    /// `false` and must be suppressed by the caller.
+    pub fn accept(&mut self, link: RelLink, seq: u64) -> bool {
+        self.seen.entry(link).or_default().insert(seq)
+    }
+}
+
+/// Reliability-layer counters, surfaced through `MachineStats`.
+///
+/// "Injected" counters mirror what the fault plane did to this run's
+/// packets; the rest measure the recovery machinery's reaction. App-visible
+/// aggregates (`puts`, `msgs_sent`, …) count each logical operation once —
+/// retransmissions only show up here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelStats {
+    /// Acks received by senders.
+    pub acks: u64,
+    /// Acks the fault plane destroyed in flight.
+    pub acks_lost: u64,
+    /// Retransmission timers that fired.
+    pub timeouts: u64,
+    /// Packets retransmitted.
+    pub retries: u64,
+    /// Packets the fault plane dropped.
+    pub drops_injected: u64,
+    /// Packets the fault plane duplicated.
+    pub dups_injected: u64,
+    /// Packets the fault plane corrupted.
+    pub corrupts_injected: u64,
+    /// Packets the fault plane delayed or stalled.
+    pub delays_injected: u64,
+    /// Duplicate arrivals suppressed by seqno dedup before delivery.
+    pub dups_suppressed: u64,
+    /// Corrupted arrivals detected (CRC for puts, link CRC for messages)
+    /// and discarded without delivery.
+    pub corrupt_detected: u64,
+    /// Channels degraded from direct RDMA to rendezvous timing.
+    pub degraded_channels: u64,
+    /// Puts issued over a degraded channel.
+    pub degraded_puts: u64,
+}
+
+impl RelStats {
+    /// Total faults the plane injected into this run.
+    pub fn injected(&self) -> u64 {
+        self.drops_injected + self.dups_injected + self.corrupts_injected + self.delays_injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout(0), Time::from_us(100));
+        assert_eq!(p.timeout(1), Time::from_us(200));
+        assert_eq!(p.timeout(2), Time::from_us(400));
+        assert_eq!(p.timeout(7), Time::from_us(10_000), "saturates at cap");
+        assert_eq!(
+            p.timeout(30),
+            Time::from_us(10_000),
+            "no overflow far past cap"
+        );
+    }
+
+    #[test]
+    fn custom_policy_respects_cap_below_base_growth() {
+        let p = RetryPolicy {
+            base: Time::from_us(50),
+            factor: 10,
+            cap: Time::from_us(60),
+        };
+        assert_eq!(p.timeout(0), Time::from_us(50));
+        assert_eq!(p.timeout(1), Time::from_us(60));
+    }
+
+    #[test]
+    fn seqnos_are_per_link_and_one_based() {
+        let mut s = LinkSeqs::new();
+        assert_eq!(s.alloc((0, 1)), 1);
+        assert_eq!(s.alloc((0, 1)), 2);
+        assert_eq!(s.alloc((1, 0)), 1, "reverse direction is its own link");
+        assert_eq!(s.alloc((0, 2)), 1);
+    }
+
+    #[test]
+    fn dedup_accepts_once_even_out_of_order() {
+        let mut s = LinkSeqs::new();
+        assert!(s.accept((0, 1), 3), "late-but-new seq accepted");
+        assert!(s.accept((0, 1), 1), "earlier seq still accepted (reorder)");
+        assert!(!s.accept((0, 1), 3), "duplicate rejected");
+        assert!(!s.accept((0, 1), 1));
+        assert!(s.accept((2, 1), 3), "other links unaffected");
+    }
+
+    #[test]
+    fn injected_sums_fault_counters() {
+        let s = RelStats {
+            drops_injected: 3,
+            dups_injected: 2,
+            corrupts_injected: 1,
+            delays_injected: 4,
+            ..RelStats::default()
+        };
+        assert_eq!(s.injected(), 10);
+    }
+}

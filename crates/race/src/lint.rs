@@ -19,6 +19,9 @@
 //! * `swallowed-direct-error` — a `direct_*` result discarded with `let _ =`
 //!   or `.ok()`: protocol violations become silent exactly like on real
 //!   hardware.
+//! * `ignored-put-outcome` — a `direct_put` whose `PutOutcome` is dropped
+//!   (bare statement unwrapping the `Result`, or `let _ =`): the app never
+//!   learns its channel went `Retried`/`Degraded` under fault injection.
 //!
 //! False positives are suppressed in source with
 //! `// ckd-lint: allow(<rule>)` on the offending line or the line above,
@@ -62,6 +65,7 @@ pub const RULES: &[&str] = &[
     "recv-read-outside-callback",
     "double-put-same-handle",
     "swallowed-direct-error",
+    "ignored-put-outcome",
 ];
 
 /// Lint one source text. `label` is used for reporting only.
@@ -249,6 +253,48 @@ fn lint_function<F: FnMut(&'static str, usize, String)>(lines: &[&str], f: &FnSp
             pending_put = Some((arg, idx));
         }
 
+        if code.contains("direct_put(") {
+            // Statement head: walk up while the previous line is a
+            // continuation (non-empty code that doesn't close a statement
+            // or open/close a block) — rustfmt wraps long chains, so the
+            // `match`/`let` consuming the outcome may sit lines above.
+            let mut head = idx;
+            while head > f.start {
+                let prev = lines[head - 1].split("//").next().unwrap_or("").trim();
+                if prev.is_empty()
+                    || prev.ends_with(';')
+                    || prev.ends_with('{')
+                    || prev.ends_with('}')
+                {
+                    break;
+                }
+                head -= 1;
+            }
+            let h = lines[head].split("//").next().unwrap_or("").trim_start();
+            let discards = h.starts_with("let _ =") || h.starts_with("let _:");
+            let consumes = !discards
+                && (h.starts_with("let ")
+                    || h.starts_with("match ")
+                    || h.starts_with("if ")
+                    || h.starts_with("while ")
+                    || h.starts_with("return ")
+                    || h.starts_with("assert")
+                    || h.starts_with("Ok(")
+                    || h.starts_with("Some(")
+                    || h.contains(" = "));
+            if !consumes {
+                push(
+                    "ignored-put-outcome",
+                    idx,
+                    format!(
+                        "direct_put in fn `{}` whose PutOutcome is dropped; \
+                         a Retried or Degraded channel goes unnoticed",
+                        f.name
+                    ),
+                );
+            }
+        }
+
         let trimmed = code.trim_start();
         let swallowed = (trimmed.starts_with("let _ =") && code.contains(".direct_"))
             || (code.contains(".direct_") && code.contains(").ok()"));
@@ -394,6 +440,44 @@ mod tests {
         assert!(lint(bad2)
             .iter()
             .any(|f| f.rule == "swallowed-direct-error"));
+    }
+
+    #[test]
+    fn ignored_put_outcome_flags_bare_and_discarded_puts() {
+        let bare = "fn send(ctx: &mut Ctx) {\n    ctx.direct_put(h).expect(\"put\");\n    \
+                    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(bare).iter().any(|f| f.rule == "ignored-put-outcome"));
+        let discarded = "fn send(ctx: &mut Ctx) {\n    let _ = ctx.direct_put(h);\n    \
+                         ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(discarded)
+            .iter()
+            .any(|f| f.rule == "ignored-put-outcome"));
+    }
+
+    #[test]
+    fn ignored_put_outcome_respects_consuming_heads() {
+        let bound =
+            "fn send(ctx: &mut Ctx) {\n    let outcome = ctx.direct_put(h).expect(\"put\");\n    \
+                     use_it(outcome);\n    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(bound).iter().all(|f| f.rule != "ignored-put-outcome"));
+        // rustfmt-wrapped chain: the consuming `match` sits lines above
+        let wrapped = "fn send(ctx: &mut Ctx) {\n    match ctx\n        .direct_put(h)\n        \
+                       .expect(\"put\")\n    {\n        _ => {}\n    }\n    \
+                       ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(wrapped)
+            .iter()
+            .all(|f| f.rule != "ignored-put-outcome"));
+        let asserted = "fn send(ctx: &mut Ctx) {\n    \
+                        assert_eq!(ctx.direct_put(h).unwrap(), PutOutcome::Sent);\n    \
+                        ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(asserted)
+            .iter()
+            .all(|f| f.rule != "ignored-put-outcome"));
+        let allowed = "fn send(ctx: &mut Ctx) {\n    // ckd-lint: allow(ignored-put-outcome)\n    \
+                       ctx.direct_put(h).expect(\"put\");\n    ctx.direct_ready(h).unwrap();\n}\n";
+        assert!(lint(allowed)
+            .iter()
+            .all(|f| f.rule != "ignored-put-outcome"));
     }
 
     #[test]

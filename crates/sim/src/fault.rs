@@ -1,0 +1,500 @@
+//! Deterministic, seed-driven fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] sits between the protocol layer and the event queue:
+//! every packet the executor is about to schedule is first submitted to
+//! [`FaultPlan::decide`], which returns what the fabric does to it —
+//! deliver it, drop it, corrupt it in flight, duplicate it, or delay it.
+//! Two trigger mechanisms coexist:
+//!
+//! * **probabilistic** — per-kind probabilities (optionally overridden per
+//!   link) sampled from a [`DetRng`] stream derived from the plan's seed.
+//!   Because `decide` is called in deterministic event order, the whole
+//!   fault schedule is a pure function of the seed;
+//! * **explicit** — one-shot `(time, link, op)` triggers and NIC-stall
+//!   windows, for tests that need a named packet to fail.
+//!
+//! The plan never touches payloads or events itself — it only renders
+//! verdicts. The executor owns the consequences (retransmission, CRC
+//! verification, dedup), which keeps this crate free of protocol types.
+
+use crate::rng::DetRng;
+use crate::time::Time;
+
+/// A directed link between two endpoints (the executor uses PE indices).
+pub type Link = (u32, u32);
+
+/// What kind of packet is being submitted to the fault plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Two-sided message traffic (eager or rendezvous payload).
+    Msg,
+    /// A one-sided RDMA put.
+    Put,
+    /// A protocol acknowledgement.
+    Ack,
+}
+
+/// Fault class, used to name what an explicit trigger injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The packet vanishes.
+    Drop,
+    /// The packet arrives with flipped bits (the receiver's CRC catches it).
+    Corrupt,
+    /// The packet arrives twice.
+    Duplicate,
+    /// The packet arrives late (a delayed packet overtaken by later ones is
+    /// how this plane expresses *reordering* — the sequence-number layer
+    /// must cope with both).
+    Delay,
+}
+
+/// The fabric's verdict on one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Delivered intact, on time.
+    Deliver,
+    /// Never arrives.
+    Drop,
+    /// Arrives on time, payload damaged.
+    Corrupt,
+    /// Arrives on time and then again `extra` later.
+    Duplicate {
+        /// Gap between the original and the duplicate arrival.
+        extra: Time,
+    },
+    /// Arrives `extra` late (possibly reordered behind later packets).
+    Delay {
+        /// Additional latency.
+        extra: Time,
+    },
+}
+
+/// Per-kind fault probabilities (each an independent Bernoulli draw; the
+/// first hit in `drop → corrupt → duplicate → delay` order wins).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultProbs {
+    /// Probability a packet is dropped.
+    pub drop: f64,
+    /// Probability a packet is corrupted in flight.
+    pub corrupt: f64,
+    /// Probability a packet is duplicated.
+    pub duplicate: f64,
+    /// Probability a packet is delayed/reordered.
+    pub delay: f64,
+}
+
+impl FaultProbs {
+    fn is_zero(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0 && self.duplicate == 0.0 && self.delay == 0.0
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Trigger {
+    at: Time,
+    link: Option<Link>,
+    op: Option<FaultOp>,
+    kind: FaultKind,
+    fired: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stall {
+    link: Option<Link>,
+    from: Time,
+    until: Time,
+}
+
+/// What the plan has injected so far (observability; the executor keeps its
+/// own recovery-side counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Packets submitted to the plane.
+    pub decisions: u64,
+    /// Drops injected.
+    pub drops: u64,
+    /// Corruptions injected.
+    pub corrupts: u64,
+    /// Duplicates injected.
+    pub duplicates: u64,
+    /// Delays injected (probabilistic and trigger-driven).
+    pub delays: u64,
+    /// Packets held back by a NIC-stall window.
+    pub stalls: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected (everything except clean deliveries).
+    pub fn total(&self) -> u64 {
+        self.drops + self.corrupts + self.duplicates + self.delays + self.stalls
+    }
+}
+
+/// A deterministic fault schedule for one run.
+#[derive(Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: DetRng,
+    default_probs: FaultProbs,
+    link_probs: Vec<(Link, FaultProbs)>,
+    triggers: Vec<Trigger>,
+    stalls: Vec<Stall>,
+    delay_extra: Time,
+    dup_extra: Time,
+    counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// An all-clear plan seeded for later configuration.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rng: DetRng::new(seed).stream("fault-plan"),
+            default_probs: FaultProbs::default(),
+            link_probs: Vec::new(),
+            triggers: Vec::new(),
+            stalls: Vec::new(),
+            delay_extra: Time::from_us(20),
+            dup_extra: Time::from_us(5),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// Convenience: drop every packet on every link with probability `p`.
+    pub fn drop_all(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan::new(seed).with_drop(p)
+    }
+
+    /// Set the default drop probability.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.default_probs.drop = p;
+        self
+    }
+
+    /// Set the default corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> FaultPlan {
+        self.default_probs.corrupt = p;
+        self
+    }
+
+    /// Set the default duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
+        self.default_probs.duplicate = p;
+        self
+    }
+
+    /// Set the default delay/reorder probability and the extra latency a
+    /// delayed packet suffers.
+    pub fn with_delay(mut self, p: f64, extra: Time) -> FaultPlan {
+        self.default_probs.delay = p;
+        self.delay_extra = extra;
+        self
+    }
+
+    /// Set all default probabilities at once.
+    pub fn with_probs(mut self, probs: FaultProbs) -> FaultPlan {
+        self.default_probs = probs;
+        self
+    }
+
+    /// Override the probabilities for one directed link.
+    pub fn with_link(mut self, link: Link, probs: FaultProbs) -> FaultPlan {
+        self.link_probs.push((link, probs));
+        self
+    }
+
+    /// Gap between a duplicated packet's two arrivals.
+    pub fn with_dup_extra(mut self, extra: Time) -> FaultPlan {
+        self.dup_extra = extra;
+        self
+    }
+
+    /// One-shot trigger: the first matching packet submitted at or after
+    /// `at` suffers `kind`. `link`/`op` of `None` match anything.
+    pub fn with_trigger(
+        mut self,
+        at: Time,
+        link: Option<Link>,
+        op: Option<FaultOp>,
+        kind: FaultKind,
+    ) -> FaultPlan {
+        self.triggers.push(Trigger {
+            at,
+            link,
+            op,
+            kind,
+            fired: false,
+        });
+        self
+    }
+
+    /// NIC-stall window: packets on `link` (or everywhere, with `None`)
+    /// submitted within `[from, until)` are held until the window closes —
+    /// a progress stall, not a loss.
+    pub fn with_stall(mut self, link: Option<Link>, from: Time, until: Time) -> FaultPlan {
+        assert!(from < until, "empty stall window");
+        self.stalls.push(Stall { link, from, until });
+        self
+    }
+
+    /// The seed this plan's probabilistic schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// True when this plan can never inject anything (no probabilities, no
+    /// triggers, no stalls) — every packet simply delivers.
+    pub fn is_inert(&self) -> bool {
+        self.default_probs.is_zero()
+            && self.link_probs.iter().all(|(_, p)| p.is_zero())
+            && self.triggers.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Submit one packet: what does the fabric do to it?
+    ///
+    /// Must be called in deterministic event order (the executor calls it
+    /// while dispatching events and issuing transfers), which makes the
+    /// answer a pure function of `(seed, call sequence)`.
+    pub fn decide(&mut self, now: Time, link: Link, op: FaultOp) -> FaultAction {
+        self.counts.decisions += 1;
+
+        // Explicit one-shot triggers fire before anything probabilistic.
+        for t in &mut self.triggers {
+            if t.fired || now < t.at {
+                continue;
+            }
+            if t.link.is_some_and(|l| l != link) || t.op.is_some_and(|o| o != op) {
+                continue;
+            }
+            t.fired = true;
+            return match t.kind {
+                FaultKind::Drop => {
+                    self.counts.drops += 1;
+                    FaultAction::Drop
+                }
+                FaultKind::Corrupt => {
+                    self.counts.corrupts += 1;
+                    FaultAction::Corrupt
+                }
+                FaultKind::Duplicate => {
+                    self.counts.duplicates += 1;
+                    FaultAction::Duplicate {
+                        extra: self.dup_extra,
+                    }
+                }
+                FaultKind::Delay => {
+                    self.counts.delays += 1;
+                    FaultAction::Delay {
+                        extra: self.delay_extra,
+                    }
+                }
+            };
+        }
+
+        // NIC-stall windows: the packet sits in the NIC until the window
+        // closes.
+        for s in &self.stalls {
+            if s.link.is_some_and(|l| l != link) {
+                continue;
+            }
+            if now >= s.from && now < s.until {
+                self.counts.stalls += 1;
+                return FaultAction::Delay {
+                    extra: s.until - now,
+                };
+            }
+        }
+
+        // Probabilistic faults. One Bernoulli draw per kind, fixed order,
+        // so the rng stream advances identically for identical call
+        // sequences.
+        let probs = self
+            .link_probs
+            .iter()
+            .find(|(l, _)| *l == link)
+            .map_or(self.default_probs, |(_, p)| *p);
+        if probs.is_zero() {
+            return FaultAction::Deliver;
+        }
+        if self.rng.chance(probs.drop) {
+            self.counts.drops += 1;
+            return FaultAction::Drop;
+        }
+        if self.rng.chance(probs.corrupt) {
+            self.counts.corrupts += 1;
+            return FaultAction::Corrupt;
+        }
+        if self.rng.chance(probs.duplicate) {
+            self.counts.duplicates += 1;
+            return FaultAction::Duplicate {
+                extra: self.dup_extra,
+            };
+        }
+        if self.rng.chance(probs.delay) {
+            self.counts.delays += 1;
+            return FaultAction::Delay {
+                extra: self.delay_extra,
+            };
+        }
+        FaultAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L01: Link = (0, 1);
+    const L23: Link = (2, 3);
+
+    #[test]
+    fn inert_plan_always_delivers() {
+        let mut p = FaultPlan::new(7);
+        assert!(p.is_inert());
+        for i in 0..100u64 {
+            let a = p.decide(Time::from_us(i), L01, FaultOp::Msg);
+            assert_eq!(a, FaultAction::Deliver);
+        }
+        assert_eq!(p.counts().total(), 0);
+        assert_eq!(p.counts().decisions, 100);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut p = FaultPlan::new(seed)
+                .with_drop(0.2)
+                .with_corrupt(0.1)
+                .with_duplicate(0.1)
+                .with_delay(0.1, Time::from_us(30));
+            (0..200u64)
+                .map(|i| p.decide(Time::from_us(i), L01, FaultOp::Msg))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds, different schedules");
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let mut p = FaultPlan::drop_all(11, 0.25);
+        let n = 4000u64;
+        let drops = (0..n)
+            .filter(|&i| p.decide(Time::from_us(i), L01, FaultOp::Put) == FaultAction::Drop)
+            .count() as f64;
+        let rate = drops / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed drop rate {rate}");
+        assert_eq!(p.counts().drops as f64, drops);
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let mut p = FaultPlan::new(5).with_link(
+            L23,
+            FaultProbs {
+                drop: 1.0,
+                ..FaultProbs::default()
+            },
+        );
+        assert_eq!(
+            p.decide(Time::ZERO, L01, FaultOp::Msg),
+            FaultAction::Deliver
+        );
+        assert_eq!(p.decide(Time::ZERO, L23, FaultOp::Msg), FaultAction::Drop);
+    }
+
+    #[test]
+    fn trigger_fires_exactly_once_and_respects_filters() {
+        let mut p = FaultPlan::new(3).with_trigger(
+            Time::from_us(10),
+            Some(L01),
+            Some(FaultOp::Put),
+            FaultKind::Drop,
+        );
+        // too early, wrong link, wrong op: all deliver
+        assert_eq!(
+            p.decide(Time::from_us(5), L01, FaultOp::Put),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            p.decide(Time::from_us(11), L23, FaultOp::Put),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            p.decide(Time::from_us(11), L01, FaultOp::Msg),
+            FaultAction::Deliver
+        );
+        // the first match fires it …
+        assert_eq!(
+            p.decide(Time::from_us(11), L01, FaultOp::Put),
+            FaultAction::Drop
+        );
+        // … and it never fires again
+        assert_eq!(
+            p.decide(Time::from_us(12), L01, FaultOp::Put),
+            FaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn stall_window_holds_packets_until_it_closes() {
+        let mut p = FaultPlan::new(9).with_stall(None, Time::from_us(100), Time::from_us(200));
+        assert_eq!(
+            p.decide(Time::from_us(50), L01, FaultOp::Msg),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            p.decide(Time::from_us(150), L01, FaultOp::Msg),
+            FaultAction::Delay {
+                extra: Time::from_us(50)
+            }
+        );
+        assert_eq!(
+            p.decide(Time::from_us(200), L01, FaultOp::Msg),
+            FaultAction::Deliver,
+            "window is half-open"
+        );
+        assert_eq!(p.counts().stalls, 1);
+    }
+
+    #[test]
+    fn duplicate_and_delay_carry_their_extras() {
+        let mut p = FaultPlan::new(1)
+            .with_duplicate(1.0)
+            .with_dup_extra(Time::from_us(7));
+        assert_eq!(
+            p.decide(Time::ZERO, L01, FaultOp::Msg),
+            FaultAction::Duplicate {
+                extra: Time::from_us(7)
+            }
+        );
+        let mut p = FaultPlan::new(1).with_delay(1.0, Time::from_us(33));
+        assert_eq!(
+            p.decide(Time::ZERO, L01, FaultOp::Ack),
+            FaultAction::Delay {
+                extra: Time::from_us(33)
+            }
+        );
+    }
+
+    #[test]
+    fn clone_snapshots_the_schedule() {
+        // A cloned plan replays the same future — how a test can predict
+        // what the executor will see.
+        let mut a = FaultPlan::drop_all(77, 0.5);
+        let mut b = a.clone();
+        for i in 0..100u64 {
+            assert_eq!(
+                a.decide(Time::from_us(i), L01, FaultOp::Msg),
+                b.decide(Time::from_us(i), L01, FaultOp::Msg)
+            );
+        }
+    }
+}

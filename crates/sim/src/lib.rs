@@ -16,11 +16,13 @@
 //!   boxed closures on the hot path.
 
 pub mod events;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use fault::{FaultAction, FaultCounts, FaultKind, FaultOp, FaultPlan, FaultProbs, Link};
 pub use rng::DetRng;
 pub use stats::{Histogram, OnlineStats, Sampler};
 pub use time::Time;

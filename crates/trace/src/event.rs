@@ -186,6 +186,18 @@ pub enum TraceEvent {
         /// Messages waiting in this PE's scheduler queue.
         depth: u32,
     },
+    /// The fault plane dropped a packet leaving this PE.
+    FaultDrop {
+        /// Destination PE of the lost packet.
+        dst: u32,
+    },
+    /// The reliability layer retransmitted an unacked packet from this PE.
+    Retransmit {
+        /// Transmission attempt this retry starts (1 = first retry).
+        attempt: u32,
+        /// Timeout armed for this attempt (exponential backoff).
+        backoff: Time,
+    },
 }
 
 /// A timestamped trace record as stored in a per-PE ring.

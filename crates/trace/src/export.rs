@@ -209,6 +209,35 @@ pub fn chrome_trace_json(tracer: &Tracer) -> Option<String> {
                         &extra,
                     );
                 }
+                TraceEvent::FaultDrop { dst } => {
+                    let extra = format!(",\"s\":\"t\",\"args\":{{\"dst\":{dst}}}");
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "fault_drop",
+                        "rel",
+                        "i",
+                        rec.at,
+                        pe,
+                        &extra,
+                    );
+                }
+                TraceEvent::Retransmit { attempt, backoff } => {
+                    let extra = format!(
+                        ",\"s\":\"t\",\"args\":{{\"attempt\":{attempt},\"backoff_us\":{}}}",
+                        ts_us(*backoff)
+                    );
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "retransmit",
+                        "rel",
+                        "i",
+                        rec.at,
+                        pe,
+                        &extra,
+                    );
+                }
             }
         }
     }
@@ -316,6 +345,23 @@ pub fn text_summary(tracer: &Tracer) -> Option<String> {
         m.rts, m.cts, m.reduce_contribs, m.reduce_completes
     );
     out.push('\n');
+
+    // Emitted only when the fault plane actually fired, so fault-free runs
+    // keep their pre-reliability-layer byte-identical summaries.
+    if m.drops + m.retries > 0 {
+        let _ = writeln!(out, "-- reliability --");
+        let _ = writeln!(
+            out,
+            "drops observed: {}   retransmits: {}",
+            m.drops, m.retries
+        );
+        let _ = writeln!(
+            out,
+            "backoff ns histogram: {}",
+            histogram_line(&m.backoff_ns)
+        );
+        out.push('\n');
+    }
 
     if !m.channels.is_empty() {
         let _ = writeln!(out, "-- per-channel --");

@@ -87,6 +87,13 @@ pub struct Metrics {
     pub reduce_contribs: u64,
     /// Reductions completed at a root.
     pub reduce_completes: u64,
+    /// Packets the fault plane dropped on the wire.
+    pub drops: u64,
+    /// Reliability-layer retransmissions.
+    pub retries: u64,
+    /// Backoff armed per retransmission, in nanoseconds (exponential
+    /// schedule shows up as a geometric ladder across buckets).
+    pub backoff_ns: Histogram,
 }
 
 impl Metrics {

@@ -287,6 +287,30 @@ impl Tracer {
         }
     }
 
+    /// The fault plane dropped a packet leaving `pe` for `dst`. Called only
+    /// when an injected fault actually fires, so fault-free runs carry zero
+    /// reliability records.
+    #[inline]
+    pub fn rel_drop(&mut self, pe: usize, at: Time, dst: u32) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.metrics.drops += 1;
+        Self::push(inner, pe, at, TraceEvent::FaultDrop { dst });
+    }
+
+    /// The reliability layer on `pe` retransmitted an unacked packet;
+    /// `backoff` is the timeout armed for this attempt.
+    #[inline]
+    pub fn rel_retry(&mut self, pe: usize, at: Time, attempt: u32, backoff: Time) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.metrics.retries += 1;
+        inner.metrics.backoff_ns.record(backoff.as_ps() / 1_000);
+        Self::push(inner, pe, at, TraceEvent::Retransmit { attempt, backoff });
+    }
+
     /// Sample `pe`'s scheduler queue depth at an event boundary.
     #[inline]
     pub fn queue_depth(&mut self, pe: usize, at: Time, depth: u32) {

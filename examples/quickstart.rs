@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, RtsConfig};
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, PutOutcome, RtsConfig};
 use ckd_net::presets;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
 use ckdirect::{DirectConfig, HandleId, Region};
@@ -98,7 +98,8 @@ impl Sender {
 
         // (4) CkDirect_put: one-sided write into the receiver's buffer —
         //     no envelope, no rendezvous, no remote scheduler trip
-        ctx.direct_put(self.handle.unwrap()).expect("put");
+        let outcome = ctx.direct_put(self.handle.unwrap()).expect("put");
+        assert_eq!(outcome, PutOutcome::Sent, "no faults in the quickstart");
         println!(
             "[{}] sender: put #{} issued (sender is immediately free)",
             ctx.now(),

@@ -39,4 +39,10 @@ run cargo run --release --offline -q -p ckd-race --bin lint_direct -- \
 run cargo test --release --offline -q -p ckd-apps mutants
 run cargo test --release --offline -q --test sanitizer_races
 
+# Chaos suite: every app must survive seeded drop/corrupt/duplicate/delay
+# schedules byte-identical to its fault-free run, sanitizer-clean, with
+# retransmits visible only in the reliability stats.
+run cargo test --release --offline -q --test fault_recovery
+run cargo test --release --offline -q --test trace_determinism
+
 echo "All checks passed."

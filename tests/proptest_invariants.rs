@@ -311,6 +311,129 @@ fn direct_channel_roundtrips_any_payload() {
     }
 }
 
+// ------------------------------------------------------------ fault plane
+
+/// Two identically-built plans fed the identical submission sequence make
+/// the identical decisions, and the injection counters reconcile: one
+/// decision per packet, at most one fault per decision.
+#[test]
+fn fault_plan_is_deterministic_and_counts_reconcile() {
+    use ckd_sim::{FaultOp, FaultPlan};
+    let mut rng = DetRng::new(0xFA017).stream("fault-plan-det");
+    for case in 0..CASES {
+        let seed = rng.range(0, u64::MAX - 1);
+        let drop = rng.range_f64(0.0, 0.3);
+        let corrupt = rng.range_f64(0.0, 0.2);
+        let dup = rng.range_f64(0.0, 0.2);
+        let n = rng.range(1, 400);
+        let subs: Vec<(u64, (u32, u32), FaultOp)> = (0..n)
+            .map(|_| {
+                (
+                    rng.range(0, 1_000_000),
+                    (rng.range(0, 4) as u32, rng.range(0, 4) as u32),
+                    match rng.range(0, 3) {
+                        0 => FaultOp::Msg,
+                        1 => FaultOp::Put,
+                        _ => FaultOp::Ack,
+                    },
+                )
+            })
+            .collect();
+        let mk = || {
+            FaultPlan::new(seed)
+                .with_drop(drop)
+                .with_corrupt(corrupt)
+                .with_duplicate(dup)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for &(t, link, op) in &subs {
+            let ra = a.decide(Time::from_ns(t), link, op);
+            let rb = b.decide(Time::from_ns(t), link, op);
+            assert_eq!(ra, rb, "case {case}: same seed, divergent decision");
+        }
+        assert_eq!(a.counts(), b.counts(), "case {case}");
+        let c = a.counts();
+        assert_eq!(c.decisions, n, "case {case}");
+        assert!(c.total() <= c.decisions, "case {case}: >1 fault per packet");
+    }
+}
+
+/// A plan with no probabilities, triggers or stalls is inert: every packet
+/// delivers, nothing is ever counted.
+#[test]
+fn inert_fault_plan_always_delivers() {
+    use ckd_sim::{FaultAction, FaultOp, FaultPlan};
+    let mut rng = DetRng::new(0xFA018).stream("fault-plan-inert");
+    for _ in 0..CASES {
+        let mut plan = FaultPlan::new(rng.range(0, u64::MAX - 1));
+        assert!(plan.is_inert());
+        for _ in 0..rng.range(1, 50) {
+            let link = (rng.range(0, 8) as u32, rng.range(0, 8) as u32);
+            let at = Time::from_ns(rng.range(0, 1 << 30));
+            assert_eq!(plan.decide(at, link, FaultOp::Put), FaultAction::Deliver);
+        }
+        assert_eq!(plan.counts().total(), 0);
+    }
+}
+
+// ----------------------------------------------------- checked channel
+
+/// Arbitrary interleavings of damaged landings, retransmits and replays:
+/// the checked channel delivers every logical message exactly once, bit
+/// for bit, and its counters account for every injected fault.
+#[test]
+fn checked_channel_delivers_exactly_once_under_arbitrary_faults() {
+    use ckdirect::direct::channel_checked;
+    use ckdirect::CheckedRecv;
+    let mut rng = DetRng::new(0xC4C).stream("checked-chaos");
+    for case in 0..CASES {
+        let words = rng.range(1, 8) as usize;
+        let (mut tx, mut rx) = channel_checked(words * 8, u64::MAX);
+        let msgs = rng.range(1, 30);
+        let (mut corrupts, mut dups) = (0u64, 0u64);
+        for i in 1..=msgs {
+            let mut payload = vec![0u8; words * 8];
+            rng.fill_bytes(&mut payload);
+            if rng.chance(0.4) {
+                // the first copy arrives damaged: bit-flip somewhere in the
+                // payload, a damaged protocol word, or a torn write
+                if rng.chance(0.5) {
+                    let dmg = rng.range(0, words as u64 + 1) as usize;
+                    tx.put_corrupted(&payload, dmg).unwrap();
+                } else {
+                    let miss = rng.range(0, words as u64) as usize;
+                    tx.put_torn(&payload, miss).unwrap();
+                }
+                assert_eq!(
+                    rx.try_recv(),
+                    CheckedRecv::Corrupt,
+                    "case {case} msg {i}: damage undetected"
+                );
+                corrupts += 1;
+                tx.retransmit().unwrap();
+            } else {
+                tx.put(&payload).unwrap();
+            }
+            assert_eq!(
+                rx.try_recv(),
+                CheckedRecv::Data(payload.clone()),
+                "case {case} msg {i}"
+            );
+            rx.arm();
+            if rng.chance(0.3) {
+                // the fabric replays the consumed put; the seq filter eats it
+                tx.put_duplicate().unwrap();
+                assert_eq!(rx.try_recv(), CheckedRecv::Duplicate, "case {case} msg {i}");
+                dups += 1;
+            }
+        }
+        let s = rx.stats();
+        assert_eq!(s.delivered, msgs, "case {case}");
+        assert_eq!(s.corrupt_detected, corrupts, "case {case}");
+        assert_eq!(s.dups_suppressed, dups, "case {case}");
+    }
+}
+
 // ---------------------------------------------------------- region safety
 
 #[test]

@@ -6,22 +6,31 @@
 
 use ckd_apps::jacobi3d::{run_jacobi_on, JacobiCfg};
 use ckd_apps::{Platform, Variant};
-use ckd_charm::{chrome_trace_json, text_summary, Machine, TraceConfig};
+use ckd_charm::{chrome_trace_json, text_summary, FaultPlan, Machine, TraceConfig};
 use ckd_trace::ProtoClass;
+
+fn cfg() -> JacobiCfg {
+    JacobiCfg {
+        domain: [24, 24, 24],
+        chares: [2, 2, 1],
+        iters: 6,
+        variant: Variant::Ckd,
+        real_compute: false,
+    }
+}
 
 fn traced_run() -> Machine {
     let mut m = Platform::IbAbe { cores_per_node: 4 }.machine(4);
     m.enable_tracing(TraceConfig::default());
-    run_jacobi_on(
-        &mut m,
-        JacobiCfg {
-            domain: [24, 24, 24],
-            chares: [2, 2, 1],
-            iters: 6,
-            variant: Variant::Ckd,
-            real_compute: false,
-        },
-    );
+    run_jacobi_on(&mut m, cfg());
+    m
+}
+
+fn faulty_traced_run(plan: FaultPlan) -> Machine {
+    let mut m = Platform::IbAbe { cores_per_node: 4 }.machine(4);
+    m.enable_tracing(TraceConfig::default());
+    m.enable_faults(plan);
+    run_jacobi_on(&mut m, cfg());
     m
 }
 
@@ -52,6 +61,70 @@ fn identical_runs_export_identical_bytes() {
     assert_eq!(ma, mb, "full metrics registries must be identical");
     assert_eq!(a.tracer().dropped_total(), b.tracer().dropped_total());
     assert_eq!(a.stats(), b.stats());
+}
+
+/// The fault plane is seeded from the machine's deterministic RNG, so a
+/// *faulty* run is exactly as reproducible as a clean one: same plan seed,
+/// byte-identical exports — injections, backoffs and retransmits included.
+#[test]
+fn identical_faulty_runs_export_identical_bytes() {
+    let plan = || FaultPlan::new(0x5EED).with_drop(0.12).with_corrupt(0.05);
+    let a = faulty_traced_run(plan());
+    let b = faulty_traced_run(plan());
+
+    assert_eq!(
+        chrome_trace_json(a.tracer()).unwrap(),
+        chrome_trace_json(b.tracer()).unwrap(),
+        "faulty chrome trace JSON must be byte-identical"
+    );
+    let sum = text_summary(a.tracer()).unwrap();
+    assert_eq!(
+        sum,
+        text_summary(b.tracer()).unwrap(),
+        "faulty text summary must be byte-identical"
+    );
+    assert_eq!(a.fault_counts(), b.fault_counts());
+    assert_eq!(a.rel_stats(), b.rel_stats());
+    assert_eq!(a.stats(), b.stats());
+    // the run actually exercised the recovery machinery, and the summary
+    // says so
+    assert!(a.rel_stats().retries > 0, "plan never bit");
+    assert!(
+        sum.contains("-- reliability --"),
+        "summary hides the faults"
+    );
+    let m = a.tracer().metrics().unwrap();
+    assert_eq!(m.drops, a.rel_stats().drops_injected);
+    assert_eq!(m.retries, a.rel_stats().retries);
+}
+
+/// Zero-cost-off, proven at the byte level: an *inert* plan (reliability
+/// layer armed, nothing ever injected) produces exports byte-identical to
+/// a machine that never heard of fault injection — same virtual
+/// timestamps, same records, same metrics, no reliability section.
+#[test]
+fn inert_plan_exports_match_a_fault_free_machine() {
+    let plain = traced_run();
+    let inert = faulty_traced_run(FaultPlan::new(7));
+
+    assert_eq!(
+        chrome_trace_json(plain.tracer()).unwrap(),
+        chrome_trace_json(inert.tracer()).unwrap(),
+        "an inert plan must not perturb a single timestamp"
+    );
+    assert_eq!(
+        text_summary(plain.tracer()).unwrap(),
+        text_summary(inert.tracer()).unwrap()
+    );
+    assert_eq!(
+        plain.tracer().metrics().unwrap(),
+        inert.tracer().metrics().unwrap()
+    );
+    assert_eq!(inert.fault_counts().unwrap().total(), 0);
+    // app-visible aggregates agree; only the ack bookkeeping differs
+    assert_eq!(plain.stats().puts, inert.stats().puts);
+    assert_eq!(plain.stats().msgs_sent, inert.stats().msgs_sent);
+    assert_eq!(inert.rel_stats().retries, 0);
 }
 
 #[test]
