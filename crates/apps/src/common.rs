@@ -1,9 +1,8 @@
 //! Shared vocabulary of the application suite.
 
-use ckd_charm::{Machine, RtsConfig};
+use ckd_charm::{Machine, MachineBuilder};
 use ckd_net::presets;
 use ckd_topo::Machine as Topo;
-use ckdirect::DirectConfig;
 
 /// Which transport the application variant uses for its bulk exchanges.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,21 +36,25 @@ pub enum Platform {
 }
 
 impl Platform {
-    /// Build the simulated machine for `pes` processors.
-    pub fn machine(self, pes: usize) -> Machine {
-        match self {
+    /// Start building the simulated machine for `pes` processors. The
+    /// fabric-matching defaults (runtime costs, completion backend) are
+    /// right for both testbeds; callers stack tracing/sanitizer/fault
+    /// layers before `.build()`.
+    pub fn builder(self, pes: usize) -> MachineBuilder {
+        let net = match self {
             Platform::IbAbe { cores_per_node } => {
                 // paper-era non-SMP builds: intra-node messages loop
                 // through the HCA rather than shared memory
-                let net =
-                    presets::ib_abe(Topo::ib_cluster(pes, cores_per_node)).with_nic_loopback();
-                Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib())
+                presets::ib_abe(Topo::ib_cluster(pes, cores_per_node)).with_nic_loopback()
             }
-            Platform::Bgp => {
-                let net = presets::bgp_surveyor(Topo::bgp_partition(pes)).with_nic_loopback();
-                Machine::new(net, RtsConfig::bgp(), DirectConfig::bgp())
-            }
-        }
+            Platform::Bgp => presets::bgp_surveyor(Topo::bgp_partition(pes)).with_nic_loopback(),
+        };
+        Machine::builder(net)
+    }
+
+    /// Build the simulated machine for `pes` processors.
+    pub fn machine(self, pes: usize) -> Machine {
+        self.builder(pes).build()
     }
 
     /// Label used in tables and figures.

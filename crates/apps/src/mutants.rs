@@ -157,8 +157,10 @@ impl Chare for MutantPeer {
 /// produced.
 pub fn run_mutant(kind: MutantKind) -> Machine {
     let platform = Platform::IbAbe { cores_per_node: 2 };
-    let mut m = platform.machine(4);
-    m.enable_sanitizer(SanitizerConfig::default());
+    let mut m = platform
+        .builder(4)
+        .with_sanitizer(SanitizerConfig::default())
+        .build();
     let (iters, bytes) = match kind {
         // large payloads so the hint message outruns the landing put
         MutantKind::EarlyReadPingpong => (4, 100_000),

@@ -14,18 +14,17 @@ use ckd_apps::openatom::{run_openatom, OpenAtomCfg};
 use ckd_apps::pingpong::{charm_pingpong, charm_pingpong_get, charm_pingpong_on};
 use ckd_apps::{Platform, Variant};
 use ckd_bench::{banner, scale, Scale};
-use ckd_charm::{Machine, RtsConfig};
+use ckd_charm::{Machine, MachineBuilder, RtsConfig};
 use ckd_net::presets;
 use ckd_sim::Time;
 use ckd_topo::Machine as Topo;
-use ckdirect::DirectConfig;
+
+fn ib_builder_with(cfg: RtsConfig) -> MachineBuilder {
+    Machine::builder(presets::ib_abe(Topo::ib_cluster(8, 2))).with_rts(cfg)
+}
 
 fn ib_machine_with(cfg: RtsConfig) -> Machine {
-    Machine::new(
-        presets::ib_abe(Topo::ib_cluster(8, 2)),
-        cfg,
-        DirectConfig::ib(),
-    )
+    ib_builder_with(cfg).build()
 }
 
 fn ablation_ready_split(steps: u32) {
@@ -254,11 +253,11 @@ fn ablation_learning(iters: u32) {
     }
 
     let run = |learned: bool| {
-        let mut m = ib_machine_with(ckd_charm::RtsConfig::ib_abe());
-        ckd_bench::maybe_trace(&mut m);
+        let mut b = ckd_bench::maybe_trace(ib_builder_with(ckd_charm::RtsConfig::ib_abe()));
         if learned {
-            m.enable_learning(LearnConfig { threshold: 3 });
+            b = b.with_learning(LearnConfig { threshold: 3 });
         }
+        let mut m = b.build();
         let pa = m.create_array("p", Dims::d1(1), ckd_topo::Mapper::Block, |_| {
             Box::new(Prod {
                 peer: None,

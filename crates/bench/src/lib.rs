@@ -14,7 +14,7 @@
 //!   [`maybe_trace`]; each opted-in run then dumps a text summary through
 //!   [`trace_epilogue`]. Off by default so timing loops stay untouched.
 
-use ckd_charm::{text_summary, Machine, TraceConfig};
+use ckd_charm::{text_summary, Machine, MachineBuilder, TraceConfig};
 use ckd_sim::Time;
 
 /// True when `CKD_TRACE=1` asks benches to collect traces.
@@ -22,11 +22,14 @@ pub fn tracing_requested() -> bool {
     std::env::var_os("CKD_TRACE").is_some_and(|v| v == "1")
 }
 
-/// Enable tracing on `m` when `CKD_TRACE=1`; no-op (and no overhead beyond
-/// this check) otherwise. Call right after building the machine.
-pub fn maybe_trace(m: &mut Machine) {
+/// Add the tracing layer to a machine under construction when
+/// `CKD_TRACE=1`; pass-through (and no overhead beyond this check)
+/// otherwise. Thread the builder through before `.build()`.
+pub fn maybe_trace(b: MachineBuilder) -> MachineBuilder {
     if tracing_requested() {
-        m.enable_tracing(TraceConfig::default());
+        b.with_tracing(TraceConfig::default())
+    } else {
+        b
     }
 }
 

@@ -1,0 +1,166 @@
+//! Fluent construction of a [`Machine`]: pick a completion backend, stack
+//! runtime layers, then build.
+//!
+//! ```no_run
+//! use ckd_charm::{Machine, TraceConfig};
+//! use ckd_net::presets;
+//! use ckd_topo::Machine as Topo;
+//!
+//! let net = presets::ib_abe(Topo::ib_cluster(8, 4));
+//! let mut m = Machine::builder(net)
+//!     .with_tracing(TraceConfig::default())
+//!     .build();
+//! ```
+
+use ckd_net::{FabricParams, NetModel, RetryPolicy};
+use ckd_race::SanitizerConfig;
+use ckd_sim::FaultPlan;
+use ckd_trace::TraceConfig;
+use ckdirect::DirectConfig;
+
+use crate::backend::{matching_backend, CompletionBackend};
+use crate::config::RtsConfig;
+use crate::layer::RuntimeLayer;
+use crate::learn::LearnConfig;
+use crate::machine::Machine;
+
+/// Builder returned by [`Machine::builder`]. Every knob has a
+/// fabric-matching default: the backend from [`matching_backend`], the
+/// runtime costs from the fabric's [`RtsConfig`] preset, and an empty
+/// layer stack (tracing, race checking, faults, and learning all off —
+/// each costs one branch per hook until enabled).
+pub struct MachineBuilder {
+    net: NetModel,
+    rts: Option<RtsConfig>,
+    backend: Option<Box<dyn CompletionBackend>>,
+    detect_collisions: Option<bool>,
+    tracing: Option<TraceConfig>,
+    sanitizer: Option<SanitizerConfig>,
+    faults: Option<(FaultPlan, RetryPolicy, u32)>,
+    learning: Option<LearnConfig>,
+    layers: Vec<Box<dyn RuntimeLayer>>,
+}
+
+impl MachineBuilder {
+    pub(crate) fn new(net: NetModel) -> MachineBuilder {
+        MachineBuilder {
+            net,
+            rts: None,
+            backend: None,
+            detect_collisions: None,
+            tracing: None,
+            sanitizer: None,
+            faults: None,
+            learning: None,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Override the runtime cost configuration (default: the fabric's
+    /// preset — [`RtsConfig::ib_abe`] on Infiniband, [`RtsConfig::bgp`] on
+    /// DCMF).
+    pub fn with_rts(mut self, cfg: RtsConfig) -> Self {
+        self.rts = Some(cfg);
+        self
+    }
+
+    /// Override the put-completion backend (default: the fabric's match —
+    /// [`crate::backend::IbSentinelPoll`] on Infiniband,
+    /// [`crate::backend::DcmfCallback`] on DCMF).
+    pub fn with_backend(mut self, backend: impl CompletionBackend + 'static) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
+    /// Override sentinel-collision detection (default: the backend's
+    /// choice). `false` reproduces the paper's actual failure mode: a put
+    /// whose payload ends with the out-of-band pattern lands but is never
+    /// detected.
+    pub fn detect_collisions(mut self, detect: bool) -> Self {
+        self.detect_collisions = Some(detect);
+        self
+    }
+
+    /// Collect a trace: per-PE event rings plus the aggregated metrics
+    /// registry (`ckd-trace`).
+    pub fn with_tracing(mut self, cfg: TraceConfig) -> Self {
+        self.tracing = Some(cfg);
+        self
+    }
+
+    /// Check for put/read races: per-PE vector clocks plus a per-handle
+    /// lifecycle state machine fed by the registry's transition probe
+    /// (`ckd-race`).
+    pub fn with_sanitizer(mut self, cfg: SanitizerConfig) -> Self {
+        self.sanitizer = Some(cfg);
+        self
+    }
+
+    /// Enable fault injection and the reliable-delivery machinery that
+    /// survives it, with the default [`RetryPolicy`] and a degradation
+    /// threshold of 8 cumulative retransmits per channel.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.with_faults_policy(plan, RetryPolicy::default(), 8)
+    }
+
+    /// [`MachineBuilder::with_faults`] with an explicit retransmission
+    /// policy and degradation threshold (`degrade_after` cumulative
+    /// retransmits flip a channel's puts to rendezvous timing; `u32::MAX`
+    /// never degrades, `0` degrades every channel up front).
+    pub fn with_faults_policy(
+        mut self,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        degrade_after: u32,
+    ) -> Self {
+        self.faults = Some((plan, policy, degrade_after));
+        self
+    }
+
+    /// Enable the automatic channel-learning framework for sends routed
+    /// through [`crate::Ctx::send_learned`].
+    pub fn with_learning(mut self, cfg: LearnConfig) -> Self {
+        self.learning = Some(cfg);
+        self
+    }
+
+    /// Push a user-written [`RuntimeLayer`] onto the stack (after the
+    /// built-in layers, in installation order). See
+    /// `examples/custom_layer.rs`.
+    pub fn with_layer(mut self, layer: impl RuntimeLayer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Construct the machine.
+    pub fn build(self) -> Machine {
+        let backend = self
+            .backend
+            .unwrap_or_else(|| matching_backend(self.net.fabric()));
+        let rts = self.rts.unwrap_or_else(|| match self.net.fabric() {
+            FabricParams::IbVerbs(_) => RtsConfig::ib_abe(),
+            FabricParams::Dcmf(_) => RtsConfig::bgp(),
+        });
+        let mut direct_cfg: DirectConfig = backend.direct_config();
+        if let Some(detect) = self.detect_collisions {
+            direct_cfg.detect_collisions = detect;
+        }
+        let mut m = Machine::with_backend(self.net, rts, backend, direct_cfg);
+        if let Some(cfg) = self.tracing {
+            m.install_tracing(cfg);
+        }
+        if let Some(cfg) = self.sanitizer {
+            m.install_sanitizer(cfg);
+        }
+        if let Some((plan, policy, degrade_after)) = self.faults {
+            m.install_faults(plan, policy, degrade_after);
+        }
+        if let Some(cfg) = self.learning {
+            m.install_learning(cfg);
+        }
+        for layer in self.layers {
+            m.install_layer(layer);
+        }
+        m
+    }
+}

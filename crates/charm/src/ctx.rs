@@ -1,7 +1,7 @@
 //! The per-invocation context handed to entry methods and CkDirect
 //! callbacks: the user-facing API of the runtime.
 
-use ckd_net::{FabricParams, Protocol, Timing};
+use ckd_net::{Protocol, Timing};
 use ckd_race::DirectOp;
 use ckd_sim::{FaultOp, Time};
 use ckd_topo::{Idx, Pe};
@@ -10,9 +10,9 @@ use ckdirect::{DirectError, HandleId, PutRequest, Region, StridedSpec};
 
 use crate::array::ArrayId;
 use crate::chare::ChareRef;
-use crate::learn::{LearnKey, LearnState};
+use crate::layer::PutIssueInfo;
 use crate::machine::{CbKind, DirectCb, Ev, Machine};
-use crate::msg::{EntryId, Msg, Payload};
+use crate::msg::Msg;
 use crate::reduction::{RedOp, RedTarget, RedVal};
 
 /// What [`Ctx::direct_put`] reports about the transfer it issued. With
@@ -42,12 +42,12 @@ pub enum PutOutcome {
 /// consumes CPU advances `elapsed`, and asynchronous effects (message
 /// arrivals, put landings) are scheduled relative to that instant.
 pub struct Ctx<'a> {
-    m: &'a mut Machine,
-    pe: Pe,
-    me: ChareRef,
-    start: Time,
-    elapsed: Time,
-    pending: Vec<(DirectCb, HandleId)>,
+    pub(crate) m: &'a mut Machine,
+    pub(crate) pe: Pe,
+    pub(crate) me: ChareRef,
+    pub(crate) start: Time,
+    pub(crate) elapsed: Time,
+    pub(crate) pending: Vec<(DirectCb, HandleId)>,
 }
 
 impl<'a> Ctx<'a> {
@@ -152,8 +152,8 @@ impl<'a> Ctx<'a> {
             .stats
             .proto_sent
             .record(proto, msg.size as u64);
-        if self.m.tracer.is_enabled() {
-            self.m.tracer.msg_send(
+        if self.m.stack.tracer.is_enabled() {
+            self.m.stack.tracer.msg_send(
                 self.pe.idx(),
                 begin,
                 dst.0,
@@ -165,11 +165,12 @@ impl<'a> Ctx<'a> {
             if pclass == ProtoClass::Rendezvous {
                 // reconstructed handshake leg (see `Ev::MsgArrive::proto`)
                 self.m
+                    .stack
                     .tracer
                     .rts(self.pe.idx(), begin, dst.0, msg.size as u64);
             }
         }
-        let edge = self.m.san.edge_out(self.pe.idx());
+        let edge = self.m.stack.san.edge_out(self.pe.idx());
         self.m.rel_push(
             begin + alloc,
             t.delay,
@@ -193,152 +194,6 @@ impl<'a> Ctx<'a> {
     pub fn send_to(&mut self, array: ArrayId, idx: Idx, msg: Msg) {
         let to = self.element(array, idx);
         self.send(to, msg);
-    }
-
-    /// Like [`Ctx::send`], but routed through the automatic
-    /// channel-learning framework (when enabled on the machine): after a
-    /// few identical sends the runtime installs a persistent CkDirect
-    /// channel and subsequent sends become one-sided puts, transparently.
-    /// Non-bytes payloads and pattern mismatches always use messages.
-    pub fn send_learned(&mut self, to: ChareRef, msg: Msg) {
-        let Some(cfg) = self.m.learner.cfg else {
-            return self.send(to, msg);
-        };
-        let Payload::Bytes(data) = &msg.payload else {
-            return self.send(to, msg);
-        };
-        if data.len() < 8 || data.len() != msg.size {
-            return self.send(to, msg);
-        }
-        let key = LearnKey {
-            from: self.me,
-            to,
-            ep: msg.ep,
-            size: msg.size,
-        };
-        let now = self.start + self.elapsed;
-        let st = self
-            .m
-            .learner
-            .streams
-            .entry(key)
-            .or_insert_with(LearnState::new);
-        st.observed += 1;
-        let observed = st.observed;
-        let installed = st.handle.is_some();
-        let active = if now >= st.active_at {
-            st.handle.zip(st.send_region.clone())
-        } else {
-            None
-        };
-
-        // fast path: an active channel
-        if let Some((h, region)) = active {
-            region.copy_from_slice(data);
-            self.m.san.set_ctx(self.pe.idx(), now);
-            match self.m.direct.put(h, self.pe) {
-                Ok(req) => {
-                    // pack into the window: the copy an RDMA path still pays
-                    self.charge_bytes(2 * req.bytes as u64);
-                    let t = self.m.net.put(req.src, req.dst, req.bytes);
-                    let begin = self.start + self.elapsed;
-                    self.elapsed += t.send_cpu;
-                    let proto = self.direct_proto();
-                    self.record_put(h, &req, &t, begin, proto);
-                    self.m.rel_push(
-                        begin,
-                        t.delay,
-                        (req.src.0, req.dst.0),
-                        FaultOp::Put,
-                        Some((h, req.seq)),
-                        Ev::DirectLand {
-                            handle: h,
-                            recv_cpu: t.recv_cpu,
-                        },
-                    );
-                    if let Some(st) = self.m.learner.streams.get_mut(&key) {
-                        st.hits += 1;
-                    }
-                    return;
-                }
-                Err(_) => {
-                    // receiver still holds the previous iteration (or the
-                    // payload collides with the pattern): fall back. This is
-                    // the protocol's designed escape hatch, not a race — the
-                    // sanitizer exempts runtime-managed channels for the same
-                    // reason.
-                    if let Some(st) = self.m.learner.streams.get_mut(&key) {
-                        st.misses += 1;
-                    }
-                    return self.send(to, msg);
-                }
-            }
-        }
-
-        // observation path: maybe install a channel for next time
-        if !installed && observed >= cfg.threshold {
-            self.install_learned_channel(to, key, msg.ep, msg.size, now);
-        }
-        self.send(to, msg);
-    }
-
-    /// Create and wire up a learned channel for `key`. A failure is reported
-    /// to the sanitizer (when enabled) and otherwise absorbed: the stream
-    /// simply keeps using plain messages.
-    fn install_learned_channel(
-        &mut self,
-        to: ChareRef,
-        key: LearnKey,
-        ep: EntryId,
-        size: usize,
-        now: Time,
-    ) {
-        let dst_pe = self.m.home_pe(to);
-        let recv = Region::alloc(size);
-        let send = Region::alloc(size);
-        send.set_last_word(!u64::MAX); // anything but the pattern
-        self.m.san.set_ctx(self.pe.idx(), now);
-        let h = match self.m.direct.create_handle(
-            dst_pe,
-            recv,
-            u64::MAX,
-            DirectCb {
-                target: to,
-                kind: CbKind::Learned(ep),
-            },
-        ) {
-            Ok(h) => h,
-            Err(_) => return, // could not create a channel: keep messaging
-        };
-        // the runtime owns this channel's re-arm protocol and falls back to
-        // a plain message whenever a put is rejected, so its unsynchronized
-        // puts are safe by construction
-        self.m.san.mark_runtime_managed(h);
-        if let Err(e) = self.m.direct.assoc_local(h, self.pe, send.clone()) {
-            self.m
-                .san
-                .op_failed(self.pe.idx(), now, h, DirectOp::Assoc, e);
-            return;
-        }
-        // registration on both PEs, handle shipping as a control trip
-        self.charge_registration(size);
-        if let FabricParams::IbVerbs(p) = self.m.net.fabric() {
-            let reg = p.reg_base + Time::from_ps(p.reg_ps_per_byte * size as u64);
-            let st_pe = &mut self.m.pes[dst_pe.idx()];
-            st_pe.busy_until = st_pe.busy_until.max(now) + reg;
-            st_pe.stats.busy += reg;
-        }
-        let ship = self.m.net.control(self.pe, dst_pe).delay;
-        let ack = self.m.net.control(dst_pe, self.pe).delay;
-        let trip = ship + ack;
-        // the handle ships in one control packet each way
-        self.m.record_control(self.pe, ship);
-        self.m.record_control(dst_pe, ack);
-        if let Some(st) = self.m.learner.streams.get_mut(&key) {
-            st.handle = Some(h);
-            st.send_region = Some(send);
-            st.active_at = now + trip;
-        }
     }
 
     /// Enqueue a message for a chare on *this* PE without any network or
@@ -514,8 +369,18 @@ impl<'a> Ctx<'a> {
             .direct
             .put(handle, self.pe)
             .map_err(|e| self.san_fail(now, handle, DirectOp::Put, e))?;
-        let degraded = self.m.rel.as_ref().is_some_and(|r| r.is_degraded(handle));
-        let retries = self.m.rel.as_ref().map_or(0, |r| r.retries_of(handle));
+        let degraded = self
+            .m
+            .stack
+            .rel
+            .as_ref()
+            .is_some_and(|r| r.is_degraded(handle));
+        let retries = self
+            .m
+            .stack
+            .rel
+            .as_ref()
+            .map_or(0, |r| r.retries_of(handle));
         let (outcome, t, proto) = if degraded {
             self.m.stats.rel.degraded_puts += 1;
             let (t, proto) = self.m.net.two_sided(req.src, req.dst, req.bytes, 0, true);
@@ -527,7 +392,7 @@ impl<'a> Ctx<'a> {
                 PutOutcome::Sent
             };
             let t = self.m.net.put(req.src, req.dst, req.bytes);
-            (outcome, t, self.direct_proto())
+            (outcome, t, self.m.backend.put_proto())
         };
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
@@ -565,7 +430,7 @@ impl<'a> Ctx<'a> {
         let t = self.m.net.get(req.src, req.dst, req.bytes);
         let begin = self.start + self.elapsed;
         self.elapsed += t.send_cpu;
-        let proto = self.direct_proto();
+        let proto = self.m.backend.put_proto();
         self.record_put(handle, &req, &t, begin, proto);
         self.m.events.push(
             begin + t.delay,
@@ -620,6 +485,7 @@ impl<'a> Ctx<'a> {
     /// creation — reading it *is* reading the landed data).
     pub fn direct_recv_region(&self, handle: HandleId) -> Result<Region, DirectError> {
         self.m
+            .stack
             .san
             .read_region(self.pe.idx(), self.start + self.elapsed, handle);
         self.m.direct.recv_region(handle)
@@ -640,40 +506,43 @@ impl<'a> Ctx<'a> {
 
     /// Point the sanitizer's virtual clock at this PE before a direct op,
     /// returning the current virtual time for any follow-up report.
-    fn san_ctx(&mut self) -> Time {
+    pub(crate) fn san_ctx(&mut self) -> Time {
         let now = self.start + self.elapsed;
-        self.m.san.set_ctx(self.pe.idx(), now);
+        self.m.stack.san.set_ctx(self.pe.idx(), now);
         now
     }
 
     /// Report a rejected direct op to the sanitizer. The error still
     /// propagates to the caller — the sanitizer only records the race the
     /// rejection is evidence of.
-    fn san_fail(&self, now: Time, handle: HandleId, op: DirectOp, err: DirectError) -> DirectError {
-        self.m.san.op_failed(self.pe.idx(), now, handle, op, err);
+    pub(crate) fn san_fail(
+        &self,
+        now: Time,
+        handle: HandleId,
+        op: DirectOp,
+        err: DirectError,
+    ) -> DirectError {
+        self.m
+            .stack
+            .san
+            .op_failed(self.pe.idx(), now, handle, op, err);
         err
     }
 
-    fn charge_registration(&mut self, bytes: usize) {
-        if let FabricParams::IbVerbs(p) = self.m.net.fabric() {
-            self.elapsed += p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64);
-        }
-    }
-
-    /// The protocol a healthy one-sided transfer uses on this fabric.
-    fn direct_proto(&self) -> Protocol {
-        if self.m.net.has_rdma() {
-            Protocol::RdmaPut
-        } else {
-            Protocol::Dcmf
-        }
+    /// One-time buffer registration at handle setup, priced by the
+    /// completion backend (HCA pinning on Infiniband, free on DCMF and
+    /// shared memory).
+    pub(crate) fn charge_registration(&mut self, bytes: usize) {
+        let reg = self.m.backend.reg_cost(&self.m.net, bytes);
+        self.elapsed += reg;
     }
 
     /// Shared accounting for one-sided transfers (puts, learned puts, gets):
-    /// aggregate counters, the per-protocol breakdown, and the trace record
-    /// that starts the issue→callback latency clock. `proto` is the caller's
-    /// because a degraded put records rendezvous, not RDMA.
-    fn record_put(
+    /// aggregate counters, the per-protocol breakdown, and the layer-stack
+    /// issue hook (where the tracer starts the issue→callback latency
+    /// clock). `proto` is the caller's because a degraded put records
+    /// rendezvous, not RDMA.
+    pub(crate) fn record_put(
         &mut self,
         handle: HandleId,
         req: &PutRequest,
@@ -688,14 +557,16 @@ impl<'a> Ctx<'a> {
             .stats
             .proto_sent
             .record(proto, req.bytes as u64);
-        self.m.tracer.put_issue(
-            self.pe.idx(),
-            begin,
-            req.dst.0,
-            handle.0,
-            req.bytes as u64,
-            ProtoClass::from(proto),
-            t.delay,
-        );
+        if self.m.stack.observing() {
+            self.m.stack.on_put_issue(&PutIssueInfo {
+                pe: self.pe.idx(),
+                at: begin,
+                dst: req.dst.0,
+                handle,
+                bytes: req.bytes as u64,
+                proto: ProtoClass::from(proto),
+                wire_delay: t.delay,
+            });
+        }
     }
 }

@@ -1,0 +1,348 @@
+//! The runtime-layer stack: a uniform interposition interface over the
+//! scheduler's hot path.
+//!
+//! Everything that used to be bolted onto [`crate::Machine`] as an ad-hoc
+//! field with its own `enable_*` method — tracing, race checking, the
+//! learning framework, reliable delivery — implements [`RuntimeLayer`] and
+//! observes the run through the same five hooks:
+//!
+//! ```text
+//!            dispatch ──► on_event    (scheduler-visible event popped)
+//!        Ctx put/get  ──► on_put_issue (one-sided transfer leaves a PE)
+//!   DirectLand/GetLand ──► on_landing  (bytes hit the receive window)
+//!   scheduler/callback ──► on_deliver  (handler about to run)
+//!            run ends ──► epilogue    (final stats available)
+//! ```
+//!
+//! Layers are *observers*: they may keep arbitrary state of their own but
+//! cannot perturb virtual time, which is how the stack preserves the
+//! machine's byte-identical determinism — a run with any combination of
+//! layers enabled produces the same timestamps as a run with none (the
+//! built-in layers' exports prove it in `tests/trace_determinism.rs`).
+//! Subsystems that *do* shape the timeline (reliable delivery's
+//! retransmissions, the learner's channel installation) keep their inline
+//! fast paths and use the trait only for identity and lifecycle.
+//!
+//! Reliability-protocol traffic (acks, retransmission timers) is NIC-level
+//! and deliberately below this interface: it charges no PE time and no
+//! layer observes it.
+//!
+//! User layers are added with [`crate::MachineBuilder::with_layer`]; see
+//! `examples/custom_layer.rs` for a complete one.
+
+use ckd_sim::Time;
+use ckd_trace::{ProtoClass, Tracer};
+use ckdirect::HandleId;
+
+use crate::learn::Learner;
+use crate::rel::ReliableLayer;
+use crate::stats::MachineStats;
+use ckd_race::Sanitizer;
+
+/// What kind of scheduler-visible event [`RuntimeLayer::on_event`] is
+/// reporting, with the attribution its observers need.
+#[derive(Clone, Copy, Debug)]
+pub enum EventKind {
+    /// A two-sided message finished arriving at the PE.
+    MsgArrive {
+        /// Sending PE.
+        from: u32,
+        /// Protocol family the transfer used.
+        proto: ProtoClass,
+        /// Happens-before edge token (0 when no sanitizer is attached).
+        edge: u64,
+    },
+    /// A scheduler iteration is about to run on the PE.
+    PeLoop {
+        /// Messages queued at iteration start.
+        depth: u32,
+    },
+    /// A reduction partial arrived from a child subtree.
+    ReduceUp {
+        /// The reducing array.
+        array: u32,
+        /// Happens-before edge token carrying the subtree's contributions.
+        edge: u64,
+    },
+    /// A broadcast leg arrived at a spanning-tree node.
+    BcastDown {
+        /// The broadcasting array.
+        array: u32,
+        /// Happens-before edge token.
+        edge: u64,
+    },
+}
+
+/// A scheduler-visible event, handed to [`RuntimeLayer::on_event`] before
+/// its handler runs.
+#[derive(Clone, Copy, Debug)]
+pub struct EventInfo {
+    /// PE the event executes on.
+    pub pe: usize,
+    /// Virtual time the event was popped.
+    pub at: Time,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A one-sided transfer (put, learned put, or get) leaving its initiator.
+#[derive(Clone, Copy, Debug)]
+pub struct PutIssueInfo {
+    /// Initiating PE.
+    pub pe: usize,
+    /// Issue instant.
+    pub at: Time,
+    /// Destination PE.
+    pub dst: u32,
+    /// The channel.
+    pub handle: HandleId,
+    /// Payload bytes on the wire.
+    pub bytes: u64,
+    /// Protocol family charged (rendezvous for a degraded put).
+    pub proto: ProtoClass,
+    /// One-way wire latency the model predicted.
+    pub wire_delay: Time,
+}
+
+/// One-sided bytes hitting a receive window (put landing at the receiver,
+/// or a get returning to its initiator).
+#[derive(Clone, Copy, Debug)]
+pub struct LandingInfo {
+    /// PE owning the window.
+    pub pe: usize,
+    /// Landing instant.
+    pub at: Time,
+    /// The channel.
+    pub handle: HandleId,
+    /// Payload bytes that landed.
+    pub bytes: u64,
+    /// True when this is a get completing back at its initiator.
+    pub get: bool,
+}
+
+/// What [`RuntimeLayer::on_deliver`] is reporting: a handler invocation.
+#[derive(Clone, Copy, Debug)]
+pub enum Delivery {
+    /// The scheduler dequeued a message for an entry method.
+    Message {
+        /// Destination entry point.
+        ep: u32,
+        /// Message payload size.
+        bytes: u64,
+    },
+    /// A CkDirect completion callback is firing.
+    Callback {
+        /// The completed channel.
+        handle: HandleId,
+    },
+}
+
+/// A handler invocation on a PE.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliverInfo {
+    /// Executing PE.
+    pub pe: usize,
+    /// Invocation instant.
+    pub at: Time,
+    /// What is being delivered.
+    pub what: Delivery,
+}
+
+/// One layer of the runtime stack: a passive observer of the scheduler's
+/// hot path. All hooks default to no-ops; implement only what the layer
+/// watches. See the [module docs](self) for when each hook fires.
+pub trait RuntimeLayer {
+    /// Stable identifier for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// A scheduler-visible event was popped, before its handler runs.
+    fn on_event(&mut self, ev: &EventInfo) {
+        let _ = ev;
+    }
+
+    /// A one-sided transfer left its initiating PE.
+    fn on_put_issue(&mut self, put: &PutIssueInfo) {
+        let _ = put;
+    }
+
+    /// One-sided bytes hit a receive window.
+    fn on_landing(&mut self, landing: &LandingInfo) {
+        let _ = landing;
+    }
+
+    /// A handler (entry method or completion callback) is about to run.
+    fn on_deliver(&mut self, deliver: &DeliverInfo) {
+        let _ = deliver;
+    }
+
+    /// The run reached quiescence, exit, or its time limit.
+    fn epilogue(&mut self, stats: &MachineStats) {
+        let _ = stats;
+    }
+}
+
+impl RuntimeLayer for Tracer {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn on_event(&mut self, ev: &EventInfo) {
+        match ev.kind {
+            EventKind::MsgArrive { from, proto, .. } => {
+                if proto == ProtoClass::Rendezvous {
+                    // reconstructed handshake leg: the receiver cleared the
+                    // sender to write (see `Ev::MsgArrive::proto`)
+                    self.cts(ev.pe, ev.at, from);
+                }
+            }
+            EventKind::PeLoop { depth } => {
+                if self.is_enabled() {
+                    self.queue_depth(ev.pe, ev.at, depth);
+                }
+            }
+            EventKind::ReduceUp { .. } | EventKind::BcastDown { .. } => {}
+        }
+    }
+
+    fn on_put_issue(&mut self, put: &PutIssueInfo) {
+        self.put_issue(
+            put.pe,
+            put.at,
+            put.dst,
+            put.handle.0,
+            put.bytes,
+            put.proto,
+            put.wire_delay,
+        );
+    }
+
+    fn on_landing(&mut self, landing: &LandingInfo) {
+        self.put_land(landing.pe, landing.at, landing.handle.0, landing.bytes);
+    }
+
+    fn on_deliver(&mut self, deliver: &DeliverInfo) {
+        match deliver.what {
+            Delivery::Message { ep, bytes } => self.msg_deliver(deliver.pe, deliver.at, ep, bytes),
+            Delivery::Callback { handle } => self.callback_fire(deliver.pe, deliver.at, handle.0),
+        }
+    }
+}
+
+impl RuntimeLayer for Sanitizer {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn on_event(&mut self, ev: &EventInfo) {
+        match ev.kind {
+            EventKind::MsgArrive { edge, .. } | EventKind::BcastDown { edge, .. } => {
+                self.edge_in(ev.pe, edge);
+            }
+            EventKind::ReduceUp { array, edge } => self.red_absorb(array, ev.pe, edge),
+            // the poll sweep sets the sanitizer context itself, at the
+            // PE's busy horizon rather than the event timestamp
+            EventKind::PeLoop { .. } => {}
+        }
+    }
+
+    fn on_landing(&mut self, landing: &LandingInfo) {
+        // point the virtual clock at the receiving PE so the registry's
+        // lifecycle transitions are attributed correctly
+        self.set_ctx(landing.pe, landing.at);
+    }
+}
+
+impl RuntimeLayer for Learner {
+    // The learner shapes traffic inline (in `Ctx::send_learned`), where it
+    // can rewrite a send into a put; the hooks observe nothing.
+    fn name(&self) -> &'static str {
+        "learn"
+    }
+}
+
+impl RuntimeLayer for ReliableLayer {
+    // Reliable delivery lives on the wire path (`Machine::rel_push`),
+    // below the scheduler events these hooks report.
+    fn name(&self) -> &'static str {
+        "rel"
+    }
+}
+
+/// The machine's composed stack: the built-in layers in fixed positions
+/// (tracer first, so its records carry timestamps unperturbed by any other
+/// observer, then the sanitizer), followed by user layers in installation
+/// order.
+pub(crate) struct LayerStack {
+    pub tracer: Tracer,
+    pub san: Sanitizer,
+    pub learner: Learner,
+    /// Fault injection + reliable delivery; `None` (the default) costs one
+    /// branch per send/put and leaves event flow bit-identical to a build
+    /// without the fault plane.
+    pub rel: Option<Box<ReliableLayer>>,
+    pub user: Vec<Box<dyn RuntimeLayer>>,
+}
+
+impl LayerStack {
+    pub(crate) fn new() -> LayerStack {
+        LayerStack {
+            tracer: Tracer::disabled(),
+            san: Sanitizer::disabled(),
+            learner: Learner::default(),
+            rel: None,
+            user: Vec::new(),
+        }
+    }
+
+    /// Whether any layer is watching the hook seams. False for a bare
+    /// machine, which keeps every seam at one branch — the zero-cost-off
+    /// guarantee the `enable_*` era made, preserved by the stack.
+    #[inline]
+    pub(crate) fn observing(&self) -> bool {
+        self.tracer.is_enabled() || self.san.is_enabled() || !self.user.is_empty()
+    }
+
+    pub(crate) fn on_event(&mut self, ev: &EventInfo) {
+        self.tracer.on_event(ev);
+        self.san.on_event(ev);
+        for l in &mut self.user {
+            l.on_event(ev);
+        }
+    }
+
+    pub(crate) fn on_put_issue(&mut self, put: &PutIssueInfo) {
+        self.tracer.on_put_issue(put);
+        self.san.on_put_issue(put);
+        for l in &mut self.user {
+            l.on_put_issue(put);
+        }
+    }
+
+    pub(crate) fn on_landing(&mut self, landing: &LandingInfo) {
+        self.tracer.on_landing(landing);
+        self.san.on_landing(landing);
+        for l in &mut self.user {
+            l.on_landing(landing);
+        }
+    }
+
+    pub(crate) fn on_deliver(&mut self, deliver: &DeliverInfo) {
+        self.tracer.on_deliver(deliver);
+        self.san.on_deliver(deliver);
+        for l in &mut self.user {
+            l.on_deliver(deliver);
+        }
+    }
+
+    pub(crate) fn epilogue(&mut self, stats: &MachineStats) {
+        self.tracer.epilogue(stats);
+        self.san.epilogue(stats);
+        self.learner.epilogue(stats);
+        if let Some(r) = self.rel.as_deref_mut() {
+            r.epilogue(stats);
+        }
+        for l in &mut self.user {
+            l.epilogue(stats);
+        }
+    }
+}

@@ -28,11 +28,14 @@
 
 use std::collections::HashMap;
 
-use ckd_sim::Time;
+use ckd_race::DirectOp;
+use ckd_sim::{FaultOp, Time};
 use ckdirect::{HandleId, Region};
 
 use crate::chare::ChareRef;
-use crate::msg::EntryId;
+use crate::ctx::Ctx;
+use crate::machine::{CbKind, DirectCb, Ev};
+use crate::msg::{EntryId, Msg, Payload};
 
 /// Learning-framework settings.
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +119,163 @@ impl Learner {
             installed: self.streams.values().filter(|s| s.handle.is_some()).count(),
             hits: self.streams.values().map(|s| s.hits).sum(),
             misses: self.streams.values().map(|s| s.misses).sum(),
+        }
+    }
+}
+
+// ---- the learned-send path --------------------------------------------
+//
+// Lives here rather than in `ctx.rs` because everything it does — stream
+// observation, channel installation, the put fast path — is the learner's
+// policy; `Ctx` only lends it the invocation clock.
+
+impl Ctx<'_> {
+    /// Like [`Ctx::send`], but routed through the automatic
+    /// channel-learning framework (when enabled on the machine): after a
+    /// few identical sends the runtime installs a persistent CkDirect
+    /// channel and subsequent sends become one-sided puts, transparently.
+    /// Non-bytes payloads and pattern mismatches always use messages.
+    pub fn send_learned(&mut self, to: ChareRef, msg: Msg) {
+        let Some(cfg) = self.m.stack.learner.cfg else {
+            return self.send(to, msg);
+        };
+        let Payload::Bytes(data) = &msg.payload else {
+            return self.send(to, msg);
+        };
+        if data.len() < 8 || data.len() != msg.size {
+            return self.send(to, msg);
+        }
+        let key = LearnKey {
+            from: self.me,
+            to,
+            ep: msg.ep,
+            size: msg.size,
+        };
+        let now = self.start + self.elapsed;
+        let st = self
+            .m
+            .stack
+            .learner
+            .streams
+            .entry(key)
+            .or_insert_with(LearnState::new);
+        st.observed += 1;
+        let observed = st.observed;
+        let installed = st.handle.is_some();
+        let active = if now >= st.active_at {
+            st.handle.zip(st.send_region.clone())
+        } else {
+            None
+        };
+
+        // fast path: an active channel
+        if let Some((h, region)) = active {
+            region.copy_from_slice(data);
+            self.m.stack.san.set_ctx(self.pe.idx(), now);
+            match self.m.direct.put(h, self.pe) {
+                Ok(req) => {
+                    // pack into the window: the copy an RDMA path still pays
+                    self.charge_bytes(2 * req.bytes as u64);
+                    let t = self.m.net.put(req.src, req.dst, req.bytes);
+                    let begin = self.start + self.elapsed;
+                    self.elapsed += t.send_cpu;
+                    let proto = self.m.backend.put_proto();
+                    self.record_put(h, &req, &t, begin, proto);
+                    self.m.rel_push(
+                        begin,
+                        t.delay,
+                        (req.src.0, req.dst.0),
+                        FaultOp::Put,
+                        Some((h, req.seq)),
+                        Ev::DirectLand {
+                            handle: h,
+                            recv_cpu: t.recv_cpu,
+                        },
+                    );
+                    if let Some(st) = self.m.stack.learner.streams.get_mut(&key) {
+                        st.hits += 1;
+                    }
+                }
+                Err(_) => {
+                    // receiver still holds the previous iteration (or the
+                    // payload collides with the pattern): fall back. This is
+                    // the protocol's designed escape hatch, not a race — the
+                    // sanitizer exempts runtime-managed channels for the same
+                    // reason.
+                    if let Some(st) = self.m.stack.learner.streams.get_mut(&key) {
+                        st.misses += 1;
+                    }
+                    self.send(to, msg);
+                }
+            }
+            return;
+        }
+
+        // observation path: maybe install a channel for next time
+        if !installed && observed >= cfg.threshold {
+            self.install_learned_channel(to, key, msg.ep, msg.size, now);
+        }
+        self.send(to, msg);
+    }
+
+    /// Create and wire up a learned channel for `key`. A failure is reported
+    /// to the sanitizer (when enabled) and otherwise absorbed: the stream
+    /// simply keeps using plain messages.
+    fn install_learned_channel(
+        &mut self,
+        to: ChareRef,
+        key: LearnKey,
+        ep: EntryId,
+        size: usize,
+        now: Time,
+    ) {
+        let dst_pe = self.m.home_pe(to);
+        let recv = Region::alloc(size);
+        let send = Region::alloc(size);
+        send.set_last_word(!u64::MAX); // anything but the pattern
+        self.m.stack.san.set_ctx(self.pe.idx(), now);
+        let h = match self.m.direct.create_handle(
+            dst_pe,
+            recv,
+            u64::MAX,
+            DirectCb {
+                target: to,
+                kind: CbKind::Learned(ep),
+            },
+        ) {
+            Ok(h) => h,
+            Err(_) => return, // could not create a channel: keep messaging
+        };
+        // the runtime owns this channel's re-arm protocol and falls back to
+        // a plain message whenever a put is rejected, so its unsynchronized
+        // puts are safe by construction
+        self.m.stack.san.mark_runtime_managed(h);
+        if let Err(e) = self.m.direct.assoc_local(h, self.pe, send.clone()) {
+            self.m
+                .stack
+                .san
+                .op_failed(self.pe.idx(), now, h, DirectOp::Assoc, e);
+            return;
+        }
+        // registration on both PEs (priced by the completion backend),
+        // handle shipping as a control trip
+        self.charge_registration(size);
+        let reg = self.m.backend.reg_cost(&self.m.net, size);
+        if reg > Time::ZERO {
+            let st_pe = &mut self.m.pes[dst_pe.idx()];
+            st_pe.busy_until = st_pe.busy_until.max(now) + reg;
+            st_pe.stats.busy += reg;
+        }
+        let ship = self.m.net.control(self.pe, dst_pe).delay;
+        let ack = self.m.net.control(dst_pe, self.pe).delay;
+        let trip = ship + ack;
+        // the handle ships in one control packet each way
+        self.m.record_control(self.pe, ship);
+        self.m.record_control(dst_pe, ack);
+        if let Some(st) = self.m.stack.learner.streams.get_mut(&key) {
+            st.handle = Some(h);
+            st.send_region = Some(send);
+            st.active_at = now + trip;
         }
     }
 }

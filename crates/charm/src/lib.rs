@@ -19,9 +19,13 @@
 //! [`Ctx::charge`] and friends, so results are independent of the host.
 
 pub mod array;
+pub mod backend;
+pub mod builder;
 pub mod chare;
 pub mod config;
 pub mod ctx;
+pub(crate) mod exec;
+pub mod layer;
 pub mod learn;
 pub mod machine;
 pub mod msg;
@@ -30,9 +34,14 @@ pub(crate) mod rel;
 pub mod stats;
 
 pub use array::ArrayId;
+pub use backend::{matching_backend, CompletionBackend, SentinelLayout};
+pub use builder::MachineBuilder;
 pub use chare::{Chare, ChareRef};
 pub use config::{ComputeParams, RtsConfig};
 pub use ctx::{Ctx, PutOutcome};
+pub use layer::{
+    DeliverInfo, Delivery, EventInfo, EventKind, LandingInfo, PutIssueInfo, RuntimeLayer,
+};
 pub use learn::{LearnConfig, LearningTotals};
 pub use machine::Machine;
 pub use msg::{EntryId, Msg, Payload};

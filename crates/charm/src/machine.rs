@@ -1,5 +1,7 @@
-//! The simulated parallel machine: PEs, schedulers, the event loop, and the
-//! CkDirect integration points.
+//! The simulated parallel machine: PEs, arrays, the event queue, and the
+//! composition points — the completion backend and the runtime-layer
+//! stack. Event execution lives in `exec.rs`; reliable delivery in
+//! `rel.rs`.
 //!
 //! # Execution model
 //!
@@ -8,7 +10,7 @@
 //!
 //! ```text
 //! loop {
-//!     poll CkDirect handles          // IbPoll backend: sentinel checks,
+//!     poll CkDirect handles          // polling backends: sentinel checks,
 //!                                    // callbacks as plain function calls
 //!     dequeue one message            // charge `sched`
 //!     run its entry method           // user code charges compute
@@ -18,7 +20,7 @@
 //! A message send pays allocation + envelope + the network model's
 //! two-sided cost and lands in the destination's scheduler queue. A
 //! CkDirect put pays only the RDMA issue cost and lands *directly in the
-//! receiver's registered buffer*; on the polling backend the receiving
+//! receiver's registered buffer*; on a polling backend the receiving
 //! scheduler notices it at its next sweep (or, if idle, after
 //! `idle_poll_gap`), and the completion callback runs without any envelope,
 //! allocation, or scheduling overhead — the entire point of the paper.
@@ -27,19 +29,21 @@ use std::collections::VecDeque;
 
 use ckd_net::{NetModel, Protocol, RelStats, RetryPolicy};
 use ckd_race::{Sanitizer, SanitizerConfig};
-use ckd_sim::{EventQueue, FaultAction, FaultCounts, FaultOp, FaultPlan, Time};
+use ckd_sim::{EventQueue, FaultCounts, FaultOp, FaultPlan, Time};
 use ckd_topo::{Dims, Idx, Mapper, Pe};
-use ckd_trace::{BusyKind, ProtoClass, TraceConfig, Tracer};
-use ckdirect::{DirectConfig, DirectRegistry, HandleId, LandOutcome, RegistryCounters};
+use ckd_trace::{ProtoClass, TraceConfig, Tracer};
+use ckdirect::{DirectConfig, DirectRegistry, HandleId, RegistryCounters};
 
 use crate::array::{ArrayId, ArrayInfo};
+use crate::backend::{backend_for, matching_backend, CompletionBackend};
+use crate::builder::MachineBuilder;
 use crate::chare::{Chare, ChareRef};
 use crate::config::RtsConfig;
-use crate::ctx::Ctx;
-use crate::learn::{LearnConfig, Learner, LearningTotals};
+use crate::layer::{LayerStack, RuntimeLayer};
+use crate::learn::{LearnConfig, LearningTotals};
 use crate::msg::{EntryId, Msg, Payload};
-use crate::reduction::{tree_children, tree_parent, RedOp, RedPeState, RedTarget, RedVal};
-use crate::rel::{Pending, ReliableLayer};
+use crate::reduction::{RedOp, RedPeState, RedTarget, RedVal};
+use crate::rel::ReliableLayer;
 use crate::stats::{MachineStats, PeStats};
 
 /// CkDirect completion-callback token: which chare to poke, and how.
@@ -153,21 +157,46 @@ pub struct Machine {
     pub(crate) chares: Vec<Vec<Option<Box<dyn Chare>>>>,
     pub(crate) direct: DirectRegistry<DirectCb>,
     pub(crate) red: Vec<Vec<RedPeState>>,
-    pub(crate) learner: Learner,
+    /// How put completion is detected (see [`CompletionBackend`]).
+    pub(crate) backend: Box<dyn CompletionBackend>,
+    /// The composed runtime-layer stack (tracer, sanitizer, learner,
+    /// reliable delivery, user layers).
+    pub(crate) stack: LayerStack,
     pub(crate) stats: MachineStats,
-    pub(crate) tracer: Tracer,
-    pub(crate) san: Sanitizer,
-    /// Fault injection + reliable delivery; `None` (the default) costs one
-    /// branch per send/put and leaves event flow bit-identical to a build
-    /// without the fault plane.
-    pub(crate) rel: Option<Box<ReliableLayer>>,
     pub(crate) stop: bool,
 }
 
 impl Machine {
+    /// Start building a machine over `net`: pick layers and a backend,
+    /// then [`MachineBuilder::build`]. Defaults match the fabric — see
+    /// [`MachineBuilder`].
+    pub fn builder(net: NetModel) -> MachineBuilder {
+        MachineBuilder::new(net)
+    }
+
     /// Build a machine from a network model, runtime costs, and a CkDirect
-    /// backend configuration.
+    /// backend configuration. The completion backend is derived from
+    /// `direct_cfg`; use [`Machine::builder`] to choose one explicitly.
     pub fn new(net: NetModel, cfg: RtsConfig, direct_cfg: DirectConfig) -> Machine {
+        let backend = backend_for(&direct_cfg);
+        Machine::with_backend(net, cfg, backend, direct_cfg)
+    }
+
+    /// Convenience: a machine whose CkDirect backend matches the fabric
+    /// (sentinel polling on Infiniband, delivery callbacks on DCMF) — a
+    /// one-line lookup through [`matching_backend`].
+    pub fn with_matching_backend(net: NetModel, cfg: RtsConfig) -> Machine {
+        let backend = matching_backend(net.fabric());
+        let direct_cfg = backend.direct_config();
+        Machine::with_backend(net, cfg, backend, direct_cfg)
+    }
+
+    pub(crate) fn with_backend(
+        net: NetModel,
+        cfg: RtsConfig,
+        backend: Box<dyn CompletionBackend>,
+        direct_cfg: DirectConfig,
+    ) -> Machine {
         let npes = net.machine().npes();
         Machine {
             net,
@@ -187,36 +216,52 @@ impl Machine {
             chares: Vec::new(),
             direct: DirectRegistry::new(npes, direct_cfg),
             red: Vec::new(),
-            learner: Learner::default(),
+            backend,
+            stack: LayerStack::new(),
             stats: MachineStats::default(),
-            tracer: Tracer::disabled(),
-            san: Sanitizer::disabled(),
-            rel: None,
             stop: false,
         }
     }
 
-    /// Enable the automatic channel-learning framework for sends routed
-    /// through [`Ctx::send_learned`].
-    pub fn enable_learning(&mut self, cfg: LearnConfig) {
-        self.learner.cfg = Some(cfg);
+    // ---- layer installation (the builder's back end) -----------------------
+
+    pub(crate) fn install_tracing(&mut self, cfg: TraceConfig) {
+        self.stack.tracer = Tracer::enabled(cfg, self.npes());
     }
 
-    /// Learning-framework totals across all observed streams.
-    pub fn learning_totals(&self) -> LearningTotals {
-        self.learner.totals()
+    pub(crate) fn install_sanitizer(&mut self, cfg: SanitizerConfig) {
+        self.stack.san = Sanitizer::enabled(cfg, self.npes());
+        self.direct
+            .set_probe(self.stack.san.probe().expect("sanitizer just enabled"));
+    }
+
+    pub(crate) fn install_faults(&mut self, plan: FaultPlan, policy: RetryPolicy, degrade: u32) {
+        self.stack.rel = Some(Box::new(ReliableLayer::new(plan, policy, degrade)));
+    }
+
+    pub(crate) fn install_learning(&mut self, cfg: LearnConfig) {
+        self.stack.learner.cfg = Some(cfg);
+    }
+
+    pub(crate) fn install_layer(&mut self, layer: Box<dyn RuntimeLayer>) {
+        self.stack.user.push(layer);
+    }
+
+    // ---- deprecated enable_* shims ----------------------------------------
+
+    /// Enable the automatic channel-learning framework for sends routed
+    /// through [`Ctx::send_learned`](crate::Ctx::send_learned).
+    #[deprecated(note = "use Machine::builder(net).with_learning(cfg).build()")]
+    pub fn enable_learning(&mut self, cfg: LearnConfig) {
+        self.install_learning(cfg);
     }
 
     /// Start collecting a trace: per-PE event rings plus the aggregated
     /// metrics registry (`ckd-trace`). Call before [`Machine::run`]; with
     /// tracing never enabled every instrumentation point costs one branch.
+    #[deprecated(note = "use Machine::builder(net).with_tracing(cfg).build()")]
     pub fn enable_tracing(&mut self, cfg: TraceConfig) {
-        self.tracer = Tracer::enabled(cfg, self.npes());
-    }
-
-    /// The tracing handle (disabled unless [`Machine::enable_tracing`] ran).
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+        self.install_tracing(cfg);
     }
 
     /// Start race checking: per-PE vector clocks plus a per-handle
@@ -224,16 +269,9 @@ impl Machine {
     /// (`ckd-race`). Call before [`Machine::run`]; never enabling it keeps
     /// every hook at one branch and the registry probe-free, so runs are
     /// bit-identical to a build without the sanitizer.
+    #[deprecated(note = "use Machine::builder(net).with_sanitizer(cfg).build()")]
     pub fn enable_sanitizer(&mut self, cfg: SanitizerConfig) {
-        self.san = Sanitizer::enabled(cfg, self.npes());
-        self.direct
-            .set_probe(self.san.probe().expect("sanitizer just enabled"));
-    }
-
-    /// The sanitizer handle (disabled unless
-    /// [`Machine::enable_sanitizer`] ran).
-    pub fn sanitizer(&self) -> &Sanitizer {
-        &self.san
+        self.install_sanitizer(cfg);
     }
 
     /// Enable fault injection and the reliable-delivery machinery that
@@ -241,21 +279,40 @@ impl Machine {
     /// threshold of 8 cumulative retransmits per channel. Call before
     /// [`Machine::run`]; never enabling this keeps every send/put hook at
     /// one branch, and runs are bit-identical to the pre-fault runtime.
+    #[deprecated(note = "use Machine::builder(net).with_faults(plan).build()")]
     pub fn enable_faults(&mut self, plan: FaultPlan) {
-        self.enable_faults_with(plan, RetryPolicy::default(), 8);
+        self.install_faults(plan, RetryPolicy::default(), 8);
     }
 
     /// [`Machine::enable_faults`] with an explicit retransmission policy
     /// and degradation threshold (`degrade_after` cumulative retransmits
     /// flip a channel's puts to rendezvous timing; `u32::MAX` never
     /// degrades, `0` degrades every channel up front).
+    #[deprecated(note = "use Machine::builder(net).with_faults_policy(...).build()")]
     pub fn enable_faults_with(&mut self, plan: FaultPlan, policy: RetryPolicy, degrade_after: u32) {
-        self.rel = Some(Box::new(ReliableLayer::new(plan, policy, degrade_after)));
+        self.install_faults(plan, policy, degrade_after);
+    }
+
+    // ---- observability accessors ------------------------------------------
+
+    /// Learning-framework totals across all observed streams.
+    pub fn learning_totals(&self) -> LearningTotals {
+        self.stack.learner.totals()
+    }
+
+    /// The tracing handle (disabled unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.stack.tracer
+    }
+
+    /// The sanitizer handle (disabled unless race checking was enabled).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.stack.san
     }
 
     /// What the fault plane injected, when faults are enabled.
     pub fn fault_counts(&self) -> Option<FaultCounts> {
-        self.rel.as_ref().map(|r| r.plan.counts())
+        self.stack.rel.as_ref().map(|r| r.plan.counts())
     }
 
     /// Reliability-layer counters (also available as
@@ -264,15 +321,9 @@ impl Machine {
         self.stats.rel
     }
 
-    /// Convenience: a machine whose CkDirect backend matches the fabric
-    /// (polling on Infiniband, delivery callbacks on DCMF).
-    pub fn with_matching_backend(net: NetModel, cfg: RtsConfig) -> Machine {
-        let direct_cfg = if net.has_rdma() {
-            DirectConfig::ib()
-        } else {
-            DirectConfig::bgp()
-        };
-        Machine::new(net, cfg, direct_cfg)
+    /// The put-completion backend in use.
+    pub fn backend(&self) -> &dyn CompletionBackend {
+        self.backend.as_ref()
     }
 
     /// Number of PEs.
@@ -309,6 +360,8 @@ impl Machine {
     pub fn net(&self) -> &NetModel {
         &self.net
     }
+
+    // ---- arrays and elements ----------------------------------------------
 
     /// Create a chare array: `factory` is called once per index, elements
     /// are homed by `mapper`. Must run before [`Machine::run`].
@@ -356,10 +409,23 @@ impl Machine {
             .and_then(|c| c.downcast_ref::<T>())
     }
 
+    /// Mutate a chare's concrete state before the run starts (topology
+    /// wiring that factories cannot do because the array is still being
+    /// built when they execute).
+    pub fn with_chare_mut<T: Chare>(&mut self, aref: ChareRef, f: impl FnOnce(&mut T)) {
+        let c = self.chares[aref.array.idx()][aref.lin as usize]
+            .as_deref_mut()
+            .and_then(|c| c.downcast_mut::<T>())
+            .expect("chare exists and has the expected type");
+        f(c);
+    }
+
     /// Home PE of an element.
     pub fn home_pe(&self, aref: ChareRef) -> Pe {
         self.arrays[aref.array.idx()].home(aref.lin as usize, self.pes.len())
     }
+
+    // ---- seeding and running ----------------------------------------------
 
     /// Inject an initial message (delivered at time zero, free of wire
     /// costs — the analogue of `main::main` firing the first entries).
@@ -393,13 +459,15 @@ impl Machine {
         }
     }
 
-    /// Run to quiescence (or until a chare calls [`Ctx::exit`]). Returns
+    /// Run to quiescence (or until a chare calls [`Ctx::exit`](crate::Ctx::exit)). Returns
     /// the final virtual time.
     pub fn run(&mut self) -> Time {
         self.run_until(Time::MAX)
     }
 
-    /// Run until quiescence, exit, or `limit` virtual time.
+    /// Run until quiescence, exit, or `limit` virtual time. Each return
+    /// hands the layer stack its [`RuntimeLayer::epilogue`], so a phased
+    /// driver that calls this repeatedly delivers one epilogue per phase.
     pub fn run_until(&mut self, limit: Time) -> Time {
         while !self.stop {
             match self.events.peek_time() {
@@ -411,418 +479,11 @@ impl Machine {
             self.stats.events += 1;
             self.dispatch(ev);
         }
+        self.stack.epilogue(&self.stats);
         self.now
     }
 
-    fn dispatch(&mut self, ev: Ev) {
-        match ev {
-            Ev::MsgArrive {
-                pe,
-                target,
-                msg,
-                recv_cpu,
-                overlap_cpu,
-                from,
-                proto,
-                edge,
-            } => {
-                self.san.edge_in(pe.idx(), edge);
-                if proto == ProtoClass::Rendezvous {
-                    // reconstructed handshake leg: the receiver cleared the
-                    // sender to write (see `Ev::MsgArrive::proto`)
-                    self.tracer.cts(pe.idx(), self.now, from.0);
-                }
-                let st = &mut self.pes[pe.idx()];
-                // protocol-time CPU: steals capacity from a busy PE but
-                // cannot push this message past its own arrival on an idle
-                // one (it was spent while waiting for the wire)
-                st.busy_until = if st.busy_until >= self.now {
-                    st.busy_until + overlap_cpu
-                } else {
-                    (st.busy_until + overlap_cpu).min(self.now)
-                };
-                st.busy_until = st.busy_until.max(self.now) + recv_cpu;
-                st.stats.busy += recv_cpu + overlap_cpu;
-                st.queue.push_back((target, msg));
-                self.ensure_loop(pe, Time::ZERO);
-            }
-            Ev::DirectLand { handle, recv_cpu } => {
-                if self.tracer.is_enabled() {
-                    if let (Ok(pe), Ok(bytes)) =
-                        (self.direct.recv_pe(handle), self.direct.wire_bytes(handle))
-                    {
-                        self.tracer
-                            .put_land(pe.idx(), self.now, handle.0, bytes as u64);
-                    }
-                }
-                if self.san.is_enabled() {
-                    if let Ok(pe) = self.direct.recv_pe(handle) {
-                        self.san.set_ctx(pe.idx(), self.now);
-                    }
-                }
-                match self.direct.land(handle).expect("land on live channel") {
-                    LandOutcome::AwaitPoll => {
-                        // Polling backend: the receiving scheduler will
-                        // notice at its next sweep; wake it if idle.
-                        let pe = self.direct.recv_pe(handle).expect("live channel");
-                        self.ensure_loop(pe, self.cfg.idle_poll_gap);
-                    }
-                    LandOutcome::Deliver(cb) => {
-                        // Callback backend (BG/P): charge the DCMF receive
-                        // handler and run the user callback immediately.
-                        let pe = self.direct.recv_pe(handle).expect("live channel");
-                        let start = {
-                            let st = &mut self.pes[pe.idx()];
-                            st.busy_until = st.busy_until.max(self.now) + recv_cpu;
-                            st.stats.busy += recv_cpu;
-                            st.busy_until
-                        };
-                        let elapsed = self.run_callbacks(pe, start, Time::ZERO, vec![(cb, handle)]);
-                        let st = &mut self.pes[pe.idx()];
-                        st.busy_until = start + elapsed;
-                        st.stats.busy += elapsed;
-                    }
-                }
-            }
-            Ev::DirectGetLand { handle, recv_cpu } => {
-                if self.san.is_enabled() {
-                    if let Ok(pe) = self.direct.recv_pe(handle) {
-                        self.san.set_ctx(pe.idx(), self.now);
-                    }
-                }
-                let cb = self.direct.land_get(handle).expect("get on live channel");
-                let pe = self.direct.recv_pe(handle).expect("live channel");
-                if self.tracer.is_enabled() {
-                    if let Ok(bytes) = self.direct.wire_bytes(handle) {
-                        self.tracer
-                            .put_land(pe.idx(), self.now, handle.0, bytes as u64);
-                    }
-                }
-                let start = {
-                    let st = &mut self.pes[pe.idx()];
-                    st.busy_until = st.busy_until.max(self.now) + recv_cpu;
-                    st.stats.busy += recv_cpu;
-                    st.busy_until
-                };
-                let elapsed = self.run_callbacks(pe, start, Time::ZERO, vec![(cb, handle)]);
-                let st = &mut self.pes[pe.idx()];
-                st.busy_until = start + elapsed;
-                st.stats.busy += elapsed;
-            }
-            Ev::PeLoop { pe } => self.pe_loop(pe),
-            Ev::ReduceUp {
-                array,
-                to,
-                value,
-                count,
-                op,
-                target,
-                recv_cpu,
-                edge,
-            } => {
-                self.san.red_absorb(array.0, to.idx(), edge);
-                let st = &mut self.pes[to.idx()];
-                st.busy_until = st.busy_until.max(self.now) + recv_cpu;
-                st.stats.busy += recv_cpu;
-                let red = &mut self.red[array.idx()][to.idx()];
-                red.absorb(value, count, op, target);
-                red.got_children += 1;
-                self.maybe_complete_reduction(array, to);
-            }
-            Ev::BcastDown {
-                array,
-                to,
-                ep,
-                payload,
-                size,
-                recv_cpu,
-                edge,
-            } => {
-                self.san.edge_in(to.idx(), edge);
-                let st = &mut self.pes[to.idx()];
-                st.busy_until = st.busy_until.max(self.now) + recv_cpu;
-                st.stats.busy += recv_cpu;
-                self.bcast_at(array, to, ep, payload, size);
-            }
-            Ev::RelDeliver {
-                token,
-                link,
-                seq,
-                kind,
-                corrupted,
-                inner,
-            } => self.rel_deliver(token, link, seq, kind, corrupted, *inner),
-            Ev::RelAck { token } => self.rel_ack(token),
-            Ev::RelTimer { token, attempt } => self.rel_timer(token, attempt),
-        }
-    }
-
-    // ---- reliable delivery over the fault plane ---------------------------
-
-    /// Schedule a remote delivery event, routing it through the fault plane
-    /// when faults are enabled. `begin` is the issue instant on the sender
-    /// and `delay` the one-way wire latency: an unfaulted packet delivers at
-    /// `begin + delay`, bit-identically to a direct `events.push` — which is
-    /// exactly what happens when faults are off or the traffic never crosses
-    /// the fabric (same-PE links). `put` carries `(handle, put_seq)` so
-    /// duplicated one-sided puts can be replayed idempotently.
-    pub(crate) fn rel_push(
-        &mut self,
-        begin: Time,
-        delay: Time,
-        link: (u32, u32),
-        kind: FaultOp,
-        put: Option<(HandleId, u64)>,
-        ev: Ev,
-    ) {
-        if self.rel.is_none() || link.0 == link.1 {
-            self.events.push(begin + delay, ev);
-            return;
-        }
-        let rel = self.rel.as_mut().expect("checked above");
-        let token = rel.next_token;
-        rel.next_token += 1;
-        let seq = match put {
-            Some((_, s)) => s,
-            None => rel.seqs.alloc(link),
-        };
-        rel.pending.insert(
-            token,
-            Pending {
-                ev,
-                link,
-                seq,
-                attempt: 0,
-                wire_delay: delay,
-                kind,
-                handle: put.map(|(h, _)| h),
-            },
-        );
-        self.rel_transmit(token, begin);
-    }
-
-    /// Submit pending packet `token` to the fault plane at `at`, schedule
-    /// the consequences, and arm its retransmission timer.
-    fn rel_transmit(&mut self, token: u64, at: Time) {
-        let rel = self.rel.as_mut().expect("rel enabled");
-        let Some(p) = rel.pending.get(&token) else {
-            return; // acked in the meantime
-        };
-        let (link, kind, seq, wire_delay, attempt) =
-            (p.link, p.kind, p.seq, p.wire_delay, p.attempt);
-        let ev = p.ev.clone();
-        let action = rel.plan.decide(at, link, kind);
-        let timeout = rel.policy.timeout(attempt);
-        let mk = |inner: Ev, corrupted: bool| Ev::RelDeliver {
-            token,
-            link,
-            seq,
-            kind,
-            corrupted,
-            inner: Box::new(inner),
-        };
-        match action {
-            FaultAction::Deliver => self.events.push(at + wire_delay, mk(ev, false)),
-            FaultAction::Drop => {
-                self.stats.rel.drops_injected += 1;
-                self.tracer.rel_drop(link.0 as usize, at, link.1);
-            }
-            FaultAction::Corrupt => {
-                self.stats.rel.corrupts_injected += 1;
-                self.events.push(at + wire_delay, mk(ev, true));
-            }
-            FaultAction::Duplicate { extra } => {
-                self.stats.rel.dups_injected += 1;
-                self.events.push(at + wire_delay, mk(ev.clone(), false));
-                self.events.push(at + wire_delay + extra, mk(ev, false));
-            }
-            FaultAction::Delay { extra } => {
-                self.stats.rel.delays_injected += 1;
-                self.events.push(at + wire_delay + extra, mk(ev, false));
-            }
-        }
-        self.events
-            .push(at + timeout, Ev::RelTimer { token, attempt });
-    }
-
-    /// A reliable packet arrived: verify, dedup, ack, and (when fresh and
-    /// intact) dispatch the real delivery event at this very instant.
-    fn rel_deliver(
-        &mut self,
-        token: u64,
-        link: (u32, u32),
-        seq: u64,
-        kind: FaultOp,
-        corrupted: bool,
-        inner: Ev,
-    ) {
-        if corrupted {
-            // Receiver-side detection — the NIC's link CRC for messages,
-            // the per-put CRC folded into the sentinel word for one-sided
-            // puts. The damaged landing is discarded (for a put, the
-            // sentinel stays armed), no ack is sent, and the sender's
-            // timer will retransmit.
-            self.stats.rel.corrupt_detected += 1;
-            if kind == FaultOp::Put {
-                if let Ev::DirectLand { handle, .. } = &inner {
-                    self.direct
-                        .corrupt_landing(*handle, seq)
-                        .expect("live channel");
-                }
-            }
-            return;
-        }
-        let fresh = match kind {
-            FaultOp::Put => {
-                if let Ev::DirectLand { handle, .. } = &inner {
-                    self.direct
-                        .accept_landing(*handle, seq)
-                        .expect("live channel")
-                } else {
-                    true
-                }
-            }
-            _ => self
-                .rel
-                .as_mut()
-                .expect("rel enabled")
-                .seqs
-                .accept(link, seq),
-        };
-        // Ack every intact arrival — a duplicate re-acks, in case the
-        // original ack was the packet that died.
-        self.rel_send_ack(token, link);
-        if fresh {
-            self.dispatch(inner);
-        } else {
-            self.stats.rel.dups_suppressed += 1;
-        }
-    }
-
-    /// Emit the reliability ack for `token` back across the fault plane.
-    /// Acks are NIC-level protocol: they charge no PE time, carry no trace
-    /// record, and are invisible to the scheduler — only their loss has a
-    /// consequence (a spurious retransmission, suppressed by seqno dedup).
-    fn rel_send_ack(&mut self, token: u64, link: (u32, u32)) {
-        let t = self.net.control(Pe(link.1), Pe(link.0));
-        let rel = self.rel.as_mut().expect("rel enabled");
-        match rel.plan.decide(self.now, (link.1, link.0), FaultOp::Ack) {
-            FaultAction::Deliver => self.events.push(self.now + t.delay, Ev::RelAck { token }),
-            FaultAction::Drop | FaultAction::Corrupt => {
-                // a corrupted ack fails its CRC at the sender NIC — lost
-                // either way
-                self.stats.rel.acks_lost += 1;
-            }
-            FaultAction::Duplicate { extra } => {
-                self.events.push(self.now + t.delay, Ev::RelAck { token });
-                self.events
-                    .push(self.now + t.delay + extra, Ev::RelAck { token });
-            }
-            FaultAction::Delay { extra } => self
-                .events
-                .push(self.now + t.delay + extra, Ev::RelAck { token }),
-        }
-    }
-
-    /// An ack reached the sender: retire the pending packet. A stale ack
-    /// (duplicate, or late after retransmission already re-acked) is a
-    /// no-op.
-    fn rel_ack(&mut self, token: u64) {
-        let rel = self.rel.as_mut().expect("rel enabled");
-        if rel.pending.remove(&token).is_some() {
-            self.stats.rel.acks += 1;
-        }
-    }
-
-    /// Retransmission timer fired: if the packet is still pending at this
-    /// exact attempt, resend it with exponentially backed-off timeout.
-    /// Retries are unbounded — a probabilistic plan delivers eventually
-    /// (with probability 1), explicit triggers are one-shot, and stall
-    /// windows end.
-    fn rel_timer(&mut self, token: u64, attempt: u32) {
-        let rel = self.rel.as_mut().expect("rel enabled");
-        let Some(p) = rel.pending.get_mut(&token) else {
-            return; // acked: the common case for every timer of a clean run
-        };
-        if p.attempt != attempt {
-            return; // a newer transmission owns the live timer
-        }
-        p.attempt += 1;
-        let next_attempt = p.attempt;
-        let handle = p.handle;
-        let sender = p.link.0;
-        self.stats.rel.timeouts += 1;
-        self.stats.rel.retries += 1;
-        if let Some(h) = handle {
-            // degradation bookkeeping: after `degrade_after` cumulative
-            // retransmits, this channel's future puts pay rendezvous timing
-            let r = rel.handle_retries.entry(h.0).or_insert(0);
-            *r += 1;
-            if *r >= rel.degrade_after && rel.degraded.insert(h.0) {
-                self.stats.rel.degraded_channels += 1;
-            }
-        }
-        let backoff = rel.policy.timeout(next_attempt);
-        self.tracer
-            .rel_retry(sender as usize, self.now, next_attempt, backoff);
-        self.rel_transmit(token, self.now);
-    }
-
-    /// One scheduler iteration: poll sweep, then at most one message.
-    fn pe_loop(&mut self, pe: Pe) {
-        self.pes[pe.idx()].loop_scheduled = false;
-        let start = self.pes[pe.idx()].busy_until.max(self.now);
-        let mut elapsed = Time::ZERO;
-        if self.tracer.is_enabled() {
-            let depth = self.pes[pe.idx()].queue.len() as u32;
-            self.tracer.queue_depth(pe.idx(), self.now, depth);
-        }
-
-        // CkDirect poll sweep (IbPoll backend): check every armed handle.
-        if self.net.has_rdma() {
-            self.san.set_ctx(pe.idx(), start);
-            let sweep = self.direct.poll_sweep(pe);
-            if sweep.checked > 0 {
-                elapsed += self.cfg.poll_per_handle * sweep.checked as u64;
-                self.pes[pe.idx()].stats.poll_checks += sweep.checked as u64;
-                self.tracer.poll_sweep(
-                    pe.idx(),
-                    start,
-                    start + elapsed,
-                    sweep.checked as u32,
-                    sweep.deliveries.len() as u32,
-                );
-            }
-            if !sweep.deliveries.is_empty() {
-                let cbs: Vec<(DirectCb, HandleId)> = sweep
-                    .deliveries
-                    .into_iter()
-                    .map(|(h, cb)| (cb, h))
-                    .collect();
-                elapsed = self.run_callbacks(pe, start, elapsed, cbs);
-            }
-        }
-
-        // One message through the scheduler.
-        if let Some((target, msg)) = self.pes[pe.idx()].queue.pop_front() {
-            elapsed += self.cfg.sched;
-            self.pes[pe.idx()].stats.msgs_delivered += 1;
-            self.tracer
-                .msg_deliver(pe.idx(), start + elapsed, msg.ep.0, msg.size as u64);
-            elapsed = self.run_entry(pe, target, start, elapsed, msg);
-        }
-
-        let st = &mut self.pes[pe.idx()];
-        st.busy_until = start + elapsed;
-        st.stats.busy += elapsed;
-        // A handler may already have re-armed the loop (e.g. a broadcast
-        // delivered to this very PE); don't double-schedule.
-        if !st.queue.is_empty() && !st.loop_scheduled {
-            st.loop_scheduled = true;
-            let at = st.busy_until;
-            self.events.push(at, Ev::PeLoop { pe });
-        }
-    }
+    // ---- shared accounting helpers ----------------------------------------
 
     /// Account one control packet issued from `pe` in the per-protocol
     /// breakdowns (reduction hops, broadcast forwarding, handle shipping).
@@ -834,7 +495,7 @@ impl Machine {
             .stats
             .proto_sent
             .record(Protocol::Control, bytes);
-        self.tracer.control_transfer(bytes, delay);
+        self.stack.tracer.control_transfer(bytes, delay);
     }
 
     /// Schedule a scheduler iteration on `pe` if none is pending.
@@ -845,268 +506,5 @@ impl Machine {
             let at = st.busy_until.max(self.now) + extra_gap;
             self.events.push(at, Ev::PeLoop { pe });
         }
-    }
-
-    /// Run one entry method with the chare checked out of the machine;
-    /// returns the updated elapsed time.
-    fn run_entry(
-        &mut self,
-        pe: Pe,
-        target: ChareRef,
-        start: Time,
-        elapsed: Time,
-        msg: Msg,
-    ) -> Time {
-        let mut chare = self.chares[target.array.idx()][target.lin as usize]
-            .take()
-            .unwrap_or_else(|| panic!("{target:?} missing (reentrant delivery?)"));
-        let entry_begin = start + elapsed;
-        let mut ctx = Ctx::new(self, pe, target, start, elapsed);
-        chare.entry(&mut ctx, msg);
-        let (elapsed, pending) = ctx.finish();
-        self.tracer
-            .busy(pe.idx(), entry_begin, start + elapsed, BusyKind::Entry);
-        self.chares[target.array.idx()][target.lin as usize] = Some(chare);
-        self.run_callbacks(pe, start, elapsed, pending)
-    }
-
-    /// Deliver CkDirect callbacks as plain function calls; each may enqueue
-    /// more (e.g. `ready_poll_q` discovering already-landed data).
-    pub(crate) fn run_callbacks(
-        &mut self,
-        pe: Pe,
-        start: Time,
-        mut elapsed: Time,
-        mut pending: Vec<(DirectCb, HandleId)>,
-    ) -> Time {
-        while let Some((cb, handle)) = pending.pop() {
-            let cb_begin = start + elapsed;
-            elapsed += self.cfg.callback_cost;
-            // strided destinations pay the scatter copy at delivery
-            if let Ok(Some(bytes)) = self.direct.strided_recv_bytes(handle) {
-                elapsed += self.cfg.compute.bytes(2 * bytes as u64);
-            }
-            self.pes[pe.idx()].stats.callbacks += 1;
-            self.tracer
-                .callback_fire(pe.idx(), start + elapsed, handle.0);
-            let target = cb.target;
-            let mut chare = self.chares[target.array.idx()][target.lin as usize]
-                .take()
-                .unwrap_or_else(|| panic!("{target:?} missing for callback"));
-            // synthesize the learned-channel message before Ctx borrows self
-            let learned_msg = if let CbKind::Learned(ep) = cb.kind {
-                // hand the landed bytes to the ordinary entry method — the
-                // application cannot tell the transport changed
-                let region = self.direct.recv_region(handle).expect("live channel");
-                let size = self.direct.wire_bytes(handle).expect("live channel");
-                Some(Msg {
-                    ep,
-                    payload: crate::msg::Payload::Bytes(bytes::Bytes::from(region.to_vec())),
-                    size,
-                })
-            } else {
-                None
-            };
-            let mut ctx = Ctx::new(self, pe, target, start, elapsed);
-            match (cb.kind, learned_msg) {
-                (CbKind::User(tag), _) => chare.direct_callback(&mut ctx, tag, handle),
-                (CbKind::Learned(_), Some(msg)) => chare.entry(&mut ctx, msg),
-                (CbKind::Learned(_), None) => unreachable!(),
-            }
-            let (e, more) = ctx.finish();
-            elapsed = e;
-            self.tracer
-                .busy(pe.idx(), cb_begin, start + elapsed, BusyKind::Callback);
-            self.chares[target.array.idx()][target.lin as usize] = Some(chare);
-            if let CbKind::Learned(_) = cb.kind {
-                // the runtime owns learned channels: re-arm immediately so
-                // the sender's next iteration can put again
-                self.san.set_ctx(pe.idx(), start + elapsed);
-                if let Ok(Some(cb2)) = self.direct.ready(handle) {
-                    pending.push((cb2, handle));
-                }
-            }
-            pending.extend(more);
-        }
-        elapsed
-    }
-
-    /// A chare on `pe` contributed to its array's current reduction.
-    pub(crate) fn contribute_local(
-        &mut self,
-        array: ArrayId,
-        pe: Pe,
-        v: RedVal,
-        op: RedOp,
-        target: RedTarget,
-    ) {
-        self.tracer.reduce_contribute(pe.idx(), self.now, array.0);
-        self.san.red_contribute(array.0, pe.idx());
-        let red = &mut self.red[array.idx()][pe.idx()];
-        red.absorb(v, 1, op, target);
-        red.got_local += 1;
-        debug_assert!(
-            red.got_local <= self.arrays[array.idx()].local_counts[pe.idx()],
-            "element contributed twice in one generation"
-        );
-        self.maybe_complete_reduction(array, pe);
-    }
-
-    fn maybe_complete_reduction(&mut self, array: ArrayId, pe: Pe) {
-        let info = &self.arrays[array.idx()];
-        let need_local = info.local_counts[pe.idx()];
-        let need_children = tree_children(&info.participants, pe).len();
-        let red = &self.red[array.idx()][pe.idx()];
-        if red.got_local < need_local || red.got_children < need_children {
-            return;
-        }
-        let value = red.partial;
-        let count = red.count;
-        let op = red.op.expect("completed reduction has an op");
-        let target = red.target.expect("completed reduction has a target");
-        self.red[array.idx()][pe.idx()].advance();
-
-        match tree_parent(&self.arrays[array.idx()].participants, pe) {
-            Some(parent) => {
-                let t = self.net.control(pe, parent);
-                self.record_control(pe, t.delay);
-                // the send costs a sliver of CPU on this PE
-                let st = &mut self.pes[pe.idx()];
-                st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
-                st.stats.busy += t.send_cpu;
-                let edge = self.san.red_up(array.0, pe.idx());
-                self.events.push(
-                    self.now + t.delay,
-                    Ev::ReduceUp {
-                        array,
-                        to: parent,
-                        value,
-                        count,
-                        op,
-                        target,
-                        recv_cpu: t.recv_cpu,
-                        edge,
-                    },
-                );
-            }
-            None => {
-                // Root: the reduction is complete.
-                debug_assert_eq!(
-                    count,
-                    self.arrays[array.idx()].dims.len(),
-                    "reduction lost contributions"
-                );
-                self.stats.reductions += 1;
-                self.tracer.reduce_complete(pe.idx(), self.now, array.0);
-                // every contribution happens-before whatever the root does
-                // next (the release broadcast / client delivery)
-                self.san.red_complete(array.0, pe.idx());
-                match target {
-                    RedTarget::Broadcast(ep) => {
-                        let payload = Payload::value(value);
-                        self.bcast_at(array, pe, ep, payload, 8);
-                    }
-                    RedTarget::Single(aref, ep) => {
-                        let dst = self.home_pe(aref);
-                        let t = self.net.control(pe, dst);
-                        self.record_control(pe, t.delay);
-                        let edge = self.san.edge_out(pe.idx());
-                        self.events.push(
-                            self.now + t.delay,
-                            Ev::MsgArrive {
-                                pe: dst,
-                                target: aref,
-                                msg: Msg::value(ep, value, 8),
-                                recv_cpu: t.recv_cpu,
-                                overlap_cpu: Time::ZERO,
-                                from: pe,
-                                proto: ProtoClass::Control,
-                                edge,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// User-initiated broadcast: route a message from `from` to the root of
-    /// `array`'s participant tree, then distribute down it.
-    pub(crate) fn broadcast_from(&mut self, from: Pe, array: ArrayId, msg: Msg) {
-        let root = self.arrays[array.idx()].participants[0];
-        if root == from {
-            self.bcast_at(array, root, msg.ep, msg.payload, msg.size);
-        } else {
-            let t = self.net.control(from, root);
-            self.record_control(from, t.delay);
-            let st = &mut self.pes[from.idx()];
-            st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
-            st.stats.busy += t.send_cpu;
-            let edge = self.san.edge_out(from.idx());
-            self.events.push(
-                self.now + t.delay,
-                Ev::BcastDown {
-                    array,
-                    to: root,
-                    ep: msg.ep,
-                    payload: msg.payload,
-                    size: msg.size,
-                    recv_cpu: t.recv_cpu,
-                    edge,
-                },
-            );
-        }
-    }
-
-    /// Broadcast arriving at `pe`: forward down the tree, then enqueue a
-    /// message for every local element.
-    fn bcast_at(&mut self, array: ArrayId, pe: Pe, ep: EntryId, payload: Payload, size: usize) {
-        let children = tree_children(&self.arrays[array.idx()].participants, pe);
-        for child in children {
-            let t = self.net.control(pe, child);
-            self.record_control(pe, t.delay);
-            let st = &mut self.pes[pe.idx()];
-            st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
-            st.stats.busy += t.send_cpu;
-            let edge = self.san.edge_out(pe.idx());
-            self.events.push(
-                self.now + t.delay,
-                Ev::BcastDown {
-                    array,
-                    to: child,
-                    ep,
-                    payload: payload.clone(),
-                    size,
-                    recv_cpu: t.recv_cpu,
-                    edge,
-                },
-            );
-        }
-        let lins = std::mem::take(&mut self.locals[array.idx()][pe.idx()]);
-        for &lin in &lins {
-            self.pes[pe.idx()].queue.push_back((
-                ChareRef { array, lin },
-                Msg {
-                    ep,
-                    payload: payload.clone(),
-                    size,
-                },
-            ));
-        }
-        self.locals[array.idx()][pe.idx()] = lins;
-        self.ensure_loop(pe, Time::ZERO);
-    }
-}
-
-impl Machine {
-    /// Mutate a chare's concrete state before the run starts (topology
-    /// wiring that factories cannot do because the array is still being
-    /// built when they execute).
-    pub fn with_chare_mut<T: Chare>(&mut self, aref: ChareRef, f: impl FnOnce(&mut T)) {
-        let c = self.chares[aref.array.idx()][aref.lin as usize]
-            .as_deref_mut()
-            .and_then(|c| c.downcast_mut::<T>())
-            .expect("chare exists and has the expected type");
-        f(c);
     }
 }

@@ -3,13 +3,10 @@
 //! where appropriate").
 
 use bytes::Bytes;
-use ckd_charm::{
-    Chare, ChareRef, Ctx, EntryId, LearnConfig, LearningTotals, Machine, Msg, RtsConfig,
-};
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, LearnConfig, LearningTotals, Machine, Msg};
 use ckd_net::presets;
 use ckd_sim::Time;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
-use ckdirect::DirectConfig;
 
 const EP_START: EntryId = EntryId(0);
 const EP_DATA: EntryId = EntryId(1);
@@ -88,10 +85,11 @@ impl Chare for Consumer {
 
 fn build(learning: Option<LearnConfig>) -> (Machine, ChareRef, ChareRef) {
     let net = presets::ib_abe(Topo::ib_cluster(4, 1));
-    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
+    let mut b = Machine::builder(net);
     if let Some(cfg) = learning {
-        m.enable_learning(cfg);
+        b = b.with_learning(cfg);
     }
+    let mut m = b.build();
     let prod = m.create_array("prod", Dims::d1(1), Mapper::Block, |_| {
         Box::new(Producer {
             consumer: None,
@@ -231,8 +229,9 @@ fn learner_keys_streams_by_size() {
     }
 
     let net = presets::ib_abe(Topo::ib_cluster(4, 1));
-    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
-    m.enable_learning(LearnConfig { threshold: 3 });
+    let mut m = Machine::builder(net)
+        .with_learning(LearnConfig { threshold: 3 })
+        .build();
     let prod = m.create_array("p", Dims::d1(1), Mapper::Block, |_| {
         Box::new(TwoSize {
             consumer: None,
@@ -255,8 +254,9 @@ fn learner_keys_streams_by_size() {
 #[test]
 fn non_bytes_payloads_never_learn() {
     let net = presets::ib_abe(Topo::ib_cluster(2, 1));
-    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
-    m.enable_learning(LearnConfig { threshold: 1 });
+    let mut m = Machine::builder(net)
+        .with_learning(LearnConfig { threshold: 1 })
+        .build();
 
     struct ValueSender {
         peer: Option<ChareRef>,

@@ -6,12 +6,11 @@
 use bytes::Bytes;
 use ckd_charm::{
     Chare, ChareRef, Ctx, EntryId, FaultPlan, LearnConfig, Machine, Msg, ProtoBreakdown, RedOp,
-    RedTarget, RedVal, RtsConfig, TraceConfig,
+    RedTarget, RedVal, TraceConfig,
 };
 use ckd_net::presets;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
 use ckd_trace::ProtoClass;
-use ckdirect::DirectConfig;
 
 const EP_START: EntryId = EntryId(0);
 const EP_SMALL: EntryId = EntryId(1);
@@ -23,9 +22,12 @@ const EP_ACK: EntryId = EntryId(5);
 const SMALL: usize = 64; // well under eager_max
 const BIG: usize = 64 * 1024; // well over eager_max -> rendezvous
 
+fn ib_builder(pes: usize, cores: usize) -> ckd_charm::MachineBuilder {
+    Machine::builder(presets::ib_abe(Topo::ib_cluster(pes, cores)))
+}
+
 fn ib_machine(pes: usize, cores: usize) -> Machine {
-    let net = presets::ib_abe(Topo::ib_cluster(pes, cores));
-    Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib())
+    ib_builder(pes, cores).build()
 }
 
 /// Sum the per-PE breakdowns field-wise; must equal the machine-wide one.
@@ -91,8 +93,9 @@ impl Chare for Exchanger {
 #[test]
 fn two_sided_breakdown_reconciles_with_aggregates() {
     const ROUNDS: u32 = 6;
-    let mut m = ib_machine(4, 1);
-    m.enable_tracing(TraceConfig::default());
+    let mut m = ib_builder(4, 1)
+        .with_tracing(TraceConfig::default())
+        .build();
     let arr = m.create_array("x", Dims::d1(2), Mapper::RoundRobin, |idx| {
         Box::new(Exchanger {
             peer_lin: 1 - idx.at(0),
@@ -199,9 +202,10 @@ impl Chare for AckingConsumer {
 #[test]
 fn put_breakdown_reconciles_with_aggregates() {
     const ROUNDS: u32 = 16;
-    let mut m = ib_machine(4, 1);
-    m.enable_learning(LearnConfig { threshold: 3 });
-    m.enable_tracing(TraceConfig::default());
+    let mut m = ib_builder(4, 1)
+        .with_learning(LearnConfig { threshold: 3 })
+        .with_tracing(TraceConfig::default())
+        .build();
     let prod = m.create_array("p", Dims::d1(1), Mapper::Block, |_| {
         Box::new(Producer {
             consumer: None,
@@ -254,12 +258,13 @@ fn put_breakdown_reconciles_with_aggregates() {
 fn retransmitted_puts_count_once_with_retries_separate() {
     const ROUNDS: u32 = 16;
     let run = |plan: Option<FaultPlan>| {
-        let mut m = ib_machine(4, 1);
-        m.enable_learning(LearnConfig { threshold: 3 });
-        m.enable_tracing(TraceConfig::default());
+        let mut b = ib_builder(4, 1)
+            .with_learning(LearnConfig { threshold: 3 })
+            .with_tracing(TraceConfig::default());
         if let Some(p) = plan {
-            m.enable_faults(p);
+            b = b.with_faults(p);
         }
+        let mut m = b.build();
         let prod = m.create_array("p", Dims::d1(1), Mapper::Block, |_| {
             Box::new(Producer {
                 consumer: None,
@@ -332,8 +337,9 @@ fn tracing_is_off_by_default() {
 #[test]
 fn contributes_show_up_in_reduce_counters() {
     const ROUNDS: u32 = 4;
-    let mut m = ib_machine(4, 1);
-    m.enable_tracing(TraceConfig::default());
+    let mut m = ib_builder(4, 1)
+        .with_tracing(TraceConfig::default())
+        .build();
     let arr = m.create_array("x", Dims::d1(4), Mapper::Block, |_| {
         Box::new(Reducer {
             generations: 0,

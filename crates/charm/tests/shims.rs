@@ -1,0 +1,229 @@
+//! The deprecated `enable_*` shims must keep delegating to the same
+//! machinery [`Machine::builder`] installs: for every shim, a machine
+//! configured through it is indistinguishable — stats, layer outputs,
+//! final virtual time — from its builder-built twin running the same
+//! program.
+
+#![allow(deprecated)]
+
+use bytes::Bytes;
+use ckd_charm::{
+    text_summary, Chare, ChareRef, Ctx, EntryId, FaultPlan, LearnConfig, Machine, Msg, RetryPolicy,
+    RtsConfig, TraceConfig,
+};
+use ckd_net::presets;
+use ckd_race::SanitizerConfig;
+use ckd_sim::Time;
+use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
+
+const EP_START: EntryId = EntryId(0);
+const EP_PING: EntryId = EntryId(1);
+const EP_DATA: EntryId = EntryId(2);
+const EP_ACK: EntryId = EntryId(3);
+
+fn ib_net() -> ckd_net::NetModel {
+    presets::ib_abe(Topo::ib_cluster(4, 1))
+}
+
+// ---- a small cross-node workload every test reuses ----------------------
+
+struct Bouncer {
+    peer_lin: usize,
+    limit: u32,
+}
+
+impl Chare for Bouncer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let peer = ctx.element(ctx.me().array, Idx::i1(self.peer_lin));
+        match msg.ep {
+            EP_START => ctx.send(peer, Msg::value(EP_PING, 1u32, 256)),
+            EP_PING => {
+                let hop = *msg.payload.downcast::<u32>().unwrap();
+                if hop < self.limit {
+                    ctx.send(peer, Msg::value(EP_PING, hop + 1, 256));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+fn run_bounce(m: &mut Machine) -> Time {
+    let arr = m.create_array("bounce", Dims::d1(2), Mapper::RoundRobin, |idx| {
+        Box::new(Bouncer {
+            peer_lin: 1 - idx.at(0),
+            limit: 24,
+        }) as Box<dyn Chare>
+    });
+    m.seed(m.element(arr, Idx::i1(0)), Msg::signal(EP_START));
+    m.run()
+}
+
+// ---- enable_tracing ------------------------------------------------------
+
+#[test]
+fn enable_tracing_matches_builder_tracing() {
+    let mut shim = Machine::with_matching_backend(ib_net(), RtsConfig::ib_abe());
+    shim.enable_tracing(TraceConfig::default());
+    let t_shim = run_bounce(&mut shim);
+
+    let mut built = Machine::builder(ib_net())
+        .with_tracing(TraceConfig::default())
+        .build();
+    let t_built = run_bounce(&mut built);
+
+    assert_eq!(t_shim, t_built);
+    assert_eq!(shim.stats(), built.stats());
+    let (s, b) = (
+        text_summary(shim.tracer()).expect("shim tracing on"),
+        text_summary(built.tracer()).expect("builder tracing on"),
+    );
+    assert_eq!(s, b, "trace exports must be byte-identical");
+}
+
+// ---- enable_sanitizer ----------------------------------------------------
+
+#[test]
+fn enable_sanitizer_matches_builder_sanitizer() {
+    let mut shim = Machine::with_matching_backend(ib_net(), RtsConfig::ib_abe());
+    shim.enable_sanitizer(SanitizerConfig::default());
+    let t_shim = run_bounce(&mut shim);
+
+    let mut built = Machine::builder(ib_net())
+        .with_sanitizer(SanitizerConfig::default())
+        .build();
+    let t_built = run_bounce(&mut built);
+
+    assert_eq!(t_shim, t_built);
+    assert_eq!(shim.stats(), built.stats());
+    assert!(shim.sanitizer().is_enabled());
+    assert_eq!(
+        shim.sanitizer().report(),
+        built.sanitizer().report(),
+        "sanitizer diagnostics must match"
+    );
+}
+
+// ---- enable_faults / enable_faults_with ---------------------------------
+
+#[test]
+fn enable_faults_matches_builder_faults() {
+    let plan = || FaultPlan::new(0xBEEF).with_drop(0.25);
+
+    let mut shim = Machine::with_matching_backend(ib_net(), RtsConfig::ib_abe());
+    shim.enable_faults(plan());
+    let t_shim = run_bounce(&mut shim);
+
+    let mut built = Machine::builder(ib_net()).with_faults(plan()).build();
+    let t_built = run_bounce(&mut built);
+
+    assert_eq!(t_shim, t_built);
+    assert_eq!(shim.stats(), built.stats());
+    assert_eq!(shim.rel_stats(), built.rel_stats());
+    assert!(shim.rel_stats().retries > 0, "plan never bit");
+}
+
+#[test]
+fn enable_faults_with_matches_builder_faults_policy() {
+    let plan = || FaultPlan::new(7).with_drop(0.2);
+    let policy = || RetryPolicy::default();
+
+    let mut shim = Machine::with_matching_backend(ib_net(), RtsConfig::ib_abe());
+    shim.enable_faults_with(plan(), policy(), 2);
+    let t_shim = run_bounce(&mut shim);
+
+    let mut built = Machine::builder(ib_net())
+        .with_faults_policy(plan(), policy(), 2)
+        .build();
+    let t_built = run_bounce(&mut built);
+
+    assert_eq!(t_shim, t_built);
+    assert_eq!(shim.rel_stats(), built.rel_stats());
+}
+
+// ---- enable_learning -----------------------------------------------------
+
+struct Producer {
+    consumer: Option<ChareRef>,
+    round: u32,
+}
+
+impl Chare for Producer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => {
+                self.consumer = Some(*msg.payload.downcast::<ChareRef>().unwrap());
+                self.fire(ctx);
+            }
+            EP_ACK => {
+                if self.round < 12 {
+                    self.fire(ctx);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+impl Producer {
+    fn fire(&mut self, ctx: &mut Ctx<'_>) {
+        self.round += 1;
+        let mut payload = vec![0u8; 1024];
+        payload[..8].copy_from_slice(&(self.round as u64).to_le_bytes());
+        let consumer = self.consumer.unwrap();
+        ctx.send_learned(consumer, Msg::bytes(EP_DATA, Bytes::from(payload)));
+    }
+}
+
+struct Consumer {
+    producer: Option<ChareRef>,
+}
+
+impl Chare for Consumer {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.ep {
+            EP_START => self.producer = Some(*msg.payload.downcast::<ChareRef>().unwrap()),
+            EP_DATA => {
+                let producer = self.producer.unwrap();
+                ctx.send(producer, Msg::signal(EP_ACK));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+fn run_learned(m: &mut Machine) -> Time {
+    let prod = m.create_array("prod", Dims::d1(1), Mapper::Block, |_| {
+        Box::new(Producer {
+            consumer: None,
+            round: 0,
+        }) as Box<dyn Chare>
+    });
+    let npes = m.npes();
+    let cons = m.create_array("cons", Dims::d1(npes), Mapper::Block, |_| {
+        Box::new(Consumer { producer: None }) as Box<dyn Chare>
+    });
+    let p = m.element(prod, Idx::i1(0));
+    let c = m.element(cons, Idx::i1(npes - 1));
+    m.seed(p, Msg::value(EP_START, c, 8));
+    m.seed(c, Msg::value(EP_START, p, 8));
+    m.run()
+}
+
+#[test]
+fn enable_learning_matches_builder_learning() {
+    let mut shim = Machine::with_matching_backend(ib_net(), RtsConfig::ib_abe());
+    shim.enable_learning(LearnConfig { threshold: 3 });
+    let t_shim = run_learned(&mut shim);
+
+    let mut built = Machine::builder(ib_net())
+        .with_learning(LearnConfig { threshold: 3 })
+        .build();
+    let t_built = run_learned(&mut built);
+
+    assert_eq!(t_shim, t_built);
+    assert_eq!(shim.stats(), built.stats());
+    assert_eq!(shim.learning_totals(), built.learning_totals());
+    assert!(shim.learning_totals().installed > 0, "never learned");
+    assert!(shim.learning_totals().hits > 0, "channel never used");
+}

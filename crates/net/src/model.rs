@@ -113,21 +113,18 @@ impl NetModel {
             return self.shmem_timing(bytes, proto);
         }
         let hops = self.machine.hops_between_pes(src, dst);
-        match (&self.fabric, proto) {
+        // Mismatched protocol/fabric pairs (a put on DCMF, an active
+        // message on verbs) are folded onto a native protocol in one place.
+        match (&self.fabric, self.fabric.normalize(proto)) {
             (FabricParams::IbVerbs(p), Protocol::Eager) => ib_eager(p, hops, bytes),
             (FabricParams::IbVerbs(p), Protocol::Rendezvous { reg_cached }) => {
                 ib_rendezvous(p, hops, bytes, reg_cached)
             }
             (FabricParams::IbVerbs(p), Protocol::RdmaPut) => ib_put(p, hops, bytes),
             (FabricParams::IbVerbs(p), Protocol::Control) => ib_eager(p, hops, p.control_bytes),
-            // DCMF has no RDMA: puts and rendezvous degenerate to sends, as
-            // in the paper's BG/P implementation.
-            (FabricParams::Dcmf(p), Protocol::Dcmf)
-            | (FabricParams::Dcmf(p), Protocol::Eager)
-            | (FabricParams::Dcmf(p), Protocol::Rendezvous { .. })
-            | (FabricParams::Dcmf(p), Protocol::RdmaPut) => dcmf_send(p, hops, bytes),
+            (FabricParams::Dcmf(p), Protocol::Dcmf) => dcmf_send(p, hops, bytes),
             (FabricParams::Dcmf(p), Protocol::Control) => dcmf_send(p, hops, p.control_bytes),
-            (FabricParams::IbVerbs(p), Protocol::Dcmf) => ib_eager(p, hops, bytes),
+            (_, p) => unreachable!("normalize returned non-native protocol {p:?}"),
         }
     }
 
@@ -355,6 +352,58 @@ mod tests {
 
     fn bgp(npes: usize) -> NetModel {
         presets::bgp_surveyor(Machine::bgp_partition(npes))
+    }
+
+    #[test]
+    fn normalization_maps_every_mismatched_pair_onto_a_native_protocol() {
+        use crate::FabricParams;
+        let ib = FabricParams::IbVerbs(presets::ib_abe_params());
+        let bgp = FabricParams::Dcmf(presets::bgp_surveyor_params());
+        let rndv = Protocol::Rendezvous { reg_cached: false };
+
+        // IB implements everything except DCMF active messages, which fall
+        // back to the packetised eager path.
+        for native in [Protocol::Eager, rndv, Protocol::RdmaPut, Protocol::Control] {
+            assert_eq!(ib.normalize(native), native, "{native:?} native on IB");
+        }
+        assert_eq!(ib.normalize(Protocol::Dcmf), Protocol::Eager);
+
+        // DCMF implements only sends and control: every data protocol
+        // degenerates to a DCMF_Send (the paper's BG/P reality).
+        for foreign in [Protocol::Eager, rndv, Protocol::RdmaPut, Protocol::Dcmf] {
+            assert_eq!(
+                bgp.normalize(foreign),
+                Protocol::Dcmf,
+                "{foreign:?} on BG/P"
+            );
+        }
+        assert_eq!(bgp.normalize(Protocol::Control), Protocol::Control);
+
+        // idempotent: normalizing twice changes nothing further
+        for f in [&ib, &bgp] {
+            for p in [
+                Protocol::Eager,
+                rndv,
+                Protocol::RdmaPut,
+                Protocol::Dcmf,
+                Protocol::Control,
+            ] {
+                assert_eq!(f.normalize(f.normalize(p)), f.normalize(p));
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_timings_match_their_native_protocol() {
+        let mi = ib(4);
+        let t_dcmf = mi.timing(Pe(0), Pe(2), 4096, Protocol::Dcmf);
+        let t_eager = mi.timing(Pe(0), Pe(2), 4096, Protocol::Eager);
+        assert_eq!(t_dcmf, t_eager, "DCMF on IB costs the eager path");
+
+        let mb = bgp(8);
+        let t_put = mb.timing(Pe(0), Pe(4), 4096, Protocol::RdmaPut);
+        let t_send = mb.timing(Pe(0), Pe(4), 4096, Protocol::Dcmf);
+        assert_eq!(t_put, t_send, "puts on BG/P cost a DCMF_Send");
     }
 
     #[test]

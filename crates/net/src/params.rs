@@ -131,6 +131,28 @@ impl FabricParams {
     pub fn has_rdma(&self) -> bool {
         matches!(self, FabricParams::IbVerbs(_))
     }
+
+    /// Map a requested protocol onto one this fabric actually implements —
+    /// the single normalization point for mismatched protocol/fabric pairs.
+    ///
+    /// * DCMF has no RDMA: eager, rendezvous, and one-sided puts all
+    ///   degenerate to a `DCMF_Send`, exactly as in the paper's BG/P
+    ///   implementation.
+    /// * Infiniband has no DCMF engine: an active-message request falls
+    ///   back to the packetised eager path.
+    /// * Control packets are native on both fabrics.
+    ///
+    /// Normalization is idempotent: a protocol the fabric implements maps
+    /// to itself.
+    pub fn normalize(&self, proto: crate::Protocol) -> crate::Protocol {
+        use crate::Protocol;
+        match (self, proto) {
+            (FabricParams::Dcmf(_), Protocol::Control) => Protocol::Control,
+            (FabricParams::Dcmf(_), _) => Protocol::Dcmf,
+            (FabricParams::IbVerbs(_), Protocol::Dcmf) => Protocol::Eager,
+            (FabricParams::IbVerbs(_), p) => p,
+        }
+    }
 }
 
 #[cfg(test)]

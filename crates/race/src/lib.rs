@@ -15,7 +15,7 @@
 //!   completion); a per-handle state machine fed by the registry's
 //!   lifecycle probe flags overwrites, early reads, double puts, skipped
 //!   re-arms, and — via the clocks — puts that *happened* to work but were
-//!   causally unsynchronized. Enabled with `Machine::enable_sanitizer()`;
+//!   causally unsynchronized. Enabled with `Machine::builder(net).with_sanitizer(..)`;
 //!   a disabled sanitizer is one branch per hook.
 //! * [`lint`] — the static half: a std-only source scanner for lifecycle
 //!   misuse patterns (`direct_put` with no reachable `direct_ready`,

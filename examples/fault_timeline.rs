@@ -35,9 +35,11 @@ fn main() {
         Some(FaultOp::Put),
         FaultKind::Drop,
     );
-    let mut m = platform.machine(8);
-    m.enable_tracing(TraceConfig::default());
-    m.enable_faults(plan);
+    let mut m = platform
+        .builder(8)
+        .with_tracing(TraceConfig::default())
+        .with_faults(plan)
+        .build();
     let r = charm_pingpong_on(&mut m, Variant::Ckd, BYTES, ITERS);
 
     println!("== one injected drop, end to end");

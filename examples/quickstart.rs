@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, PutOutcome, RtsConfig};
+use ckd_charm::{Chare, ChareRef, Ctx, EntryId, Machine, Msg, PutOutcome};
 use ckd_net::presets;
 use ckd_topo::{Dims, Idx, Machine as Topo, Mapper};
-use ckdirect::{DirectConfig, HandleId, Region};
+use ckdirect::{HandleId, Region};
 
 const EP_START: EntryId = EntryId(0);
 const EP_HANDLE: EntryId = EntryId(1);
@@ -152,7 +152,7 @@ fn main() {
     // a 4-PE Infiniband machine, one core per node so the channel really
     // crosses the network
     let net = presets::ib_abe(Topo::ib_cluster(4, 1));
-    let mut m = Machine::new(net, RtsConfig::ib_abe(), DirectConfig::ib());
+    let mut m = Machine::builder(net).build();
 
     const ROUNDS: u32 = 3;
     let recv_arr = m.create_array("receiver", Dims::d1(1), Mapper::Block, |_| {

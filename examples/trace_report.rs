@@ -19,8 +19,10 @@ use ckd_trace::ProtoClass;
 
 fn main() {
     let pes = 8;
-    let mut m = Platform::IbAbe { cores_per_node: 8 }.machine(pes);
-    m.enable_tracing(TraceConfig::default());
+    let mut m = Platform::IbAbe { cores_per_node: 8 }
+        .builder(pes)
+        .with_tracing(TraceConfig::default())
+        .build();
 
     let cfg = JacobiCfg {
         domain: [48, 48, 48],

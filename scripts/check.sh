@@ -15,6 +15,21 @@ run() {
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace -q
 
+# The Machine decomposition must hold: no runtime source file regrows into
+# a monolith.
+echo "==> charm source files stay under 700 lines"
+oversize=$(find crates/charm/src -name '*.rs' -exec wc -l {} + \
+    | awk '$2 != "total" && $1 > 700 {print $2 " (" $1 " lines)"}')
+if [ -n "$oversize" ]; then
+    echo "error: crates/charm/src files exceed 700 lines:" >&2
+    echo "$oversize" >&2
+    exit 1
+fi
+
+# Public docs must build clean (broken intra-doc links, bad code fences).
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" run cargo doc --offline --no-deps --workspace -q
+
 if cargo fmt --version >/dev/null 2>&1; then
     run cargo fmt --all --check
 else

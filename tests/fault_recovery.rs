@@ -16,7 +16,7 @@ use ckd_apps::matmul3d::{run_matmul_verify_on, MatmulCfg};
 use ckd_apps::openatom::{run_openatom_on, OpenAtomCfg};
 use ckd_apps::pingpong::charm_pingpong_on;
 use ckd_apps::{Platform, Variant};
-use ckd_charm::{FaultPlan, Machine};
+use ckd_charm::{FaultPlan, Machine, MachineBuilder};
 use ckd_race::SanitizerConfig;
 use ckd_sim::Time;
 
@@ -29,10 +29,8 @@ const SEEDS: [u64; 4] = [0xC0FFEE, 1, 42, 0xDEAD_BEEF];
 /// The ISSUE's headline drop rates: moderate and brutal.
 const DROP_RATES: [f64; 2] = [0.10, 0.20];
 
-fn sanitized(pes: usize) -> Machine {
-    let mut m = ABE4.machine(pes);
-    m.enable_sanitizer(SanitizerConfig::default());
-    m
+fn sanitized(pes: usize) -> MachineBuilder {
+    ABE4.builder(pes).with_sanitizer(SanitizerConfig::default())
 }
 
 /// A mixed-fault plan: drops plus every non-loss fault class.
@@ -79,8 +77,9 @@ fn jacobi_converges_byte_identical_under_drops() {
     for seed in SEEDS {
         for drop in DROP_RATES {
             let label = format!("jacobi seed={seed:#x} drop={drop}");
-            let mut m = sanitized(8);
-            m.enable_faults(FaultPlan::new(seed).with_drop(drop));
+            let mut m = sanitized(8)
+                .with_faults(FaultPlan::new(seed).with_drop(drop))
+                .build();
             let (res, grid) = run_jacobi_grid_on(&mut m, cfg);
             // bit-for-bit: same residual, same every grid element
             assert_eq!(
@@ -111,8 +110,7 @@ fn pingpong_completes_under_mixed_faults() {
     let clean = charm_pingpong_on(&mut ABE4.machine(8), Variant::Ckd, BYTES, ITERS);
     for seed in SEEDS {
         let label = format!("pingpong seed={seed:#x}");
-        let mut m = sanitized(8);
-        m.enable_faults(mixed_plan(seed, 0.10));
+        let mut m = sanitized(8).with_faults(mixed_plan(seed, 0.10)).build();
         let r = charm_pingpong_on(&mut m, Variant::Ckd, BYTES, ITERS);
         assert_eq!(r.iters, clean.iters, "{label}: lost an exchange");
         assert_recovered(&m, &label);
@@ -135,8 +133,7 @@ fn matmul_product_byte_identical_under_drops() {
     let (clean_res, clean_c) = run_matmul_verify_on(&mut ABE4.machine(8), cfg);
     for seed in SEEDS {
         let label = format!("matmul seed={seed:#x}");
-        let mut m = sanitized(8);
-        m.enable_faults(mixed_plan(seed, 0.20));
+        let mut m = sanitized(8).with_faults(mixed_plan(seed, 0.20)).build();
         let (res, c) = run_matmul_verify_on(&mut m, cfg);
         assert_eq!(c, clean_c, "{label}: product diverged");
         assert_eq!(res.iters, clean_res.iters, "{label}");
@@ -161,8 +158,9 @@ fn openatom_completes_under_drops() {
     let clean = run_openatom_on(&mut ABE4.machine(8), cfg);
     for seed in SEEDS {
         let label = format!("openatom seed={seed:#x}");
-        let mut m = sanitized(8);
-        m.enable_faults(FaultPlan::new(seed).with_drop(0.10));
+        let mut m = sanitized(8)
+            .with_faults(FaultPlan::new(seed).with_drop(0.10))
+            .build();
         let r = run_openatom_on(&mut m, cfg);
         assert_eq!(r.steps, clean.steps, "{label}: lost a step");
         // every logical put is still delivered exactly once
@@ -187,8 +185,7 @@ fn same_seed_reproduces_the_identical_faulty_run() {
         real_compute: true,
     };
     let run = |seed: u64| {
-        let mut m = ABE4.machine(8);
-        m.enable_faults(mixed_plan(seed, 0.15));
+        let mut m = ABE4.builder(8).with_faults(mixed_plan(seed, 0.15)).build();
         let (res, grid) = run_jacobi_grid_on(&mut m, cfg);
         (
             res.total,
@@ -226,8 +223,10 @@ fn retransmits_never_inflate_app_visible_aggregates() {
     };
     let mut clean_m = ABE4.machine(8);
     run_jacobi_grid_on(&mut clean_m, cfg);
-    let mut m = ABE4.machine(8);
-    m.enable_faults(FaultPlan::new(3).with_drop(0.15));
+    let mut m = ABE4
+        .builder(8)
+        .with_faults(FaultPlan::new(3).with_drop(0.15))
+        .build();
     run_jacobi_grid_on(&mut m, cfg);
     let (cs, fs) = (clean_m.stats(), m.stats());
     assert!(m.rel_stats().retries > 0, "plan never bit");
@@ -254,8 +253,9 @@ fn nic_stall_window_only_delays() {
         real_compute: true,
     };
     let (clean_res, clean_grid) = run_jacobi_grid_on(&mut ABE4.machine(8), cfg);
-    let mut m = sanitized(8);
-    m.enable_faults(FaultPlan::new(11).with_stall(None, Time::from_us(50), Time::from_us(400)));
+    let mut m = sanitized(8)
+        .with_faults(FaultPlan::new(11).with_stall(None, Time::from_us(50), Time::from_us(400)))
+        .build();
     let (res, grid) = run_jacobi_grid_on(&mut m, cfg);
     assert_eq!(grid, clean_grid, "stall must not lose data");
     assert_eq!(res.residual.to_bits(), clean_res.residual.to_bits());

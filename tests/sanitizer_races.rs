@@ -23,9 +23,10 @@ const ABE2: Platform = Platform::IbAbe { cores_per_node: 2 };
 const ABE4: Platform = Platform::IbAbe { cores_per_node: 4 };
 
 fn sanitized(platform: Platform, pes: usize) -> Machine {
-    let mut m = platform.machine(pes);
-    m.enable_sanitizer(SanitizerConfig::default());
-    m
+    platform
+        .builder(pes)
+        .with_sanitizer(SanitizerConfig::default())
+        .build()
 }
 
 fn jacobi_cfg(variant: Variant) -> JacobiCfg {
@@ -184,11 +185,11 @@ fn correct_openatom_is_clean_including_ready_split() {
 #[test]
 fn sanitizer_does_not_perturb_the_simulation() {
     let run = |sanitize: bool| -> (Machine, Time) {
-        let mut m = ABE4.machine(4);
-        m.enable_tracing(TraceConfig::default());
+        let mut b = ABE4.builder(4).with_tracing(TraceConfig::default());
         if sanitize {
-            m.enable_sanitizer(SanitizerConfig::default());
+            b = b.with_sanitizer(SanitizerConfig::default());
         }
+        let mut m = b.build();
         let r = run_jacobi_on(&mut m, jacobi_cfg(Variant::Ckd));
         (m, r.total)
     };

@@ -20,16 +20,20 @@ fn cfg() -> JacobiCfg {
 }
 
 fn traced_run() -> Machine {
-    let mut m = Platform::IbAbe { cores_per_node: 4 }.machine(4);
-    m.enable_tracing(TraceConfig::default());
+    let mut m = Platform::IbAbe { cores_per_node: 4 }
+        .builder(4)
+        .with_tracing(TraceConfig::default())
+        .build();
     run_jacobi_on(&mut m, cfg());
     m
 }
 
 fn faulty_traced_run(plan: FaultPlan) -> Machine {
-    let mut m = Platform::IbAbe { cores_per_node: 4 }.machine(4);
-    m.enable_tracing(TraceConfig::default());
-    m.enable_faults(plan);
+    let mut m = Platform::IbAbe { cores_per_node: 4 }
+        .builder(4)
+        .with_tracing(TraceConfig::default())
+        .with_faults(plan)
+        .build();
     run_jacobi_on(&mut m, cfg());
     m
 }
@@ -125,6 +129,81 @@ fn inert_plan_exports_match_a_fault_free_machine() {
     assert_eq!(plain.stats().puts, inert.stats().puts);
     assert_eq!(plain.stats().msgs_sent, inert.stats().msgs_sent);
     assert_eq!(inert.rel_stats().retries, 0);
+}
+
+// ---- golden comparison across refactors --------------------------------
+//
+// The files under `tests/golden/` were exported by the runtime *before* the
+// Machine decomposition (pluggable completion backends + the runtime-layer
+// stack) and are committed to the repository. Matching them byte-for-byte
+// proves the refactor preserved every virtual timestamp, every trace
+// record, and every counter. Regenerate deliberately with
+// `CKD_BLESS=1 cargo test --test trace_determinism golden` after a change
+// that is *supposed* to alter the timeline.
+
+fn golden_check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("CKD_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; bless with CKD_BLESS=1"));
+    assert_eq!(
+        expected, actual,
+        "{name} diverged from the pre-refactor runtime"
+    );
+}
+
+fn bgp_traced_run() -> Machine {
+    let mut m = Platform::Bgp
+        .builder(4)
+        .with_tracing(TraceConfig::default())
+        .build();
+    run_jacobi_on(&mut m, cfg());
+    m
+}
+
+#[test]
+fn golden_ib_run_matches_pre_refactor_runtime() {
+    let m = traced_run();
+    golden_check(
+        "jacobi_ib.trace.json",
+        &chrome_trace_json(m.tracer()).unwrap(),
+    );
+    golden_check("jacobi_ib.summary.txt", &text_summary(m.tracer()).unwrap());
+    golden_check("jacobi_ib.stats.txt", &format!("{:#?}\n", m.stats()));
+}
+
+#[test]
+fn golden_bgp_run_matches_pre_refactor_runtime() {
+    let m = bgp_traced_run();
+    golden_check(
+        "jacobi_bgp.trace.json",
+        &chrome_trace_json(m.tracer()).unwrap(),
+    );
+    golden_check("jacobi_bgp.summary.txt", &text_summary(m.tracer()).unwrap());
+    golden_check("jacobi_bgp.stats.txt", &format!("{:#?}\n", m.stats()));
+}
+
+#[test]
+fn golden_faulty_run_matches_pre_refactor_runtime() {
+    let m = faulty_traced_run(FaultPlan::new(0x5EED).with_drop(0.12).with_corrupt(0.05));
+    golden_check(
+        "jacobi_ib_faulty.trace.json",
+        &chrome_trace_json(m.tracer()).unwrap(),
+    );
+    golden_check(
+        "jacobi_ib_faulty.summary.txt",
+        &text_summary(m.tracer()).unwrap(),
+    );
+    golden_check("jacobi_ib_faulty.stats.txt", &format!("{:#?}\n", m.stats()));
+    golden_check(
+        "jacobi_ib_faulty.rel.txt",
+        &format!("{:#?}\n", m.rel_stats()),
+    );
 }
 
 #[test]
