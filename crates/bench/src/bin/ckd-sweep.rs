@@ -1,0 +1,177 @@
+//! `ckd-sweep` — drive the deterministic parameter-sweep engine from the
+//! command line and regenerate the repo's `BENCH_*.json` trajectory files.
+//!
+//! ```text
+//! ckd-sweep sweep64  [--workers N] [--out FILE]   # acceptance sweep → BENCH_sweep.json
+//! ckd-sweep table1   [--workers N] [--out FILE]   # Table 1 charm rows → BENCH_table1.json
+//! ckd-sweep jacobi   [--workers N] [--out FILE]   # Fig 2(a) → BENCH_jacobi.json
+//! ckd-sweep matmul   [--workers N] [--out FILE]   # Fig 3(b) → BENCH_matmul.json
+//! ckd-sweep smoke    [--workers N]                # tiny grid, asserts N-worker == 1-worker bytes
+//! ckd-sweep validate FILE...                      # schema-check BENCH_*.json files
+//! ```
+//!
+//! `sweep64` also times a one-worker serial pass over the same grid and
+//! records the wall-clock speedup in the emitted file; every command
+//! verifies that the parallel merge is byte-identical to the serial one
+//! before writing anything.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ckd_bench::{
+    fig2a_grid, fig3b_grid, run_sweep, smoke_grid, sweep64_grid, sweep_json, table1_grid,
+    validate_sweep_json, HostReport, RunSpec,
+};
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct Opts {
+    workers: usize,
+    out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        workers: cores().min(4),
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                opts.workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Run `grid` with the requested workers, prove the merge matches a
+/// serial pass byte-for-byte, and write the JSON (with host wall-clock)
+/// to `out`. `time_serial` additionally times the serial pass for the
+/// speedup record; otherwise the serial pass is verification-only.
+fn emit(name: &str, grid: &[RunSpec], opts: &Opts, time_serial: bool) -> Result<(), String> {
+    eprintln!(
+        "ckd-sweep {name}: {} runs on {} workers ({} cores)",
+        grid.len(),
+        opts.workers,
+        cores()
+    );
+    let t0 = Instant::now();
+    let parallel = run_sweep(grid, opts.workers);
+    let wall_ns = t0.elapsed().as_nanos();
+
+    let serial_wall_ns = if time_serial || opts.workers > 1 {
+        let t1 = Instant::now();
+        let serial = run_sweep(grid, 1);
+        let ns = t1.elapsed().as_nanos();
+        if sweep_json(name, &serial, None) != sweep_json(name, &parallel, None) {
+            return Err(format!(
+                "{name}: {}-worker merge diverged from the serial pass",
+                opts.workers
+            ));
+        }
+        time_serial.then_some(ns)
+    } else {
+        None
+    };
+
+    let host = HostReport {
+        workers: opts.workers,
+        wall_ns,
+        serial_wall_ns,
+        cores: cores(),
+    };
+    let json = sweep_json(name, &parallel, Some(&host));
+    validate_sweep_json(&json)?;
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{name}.json"));
+    std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "ckd-sweep {name}: wall {:.1} ms{} -> {path}",
+        wall_ns as f64 / 1e6,
+        match serial_wall_ns {
+            Some(s) => format!(
+                ", serial {:.1} ms, speedup {:.2}x",
+                s as f64 / 1e6,
+                s as f64 / wall_ns.max(1) as f64
+            ),
+            None => String::new(),
+        }
+    );
+    Ok(())
+}
+
+fn smoke(opts: &Opts) -> Result<(), String> {
+    let grid = smoke_grid();
+    let one = sweep_json("smoke", &run_sweep(&grid, 1), None);
+    let many = sweep_json("smoke", &run_sweep(&grid, opts.workers.max(2)), None);
+    if one != many {
+        return Err(format!(
+            "smoke: {}-worker sweep diverged from 1-worker sweep",
+            opts.workers.max(2)
+        ));
+    }
+    validate_sweep_json(&one)?;
+    eprintln!(
+        "ckd-sweep smoke: {} runs byte-identical across 1 and {} workers",
+        grid.len(),
+        opts.workers.max(2)
+    );
+    Ok(())
+}
+
+fn validate(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("validate: no files given".into());
+    }
+    for p in paths {
+        let s = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        validate_sweep_json(&s).map_err(|e| format!("{p}: {e}"))?;
+        eprintln!("ckd-sweep validate: {p} ok");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(
+            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|validate> \
+             [--workers N] [--out FILE]"
+                .into(),
+        );
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "sweep64" => emit("sweep", &sweep64_grid(), &parse_opts(rest)?, true),
+        "table1" => emit("table1", &table1_grid(), &parse_opts(rest)?, false),
+        "jacobi" => emit("jacobi", &fig2a_grid(), &parse_opts(rest)?, false),
+        "matmul" => emit("matmul", &fig3b_grid(), &parse_opts(rest)?, false),
+        "smoke" => smoke(&parse_opts(rest)?),
+        "validate" => validate(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ckd-sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,13 @@
 use ckd_charm::{text_summary, Machine, MachineBuilder, TraceConfig};
 use ckd_sim::Time;
 
+pub mod sweep;
+
+pub use sweep::{
+    fig2a_grid, fig3b_grid, run_sweep, smoke_grid, sweep64_grid, sweep_json, table1_grid,
+    validate_sweep_json, AppCase, HostReport, RunRecord, RunSpec,
+};
+
 /// True when `CKD_TRACE=1` asks benches to collect traces.
 pub fn tracing_requested() -> bool {
     std::env::var_os("CKD_TRACE").is_some_and(|v| v == "1")

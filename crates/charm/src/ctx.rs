@@ -58,13 +58,14 @@ impl<'a> Ctx<'a> {
         start: Time,
         elapsed: Time,
     ) -> Ctx<'a> {
+        let pending = m.take_cb_buf();
         Ctx {
             m,
             pe,
             me,
             start,
             elapsed,
-            pending: Vec::new(),
+            pending,
         }
     }
 

@@ -170,7 +170,9 @@ impl Machine {
             st.stats.busy += recv_cpu;
             st.busy_until
         };
-        let elapsed = self.run_callbacks(pe, start, Time::ZERO, vec![(cb, handle)]);
+        let mut first = self.take_cb_buf();
+        first.push((cb, handle));
+        let elapsed = self.run_callbacks(pe, start, Time::ZERO, first);
         let st = &mut self.pes[pe.idx()];
         st.busy_until = start + elapsed;
         st.stats.busy += elapsed;
@@ -202,11 +204,8 @@ impl Machine {
                 );
             }
             if !sweep.deliveries.is_empty() {
-                let cbs: Vec<(DirectCb, HandleId)> = sweep
-                    .deliveries
-                    .into_iter()
-                    .map(|(h, cb)| (cb, h))
-                    .collect();
+                let mut cbs = self.take_cb_buf();
+                cbs.extend(sweep.deliveries.into_iter().map(|(h, cb)| (cb, h)));
                 elapsed = self.run_callbacks(pe, start, elapsed, cbs);
             }
         }
@@ -364,7 +363,7 @@ impl Machine {
                 (CbKind::Learned(_), Some(msg)) => chare.entry(&mut ctx, msg),
                 (CbKind::Learned(_), None) => unreachable!(),
             }
-            let (e, more) = ctx.finish();
+            let (e, mut more) = ctx.finish();
             elapsed = e;
             self.stack
                 .tracer
@@ -378,8 +377,10 @@ impl Machine {
                     pending.push((cb2, handle));
                 }
             }
-            pending.extend(more);
+            pending.append(&mut more);
+            self.recycle_cb_buf(more);
         }
+        self.recycle_cb_buf(pending);
         elapsed
     }
 

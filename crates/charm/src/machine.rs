@@ -164,6 +164,10 @@ pub struct Machine {
     pub(crate) stack: LayerStack,
     pub(crate) stats: MachineStats,
     pub(crate) stop: bool,
+    /// Recycled callback-delivery buffers: the scheduler hands these to
+    /// entry methods and completion callbacks instead of allocating a
+    /// fresh `Vec` per invocation (see `exec::run_callbacks`).
+    pub(crate) cb_pool: Vec<Vec<(DirectCb, HandleId)>>,
 }
 
 impl Machine {
@@ -220,6 +224,20 @@ impl Machine {
             stack: LayerStack::new(),
             stats: MachineStats::default(),
             stop: false,
+            cb_pool: Vec::new(),
+        }
+    }
+
+    /// Borrow a recycled callback buffer (empty, capacity retained).
+    pub(crate) fn take_cb_buf(&mut self) -> Vec<(DirectCb, HandleId)> {
+        self.cb_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained callback buffer to the pool.
+    pub(crate) fn recycle_cb_buf(&mut self, mut buf: Vec<(DirectCb, HandleId)>) {
+        buf.clear();
+        if self.cb_pool.len() < 8 {
+            self.cb_pool.push(buf);
         }
     }
 
@@ -319,6 +337,17 @@ impl Machine {
     /// [`MachineStats::rel`]). All zero when faults were never enabled.
     pub fn rel_stats(&self) -> RelStats {
         self.stats.rel
+    }
+
+    /// Footprint of the reliability layer's per-link dedup table as
+    /// `(links, seqs retained above the high-water marks)`, when faults
+    /// are enabled. Regression hook: `retained` must stay bounded by the
+    /// reordering window, not grow with run length.
+    pub fn rel_dedup_footprint(&self) -> Option<(usize, usize)> {
+        self.stack
+            .rel
+            .as_ref()
+            .map(|r| (r.seqs.links(), r.seqs.retained()))
     }
 
     /// The put-completion backend in use.
@@ -470,11 +499,9 @@ impl Machine {
     /// driver that calls this repeatedly delivers one epilogue per phase.
     pub fn run_until(&mut self, limit: Time) -> Time {
         while !self.stop {
-            match self.events.peek_time() {
-                Some(t) if t <= limit => {}
-                _ => break,
-            }
-            let (t, ev) = self.events.pop().expect("peeked");
+            let Some((t, ev)) = self.events.pop_before(limit) else {
+                break;
+            };
             self.now = t;
             self.stats.events += 1;
             self.dispatch(ev);

@@ -1,0 +1,190 @@
+//! Strided-layout extents checked against naive element enumeration: for
+//! every randomized spec we list each absolute byte the layout should
+//! touch, then require `span`/`payload_len`/`validate`/`gather`/`scatter`
+//! to agree with that list exactly — no formula is trusted on its own.
+
+use ckd_sim::DetRng;
+use ckdirect::{DirectError, Region, StridedSpec};
+
+const CASES: u64 = 128;
+
+/// Every absolute byte index `(backing_idx, wire_idx)` the spec touches,
+/// enumerated block by block with no arithmetic shortcuts.
+fn enumerate(spec: &StridedSpec) -> Vec<(usize, usize)> {
+    let mut touched = Vec::new();
+    for b in 0..spec.count {
+        for j in 0..spec.block_len {
+            touched.push((spec.offset + b * spec.stride + j, b * spec.block_len + j));
+        }
+    }
+    touched
+}
+
+fn random_spec(s: &mut DetRng) -> StridedSpec {
+    let block_len = s.range(1, 16) as usize;
+    StridedSpec {
+        offset: s.range(0, 32) as usize,
+        block_len,
+        stride: block_len + s.range(0, 24) as usize,
+        count: s.range(1, 12) as usize,
+    }
+}
+
+#[test]
+fn span_and_payload_match_naive_enumeration() {
+    let mut s = DetRng::new(0x57A1).stream("extents");
+    for case in 0..CASES {
+        let spec = random_spec(&mut s);
+        let touched = enumerate(&spec);
+        // payload is the number of bytes moved; stride >= block_len means
+        // blocks never overlap, so the enumeration has no duplicates
+        assert_eq!(spec.payload_len(), touched.len(), "case {case}: {spec:?}");
+        let mut seen: Vec<usize> = touched.iter().map(|&(src, _)| src).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), touched.len(), "case {case}: blocks overlap");
+        // span is one past the last byte touched
+        let last = touched.iter().map(|&(src, _)| src).max().unwrap();
+        assert_eq!(spec.span(), last + 1, "case {case}: {spec:?}");
+        // wire indices cover 0..payload_len exactly once, in order
+        for (w, &(_, wire)) in touched.iter().enumerate() {
+            assert_eq!(wire, w, "case {case}: wire image has a hole");
+        }
+    }
+}
+
+#[test]
+fn validate_accepts_exactly_the_enumerated_footprint() {
+    let mut s = DetRng::new(0x57A2).stream("validate");
+    for case in 0..CASES {
+        let spec = random_spec(&mut s);
+        // a backing sized to the naive footprint is the tightest legal fit
+        let exact = Region::alloc(spec.span());
+        spec.validate(&exact).unwrap();
+        if spec.span() > 0 {
+            let short = Region::alloc(spec.span() - 1);
+            assert_eq!(
+                spec.validate(&short).unwrap_err(),
+                DirectError::RegionOutOfBounds,
+                "case {case}: one byte short must fail"
+            );
+        }
+        // shrinking the stride below block_len makes blocks overlap
+        let overlapping = StridedSpec {
+            stride: spec.block_len.saturating_sub(1).max(1),
+            block_len: spec.block_len.max(2),
+            ..spec
+        };
+        assert_eq!(
+            overlapping.validate(&Region::alloc(4096)).unwrap_err(),
+            DirectError::RegionOutOfBounds,
+            "case {case}"
+        );
+    }
+    // degenerate shapes are rejected up front
+    let backing = Region::alloc(64);
+    for degenerate in [
+        StridedSpec {
+            offset: 0,
+            block_len: 0,
+            stride: 4,
+            count: 2,
+        },
+        StridedSpec {
+            offset: 0,
+            block_len: 4,
+            stride: 4,
+            count: 0,
+        },
+    ] {
+        assert_eq!(
+            degenerate.validate(&backing).unwrap_err(),
+            DirectError::BufferTooSmall
+        );
+    }
+}
+
+#[test]
+fn gather_matches_per_byte_enumeration() {
+    let mut s = DetRng::new(0x57A3).stream("gather");
+    for case in 0..CASES {
+        let spec = random_spec(&mut s);
+        let backing = Region::alloc(spec.span() + s.range(0, 16) as usize);
+        backing.with_mut(|b| {
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = (i as u8).wrapping_mul(31).wrapping_add(case as u8);
+            }
+        });
+        let wire = Region::alloc(spec.payload_len());
+        spec.gather(&backing, &wire);
+
+        let src = backing.to_vec();
+        let got = wire.to_vec();
+        for (src_idx, wire_idx) in enumerate(&spec) {
+            assert_eq!(
+                got[wire_idx], src[src_idx],
+                "case {case}: wire[{wire_idx}] != backing[{src_idx}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn scatter_matches_per_byte_enumeration_and_leaves_gaps_alone() {
+    let mut s = DetRng::new(0x57A4).stream("scatter");
+    for case in 0..CASES {
+        let spec = random_spec(&mut s);
+        let wire = Region::alloc(spec.payload_len());
+        wire.with_mut(|b| {
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = (i as u8).wrapping_mul(7).wrapping_add(1);
+            }
+        });
+        let backing = Region::alloc(spec.span() + s.range(0, 16) as usize);
+        let fill = 0xEE;
+        backing.with_mut(|b| b.fill(fill));
+        spec.scatter(&wire, &backing);
+
+        let src = wire.to_vec();
+        let got = backing.to_vec();
+        let touched = enumerate(&spec);
+        for &(dst_idx, wire_idx) in &touched {
+            assert_eq!(
+                got[dst_idx], src[wire_idx],
+                "case {case}: backing[{dst_idx}] != wire[{wire_idx}]"
+            );
+        }
+        // every byte outside the enumerated footprint is untouched
+        let mut in_footprint = vec![false; got.len()];
+        for &(dst_idx, _) in &touched {
+            in_footprint[dst_idx] = true;
+        }
+        for (i, &byte) in got.iter().enumerate() {
+            if !in_footprint[i] {
+                assert_eq!(byte, fill, "case {case}: scatter leaked into byte {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_then_scatter_roundtrips_through_the_wire_image() {
+    let mut s = DetRng::new(0x57A5).stream("roundtrip");
+    for case in 0..CASES / 2 {
+        let spec = random_spec(&mut s);
+        let src = Region::alloc(spec.span());
+        src.with_mut(|b| {
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = (i as u8).wrapping_mul(13);
+            }
+        });
+        let wire = Region::alloc(spec.payload_len());
+        spec.gather(&src, &wire);
+        let dst = Region::alloc(spec.span());
+        spec.scatter(&wire, &dst);
+        let (sv, dv) = (src.to_vec(), dst.to_vec());
+        for (idx, _) in enumerate(&spec) {
+            assert_eq!(dv[idx], sv[idx], "case {case}: byte {idx}");
+        }
+    }
+}

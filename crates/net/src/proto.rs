@@ -59,14 +59,40 @@ impl RetryPolicy {
 /// side).
 ///
 /// Sequence numbers are 1-based so `0` can mean "nothing landed yet" in
-/// channel state. The receiver remembers every seq it has accepted per link;
-/// with delayed/reordered delivery a simple high-water mark would wrongly
-/// reject late-but-new packets, so we keep the full set (bounded in practice
-/// by messages per link per run).
+/// channel state. With delayed/reordered delivery a bare high-water mark
+/// would wrongly reject late-but-new packets, so the receiver keeps, per
+/// link, a compacted window: a high-water mark `hw` (every seq in
+/// `1..=hw` has been accepted) plus the sparse set of accepted seqs above
+/// it. Whenever the gap below closes, contiguous seqs fold into `hw` and
+/// leave the set — so retained state is O(links + reordering window), not
+/// O(messages), no matter how long the run.
+#[derive(Clone, Debug, Default)]
+struct SeqWindow {
+    /// All of `1..=hw` accepted.
+    hw: u64,
+    /// Accepted seqs strictly above `hw` (reordering holes below them).
+    above: BTreeSet<u64>,
+}
+
+impl SeqWindow {
+    fn accept(&mut self, seq: u64) -> bool {
+        if seq <= self.hw || !self.above.insert(seq) {
+            return false;
+        }
+        // fold the contiguous run just above the mark back into it
+        while self.above.remove(&(self.hw + 1)) {
+            self.hw += 1;
+        }
+        true
+    }
+}
+
+/// Per-link sequence allocator (sender side) and compacted dedup windows
+/// (receiver side); see `SeqWindow` above for the retained-state bound.
 #[derive(Clone, Debug, Default)]
 pub struct LinkSeqs {
     next: BTreeMap<RelLink, u64>,
-    seen: BTreeMap<RelLink, BTreeSet<u64>>,
+    seen: BTreeMap<RelLink, SeqWindow>,
 }
 
 impl LinkSeqs {
@@ -85,7 +111,19 @@ impl LinkSeqs {
     /// Receiver side: first sighting of `seq` on `link`? Duplicates return
     /// `false` and must be suppressed by the caller.
     pub fn accept(&mut self, link: RelLink, seq: u64) -> bool {
-        self.seen.entry(link).or_default().insert(seq)
+        self.seen.entry(link).or_default().accept(seq)
+    }
+
+    /// Number of receiver-side links with dedup state.
+    pub fn links(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Seqs retained above the per-link high-water marks — the memory the
+    /// dedup table actually holds beyond one integer per link. Stays
+    /// bounded by the in-flight reordering window, not by run length.
+    pub fn retained(&self) -> usize {
+        self.seen.values().map(|w| w.above.len()).sum()
     }
 }
 
@@ -177,6 +215,44 @@ mod tests {
         assert!(!s.accept((0, 1), 3), "duplicate rejected");
         assert!(!s.accept((0, 1), 1));
         assert!(s.accept((2, 1), 3), "other links unaffected");
+    }
+
+    #[test]
+    fn dedup_compacts_below_the_high_water_mark() {
+        let mut s = LinkSeqs::new();
+        // in-order traffic folds straight into the mark: nothing retained
+        for seq in 1..=10_000 {
+            assert!(s.accept((0, 1), seq));
+        }
+        assert_eq!(s.links(), 1);
+        assert_eq!(s.retained(), 0, "contiguous seqs must compact away");
+        // a hole pins only the seqs above it
+        assert!(s.accept((0, 1), 10_002));
+        assert!(s.accept((0, 1), 10_003));
+        assert_eq!(s.retained(), 2);
+        // filling the hole drains the whole run above it
+        assert!(s.accept((0, 1), 10_001));
+        assert_eq!(s.retained(), 0);
+        // compaction must not forget what it folded in
+        assert!(!s.accept((0, 1), 1), "compacted seq still a duplicate");
+        assert!(!s.accept((0, 1), 10_003));
+        assert!(s.accept((0, 1), 10_004), "fresh seq after the drain");
+    }
+
+    #[test]
+    fn dedup_reordered_storm_stays_bounded() {
+        let mut s = LinkSeqs::new();
+        // deliver 4k seqs in pair-swapped order (2,1,4,3,...): the window
+        // never holds more than one seq per swap
+        let mut peak = 0;
+        for base in (1..4000u64).step_by(2) {
+            assert!(s.accept((3, 4), base + 1));
+            peak = peak.max(s.retained());
+            assert!(s.accept((3, 4), base));
+            peak = peak.max(s.retained());
+        }
+        assert!(peak <= 1, "window peaked at {peak}");
+        assert_eq!(s.retained(), 0);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Property coverage for the thin topology crate: index-space round-trips,
+//! mapper partitioning, and metric symmetry of every interconnect shape.
+//! Randomized cases use `ckd-sim`'s deterministic RNG, so a failure
+//! reproduces from the fixed seed alone.
+
+use ckd_sim::DetRng;
+use ckd_topo::{Crossbar, Dims, FatTree, Idx, Machine, Mapper, NodeId, Pe, Topology, Torus3D};
+
+const CASES: u64 = 64;
+
+fn random_dims(rng: &mut impl FnMut(u64, u64) -> u64) -> Dims {
+    match rng(1, 5) {
+        1 => Dims::d1(rng(1, 40) as usize),
+        2 => Dims::d2(rng(1, 12) as usize, rng(1, 12) as usize),
+        3 => Dims::d3(rng(1, 8) as usize, rng(1, 8) as usize, rng(1, 8) as usize),
+        _ => Dims::d4(
+            rng(1, 5) as usize,
+            rng(1, 5) as usize,
+            rng(1, 5) as usize,
+            rng(1, 5) as usize,
+        ),
+    }
+}
+
+#[test]
+fn linear_unlinear_roundtrip_for_random_extents() {
+    let mut s = DetRng::new(0x70B0).stream("dims-roundtrip");
+    let mut rng = move |lo, hi| s.range(lo, hi);
+    for case in 0..CASES {
+        let dims = random_dims(&mut rng);
+        for lin in 0..dims.len() {
+            let idx = dims.unlinear(lin);
+            assert!(dims.contains(idx), "case {case}: {idx:?} outside {dims:?}");
+            assert_eq!(dims.linear(idx), lin, "case {case}: {dims:?}");
+        }
+        // iter() is exactly linearization order
+        for (lin, idx) in dims.iter().enumerate() {
+            assert_eq!(dims.linear(idx), lin, "case {case}");
+        }
+        // components survive the constructor round-trip
+        let idx = dims.unlinear(dims.len() - 1);
+        let a = idx.as_array();
+        let back = Idx::i4(a[0], a[1], a[2], a[3]);
+        assert_eq!(back, idx);
+        for (k, &c) in a.iter().enumerate() {
+            assert_eq!(idx.at(k), c);
+        }
+    }
+}
+
+#[test]
+fn mappers_partition_every_index_space() {
+    let mut s = DetRng::new(0x70B1).stream("mapper-partition");
+    for case in 0..CASES {
+        let total = s.range(1, 300) as usize;
+        let npes = s.range(1, 40) as usize;
+        for mapper in [Mapper::Block, Mapper::RoundRobin] {
+            let mut counts = vec![0usize; npes];
+            for lin in 0..total {
+                let pe = mapper.pe_for(lin, total, npes);
+                assert!(pe.idx() < npes, "case {case}: {mapper:?} out of range");
+                counts[pe.idx()] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), total);
+            // both strategies are balanced to within one element
+            let mx = counts.iter().max().unwrap();
+            let mn = counts.iter().filter(|&&c| c > 0).min().unwrap();
+            assert!(mx - mn <= 1, "case {case}: {mapper:?} imbalance {counts:?}");
+        }
+        // block keeps the linearization contiguous per PE
+        let mut last = 0;
+        for lin in 0..total {
+            let pe = Mapper::Block.pe_for(lin, total, npes).idx();
+            assert!(pe >= last, "case {case}: block map not monotone");
+            last = pe;
+        }
+    }
+}
+
+fn check_metric(topo: &dyn Topology, label: &str) {
+    let n = topo.nodes();
+    let mut max_seen = 0;
+    for a in 0..n {
+        let (na, diam) = (NodeId(a as u32), topo.diameter());
+        assert_eq!(topo.hops(na, na), 0, "{label}: hops(a,a) != 0");
+        for b in 0..n {
+            let nb = NodeId(b as u32);
+            let ab = topo.hops(na, nb);
+            assert_eq!(ab, topo.hops(nb, na), "{label}: asymmetric {a}<->{b}");
+            assert!(ab <= diam, "{label}: {a}->{b} exceeds diameter");
+            max_seen = max_seen.max(ab);
+            if a != b {
+                assert!(ab > 0, "{label}: distinct nodes at distance 0");
+            }
+        }
+    }
+    assert_eq!(
+        max_seen,
+        topo.diameter(),
+        "{label}: diameter not attained by any pair"
+    );
+}
+
+#[test]
+fn every_topology_is_a_symmetric_metric() {
+    let mut s = DetRng::new(0x70B2).stream("topo-metric");
+    for _ in 0..CASES / 4 {
+        let nodes = s.range(1, 30) as usize;
+        check_metric(&Crossbar::new(nodes), "crossbar");
+        let radix = s.range(2, 12) as usize;
+        check_metric(&FatTree::new(nodes, radix), "fat-tree");
+        let dims = [
+            s.range(1, 6) as usize,
+            s.range(1, 6) as usize,
+            s.range(1, 6) as usize,
+        ];
+        check_metric(&Torus3D::new(dims), "torus");
+    }
+}
+
+#[test]
+fn torus_coords_roundtrip_and_unit_neighbors() {
+    let mut s = DetRng::new(0x70B3).stream("torus-neighbors");
+    for _ in 0..CASES / 4 {
+        let dims = [
+            s.range(2, 7) as usize,
+            s.range(2, 7) as usize,
+            s.range(2, 7) as usize,
+        ];
+        let t = Torus3D::new(dims);
+        for n in 0..t.nodes() {
+            let id = NodeId(n as u32);
+            let c = t.coords(id);
+            assert_eq!(t.node_at(c), id, "coords/node_at round-trip");
+            // each wrap-around unit step along one axis is one hop, both ways
+            for k in 0..3 {
+                let mut fwd = c;
+                fwd[k] = (c[k] + 1) % dims[k];
+                let step = t.hops(id, t.node_at(fwd));
+                let expect = u32::from(dims[k] > 1);
+                assert_eq!(step, expect, "axis {k} neighbor of {c:?} in {dims:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn torus_fitting_holds_the_requested_nodes() {
+    let mut s = DetRng::new(0x70B4).stream("torus-fitting");
+    for _ in 0..CASES {
+        let want = s.range(1, 5000) as usize;
+        let t = Torus3D::fitting(want);
+        assert!(t.nodes() >= want, "fitting({want}) -> {:?}", t.dims());
+    }
+}
+
+#[test]
+fn machine_pe_to_node_structure_is_consistent() {
+    let mut s = DetRng::new(0x70B5).stream("machine-structure");
+    for _ in 0..CASES / 2 {
+        let cores = s.range(1, 8) as usize;
+        let nodes = s.range(1, 16) as usize;
+        let m = Machine::ib_cluster(nodes * cores, cores);
+        assert_eq!(m.npes(), nodes * cores);
+        assert_eq!(m.nodes(), nodes);
+        for pe in m.pes() {
+            let (node, core) = (m.node_of(pe), m.core_of(pe));
+            assert_eq!(node.0 as usize * cores + core, pe.idx());
+            assert!(core < cores);
+            assert!(m.same_node(pe, pe));
+            assert_eq!(m.hops_between_pes(pe, pe), 0);
+        }
+        for a in m.pes() {
+            for b in m.pes() {
+                assert_eq!(m.same_node(a, b), m.same_node(b, a));
+                assert_eq!(m.hops_between_pes(a, b), m.hops_between_pes(b, a));
+                if m.same_node(a, b) {
+                    assert_eq!(m.hops_between_pes(a, b), 0, "intra-node is hop-free");
+                }
+            }
+        }
+    }
+    // spot-check the public Pe wrapper
+    assert_eq!(Pe(3).idx(), 3);
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Paper-figure regression gate over the committed sweep trajectory.
+#
+# Two checks, split by what can legitimately vary across hosts:
+#
+#  1. Virtual-time results are bit-for-bit deterministic, so the fresh
+#     sweep's "runs" section must be byte-identical to the committed
+#     BENCH_sweep.json. Any diff is a behavioural change to the runtime,
+#     the fabric models, or the fault plane — intentional changes must
+#     regenerate the baseline (command printed on failure).
+#
+#  2. Wall clock is host-dependent, so the only portable assertion is
+#     self-relative: the 4-worker pass must finish within 1.5x of the
+#     serial pass measured by the same invocation. On a multi-core host
+#     the parallel pass is strictly faster and this is trivially met; the
+#     1.5x margin only absorbs 1-core containers, where four workers
+#     oversubscribe a single core and pay context-switch overhead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_sweep.json
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_gate: no committed $BASELINE baseline" >&2
+    exit 1
+fi
+
+cargo build --release --offline -q -p ckd-bench
+FRESH=$(mktemp)
+trap 'rm -f "$FRESH"' EXIT
+./target/release/ckd-sweep sweep64 --workers 4 --out "$FRESH" >/dev/null
+
+# Everything before the "host" object is the deterministic section.
+runs_of() { sed -n '/^  "host": {$/q;p' "$1"; }
+
+if ! diff <(runs_of "$BASELINE") <(runs_of "$FRESH") >/dev/null; then
+    echo "bench_gate: virtual-time results diverged from $BASELINE:" >&2
+    diff <(runs_of "$BASELINE") <(runs_of "$FRESH") | head -20 >&2
+    echo "bench_gate: if the change is intentional, regenerate with:" >&2
+    echo "  ./target/release/ckd-sweep sweep64 --workers 4" >&2
+    exit 1
+fi
+
+wall=$(sed -n 's/^    "wall_ms": \(.*\),$/\1/p' "$FRESH")
+serial=$(sed -n 's/^    "serial_wall_ms": \(.*\),$/\1/p' "$FRESH")
+if [ -z "$wall" ] || [ -z "$serial" ]; then
+    echo "bench_gate: could not read wall clocks from the fresh sweep" >&2
+    exit 1
+fi
+if ! awk -v w="$wall" -v s="$serial" 'BEGIN { exit !(w <= 1.5 * s) }'; then
+    echo "bench_gate: 4-worker wall ${wall} ms exceeds 1.5x serial ${serial} ms" >&2
+    exit 1
+fi
+echo "bench_gate: runs identical to baseline; wall ${wall} ms vs serial ${serial} ms (within 1.5x)"

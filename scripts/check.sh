@@ -60,4 +60,13 @@ run cargo test --release --offline -q --test sanitizer_races
 run cargo test --release --offline -q --test fault_recovery
 run cargo test --release --offline -q --test trace_determinism
 
+# Sweep engine: a tiny grid on 2 workers must merge byte-identical to the
+# 1-worker pass, the committed trajectory files must parse against the
+# ckd-sweep/v1 schema, and the full 64-run sweep must reproduce the
+# committed virtual-time baseline within the host-tolerant wall budget.
+run ./target/release/ckd-sweep smoke --workers 2
+run ./target/release/ckd-sweep validate \
+    BENCH_table1.json BENCH_jacobi.json BENCH_matmul.json BENCH_sweep.json
+run scripts/bench_gate.sh
+
 echo "All checks passed."

@@ -119,6 +119,30 @@ fn pingpong_completes_under_mixed_faults() {
     }
 }
 
+/// Regression: the receiver-side dedup table compacts retired seqnos below
+/// each link's high-water mark, so a *long* faulty run retains O(links)
+/// state — not one entry per message ever delivered.
+#[test]
+fn dedup_table_stays_o_links_over_a_long_faulty_pingpong() {
+    const BYTES: usize = 1024;
+    const ITERS: u32 = 400;
+    let mut m = ABE4
+        .builder(8)
+        .with_faults(mixed_plan(0xC0FFEE, 0.10))
+        .build();
+    let r = charm_pingpong_on(&mut m, Variant::Ckd, BYTES, ITERS);
+    assert_eq!(r.iters, ITERS);
+    assert!(m.rel_stats().retries > 0, "plan never bit");
+    let (links, retained) = m.rel_dedup_footprint().expect("faults enabled");
+    assert!(links <= 8 * 8, "dedup table tracks {links} links");
+    // thousands of messages crossed the wire; anything still retained is
+    // only an unclosed reordering hole, bounded by in-flight packets
+    assert!(
+        retained <= 2 * links,
+        "dedup table retains {retained} seqs over {links} links — compaction regressed"
+    );
+}
+
 // ------------------------------------------------------------------ matmul
 
 #[test]

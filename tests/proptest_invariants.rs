@@ -73,6 +73,92 @@ fn event_queue_is_a_stable_time_sort() {
     }
 }
 
+/// Reference implementation: the naive `BinaryHeap<Reverse<(Time, seq)>>`
+/// the optimized queue replaced. The slab/packed-key queue must pop in
+/// *exactly* this `(time, seqno)` order for arbitrary interleaved
+/// push/pop streams — including bursts of identical timestamps, where
+/// only the seqno tiebreak separates events.
+#[test]
+fn event_queue_matches_the_reference_binary_heap() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut rng = DetRng::new(0xBEEF_CAFE).stream("event-queue-reference");
+    for case in 0..CASES {
+        let mut q = ckd_sim::EventQueue::new();
+        let mut reference: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64; // horizon in ns, to keep pushes causal
+        let mut next_id = 0u32;
+        let ops = rng.range(10, 300);
+        for _ in 0..ops {
+            if rng.chance(0.6) || reference.is_empty() {
+                // same-timestamp bursts: several events at one instant
+                let burst = if rng.chance(0.3) { rng.range(2, 20) } else { 1 };
+                let at = Time::from_ns(now + rng.range(0, 50));
+                for _ in 0..burst {
+                    q.push(at, next_id);
+                    reference.push(Reverse((at, seq, next_id)));
+                    seq += 1;
+                    next_id += 1;
+                }
+            } else {
+                let got = q.pop();
+                let want = reference.pop().map(|Reverse((t, _, id))| (t, id));
+                assert_eq!(got, want, "case {case}: pop order diverged");
+                if let Some((t, _)) = got {
+                    now = t.as_ps() / 1000; // ns
+                }
+            }
+        }
+        // drain both completely
+        loop {
+            let got = q.pop();
+            let want = reference.pop().map(|Reverse((t, _, id))| (t, id));
+            assert_eq!(got, want, "case {case}: drain order diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// `pop_before` is the scheduler's fast path: it must behave exactly like
+/// `peek_time` + `pop` under a limit, against the same reference heap.
+#[test]
+fn event_queue_pop_before_matches_peek_then_pop() {
+    let mut rng = DetRng::new(0x11F0).stream("event-queue-pop-before");
+    for case in 0..CASES {
+        let mut fast = ckd_sim::EventQueue::new();
+        let mut slow = ckd_sim::EventQueue::new();
+        let n = rng.range(1, 100);
+        for i in 0..n {
+            let at = Time::from_ns(rng.range(0, 200));
+            fast.push(at, i);
+            slow.push(at, i);
+        }
+        let mut limit = 0u64;
+        while !slow.is_empty() {
+            limit += rng.range(0, 60);
+            let lim = Time::from_ns(limit);
+            loop {
+                let want = match slow.peek_time() {
+                    Some(t) if t <= lim => slow.pop(),
+                    _ => None,
+                };
+                let got = fast.pop_before(lim);
+                assert_eq!(got, want, "case {case}: pop_before(limit) diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(fast.len(), slow.len());
+            assert_eq!(fast.horizon(), slow.horizon(), "case {case}");
+        }
+        assert!(fast.pop_before(Time::MAX).is_none());
+    }
+}
+
 // ------------------------------------------------------------------- topo
 
 #[test]

@@ -1,0 +1,86 @@
+//! Determinism of the parallel sweep engine: the merged output of
+//! [`run_sweep`] must be a pure function of the grid — byte-identical
+//! JSON and identical per-run [`MachineStats`] for every worker count,
+//! and identical to a hand-rolled serial loop that never touches the
+//! engine at all. Workers race for grid indices, so any divergence here
+//! means host scheduling leaked into virtual-time results.
+
+use ckd_bench::{run_sweep, smoke_grid, sweep_json, validate_sweep_json, RunRecord};
+
+/// The engine's own 1-worker pass, used as the comparison baseline.
+fn baseline() -> Vec<RunRecord> {
+    run_sweep(&smoke_grid(), 1)
+}
+
+#[test]
+fn merged_output_is_byte_identical_across_worker_counts() {
+    let grid = smoke_grid();
+    let base = baseline();
+    let base_json = sweep_json("smoke", &base, None);
+    validate_sweep_json(&base_json).unwrap();
+
+    for workers in [2usize, 4, 8] {
+        let records = run_sweep(&grid, workers);
+        assert_eq!(
+            sweep_json("smoke", &records, None),
+            base_json,
+            "{workers}-worker sweep JSON diverged from 1 worker"
+        );
+        // deeper than the JSON: every machine counter, including the
+        // per-protocol breakdowns the JSON doesn't serialize
+        for (i, (a, b)) in base.iter().zip(&records).enumerate() {
+            assert_eq!(a.spec, b.spec, "run {i}: grid order not preserved");
+            assert_eq!(
+                a.stats, b.stats,
+                "run {i}: MachineStats diverged at {workers} workers"
+            );
+        }
+        assert_eq!(base, records, "{workers}-worker records diverged");
+    }
+}
+
+#[test]
+fn engine_matches_a_hand_rolled_serial_loop() {
+    let grid = smoke_grid();
+    // no engine: just execute each spec in order on this thread
+    let by_hand: Vec<RunRecord> = grid.iter().map(|spec| spec.execute()).collect();
+    for workers in [1usize, 4] {
+        let engine = run_sweep(&grid, workers);
+        assert_eq!(
+            by_hand, engine,
+            "{workers}-worker engine output != hand-rolled serial loop"
+        );
+    }
+    assert_eq!(
+        sweep_json("smoke", &by_hand, None),
+        sweep_json("smoke", &run_sweep(&grid, 2), None)
+    );
+}
+
+#[test]
+fn oversubscribed_workers_are_harmless() {
+    // more workers than grid points: the extras find the counter already
+    // exhausted and exit without contributing
+    let grid = &smoke_grid()[..3];
+    let few = run_sweep(grid, 1);
+    let many = run_sweep(grid, 16);
+    assert_eq!(few, many);
+}
+
+#[test]
+fn faulty_grid_points_are_as_deterministic_as_clean_ones() {
+    // the smoke grid interleaves clean and faulty points; re-running the
+    // whole sweep must reproduce the fault histories exactly
+    let grid = smoke_grid();
+    let a = run_sweep(&grid, 4);
+    let b = run_sweep(&grid, 4);
+    assert_eq!(a, b, "same grid, same workers, different results");
+    assert!(
+        a.iter().any(|r| r.stats.rel.retries > 0),
+        "no faulty point ever retried — the fault axis is inert"
+    );
+    assert!(
+        a.iter().any(|r| r.spec.drop_permille == 0),
+        "smoke grid lost its clean points"
+    );
+}
