@@ -8,6 +8,8 @@
 //! ckd-sweep matmul   [--workers N] [--out FILE]   # Fig 3(b) → BENCH_matmul.json
 //! ckd-sweep smoke    [--workers N]                # tiny grid, asserts N-worker == 1-worker bytes
 //! ckd-sweep validate FILE...                      # schema-check BENCH_*.json files
+//! ckd-sweep profile  [--workers N] [--out FILE]   # profiled smoke grid: phase table,
+//!                                                 # histograms, snapshot validation
 //! ```
 //!
 //! `sweep64` also times a one-worker serial pass over the same grid and
@@ -19,9 +21,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ckd_bench::{
-    fig2a_grid, fig3b_grid, run_sweep, smoke_grid, sweep64_grid, sweep_json, table1_grid,
-    validate_sweep_json, HostReport, RunSpec,
+    fig2a_grid, fig3b_grid, run_sweep, run_sweep_with, smoke_grid, sweep64_grid, sweep_json,
+    table1_grid, validate_sweep_json, HostReport, RunSpec,
 };
+use ckd_charm::{validate_snapshot_jsonl, ProfConfig, ProfShard};
 
 fn cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -133,6 +136,48 @@ fn smoke(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Profiled smoke grid: prove the snapshot streams are byte-identical
+/// across worker counts, validate every stream's JSONL structure, then
+/// merge the per-run shards and print the machine-wide profile report.
+fn profile(opts: &Opts) -> Result<(), String> {
+    let grid = smoke_grid();
+    // The smallest smoke point finishes in under 50 scheduler events, so a
+    // cadence of 16 guarantees every run emits at least one snapshot.
+    let cfg = ProfConfig { snapshot_every: 16 };
+    let workers = opts.workers.max(2);
+    let one = run_sweep_with(&grid, 1, Some(cfg));
+    let many = run_sweep_with(&grid, workers, Some(cfg));
+    let mut snapshot_lines = 0usize;
+    for (i, (a, b)) in one.iter().zip(&many).enumerate() {
+        if a.snapshots != b.snapshots {
+            return Err(format!(
+                "profile: run {i} snapshot stream diverged between 1 and {workers} workers"
+            ));
+        }
+        let jsonl = a
+            .snapshots
+            .as_deref()
+            .ok_or_else(|| format!("profile: run {i} carries no snapshot stream"))?;
+        snapshot_lines += validate_snapshot_jsonl(jsonl).map_err(|e| format!("run {i}: {e}"))?;
+    }
+    let mut merged = ProfShard::default();
+    for r in &one {
+        merged.merge(r.prof.as_ref().expect("profiled run carries a shard"));
+    }
+    let report = merged.render();
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
+    } else {
+        print!("{report}");
+    }
+    eprintln!(
+        "ckd-sweep profile: {} runs, {snapshot_lines} snapshots byte-identical \
+         across 1 and {workers} workers",
+        grid.len()
+    );
+    Ok(())
+}
+
 fn validate(paths: &[String]) -> Result<(), String> {
     if paths.is_empty() {
         return Err("validate: no files given".into());
@@ -149,7 +194,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|validate> \
+            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|profile|validate> \
              [--workers N] [--out FILE]"
                 .into(),
         );
@@ -161,6 +206,8 @@ fn run() -> Result<(), String> {
         "jacobi" => emit("jacobi", &fig2a_grid(), &parse_opts(rest)?, false),
         "matmul" => emit("matmul", &fig3b_grid(), &parse_opts(rest)?, false),
         "smoke" => smoke(&parse_opts(rest)?),
+        // both spellings: `profile` as a subcommand, `--profile` as a flag
+        "profile" | "--profile" => profile(&parse_opts(rest)?),
         "validate" => validate(rest),
         other => Err(format!("unknown command {other:?}")),
     }

@@ -20,8 +20,8 @@ use ckd_sim::Time;
 pub mod sweep;
 
 pub use sweep::{
-    fig2a_grid, fig3b_grid, run_sweep, smoke_grid, sweep64_grid, sweep_json, table1_grid,
-    validate_sweep_json, AppCase, HostReport, RunRecord, RunSpec,
+    fig2a_grid, fig3b_grid, run_sweep, run_sweep_with, smoke_grid, sweep64_grid, sweep_json,
+    table1_grid, validate_sweep_json, AppCase, HostReport, RunRecord, RunSpec, SCHEMA, SCHEMA_V1,
 };
 
 /// True when `CKD_TRACE=1` asks benches to collect traces.

@@ -17,18 +17,26 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use ckd_apps::jacobi3d::{run_jacobi_on, JacobiCfg};
 use ckd_apps::matmul3d::{run_matmul_on, MatmulCfg};
 use ckd_apps::openatom::{run_openatom_on, OpenAtomCfg};
 use ckd_apps::pingpong::charm_pingpong_on;
 use ckd_apps::{Platform, Variant};
-use ckd_charm::{FaultPlan, MachineStats};
+use ckd_charm::{FaultPlan, MachineStats, ProfConfig, ProfShard};
 
 use crate::TABLE_SIZES;
 
-/// Current schema tag of every JSON file this module emits.
-pub const SCHEMA: &str = "ckd-sweep/v1";
+/// Current schema tag of every JSON file this module emits: v2 adds the
+/// per-run `callbacks`/`poll_checks` counters and the host-side
+/// `events_per_sec`/`puts_per_sec` throughput metrics the bench gate
+/// enforces a floor on.
+pub const SCHEMA: &str = "ckd-sweep/v2";
+
+/// The previous schema tag; [`validate_sweep_json`] still accepts files
+/// carrying it so older trajectory archives keep validating.
+pub const SCHEMA_V1: &str = "ckd-sweep/v1";
 
 /// One application grid point: which app to run and its shape parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,8 +133,15 @@ pub struct RunSpec {
 }
 
 /// The deterministic outcome of one grid point plus the machine's full
-/// counter set — everything the merged sweep output is built from.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// counter set — everything the merged sweep output is built from — and,
+/// when the run was profiled, the host-side profile riding along.
+///
+/// Equality compares only the deterministic fields (spec, virtual-time
+/// metrics, counters, and the snapshot stream); `host_ns` and the
+/// wall-clock parts of `prof` legitimately vary across hosts and worker
+/// counts and are excluded, so the determinism suite can keep asserting
+/// whole-record equality across worker counts.
+#[derive(Clone, Debug, Eq)]
 pub struct RunRecord {
     /// The grid point that produced this record.
     pub spec: RunSpec,
@@ -139,6 +154,33 @@ pub struct RunRecord {
     pub lossy_puts: u64,
     /// Machine-wide statistics of the run.
     pub stats: MachineStats,
+    /// CkDirect completion callbacks delivered (summed over PEs).
+    pub callbacks: u64,
+    /// Handles examined by poll sweeps (summed over PEs).
+    pub poll_checks: u64,
+    /// The run's JSONL snapshot stream when profiling was on
+    /// (deterministic, so it participates in equality).
+    pub snapshots: Option<String>,
+    /// Wall-clock of this run on the executing worker, nanoseconds
+    /// (host-side; excluded from equality).
+    pub host_ns: u64,
+    /// The run's profiler shard when profiling was on (wall-clock phase
+    /// table is host-side; excluded from equality — the deterministic
+    /// histograms inside are compared explicitly by the tests).
+    pub prof: Option<ProfShard>,
+}
+
+impl PartialEq for RunRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.metric_ps == other.metric_ps
+            && self.total_ps == other.total_ps
+            && self.lossy_puts == other.lossy_puts
+            && self.stats == other.stats
+            && self.callbacks == other.callbacks
+            && self.poll_checks == other.poll_checks
+            && self.snapshots == other.snapshots
+    }
 }
 
 impl RunSpec {
@@ -146,10 +188,20 @@ impl RunSpec {
     /// Everything happens inside the calling thread; the result is plain
     /// data.
     pub fn execute(&self) -> RunRecord {
+        self.execute_with(None)
+    }
+
+    /// [`RunSpec::execute`] with optional self-profiling: the record then
+    /// carries the run's [`ProfShard`] and snapshot JSONL.
+    pub fn execute_with(&self, prof: Option<ProfConfig>) -> RunRecord {
+        let t0 = Instant::now();
         let mut b = self.platform.builder(self.pes);
         if self.drop_permille > 0 {
             let p = f64::from(self.drop_permille) / 1000.0;
             b = b.with_faults(FaultPlan::new(self.seed).with_drop(p));
+        }
+        if let Some(cfg) = prof {
+            b = b.with_profiling(cfg);
         }
         let mut m = b.build();
         let (metric_ps, lossy_puts) = match self.app {
@@ -211,6 +263,11 @@ impl RunSpec {
             total_ps: m.now().as_ps(),
             lossy_puts,
             stats: m.stats().clone(),
+            callbacks: m.callback_total(),
+            poll_checks: m.poll_check_total(),
+            snapshots: m.profiler().snapshots_jsonl().map(str::to_string),
+            host_ns: t0.elapsed().as_nanos() as u64,
+            prof: m.profiler().shard().cloned(),
         }
     }
 }
@@ -222,9 +279,20 @@ impl RunSpec {
 /// real-time order on any thread; the merged result only depends on the
 /// grid. `workers == 1` degenerates to a serial loop over the grid.
 pub fn run_sweep(grid: &[RunSpec], workers: usize) -> Vec<RunRecord> {
+    run_sweep_with(grid, workers, None)
+}
+
+/// [`run_sweep`] with optional self-profiling of every run: each record
+/// then carries a per-run [`ProfShard`] (merge them for a machine-wide
+/// report) and a deterministic snapshot stream.
+pub fn run_sweep_with(
+    grid: &[RunSpec],
+    workers: usize,
+    prof: Option<ProfConfig>,
+) -> Vec<RunRecord> {
     assert!(workers >= 1, "a sweep needs at least one worker");
     if workers == 1 || grid.len() <= 1 {
-        return grid.iter().map(RunSpec::execute).collect();
+        return grid.iter().map(|s| s.execute_with(prof)).collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, RunRecord)>();
@@ -235,7 +303,7 @@ pub fn run_sweep(grid: &[RunSpec], workers: usize) -> Vec<RunRecord> {
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = grid.get(i) else { break };
-                if tx.send((i, spec.execute())).is_err() {
+                if tx.send((i, spec.execute_with(prof))).is_err() {
                     break;
                 }
             });
@@ -297,7 +365,8 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
              \"platform\": \"{}\", \"pes\": {}, \"iters\": {}, \"seed\": {}, \
              \"drop_permille\": {}, \"metric_ps\": {}, \"total_ps\": {}, \"lossy_puts\": {}, \
              \"events\": {}, \"msgs_sent\": {}, \"msg_bytes\": {}, \"puts\": {}, \
-             \"put_bytes\": {}, \"reductions\": {}, \"retries\": {}}}{}\n",
+             \"put_bytes\": {}, \"reductions\": {}, \"retries\": {}, \"callbacks\": {}, \
+             \"poll_checks\": {}}}{}\n",
             s.app.label(),
             s.app.shape(),
             s.app.size(),
@@ -317,17 +386,30 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
             r.stats.put_bytes,
             r.stats.reductions,
             r.stats.rel.retries,
+            r.callbacks,
+            r.poll_checks,
             if i + 1 == records.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]");
     if let Some(h) = host {
+        let events: u64 = records.iter().map(|r| r.stats.events).sum();
+        let puts: u64 = records.iter().map(|r| r.stats.puts).sum();
+        let secs = (h.wall_ns.max(1)) as f64 / 1e9;
         out.push_str(",\n  \"host\": {\n");
         out.push_str(&format!("    \"workers\": {},\n", h.workers));
         out.push_str(&format!("    \"cores\": {},\n", h.cores));
         out.push_str(&format!(
             "    \"wall_ms\": {:.3},\n",
             h.wall_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "    \"events_per_sec\": {:.0},\n",
+            events as f64 / secs
+        ));
+        out.push_str(&format!(
+            "    \"puts_per_sec\": {:.0},\n",
+            puts as f64 / secs
         ));
         if let Some(serial) = h.serial_wall_ns {
             out.push_str(&format!(
@@ -347,13 +429,34 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
     out
 }
 
-/// Structural check of a `BENCH_*.json` sweep file: schema tag, balanced
-/// delimiters, and the required per-run keys. Deliberately parser-free
-/// (the workspace is std-only), like the trace-export sanity tests.
+/// Per-run keys required by every schema version.
+const RUN_KEYS_COMMON: [&str; 9] = [
+    "\"app\"",
+    "\"variant\"",
+    "\"platform\"",
+    "\"pes\"",
+    "\"iters\"",
+    "\"seed\"",
+    "\"metric_ps\"",
+    "\"total_ps\"",
+    "\"events\"",
+];
+
+/// Per-run keys added by `ckd-sweep/v2`.
+const RUN_KEYS_V2: [&str; 2] = ["\"callbacks\"", "\"poll_checks\""];
+
+/// Structural check of a `BENCH_*.json` sweep file: schema tag (both
+/// `ckd-sweep/v1` and `v2` are accepted), balanced delimiters, and the
+/// per-run keys of the tagged version — errors name the missing or extra
+/// field. Deliberately parser-free (the workspace is std-only), like the
+/// trace-export sanity tests.
 pub fn validate_sweep_json(s: &str) -> Result<(), String> {
-    if !s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\"")) {
-        return Err(format!("missing schema tag {SCHEMA:?}"));
+    let v2 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\""));
+    let v1 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA_V1}\""));
+    if !v2 && !v1 {
+        return Err(format!("missing schema tag ({SCHEMA:?} or {SCHEMA_V1:?})"));
     }
+    let tag = if v2 { SCHEMA } else { SCHEMA_V1 };
     if !s.contains("\"name\": ") || !s.contains("\"runs\": [") {
         return Err("missing name/runs".into());
     }
@@ -369,20 +472,21 @@ pub fn validate_sweep_json(s: &str) -> Result<(), String> {
     if runs == 0 {
         return Err("no runs".into());
     }
-    for key in [
-        "\"app\"",
-        "\"variant\"",
-        "\"platform\"",
-        "\"pes\"",
-        "\"iters\"",
-        "\"seed\"",
-        "\"metric_ps\"",
-        "\"total_ps\"",
-        "\"events\"",
-    ] {
+    for key in RUN_KEYS_COMMON {
         let n = s.matches(key).count();
         if n != runs {
-            return Err(format!("key {key} on {n}/{runs} runs"));
+            return Err(format!("{tag}: missing key {key} ({n}/{runs} runs)"));
+        }
+    }
+    for key in RUN_KEYS_V2 {
+        let n = s.matches(key).count();
+        if v2 && n != runs {
+            return Err(format!("{tag}: missing v2 key {key} ({n}/{runs} runs)"));
+        }
+        if v1 && n != 0 {
+            return Err(format!(
+                "{tag}: extra v2-only key {key} in a v1 file ({n} occurrences)"
+            ));
         }
     }
     Ok(())
@@ -615,9 +719,61 @@ mod tests {
     fn schema_check_rejects_mangled_files() {
         let records = run_sweep(&[smoke_grid()[0]], 1);
         let good = sweep_json("unit", &records, None);
-        assert!(validate_sweep_json(&good.replace("ckd-sweep/v1", "v0")).is_err());
-        assert!(validate_sweep_json(&good.replace("\"metric_ps\"", "\"m\"")).is_err());
+        assert!(validate_sweep_json(&good.replace("ckd-sweep/v2", "v0")).is_err());
+        let e = validate_sweep_json(&good.replace("\"metric_ps\"", "\"m\"")).unwrap_err();
+        assert!(
+            e.contains("\"metric_ps\""),
+            "error must name the field: {e}"
+        );
         assert!(validate_sweep_json(&good.replace('}', "")).is_err());
         assert!(validate_sweep_json("{\n}").is_err());
+    }
+
+    #[test]
+    fn schema_check_accepts_v1_and_polices_the_version_line() {
+        let records = run_sweep(&[smoke_grid()[0]], 1);
+        let v2 = sweep_json("unit", &records, None);
+        // a faithful v1 file: old tag, v2-only counters stripped per line
+        let mut v1 = String::new();
+        for line in v2.replace(SCHEMA, SCHEMA_V1).lines() {
+            if let (true, Some(cut)) = (
+                line.trim_start().starts_with("{\"app\""),
+                line.find(", \"callbacks\""),
+            ) {
+                v1.push_str(&line[..cut]);
+                v1.push_str(&line[line.rfind('}').unwrap()..]);
+            } else {
+                v1.push_str(line);
+            }
+            v1.push('\n');
+        }
+        validate_sweep_json(&v1).unwrap();
+        // a v1 file that smuggles v2 keys is named and shamed
+        let bad = v2.replace(SCHEMA, SCHEMA_V1);
+        let e = validate_sweep_json(&bad).unwrap_err();
+        assert!(e.contains("\"callbacks\""), "error must name the key: {e}");
+        // a v2 file missing a v2 key likewise
+        let bad = v2.replace("\"poll_checks\"", "\"pc\"");
+        let e = validate_sweep_json(&bad).unwrap_err();
+        assert!(
+            e.contains("\"poll_checks\""),
+            "error must name the key: {e}"
+        );
+    }
+
+    #[test]
+    fn profiled_execution_rides_along_without_changing_results() {
+        // the jacobi smoke point: enough events for several snapshots
+        let spec = smoke_grid()[2];
+        let plain = spec.execute();
+        let prof = spec.execute_with(Some(ProfConfig { snapshot_every: 64 }));
+        assert_eq!(plain.stats, prof.stats, "profiling perturbed the run");
+        assert_eq!(plain.metric_ps, prof.metric_ps);
+        assert_eq!(plain.callbacks, prof.callbacks);
+        assert!(plain.prof.is_none() && plain.snapshots.is_none());
+        let shard = prof.prof.as_ref().expect("profiled run carries a shard");
+        assert_eq!(shard.events, prof.stats.events);
+        assert_eq!(shard.puts, prof.stats.puts);
+        ckd_charm::validate_snapshot_jsonl(prof.snapshots.as_deref().unwrap()).unwrap();
     }
 }

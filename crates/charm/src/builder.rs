@@ -15,7 +15,7 @@
 use ckd_net::{FabricParams, NetModel, RetryPolicy};
 use ckd_race::SanitizerConfig;
 use ckd_sim::FaultPlan;
-use ckd_trace::TraceConfig;
+use ckd_trace::{ProfConfig, TraceConfig};
 use ckdirect::DirectConfig;
 
 use crate::backend::{matching_backend, CompletionBackend};
@@ -35,6 +35,7 @@ pub struct MachineBuilder {
     backend: Option<Box<dyn CompletionBackend>>,
     detect_collisions: Option<bool>,
     tracing: Option<TraceConfig>,
+    profiling: Option<ProfConfig>,
     sanitizer: Option<SanitizerConfig>,
     faults: Option<(FaultPlan, RetryPolicy, u32)>,
     learning: Option<LearnConfig>,
@@ -49,6 +50,7 @@ impl MachineBuilder {
             backend: None,
             detect_collisions: None,
             tracing: None,
+            profiling: None,
             sanitizer: None,
             faults: None,
             learning: None,
@@ -85,6 +87,14 @@ impl MachineBuilder {
     /// registry (`ckd-trace`).
     pub fn with_tracing(mut self, cfg: TraceConfig) -> Self {
         self.tracing = Some(cfg);
+        self
+    }
+
+    /// Profile the simulator itself: wall-clock phase breakdown of the
+    /// dispatch loop, deterministic histograms (put latency, poll batch,
+    /// queue depth), and periodic JSONL metric snapshots (`ckd-trace`).
+    pub fn with_profiling(mut self, cfg: ProfConfig) -> Self {
+        self.profiling = Some(cfg);
         self
     }
 
@@ -148,6 +158,9 @@ impl MachineBuilder {
         let mut m = Machine::with_backend(self.net, rts, backend, direct_cfg);
         if let Some(cfg) = self.tracing {
             m.install_tracing(cfg);
+        }
+        if let Some(cfg) = self.profiling {
+            m.install_profiling(cfg);
         }
         if let Some(cfg) = self.sanitizer {
             m.install_sanitizer(cfg);

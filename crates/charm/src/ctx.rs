@@ -558,6 +558,7 @@ impl<'a> Ctx<'a> {
             .stats
             .proto_sent
             .record(proto, req.bytes as u64);
+        self.m.prof.put_issued(handle.0, begin);
         if self.m.stack.observing() {
             self.m.stack.on_put_issue(&PutIssueInfo {
                 pe: self.pe.idx(),

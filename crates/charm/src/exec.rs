@@ -10,7 +10,7 @@
 
 use ckd_sim::Time;
 use ckd_topo::Pe;
-use ckd_trace::{BusyKind, ProtoClass};
+use ckd_trace::{BusyKind, Phase, ProtoClass};
 use ckdirect::{HandleId, LandOutcome};
 
 use crate::array::ArrayId;
@@ -73,11 +73,13 @@ impl Machine {
     /// nothing observes).
     fn observe_event(&mut self, pe: usize, kind: EventKind) {
         if self.stack.observing() {
+            let t0 = self.prof.begin();
             self.stack.on_event(&EventInfo {
                 pe,
                 at: self.now,
                 kind,
             });
+            self.prof.end(Phase::Layers, t0);
         }
     }
 
@@ -90,6 +92,7 @@ impl Machine {
             if let (Ok(pe), Ok(bytes)) =
                 (self.direct.recv_pe(handle), self.direct.wire_bytes(handle))
             {
+                let t0 = self.prof.begin();
                 self.stack.on_landing(&LandingInfo {
                     pe: pe.idx(),
                     at: self.now,
@@ -97,6 +100,7 @@ impl Machine {
                     bytes: bytes as u64,
                     get,
                 });
+                self.prof.end(Phase::Layers, t0);
             }
         }
     }
@@ -190,11 +194,13 @@ impl Machine {
         // CkDirect poll sweep (sentinel-polling backends): check every
         // armed handle.
         if self.backend.polls() {
+            let pt0 = self.prof.begin();
             self.stack.san.set_ctx(pe.idx(), start);
             let sweep = self.direct.poll_sweep(pe);
             if sweep.checked > 0 {
                 elapsed += self.cfg.poll_per_handle * sweep.checked as u64;
                 self.pes[pe.idx()].stats.poll_checks += sweep.checked as u64;
+                self.prof.poll_batch(sweep.checked as u64);
                 self.stack.tracer.poll_sweep(
                     pe.idx(),
                     start,
@@ -203,6 +209,7 @@ impl Machine {
                     sweep.deliveries.len() as u32,
                 );
             }
+            self.prof.end(Phase::Poll, pt0);
             if !sweep.deliveries.is_empty() {
                 let mut cbs = self.take_cb_buf();
                 cbs.extend(sweep.deliveries.into_iter().map(|(h, cb)| (cb, h)));
@@ -215,6 +222,7 @@ impl Machine {
             elapsed += self.cfg.sched;
             self.pes[pe.idx()].stats.msgs_delivered += 1;
             if self.stack.observing() {
+                let t0 = self.prof.begin();
                 self.stack.on_deliver(&DeliverInfo {
                     pe: pe.idx(),
                     at: start + elapsed,
@@ -223,6 +231,7 @@ impl Machine {
                         bytes: msg.size as u64,
                     },
                 });
+                self.prof.end(Phase::Layers, t0);
             }
             elapsed = self.run_entry(pe, target, start, elapsed, msg);
         }
@@ -332,12 +341,15 @@ impl Machine {
                 elapsed += self.cfg.compute.bytes(2 * bytes as u64);
             }
             self.pes[pe.idx()].stats.callbacks += 1;
+            self.prof.callback_fired(handle.0, start + elapsed);
             if self.stack.observing() {
+                let t0 = self.prof.begin();
                 self.stack.on_deliver(&DeliverInfo {
                     pe: pe.idx(),
                     at: start + elapsed,
                     what: Delivery::Callback { handle },
                 });
+                self.prof.end(Phase::Layers, t0);
             }
             let target = cb.target;
             let mut chare = self.chares[target.array.idx()][target.lin as usize]

@@ -47,9 +47,13 @@ pub use machine::Machine;
 pub use msg::{EntryId, Msg, Payload};
 pub use reduction::{RedOp, RedTarget, RedVal};
 pub use stats::{MachineStats, PeStats, ProtoBreakdown, ProtoCounters};
-// Tracing entry points, re-exported so applications need not depend on
-// `ckd-trace` directly for the common enable/export flow.
-pub use ckd_trace::{chrome_trace_json, text_summary, TraceConfig, Tracer};
+// Tracing and self-profiling entry points, re-exported so applications
+// need not depend on `ckd-trace` directly for the common
+// enable/export/report flow.
+pub use ckd_trace::{
+    chrome_trace_json, text_summary, validate_snapshot_jsonl, Hist, Phase, PhaseStat, ProfConfig,
+    ProfShard, Profiler, Snapshot, SnapshotStream, TraceConfig, Tracer,
+};
 // Fault-injection entry points, likewise re-exported for the common
 // enable/inspect flow of chaos tests and experiments.
 pub use ckd_net::{RelStats, RetryPolicy};

@@ -31,7 +31,7 @@ use ckd_net::{NetModel, Protocol, RelStats, RetryPolicy};
 use ckd_race::{Sanitizer, SanitizerConfig};
 use ckd_sim::{EventQueue, FaultCounts, FaultOp, FaultPlan, Time};
 use ckd_topo::{Dims, Idx, Mapper, Pe};
-use ckd_trace::{ProtoClass, TraceConfig, Tracer};
+use ckd_trace::{Phase, ProfConfig, Profiler, ProtoClass, Snapshot, TraceConfig, Tracer};
 use ckdirect::{DirectConfig, DirectRegistry, HandleId, RegistryCounters};
 
 use crate::array::{ArrayId, ArrayInfo};
@@ -162,6 +162,10 @@ pub struct Machine {
     /// The composed runtime-layer stack (tracer, sanitizer, learner,
     /// reliable delivery, user layers).
     pub(crate) stack: LayerStack,
+    /// Host-side self-profiler (disabled unless profiling was enabled);
+    /// disabled it costs one branch per seam, and `run_until` never even
+    /// enters the profiled dispatch loop.
+    pub(crate) prof: Profiler,
     pub(crate) stats: MachineStats,
     pub(crate) stop: bool,
     /// Recycled callback-delivery buffers: the scheduler hands these to
@@ -222,6 +226,7 @@ impl Machine {
             red: Vec::new(),
             backend,
             stack: LayerStack::new(),
+            prof: Profiler::disabled(),
             stats: MachineStats::default(),
             stop: false,
             cb_pool: Vec::new(),
@@ -263,6 +268,10 @@ impl Machine {
 
     pub(crate) fn install_layer(&mut self, layer: Box<dyn RuntimeLayer>) {
         self.stack.user.push(layer);
+    }
+
+    pub(crate) fn install_profiling(&mut self, cfg: ProfConfig) {
+        self.prof = Profiler::enabled(cfg);
     }
 
     // ---- deprecated enable_* shims ----------------------------------------
@@ -326,6 +335,21 @@ impl Machine {
     /// The sanitizer handle (disabled unless race checking was enabled).
     pub fn sanitizer(&self) -> &Sanitizer {
         &self.stack.san
+    }
+
+    /// The self-profiling handle (disabled unless profiling was enabled).
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
+    }
+
+    /// CkDirect completion callbacks delivered, summed over every PE.
+    pub fn callback_total(&self) -> u64 {
+        self.pes.iter().map(|p| p.stats.callbacks).sum()
+    }
+
+    /// CkDirect handles examined by poll sweeps, summed over every PE.
+    pub fn poll_check_total(&self) -> u64 {
+        self.pes.iter().map(|p| p.stats.poll_checks).sum()
     }
 
     /// What the fault plane injected, when faults are enabled.
@@ -498,6 +522,9 @@ impl Machine {
     /// hands the layer stack its [`RuntimeLayer::epilogue`], so a phased
     /// driver that calls this repeatedly delivers one epilogue per phase.
     pub fn run_until(&mut self, limit: Time) -> Time {
+        if self.prof.is_enabled() {
+            return self.run_until_profiled(limit);
+        }
         while !self.stop {
             let Some((t, ev)) = self.events.pop_before(limit) else {
                 break;
@@ -508,6 +535,52 @@ impl Machine {
         }
         self.stack.epilogue(&self.stats);
         self.now
+    }
+
+    /// [`Machine::run_until`] with the self-profiler collecting: times
+    /// each dispatch by scheduler phase, samples the event-queue depth,
+    /// and emits a JSONL snapshot every `snapshot_every` events. Kept as
+    /// a separate loop so the unprofiled hot path pays nothing.
+    fn run_until_profiled(&mut self, limit: Time) -> Time {
+        let loop_t0 = std::time::Instant::now();
+        let every = self.prof.snapshot_every();
+        while !self.stop {
+            let Some((t, ev)) = self.events.pop_before(limit) else {
+                break;
+            };
+            self.now = t;
+            self.stats.events += 1;
+            self.prof.event_dispatched(self.events.len() as u64);
+            let phase = phase_of(&ev);
+            let t0 = self.prof.begin();
+            self.dispatch(ev);
+            self.prof.end(phase, t0);
+            if let Some(every) = every {
+                if self.stats.events.is_multiple_of(every) {
+                    self.emit_snapshot();
+                }
+            }
+        }
+        self.prof.add_host_ns(loop_t0.elapsed().as_nanos() as u64);
+        self.stack.epilogue(&self.stats);
+        self.now
+    }
+
+    /// Sample the machine's deterministic counters into the profiler's
+    /// snapshot stream (keyed by the current virtual time).
+    fn emit_snapshot(&mut self) {
+        let snap = Snapshot {
+            t_ps: self.now.as_ps(),
+            events: self.stats.events,
+            msgs_sent: self.stats.msgs_sent,
+            puts: self.stats.puts,
+            put_bytes: self.stats.put_bytes,
+            queue_depth: self.events.len() as u64,
+            pollq: self.direct.pollq_total() as u64,
+            ring_drops: self.stack.tracer.dropped_total(),
+            retries: self.stats.rel.retries,
+        };
+        self.prof.record_snapshot(&snap);
     }
 
     // ---- shared accounting helpers ----------------------------------------
@@ -533,5 +606,19 @@ impl Machine {
             let at = st.busy_until.max(self.now) + extra_gap;
             self.events.push(at, Ev::PeLoop { pe });
         }
+    }
+}
+
+/// Host-profiling phase an event's dispatch is charged to: scheduler
+/// work, completion-backend work, or the reliability plane. The poll
+/// sweep and the layer fan-out are timed as nested sub-spans at their
+/// own seams (see [`Phase`]).
+fn phase_of(ev: &Ev) -> Phase {
+    match ev {
+        Ev::MsgArrive { .. } | Ev::PeLoop { .. } | Ev::ReduceUp { .. } | Ev::BcastDown { .. } => {
+            Phase::Sched
+        }
+        Ev::DirectLand { .. } | Ev::DirectGetLand { .. } => Phase::Backend,
+        Ev::RelDeliver { .. } | Ev::RelAck { .. } | Ev::RelTimer { .. } => Phase::Rel,
     }
 }

@@ -679,6 +679,13 @@ impl<C: Clone> DirectRegistry<C> {
         self.pollq[pe.idx()].len()
     }
 
+    /// Handles currently enqueued for polling across every PE — the
+    /// machine-wide poll occupancy the telemetry snapshots report (always
+    /// 0 on callback backends).
+    pub fn pollq_total(&self) -> usize {
+        self.pollq.iter().map(Vec::len).sum()
+    }
+
     /// Total channels ever created.
     pub fn channel_count(&self) -> usize {
         self.channels.len()

@@ -16,21 +16,38 @@
 //! * Two exporters — [`chrome_trace_json`] (Perfetto-loadable, one track per
 //!   PE) and [`text_summary`] (per-protocol byte/count/latency breakdowns).
 //!
+//! Alongside the virtual-time tracer sits the *host-time* observability
+//! stack added for the scheduler-optimization work:
+//!
+//! * [`Profiler`] — a phase-scoped wall-clock self-profiler ([`Phase`],
+//!   [`PhaseStat`]) with mergeable per-worker [`ProfShard`]s,
+//! * [`Hist`] — mergeable log2-bucket histograms (put issue→callback
+//!   latency, poll batch size, event-queue depth),
+//! * [`Snapshot`]/[`SnapshotStream`] — periodic JSONL metric snapshots
+//!   keyed by virtual time, checked by [`validate_snapshot_jsonl`].
+//!
 //! The runtime holds a [`Tracer`] handle: a disabled tracer is a single
 //! `Option` discriminant check per instrumentation point, so the hot paths
-//! cost nothing measurable when tracing is off. All output is deterministic:
-//! two identical runs export byte-identical traces.
+//! cost nothing measurable when tracing is off. The [`Profiler`] follows
+//! the same discipline. All virtual-time output is deterministic: two
+//! identical runs export byte-identical traces and snapshot streams.
 //!
 //! [`Histogram`]: ckd_sim::Histogram
 
 mod event;
 mod export;
+mod hist;
 mod metrics;
+mod prof;
 mod ring;
+mod snapshot;
 mod tracer;
 
 pub use event::{BusyKind, ProtoClass, Record, TraceEvent};
 pub use export::{chrome_trace_json, text_summary};
+pub use hist::Hist;
 pub use metrics::{ChannelStat, Metrics, ProtoStat};
+pub use prof::{Phase, PhaseStat, ProfConfig, ProfShard, Profiler};
 pub use ring::EventRing;
+pub use snapshot::{validate_snapshot_jsonl, Snapshot, SnapshotStream};
 pub use tracer::{TraceConfig, TraceInner, Tracer};

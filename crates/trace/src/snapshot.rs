@@ -1,0 +1,204 @@
+//! Streaming metric snapshots: periodic JSONL keyed by virtual time.
+//!
+//! A profiled machine emits one [`Snapshot`] every N scheduler events,
+//! turning the epilogue-only counters into a time series — puts and bytes
+//! over virtual time, event-queue depth, registry poll occupancy, and
+//! trace-ring drops, so saturation is visible *while* it develops rather
+//! than only in the final totals. Every field is an integer derived from
+//! virtual time or deterministic counters, so the JSONL stream is a pure
+//! function of the run: byte-identical across repeats and across sweep
+//! worker counts. This stream is the precursor to `ckd-serve`'s
+//! incremental metrics endpoint.
+
+/// One periodic metric sample, keyed by virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Virtual time of the sample, picoseconds.
+    pub t_ps: u64,
+    /// Scheduler events dispatched so far.
+    pub events: u64,
+    /// Two-sided messages sent so far.
+    pub msgs_sent: u64,
+    /// One-sided puts issued so far.
+    pub puts: u64,
+    /// One-sided payload bytes so far.
+    pub put_bytes: u64,
+    /// Event-queue depth after the triggering event was popped.
+    pub queue_depth: u64,
+    /// Handles currently enqueued for polling across every PE.
+    pub pollq: u64,
+    /// Trace-ring records evicted so far (0 with tracing off).
+    pub ring_drops: u64,
+    /// Reliability-layer retransmissions so far.
+    pub retries: u64,
+}
+
+impl Snapshot {
+    /// Render the sample as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"t_ps\": {}, \"events\": {}, \"msgs_sent\": {}, \"puts\": {}, \
+             \"put_bytes\": {}, \"queue_depth\": {}, \"pollq\": {}, \
+             \"ring_drops\": {}, \"retries\": {}}}",
+            self.t_ps,
+            self.events,
+            self.msgs_sent,
+            self.puts,
+            self.put_bytes,
+            self.queue_depth,
+            self.pollq,
+            self.ring_drops,
+            self.retries,
+        )
+    }
+}
+
+/// An append-only JSONL stream of [`Snapshot`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStream {
+    out: String,
+    count: usize,
+}
+
+impl SnapshotStream {
+    /// Empty stream.
+    pub fn new() -> SnapshotStream {
+        SnapshotStream::default()
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, snap: &Snapshot) {
+        self.out.push_str(&snap.to_json_line());
+        self.out.push('\n');
+        self.count += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The JSONL text, one snapshot per line.
+    pub fn as_jsonl(&self) -> &str {
+        &self.out
+    }
+}
+
+/// Keys every snapshot line must carry, in emission order.
+const KEYS: [&str; 9] = [
+    "\"t_ps\"",
+    "\"events\"",
+    "\"msgs_sent\"",
+    "\"puts\"",
+    "\"put_bytes\"",
+    "\"queue_depth\"",
+    "\"pollq\"",
+    "\"ring_drops\"",
+    "\"retries\"",
+];
+
+/// Structural check of a snapshot JSONL stream (parser-free, like the
+/// sweep and trace validators): every line is a balanced one-object JSON
+/// record carrying exactly the expected keys, and both `t_ps` and
+/// `events` are monotonically non-decreasing. Returns the line count.
+pub fn validate_snapshot_jsonl(s: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    let (mut last_t, mut last_ev) = (0u64, 0u64);
+    for (i, line) in s.lines().enumerate() {
+        let n = i + 1;
+        if !line.starts_with("{\"t_ps\": ") || !line.ends_with('}') {
+            return Err(format!("line {n}: not a snapshot object"));
+        }
+        if line.matches('{').count() != 1 || line.matches('}').count() != 1 {
+            return Err(format!("line {n}: unbalanced delimiters"));
+        }
+        for key in KEYS {
+            if line.matches(key).count() != 1 {
+                return Err(format!("line {n}: missing field {key}"));
+            }
+        }
+        if line.matches('"').count() != 2 * KEYS.len() {
+            return Err(format!(
+                "line {n}: extra field beyond the {} known",
+                KEYS.len()
+            ));
+        }
+        let field = |key: &str| -> Result<u64, String> {
+            let rest = &line[line.find(key).unwrap() + key.len()..];
+            rest.trim_start_matches(": ")
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .map_err(|_| format!("line {n}: non-integer {key}"))
+        };
+        let (t, ev) = (field("\"t_ps\"")?, field("\"events\"")?);
+        if t < last_t {
+            return Err(format!("line {n}: t_ps went backwards ({t} < {last_t})"));
+        }
+        if ev <= last_ev && n > 1 {
+            return Err(format!(
+                "line {n}: events not increasing ({ev} <= {last_ev})"
+            ));
+        }
+        (last_t, last_ev) = (t, ev);
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("empty snapshot stream".into());
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t_ps: u64, events: u64) -> Snapshot {
+        Snapshot {
+            t_ps,
+            events,
+            msgs_sent: 3,
+            puts: 2,
+            put_bytes: 4096,
+            queue_depth: 5,
+            pollq: 1,
+            ring_drops: 0,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn stream_roundtrips_through_the_validator() {
+        let mut s = SnapshotStream::new();
+        s.push(&sample(100, 10));
+        s.push(&sample(200, 20));
+        s.push(&sample(200, 30));
+        assert_eq!(s.len(), 3);
+        assert_eq!(validate_snapshot_jsonl(s.as_jsonl()), Ok(3));
+    }
+
+    #[test]
+    fn validator_rejects_mangled_streams() {
+        let mut s = SnapshotStream::new();
+        s.push(&sample(100, 10));
+        s.push(&sample(200, 20));
+        let good = s.as_jsonl().to_string();
+        assert!(validate_snapshot_jsonl("").is_err());
+        assert!(validate_snapshot_jsonl("{}\n").is_err());
+        let e = validate_snapshot_jsonl(&good.replace("\"pollq\"", "\"q\"")).unwrap_err();
+        assert!(e.contains("\"pollq\""), "error must name the field: {e}");
+        // non-monotone time or non-increasing event count
+        let back = good.lines().rev().collect::<Vec<_>>().join("\n");
+        assert!(validate_snapshot_jsonl(&back).is_err());
+        let dup = format!("{good}{}\n", sample(300, 20).to_json_line());
+        assert!(validate_snapshot_jsonl(&dup)
+            .unwrap_err()
+            .contains("events"));
+    }
+}

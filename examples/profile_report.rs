@@ -1,0 +1,98 @@
+//! Profile the simulator itself while it runs jacobi3d: host wall-clock
+//! phase breakdown of the dispatch loop, deterministic histograms (put
+//! issue→callback latency, poll batch size, event-queue depth), and the
+//! streaming JSONL metric snapshots.
+//!
+//! The example then swaps the completion backend under the *same*
+//! application — Infiniband sentinel polling vs DCMF callbacks vs
+//! shared-memory flags — and prints the poll-batch histogram of each, the
+//! shape `EXPERIMENTS.md` walks through: the polling backend's sweep-size
+//! distribution against the two callback backends' empty ones.
+//!
+//! The profiler's totals are cross-checked against the machine's own
+//! counters before anything is printed: every dispatched event and every
+//! issued put must appear in the shard.
+
+use ckd_apps::jacobi3d::{run_jacobi_on, JacobiCfg};
+use ckd_apps::{Platform, Variant};
+use ckd_charm::backend::{CompletionBackend, DcmfCallback, IbSentinelPoll, SharedMem};
+use ckd_charm::{validate_snapshot_jsonl, Machine, ProfConfig};
+
+fn cfg() -> JacobiCfg {
+    JacobiCfg {
+        domain: [48, 48, 48],
+        chares: [4, 2, 2], // 2 chares per PE
+        iters: 12,
+        variant: Variant::Ckd,
+        real_compute: true,
+    }
+}
+
+fn profiled_run() -> Machine {
+    let mut m = Platform::IbAbe { cores_per_node: 8 }
+        .builder(8)
+        .with_profiling(ProfConfig {
+            snapshot_every: 256,
+        })
+        .build();
+    run_jacobi_on(&mut m, cfg());
+    m
+}
+
+fn profiled_run_on(backend: impl CompletionBackend + 'static) -> Machine {
+    let mut m = Platform::IbAbe { cores_per_node: 8 }
+        .builder(8)
+        .with_backend(backend)
+        .with_profiling(ProfConfig {
+            snapshot_every: 256,
+        })
+        .build();
+    run_jacobi_on(&mut m, cfg());
+    m
+}
+
+fn main() {
+    let m = profiled_run();
+    let shard = m.profiler().shard().expect("profiling was enabled");
+
+    // --- cross-check profiler totals against the machine's counters ------
+    let stats = m.stats();
+    assert_eq!(
+        shard.events, stats.events,
+        "profiler missed dispatched events"
+    );
+    assert_eq!(shard.puts, stats.puts, "profiler missed issued puts");
+    assert_eq!(
+        shard.put_lat_ns.count(),
+        m.callback_total(),
+        "every completion callback closes one latency sample"
+    );
+
+    // --- phase table + histograms + snapshots -----------------------------
+    print!("{}", shard.render());
+    let snaps = m.profiler().snapshots_jsonl().expect("snapshots enabled");
+    let lines = validate_snapshot_jsonl(snaps).expect("snapshot stream is valid");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/jacobi3d.profile.jsonl", snaps).expect("write snapshots");
+    println!();
+    println!("wrote target/jacobi3d.profile.jsonl ({lines} snapshots)");
+
+    // --- same app, three completion backends ------------------------------
+    println!();
+    println!("poll batch size by completion backend (same jacobi3d run):");
+    let machines = [
+        ("ib-sentinel-poll", profiled_run_on(IbSentinelPoll)),
+        ("dcmf-callback", profiled_run_on(DcmfCallback)),
+        ("shared-mem", profiled_run_on(SharedMem)),
+    ];
+    for (name, m) in &machines {
+        let shard = m.profiler().shard().unwrap();
+        println!();
+        println!("--- {name} ---");
+        if shard.poll_batch.count() == 0 {
+            println!("  (no poll sweeps — completions are delivered, not discovered)");
+        } else {
+            print!("{}", shard.poll_batch.render("handles"));
+        }
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Paper-figure regression gate over the committed sweep trajectory.
 #
-# Two checks, split by what can legitimately vary across hosts:
+# Three checks, split by what can legitimately vary across hosts:
 #
 #  1. Virtual-time results are bit-for-bit deterministic, so the fresh
 #     sweep's "runs" section must be byte-identical to the committed
@@ -15,6 +15,13 @@
 #     the parallel pass is strictly faster and this is trivially met; the
 #     1.5x margin only absorbs 1-core containers, where four workers
 #     oversubscribe a single core and pay context-switch overhead.
+#
+#  3. Throughput floor: the fresh sweep's host events/sec and puts/sec
+#     must stay within 1.5x of the committed baseline's. The committed
+#     numbers came from some other host, so this is deliberately loose —
+#     it catches order-of-magnitude regressions (an accidentally hot
+#     instrumentation path, a quadratic scheduler) without flaking on
+#     hardware differences. Same 1.5x discipline as check 2.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,4 +57,22 @@ if ! awk -v w="$wall" -v s="$serial" 'BEGIN { exit !(w <= 1.5 * s) }'; then
     echo "bench_gate: 4-worker wall ${wall} ms exceeds 1.5x serial ${serial} ms" >&2
     exit 1
 fi
+
+# Throughput floor vs the committed baseline (check 3).
+rate_of() { sed -n "s/^    \"$2\": \(.*\),\$/\1/p" "$1"; }
+for metric in events_per_sec puts_per_sec; do
+    base=$(rate_of "$BASELINE" "$metric")
+    fresh=$(rate_of "$FRESH" "$metric")
+    if [ -z "$base" ] || [ -z "$fresh" ]; then
+        echo "bench_gate: could not read $metric from baseline/fresh sweep" >&2
+        exit 1
+    fi
+    if ! awk -v f="$fresh" -v b="$base" 'BEGIN { exit !(f >= b / 1.5) }'; then
+        echo "bench_gate: fresh $metric $fresh below baseline $base / 1.5" >&2
+        echo "bench_gate: if the slowdown is intentional, regenerate with:" >&2
+        echo "  ./target/release/ckd-sweep sweep64 --workers 4" >&2
+        exit 1
+    fi
+    echo "bench_gate: $metric $fresh vs baseline $base (floor $(awk -v b="$base" 'BEGIN { printf "%.0f", b / 1.5 }'))"
+done
 echo "bench_gate: runs identical to baseline; wall ${wall} ms vs serial ${serial} ms (within 1.5x)"

@@ -62,11 +62,17 @@ run cargo test --release --offline -q --test trace_determinism
 
 # Sweep engine: a tiny grid on 2 workers must merge byte-identical to the
 # 1-worker pass, the committed trajectory files must parse against the
-# ckd-sweep/v1 schema, and the full 64-run sweep must reproduce the
-# committed virtual-time baseline within the host-tolerant wall budget.
+# ckd-sweep schema (v1 or v2), and the full 64-run sweep must reproduce
+# the committed virtual-time baseline within the host-tolerant wall and
+# throughput budgets.
 run ./target/release/ckd-sweep smoke --workers 2
 run ./target/release/ckd-sweep validate \
     BENCH_table1.json BENCH_jacobi.json BENCH_matmul.json BENCH_sweep.json
 run scripts/bench_gate.sh
+
+# Profiler smoke: the profiled smoke grid must emit structurally valid
+# snapshot JSONL streams that are byte-identical across worker counts,
+# then print the merged phase/histogram report.
+run ./target/release/ckd-sweep profile --workers 2
 
 echo "All checks passed."

@@ -5,7 +5,10 @@
 //! engine at all. Workers race for grid indices, so any divergence here
 //! means host scheduling leaked into virtual-time results.
 
-use ckd_bench::{run_sweep, smoke_grid, sweep_json, validate_sweep_json, RunRecord};
+use ckd_bench::{
+    run_sweep, run_sweep_with, smoke_grid, sweep_json, validate_sweep_json, RunRecord,
+};
+use ckd_charm::{validate_snapshot_jsonl, ProfConfig};
 
 /// The engine's own 1-worker pass, used as the comparison baseline.
 fn baseline() -> Vec<RunRecord> {
@@ -65,6 +68,69 @@ fn oversubscribed_workers_are_harmless() {
     let few = run_sweep(grid, 1);
     let many = run_sweep(grid, 16);
     assert_eq!(few, many);
+}
+
+#[test]
+fn profiled_sweep_is_deterministic_across_worker_counts() {
+    // The profiler mixes host wall-clock into its shards, but everything
+    // derived from *virtual* time — snapshot streams and the deterministic
+    // histograms — must be byte-identical for every worker count.
+    let grid = smoke_grid();
+    let cfg = ProfConfig { snapshot_every: 16 };
+    let base = run_sweep_with(&grid, 1, Some(cfg));
+    for r in &base {
+        let jsonl = r.snapshots.as_deref().expect("profiled run has snapshots");
+        validate_snapshot_jsonl(jsonl).unwrap();
+    }
+
+    for workers in [2usize, 4, 8] {
+        let records = run_sweep_with(&grid, workers, Some(cfg));
+        // RunRecord equality covers the deterministic fields, snapshot
+        // streams included (host_ns and the wall-clock shard are excluded
+        // by its PartialEq).
+        assert_eq!(base, records, "{workers}-worker profiled sweep diverged");
+        for (i, (a, b)) in base.iter().zip(&records).enumerate() {
+            let (pa, pb) = (a.prof.as_ref().unwrap(), b.prof.as_ref().unwrap());
+            assert_eq!(
+                pa.put_lat_ns, pb.put_lat_ns,
+                "run {i}: put-latency histogram diverged at {workers} workers"
+            );
+            assert_eq!(
+                pa.poll_batch, pb.poll_batch,
+                "run {i}: poll-batch histogram diverged at {workers} workers"
+            );
+            assert_eq!(
+                pa.queue_depth, pb.queue_depth,
+                "run {i}: queue-depth histogram diverged at {workers} workers"
+            );
+            assert_eq!(pa.events, pb.events, "run {i}: profiled event count");
+            assert_eq!(pa.puts, pb.puts, "run {i}: profiled put count");
+        }
+    }
+}
+
+#[test]
+fn profiling_does_not_change_sweep_results() {
+    // Zero-observable-cost: a profiled sweep must report exactly the
+    // virtual-time results of a plain one — the profiler only watches.
+    let grid = smoke_grid();
+    let plain = run_sweep(&grid, 2);
+    let profiled = run_sweep_with(&grid, 2, Some(ProfConfig { snapshot_every: 16 }));
+    for (i, (a, b)) in plain.iter().zip(&profiled).enumerate() {
+        assert_eq!(a.stats, b.stats, "run {i}: stats changed under profiling");
+        assert_eq!(a.metric_ps, b.metric_ps, "run {i}: metric changed");
+        assert_eq!(a.total_ps, b.total_ps, "run {i}: total time changed");
+        assert_eq!(a.callbacks, b.callbacks, "run {i}: callbacks changed");
+        assert_eq!(a.poll_checks, b.poll_checks, "run {i}: poll checks changed");
+        assert!(a.snapshots.is_none(), "plain run grew a snapshot stream");
+        assert!(b.snapshots.is_some(), "profiled run lost its snapshots");
+    }
+    // and the v2 JSON they serialize to is identical (snapshot streams and
+    // shards ride outside the sweep JSON)
+    assert_eq!(
+        sweep_json("smoke", &plain, None),
+        sweep_json("smoke", &profiled, None)
+    );
 }
 
 #[test]

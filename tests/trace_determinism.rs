@@ -6,7 +6,10 @@
 
 use ckd_apps::jacobi3d::{run_jacobi_on, JacobiCfg};
 use ckd_apps::{Platform, Variant};
-use ckd_charm::{chrome_trace_json, text_summary, FaultPlan, Machine, TraceConfig};
+use ckd_charm::{
+    chrome_trace_json, text_summary, validate_snapshot_jsonl, FaultPlan, Machine, ProfConfig,
+    TraceConfig,
+};
 use ckd_trace::ProtoClass;
 
 fn cfg() -> JacobiCfg {
@@ -129,6 +132,70 @@ fn inert_plan_exports_match_a_fault_free_machine() {
     assert_eq!(plain.stats().puts, inert.stats().puts);
     assert_eq!(plain.stats().msgs_sent, inert.stats().msgs_sent);
     assert_eq!(inert.rel_stats().retries, 0);
+}
+
+// ---- self-profiler determinism ----------------------------------------
+
+fn profiled_run() -> Machine {
+    let mut m = Platform::IbAbe { cores_per_node: 4 }
+        .builder(4)
+        .with_tracing(TraceConfig::default())
+        .with_profiling(ProfConfig { snapshot_every: 64 })
+        .build();
+    run_jacobi_on(&mut m, cfg());
+    m
+}
+
+/// Everything the profiler derives from *virtual* time is as deterministic
+/// as the machine itself: two profiled runs emit byte-identical snapshot
+/// JSONL and identical latency/batch/depth histograms. (Phase wall-clock
+/// totals are host noise and deliberately excluded.)
+#[test]
+fn profiled_runs_emit_identical_snapshots() {
+    let a = profiled_run();
+    let b = profiled_run();
+
+    let snaps_a = a.profiler().snapshots_jsonl().unwrap();
+    let snaps_b = b.profiler().snapshots_jsonl().unwrap();
+    assert_eq!(snaps_a, snaps_b, "snapshot JSONL must be byte-identical");
+    let lines = validate_snapshot_jsonl(snaps_a).unwrap();
+    assert!(lines > 0, "profiled jacobi emitted no snapshots");
+
+    let (sa, sb) = (a.profiler().shard().unwrap(), b.profiler().shard().unwrap());
+    assert_eq!(sa.put_lat_ns, sb.put_lat_ns, "put-latency histogram");
+    assert_eq!(sa.poll_batch, sb.poll_batch, "poll-batch histogram");
+    assert_eq!(sa.queue_depth, sb.queue_depth, "queue-depth histogram");
+    assert_eq!(sa.events, sb.events);
+    assert_eq!(sa.puts, sb.puts);
+    assert_eq!(sa.events, a.stats().events, "profiler missed events");
+    assert_eq!(sa.puts, a.stats().puts, "profiler missed puts");
+}
+
+/// The profiler is an observer: enabling it must not perturb a single
+/// virtual timestamp, trace record, or counter relative to an unprofiled
+/// machine. Byte-level proof over the same exports the golden corpus
+/// protects.
+#[test]
+fn profiling_does_not_perturb_traced_exports() {
+    let plain = traced_run();
+    let profiled = profiled_run();
+
+    assert_eq!(
+        chrome_trace_json(plain.tracer()).unwrap(),
+        chrome_trace_json(profiled.tracer()).unwrap(),
+        "profiling changed the chrome trace"
+    );
+    assert_eq!(
+        text_summary(plain.tracer()).unwrap(),
+        text_summary(profiled.tracer()).unwrap(),
+        "profiling changed the text summary"
+    );
+    assert_eq!(
+        plain.tracer().metrics().unwrap(),
+        profiled.tracer().metrics().unwrap()
+    );
+    assert_eq!(plain.stats(), profiled.stats(), "profiling changed stats");
+    assert!(plain.profiler().shard().is_none(), "profiler on by default");
 }
 
 // ---- golden comparison across refactors --------------------------------
