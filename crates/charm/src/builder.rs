@@ -14,7 +14,7 @@
 
 use ckd_net::{FabricParams, NetModel, RetryPolicy};
 use ckd_race::SanitizerConfig;
-use ckd_sim::FaultPlan;
+use ckd_sim::{FaultPlan, ReorderPolicy};
 use ckd_trace::{ProfConfig, TraceConfig};
 use ckdirect::DirectConfig;
 
@@ -40,6 +40,7 @@ pub struct MachineBuilder {
     faults: Option<(FaultPlan, RetryPolicy, u32)>,
     learning: Option<LearnConfig>,
     layers: Vec<Box<dyn RuntimeLayer>>,
+    checker: Option<Box<dyn ReorderPolicy>>,
 }
 
 impl MachineBuilder {
@@ -55,6 +56,7 @@ impl MachineBuilder {
             faults: None,
             learning: None,
             layers: Vec::new(),
+            checker: None,
         }
     }
 
@@ -134,6 +136,18 @@ impl MachineBuilder {
         self
     }
 
+    /// Install a schedule-exploration [`ReorderPolicy`] on the event queue
+    /// (`ckd-check`): each pop may select any pending event within the
+    /// policy's commutation window, and every event is stamped with its
+    /// independence footprint. Never combine with `with_faults` — the
+    /// reliability plane's events carry the conservative unknown footprint
+    /// and would serialize exploration. Without this, the machine is
+    /// byte-identical to a checker-free build.
+    pub fn with_checker(mut self, policy: Box<dyn ReorderPolicy>) -> Self {
+        self.checker = Some(policy);
+        self
+    }
+
     /// Push a user-written [`RuntimeLayer`] onto the stack (after the
     /// built-in layers, in installation order). See
     /// `examples/custom_layer.rs`.
@@ -173,6 +187,9 @@ impl MachineBuilder {
         }
         for layer in self.layers {
             m.install_layer(layer);
+        }
+        if let Some(policy) = self.checker {
+            m.install_checker(policy);
         }
         m
     }

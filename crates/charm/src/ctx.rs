@@ -206,7 +206,7 @@ impl<'a> Ctx<'a> {
         debug_assert_eq!(self.m.home_pe(to), self.pe, "send_local to a remote chare");
         let begin = self.start + self.elapsed;
         self.elapsed += self.m.cfg.alloc;
-        self.m.events.push(
+        self.m.push_ev(
             begin + self.m.cfg.alloc,
             Ev::MsgArrive {
                 pe: self.pe,
@@ -433,7 +433,7 @@ impl<'a> Ctx<'a> {
         self.elapsed += t.send_cpu;
         let proto = self.m.backend.put_proto();
         self.record_put(handle, &req, &t, begin, proto);
-        self.m.events.push(
+        self.m.push_ev(
             begin + t.delay,
             Ev::DirectGetLand {
                 handle,

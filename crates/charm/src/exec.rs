@@ -244,7 +244,7 @@ impl Machine {
         if !st.queue.is_empty() && !st.loop_scheduled {
             st.loop_scheduled = true;
             let at = st.busy_until;
-            self.events.push(at, Ev::PeLoop { pe });
+            self.push_ev(at, Ev::PeLoop { pe });
         }
     }
 
@@ -444,7 +444,7 @@ impl Machine {
                 st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
                 st.stats.busy += t.send_cpu;
                 let edge = self.stack.san.red_up(array.0, pe.idx());
-                self.events.push(
+                self.push_ev(
                     self.now + t.delay,
                     Ev::ReduceUp {
                         array,
@@ -482,7 +482,7 @@ impl Machine {
                         let t = self.net.control(pe, dst);
                         self.record_control(pe, t.delay);
                         let edge = self.stack.san.edge_out(pe.idx());
-                        self.events.push(
+                        self.push_ev(
                             self.now + t.delay,
                             Ev::MsgArrive {
                                 pe: dst,
@@ -514,7 +514,7 @@ impl Machine {
             st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
             st.stats.busy += t.send_cpu;
             let edge = self.stack.san.edge_out(from.idx());
-            self.events.push(
+            self.push_ev(
                 self.now + t.delay,
                 Ev::BcastDown {
                     array,
@@ -540,7 +540,7 @@ impl Machine {
             st.busy_until = st.busy_until.max(self.now) + t.send_cpu;
             st.stats.busy += t.send_cpu;
             let edge = self.stack.san.edge_out(pe.idx());
-            self.events.push(
+            self.push_ev(
                 self.now + t.delay,
                 Ev::BcastDown {
                     array,

@@ -28,8 +28,8 @@
 use std::collections::VecDeque;
 
 use ckd_net::{NetModel, Protocol, RelStats, RetryPolicy};
-use ckd_race::{Sanitizer, SanitizerConfig};
-use ckd_sim::{EventQueue, FaultCounts, FaultOp, FaultPlan, Time};
+use ckd_race::{Footprint, Sanitizer, SanitizerConfig};
+use ckd_sim::{EventQueue, FaultCounts, FaultOp, FaultPlan, ReorderPolicy, Time};
 use ckd_topo::{Dims, Idx, Mapper, Pe};
 use ckd_trace::{Phase, ProfConfig, Profiler, ProtoClass, Snapshot, TraceConfig, Tracer};
 use ckdirect::{DirectConfig, DirectRegistry, HandleId, RegistryCounters};
@@ -274,50 +274,8 @@ impl Machine {
         self.prof = Profiler::enabled(cfg);
     }
 
-    // ---- deprecated enable_* shims ----------------------------------------
-
-    /// Enable the automatic channel-learning framework for sends routed
-    /// through [`Ctx::send_learned`](crate::Ctx::send_learned).
-    #[deprecated(note = "use Machine::builder(net).with_learning(cfg).build()")]
-    pub fn enable_learning(&mut self, cfg: LearnConfig) {
-        self.install_learning(cfg);
-    }
-
-    /// Start collecting a trace: per-PE event rings plus the aggregated
-    /// metrics registry (`ckd-trace`). Call before [`Machine::run`]; with
-    /// tracing never enabled every instrumentation point costs one branch.
-    #[deprecated(note = "use Machine::builder(net).with_tracing(cfg).build()")]
-    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
-        self.install_tracing(cfg);
-    }
-
-    /// Start race checking: per-PE vector clocks plus a per-handle
-    /// lifecycle state machine fed by the registry's transition probe
-    /// (`ckd-race`). Call before [`Machine::run`]; never enabling it keeps
-    /// every hook at one branch and the registry probe-free, so runs are
-    /// bit-identical to a build without the sanitizer.
-    #[deprecated(note = "use Machine::builder(net).with_sanitizer(cfg).build()")]
-    pub fn enable_sanitizer(&mut self, cfg: SanitizerConfig) {
-        self.install_sanitizer(cfg);
-    }
-
-    /// Enable fault injection and the reliable-delivery machinery that
-    /// survives it, with the default [`RetryPolicy`] and a degradation
-    /// threshold of 8 cumulative retransmits per channel. Call before
-    /// [`Machine::run`]; never enabling this keeps every send/put hook at
-    /// one branch, and runs are bit-identical to the pre-fault runtime.
-    #[deprecated(note = "use Machine::builder(net).with_faults(plan).build()")]
-    pub fn enable_faults(&mut self, plan: FaultPlan) {
-        self.install_faults(plan, RetryPolicy::default(), 8);
-    }
-
-    /// [`Machine::enable_faults`] with an explicit retransmission policy
-    /// and degradation threshold (`degrade_after` cumulative retransmits
-    /// flip a channel's puts to rendezvous timing; `u32::MAX` never
-    /// degrades, `0` degrades every channel up front).
-    #[deprecated(note = "use Machine::builder(net).with_faults_policy(...).build()")]
-    pub fn enable_faults_with(&mut self, plan: FaultPlan, policy: RetryPolicy, degrade_after: u32) {
-        self.install_faults(plan, policy, degrade_after);
+    pub(crate) fn install_checker(&mut self, policy: Box<dyn ReorderPolicy>) {
+        self.events.set_policy(policy);
     }
 
     // ---- observability accessors ------------------------------------------
@@ -484,7 +442,7 @@ impl Machine {
     /// costs — the analogue of `main::main` firing the first entries).
     pub fn seed(&mut self, target: ChareRef, msg: Msg) {
         let pe = self.home_pe(target);
-        self.events.push(
+        self.push_ev(
             Time::ZERO,
             Ev::MsgArrive {
                 pe,
@@ -604,7 +562,42 @@ impl Machine {
         if !st.loop_scheduled {
             st.loop_scheduled = true;
             let at = st.busy_until.max(self.now) + extra_gap;
-            self.events.push(at, Ev::PeLoop { pe });
+            self.push_ev(at, Ev::PeLoop { pe });
+        }
+    }
+
+    /// Every runtime event enters the queue through here. On the canonical
+    /// path (no checker installed) this is exactly `events.push`; with a
+    /// `ReorderPolicy` installed it additionally stamps the event with its
+    /// independence footprint so the checker can tell which pending events
+    /// commute (see `ckd_race::independence`).
+    pub(crate) fn push_ev(&mut self, at: Time, ev: Ev) {
+        if self.events.reordering() {
+            let tag = self.footprint_of(&ev).tag();
+            self.events.push_tagged(at, tag, ev);
+        } else {
+            self.events.push(at, ev);
+        }
+    }
+
+    /// The independence footprint of a pending event: which PE its
+    /// dispatch mutates, whether it is an arrival-class remote delivery
+    /// (reorderable by a PDES commutation window), and which channel it
+    /// completes on. Reliability-plane events keep the reserved unknown
+    /// footprint: the checker never runs under fault injection, and
+    /// unknown conservatively conflicts with everything.
+    fn footprint_of(&self, ev: &Ev) -> Footprint {
+        match ev {
+            Ev::MsgArrive { pe, .. } => Footprint::arrival(pe.idx()),
+            Ev::DirectLand { handle, .. } | Ev::DirectGetLand { handle, .. } => self
+                .direct
+                .recv_pe(*handle)
+                .map_or(Footprint::UNKNOWN, |pe| {
+                    Footprint::arrival_on(pe.idx(), handle.0)
+                }),
+            Ev::PeLoop { pe } => Footprint::local(pe.idx()),
+            Ev::ReduceUp { to, .. } | Ev::BcastDown { to, .. } => Footprint::arrival(to.idx()),
+            Ev::RelDeliver { .. } | Ev::RelAck { .. } | Ev::RelTimer { .. } => Footprint::UNKNOWN,
         }
     }
 }

@@ -127,7 +127,7 @@ impl Machine {
         ev: Ev,
     ) {
         if self.stack.rel.is_none() || link.0 == link.1 {
-            self.events.push(begin + delay, ev);
+            self.push_ev(begin + delay, ev);
             return;
         }
         let rel = self.stack.rel.as_mut().expect("checked above");

@@ -1,0 +1,205 @@
+//! The machine-readable commutativity certificate.
+//!
+//! `ckd-check certify` writes one JSON document per invocation: the
+//! schema tag, the fabric/window/budget the exploration ran under, and
+//! one line per case with its verdict and the exploration counters. A
+//! counterexample (present only on `"violation"` verdicts) carries the
+//! replayable prescription and both observations.
+//!
+//! [`validate_certificate_json`] is the parser-free structural validator
+//! (same idiom as `ckd-bench`'s sweep validator): schema prefix, balanced
+//! delimiters, and exact per-case key counts — enough to catch truncated
+//! or hand-mangled files without pulling in a JSON parser.
+
+use crate::explore::Exploration;
+
+/// Schema tag of the current certificate format.
+pub const SCHEMA: &str = "ckd-check/v1";
+
+/// One certified (or refuted) case, ready for serialization.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Case name (`pingpong`, `jacobi3d`, …).
+    pub app: String,
+    /// Fabric label the machine was built on.
+    pub fabric: String,
+    /// PEs the case ran on.
+    pub pes: usize,
+    /// Commutation window the reorder policy used.
+    pub window_ps: u64,
+    /// Run budget the explorer was given.
+    pub budget: u64,
+    /// The exploration result.
+    pub exploration: Exploration,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render the certificate document.
+pub fn certificate_json(cases: &[CaseReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"cases\": [\n"
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let st = &c.exploration.stats;
+        let verdict = if c.exploration.certified() {
+            "certified"
+        } else {
+            "violation"
+        };
+        let cx = match &c.exploration.counterexample {
+            None => "null".to_owned(),
+            Some(cx) => {
+                let presc: Vec<String> = cx
+                    .prescription
+                    .iter()
+                    .map(|(d, j)| format!("[{d}, {j}]"))
+                    .collect();
+                format!(
+                    "{{\"prescription\": [{}], \"swapped\": \"{}\", \"canonical_digest\": \"{}\", \"divergent_digest\": \"{}\", \"canonical_clean\": {}, \"divergent_clean\": {}}}",
+                    presc.join(", "),
+                    esc(&cx.swapped),
+                    esc(&cx.canonical.digest),
+                    esc(&cx.divergent.digest),
+                    cx.canonical.clean,
+                    cx.divergent.clean,
+                )
+            }
+        };
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"fabric\": \"{}\", \"pes\": {}, \"window_ps\": {}, \"budget\": {}, \"verdict\": \"{}\", \"explored\": {}, \"naive\": {}, \"pruned_commuting\": {}, \"pruned_sleep\": {}, \"excluded\": {}, \"budget_exhausted\": {}, \"counterexample\": {}}}{}\n",
+            esc(&c.app),
+            esc(&c.fabric),
+            c.pes,
+            c.window_ps,
+            c.budget,
+            verdict,
+            st.explored,
+            st.naive,
+            st.pruned_commuting,
+            st.pruned_sleep,
+            st.excluded,
+            st.budget_exhausted,
+            cx,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Per-case keys every entry must carry exactly once.
+const CASE_KEYS: [&str; 12] = [
+    "\"app\": ",
+    "\"fabric\": ",
+    "\"pes\": ",
+    "\"window_ps\": ",
+    "\"budget\": ",
+    "\"verdict\": ",
+    "\"explored\": ",
+    "\"naive\": ",
+    "\"pruned_commuting\": ",
+    "\"pruned_sleep\": ",
+    "\"excluded\": ",
+    "\"budget_exhausted\": ",
+];
+
+/// Structurally validate a certificate document without a JSON parser.
+pub fn validate_certificate_json(s: &str) -> Result<(), String> {
+    if !s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag ({SCHEMA:?})"));
+    }
+    if !s.contains("\"cases\": [") {
+        return Err("missing cases".into());
+    }
+    if s.matches('{').count() != s.matches('}').count()
+        || s.matches('[').count() != s.matches(']').count()
+    {
+        return Err("unbalanced delimiters".into());
+    }
+    let cases = s
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"app\""))
+        .count();
+    if cases == 0 {
+        return Err("no cases".into());
+    }
+    for key in CASE_KEYS {
+        let n = s.matches(key).count();
+        if n != cases {
+            return Err(format!("{SCHEMA}: missing key {key} ({n}/{cases} cases)"));
+        }
+    }
+    let n = s.matches("\"counterexample\": ").count();
+    if n != cases {
+        return Err(format!(
+            "{SCHEMA}: missing key \"counterexample\" ({n}/{cases} cases)"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{Counterexample, ExploreStats, Outcome};
+    use crate::policy::Prescription;
+
+    fn case(app: &str, cx: Option<Counterexample>) -> CaseReport {
+        CaseReport {
+            app: app.to_owned(),
+            fabric: "ib_abe".to_owned(),
+            pes: 8,
+            window_ps: 0,
+            budget: 48,
+            exploration: Exploration {
+                stats: ExploreStats {
+                    explored: 3,
+                    naive: 24,
+                    pruned_commuting: 5,
+                    pruned_sleep: 1,
+                    excluded: 2,
+                    budget_exhausted: false,
+                },
+                counterexample: cx,
+            },
+        }
+    }
+
+    fn sample_cx() -> Counterexample {
+        let mk = |d: &str, clean| Outcome {
+            digest: d.to_owned(),
+            clean,
+            report: String::new(),
+        };
+        Counterexample {
+            prescription: Prescription::from([(3, 1)]),
+            swapped: "head [seq=7] <-> alt#1 [seq=9]".to_owned(),
+            canonical: mk("a", true),
+            divergent: mk("b", false),
+        }
+    }
+
+    #[test]
+    fn certificate_round_trips_the_validator() {
+        let doc = certificate_json(&[case("pingpong", None), case("mutant", Some(sample_cx()))]);
+        validate_certificate_json(&doc).unwrap();
+        assert!(doc.contains("\"verdict\": \"certified\""));
+        assert!(doc.contains("\"verdict\": \"violation\""));
+        assert!(doc.contains("\"prescription\": [[3, 1]]"));
+    }
+
+    #[test]
+    fn validator_rejects_mangled_documents() {
+        let doc = certificate_json(&[case("pingpong", None)]);
+        assert!(validate_certificate_json(&doc.replace("ckd-check/v1", "v0")).is_err());
+        assert!(validate_certificate_json(&doc.replace("\"naive\"", "\"n\"")).is_err());
+        assert!(validate_certificate_json(&doc.replace('}', "")).is_err());
+        assert!(validate_certificate_json("{\n}").is_err());
+    }
+}

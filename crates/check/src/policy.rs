@@ -1,0 +1,104 @@
+//! The scripted reorder policy the explorer drives.
+//!
+//! A [`ScriptedPolicy`] is installed on a machine's event queue via
+//! [`ckd_charm::MachineBuilder::with_checker`]. Every time the queue pops
+//! with more than one event inside the commutation window, the policy
+//! records the candidate set as a [`Decision`] and answers with whatever
+//! the **prescription** dictates for that decision index (default: `0`,
+//! the canonical min-heap head). The simulation is deterministic, so two
+//! runs with the same prescription replay the same decision sequence —
+//! which is what lets the explorer branch one decision at a time and lets
+//! a counterexample be replayed exactly.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use ckd_sim::{EventMeta, ReorderPolicy, Time};
+
+/// One scheduling choice point: the in-window candidates the queue offered,
+/// sorted by canonical order (`cands[0]` is the min-heap head).
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The candidate events (timestamp, sequence number, independence
+    /// footprint tag) in canonical order.
+    pub cands: Vec<EventMeta>,
+}
+
+/// Decision index → candidate index to pick instead of the canonical `0`.
+pub type Prescription = BTreeMap<usize, usize>;
+
+/// The shared record of a run's choice points, plus the prescription that
+/// steered it.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleTrace {
+    /// Every choice point the run hit, in order.
+    pub decisions: Vec<Decision>,
+    /// Overrides applied at specific decision indices.
+    pub prescription: Prescription,
+}
+
+impl ScheduleTrace {
+    /// A trace that will steer the run by `prescription`.
+    pub fn scripted(prescription: Prescription) -> Rc<RefCell<ScheduleTrace>> {
+        Rc::new(RefCell::new(ScheduleTrace {
+            decisions: Vec::new(),
+            prescription,
+        }))
+    }
+}
+
+/// A [`ReorderPolicy`] that records every choice point into a shared
+/// [`ScheduleTrace`] and follows the trace's prescription.
+pub struct ScriptedPolicy {
+    window: Time,
+    trace: Rc<RefCell<ScheduleTrace>>,
+}
+
+impl ScriptedPolicy {
+    /// A policy reordering within `window` and steered by `trace`.
+    pub fn new(window: Time, trace: Rc<RefCell<ScheduleTrace>>) -> ScriptedPolicy {
+        ScriptedPolicy { window, trace }
+    }
+}
+
+impl ReorderPolicy for ScriptedPolicy {
+    fn window(&self) -> Time {
+        self.window
+    }
+
+    fn choose(&mut self, cands: &[EventMeta]) -> usize {
+        let mut t = self.trace.borrow_mut();
+        let idx = t.decisions.len();
+        t.decisions.push(Decision {
+            cands: cands.to_vec(),
+        });
+        t.prescription.get(&idx).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(seq: u64, tag: u64) -> EventMeta {
+        EventMeta {
+            seq,
+            at: Time::ZERO,
+            tag,
+        }
+    }
+
+    #[test]
+    fn scripted_policy_records_and_follows_the_prescription() {
+        let trace = ScheduleTrace::scripted(Prescription::from([(1, 2)]));
+        let mut p = ScriptedPolicy::new(Time::from_ns(1), Rc::clone(&trace));
+        assert_eq!(p.choose(&[meta(0, 1), meta(1, 2)]), 0);
+        assert_eq!(p.choose(&[meta(2, 1), meta(3, 2), meta(4, 3)]), 2);
+        assert_eq!(p.choose(&[meta(5, 1), meta(6, 2)]), 0);
+        let t = trace.borrow();
+        assert_eq!(t.decisions.len(), 3);
+        assert_eq!(t.decisions[1].cands.len(), 3);
+        assert_eq!(t.decisions[2].cands[1].seq, 6);
+    }
+}

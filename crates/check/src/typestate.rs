@@ -1,0 +1,1093 @@
+//! Intra-procedural channel-handle typestate analysis.
+//!
+//! The dynamic sanitizer (`ckd-race`) sees one schedule; the textual lint
+//! (`ckd-race::lint`) sees one line at a time. This pass sits between
+//! them: it parses each function into a statement tree (branches, match
+//! arms, loops) and tracks the CkDirect handle protocol
+//! `create → assoc → armed → put → consumed` across paths, flagging only
+//! **definite** misuse — a path on which the protocol is violated no
+//! matter how the schedule falls out:
+//!
+//! * `double-put-in-flight` — two puts on the same (non-indexed) handle
+//!   in one handler activation with no completion possible in between.
+//!   Puts in mutually-exclusive branch arms don't pair; indexed handles
+//!   (`handles[d]`) are per-neighbor channels and are exempt.
+//! * `read-outside-callback` — `direct_recv_region` in a function that is
+//!   neither `direct_callback` nor reachable from one (same-impl call
+//!   graph, depth ≤ 2): the landing buffer is read with no completion
+//!   evidence on any path.
+//! * `skip-ready-path` — inside `direct_callback`, an explicit branch
+//!   (if/else or match) where one arm re-arms (`direct_ready*`) and a
+//!   sibling arm does not, while the protocol still continues toward a
+//!   put afterwards (same-impl calls inlined depth ≤ 2). The classic
+//!   "forgot the re-arm on one path" bug.
+//! * `put-before-assoc` — a handle created and put in the same function
+//!   with no `direct_assoc` in between on that path.
+//! * `handle-never-used` — a locally-bound created handle that is never
+//!   referenced again: an armed channel dropped on the floor.
+//!
+//! A finding can be acknowledged with a `ckd-check: allow(<rule>)` marker
+//! on the same line. The deliberately-racy mutants in `ckd-apps` carry
+//! `ckd-lint` markers (for the textual lint) but **not** `ckd-check`
+//! markers — this pass is required to flag them.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Rule identifiers, in severity order.
+pub const TS_RULES: [&str; 5] = [
+    "double-put-in-flight",
+    "read-outside-callback",
+    "skip-ready-path",
+    "put-before-assoc",
+    "handle-never-used",
+];
+
+/// One typestate violation.
+#[derive(Clone, Debug)]
+pub struct TsFinding {
+    /// File the violation is in.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (one of [`TS_RULES`]).
+    pub rule: &'static str,
+    /// Function the violation is in.
+    pub func: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl TsFinding {
+    /// One-line report form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] in `{}`: {}",
+            self.file, self.line, self.rule, self.func, self.detail
+        )
+    }
+}
+
+// ---- source scrubbing ------------------------------------------------------
+
+/// Blank comments and string/char-literal contents (preserving line
+/// structure and length) so brace counting and keyword scans are safe.
+fn scrub(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && !(b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/') {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+            }
+            b'r' if i + 1 < b.len()
+                && (b[i + 1] == b'"'
+                    || (b[i + 1] == b'#' && i + 2 < b.len() && b[i + 2] == b'"')) =>
+            {
+                // raw string: r"…" or r#"…"#
+                let hashed = b[i + 1] == b'#';
+                let skip = if hashed { 3 } else { 2 };
+                out.resize(out.len() + skip, b' ');
+                i += skip;
+                let close: &[u8] = if hashed { b"\"#" } else { b"\"" };
+                while i < b.len() && !b[i..].starts_with(close) {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                let tail = close.len().min(b.len() - i);
+                out.resize(out.len() + tail, b' ');
+                i += tail;
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b'"');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // char literal ('x' or '\x'); otherwise a lifetime — keep
+                let lit = (i + 2 < b.len() && b[i + 1] != b'\\' && b[i + 2] == b'\'')
+                    || (i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'');
+                if lit {
+                    let n = if b[i + 1] == b'\\' { 4 } else { 3 };
+                    out.resize(out.len() + n, b' ');
+                    i += n;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("ascii-preserving scrub")
+}
+
+fn line_of(src: &str, offset: usize) -> usize {
+    src[..offset.min(src.len())].matches('\n').count() + 1
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Find `word` as a standalone identifier in `s`, returning the last
+/// occurrence's offset.
+fn last_word(s: &str, word: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut best = None;
+    let mut from = 0;
+    while let Some(p) = s[from..].find(word) {
+        let at = from + p;
+        let ok_before = at == 0 || !is_ident(b[at - 1]);
+        let after = at + word.len();
+        let ok_after = after >= b.len() || !is_ident(b[after]);
+        if ok_before && ok_after {
+            best = Some(at);
+        }
+        from = at + word.len();
+    }
+    best
+}
+
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        if c == b'{' {
+            depth += 1;
+        } else if c == b'}' {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    b.len()
+}
+
+// ---- impl / fn extraction --------------------------------------------------
+
+/// One function body (absolute offsets into the scrubbed file).
+#[derive(Clone, Debug)]
+struct FnInfo {
+    name: String,
+    /// Offset of the body's opening brace.
+    body_open: usize,
+    /// Offset of the body's closing brace.
+    body_close: usize,
+}
+
+/// All functions belonging to one type — inherent and trait `impl` blocks
+/// merged, since the protocol flows across them (`direct_callback` in
+/// `impl Chare for T` calling helpers in `impl T`). Free functions live
+/// in an unnamed pseudo-impl.
+#[derive(Clone, Debug)]
+struct ImplInfo {
+    fns: Vec<FnInfo>,
+}
+
+fn parse_impls(s: &str) -> Vec<ImplInfo> {
+    let b = s.as_bytes();
+    // (start, end, type name) of every impl body
+    let mut spans: Vec<(usize, usize, String)> = Vec::new();
+    let mut from = 0;
+    while let Some(p) = s[from..].find("impl") {
+        let at = from + p;
+        from = at + 4;
+        let ok_before = at == 0 || !is_ident(b[at - 1]);
+        if !ok_before || at + 4 >= b.len() || is_ident(b[at + 4]) {
+            continue;
+        }
+        let Some(rel_open) = s[at..].find('{') else {
+            continue;
+        };
+        let open = at + rel_open;
+        // `impl Chare for MutantPeer` → MutantPeer; `impl MutantPeer` → same
+        let name = s[at..open]
+            .split_whitespace()
+            .last()
+            .unwrap_or("")
+            .trim_matches(|c: char| !c.is_alphanumeric() && c != '_')
+            .to_owned();
+        spans.push((open, matching_brace(b, open), name));
+    }
+
+    // merge blocks by type name so the call graph crosses inherent/trait
+    // impl boundaries
+    let mut names: Vec<String> = Vec::new();
+    let owner_of: Vec<usize> = spans
+        .iter()
+        .map(|(_, _, n)| {
+            names.iter().position(|x| x == n).unwrap_or_else(|| {
+                names.push(n.clone());
+                names.len() - 1
+            })
+        })
+        .collect();
+    let mut impls: Vec<ImplInfo> = names.iter().map(|_| ImplInfo { fns: Vec::new() }).collect();
+    impls.push(ImplInfo { fns: Vec::new() });
+    let free = impls.len() - 1;
+
+    let mut from = 0;
+    while let Some(p) = s[from..].find("fn ") {
+        let at = from + p;
+        from = at + 3;
+        if at > 0 && is_ident(b[at - 1]) {
+            continue;
+        }
+        let name: String = s[at + 3..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let Some(rel_open) = s[at..].find('{') else {
+            continue;
+        };
+        // a `;`-terminated prototype (trait method) has no body
+        if s[at..at + rel_open].contains(';') {
+            continue;
+        }
+        let open = at + rel_open;
+        let close = matching_brace(b, open);
+        from = close.max(from);
+        let f = FnInfo {
+            name,
+            body_open: open,
+            body_close: close,
+        };
+        // innermost enclosing impl wins (spans can nest via nested mods)
+        let owner = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, (o, c, _))| *o < at && at < *c)
+            .max_by_key(|(_, (o, _, _))| *o)
+            .map_or(free, |(i, _)| owner_of[i]);
+        impls[owner].fns.push(f);
+    }
+    impls
+}
+
+// ---- statement tree --------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// A flat segment: (absolute offset, text).
+    Text(usize, String),
+    /// if / else-if / else chain: one block per arm.
+    If {
+        arms: Vec<Vec<Node>>,
+        has_else: bool,
+        at: usize,
+    },
+    /// match: one block per arm.
+    Match { arms: Vec<Vec<Node>>, at: usize },
+    /// for / while / loop body.
+    Loop { body: Vec<Node> },
+    /// Any other braced group (plain block, closure, struct literal…).
+    Block { body: Vec<Node> },
+}
+
+/// Parse the text spanning `[start, end)` (absolute offsets into the
+/// scrubbed file `s`) into a statement list.
+fn parse_block(s: &str, start: usize, end: usize) -> Vec<Node> {
+    let b = s.as_bytes();
+    let mut nodes = Vec::new();
+    let mut seg_start = start;
+    let mut i = start;
+    while i < end {
+        match b[i] {
+            b';' => {
+                nodes.push(Node::Text(seg_start, s[seg_start..=i].to_owned()));
+                seg_start = i + 1;
+                i += 1;
+            }
+            b'{' => {
+                let close = matching_brace(b, i).min(end);
+                let seg = &s[seg_start..i];
+                let kw = |w: &str| last_word(seg, w);
+                let k_if = kw("if");
+                let k_else = kw("else");
+                let k_match = kw("match");
+                let k_loop = [kw("for"), kw("while"), kw("loop")]
+                    .into_iter()
+                    .flatten()
+                    .max();
+                let best = [k_if, k_else, k_match, k_loop].into_iter().flatten().max();
+                // `else { … }` / `else if … { … }` arms attach to the
+                // preceding If and don't push their header text
+                let else_arm =
+                    matches!(best, Some(p) if Some(p) == k_else && k_if.map_or(true, |q| q < p));
+                let elseif_arm =
+                    matches!(best, Some(p) if Some(p) == k_if && k_else.is_some_and(|q| q < p));
+                if !(else_arm || elseif_arm || seg.trim().is_empty()) {
+                    // keep any leading flat statement text for the scans
+                    nodes.push(Node::Text(seg_start, seg.to_owned()));
+                }
+                let inner = || parse_block(s, i + 1, close);
+                if else_arm || elseif_arm {
+                    // most recent non-Text node is the chain's If (header
+                    // Texts may sit in between)
+                    let target = nodes
+                        .iter_mut()
+                        .rev()
+                        .find(|n| !matches!(n, Node::Text(..)));
+                    if let Some(Node::If { arms, has_else, .. }) = target {
+                        arms.push(inner());
+                        if else_arm {
+                            *has_else = true;
+                        }
+                    } else {
+                        nodes.push(Node::Block { body: inner() });
+                    }
+                } else {
+                    match best {
+                        Some(p) if Some(p) == k_if => {
+                            nodes.push(Node::If {
+                                arms: vec![inner()],
+                                has_else: false,
+                                at: i,
+                            });
+                        }
+                        Some(p) if Some(p) == k_match => {
+                            nodes.push(Node::Match {
+                                arms: parse_match_arms(s, i + 1, close),
+                                at: i,
+                            });
+                        }
+                        Some(p) if Some(p) == k_loop => {
+                            nodes.push(Node::Loop { body: inner() });
+                        }
+                        _ => nodes.push(Node::Block { body: inner() }),
+                    }
+                }
+                seg_start = close + 1;
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if seg_start < end && !s[seg_start..end].trim().is_empty() {
+        nodes.push(Node::Text(seg_start, s[seg_start..end].to_owned()));
+    }
+    nodes
+}
+
+/// Parse a match body `[start, end)` into arm blocks.
+fn parse_match_arms(s: &str, start: usize, end: usize) -> Vec<Vec<Node>> {
+    let b = s.as_bytes();
+    let mut arms = Vec::new();
+    let mut i = start;
+    let mut depth = 0usize;
+    while i < end {
+        match b[i] {
+            b'(' | b'[' | b'{' => {
+                if b[i] == b'{' {
+                    i = matching_brace(b, i);
+                } else {
+                    depth += 1;
+                }
+                i += 1;
+            }
+            b')' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'=' if depth == 0 && i + 1 < end && b[i + 1] == b'>' => {
+                let mut j = i + 2;
+                while j < end && (b[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                if j < end && b[j] == b'{' {
+                    let close = matching_brace(b, j).min(end);
+                    arms.push(parse_block(s, j + 1, close));
+                    i = close + 1;
+                } else {
+                    // expression arm: up to the depth-0 comma
+                    let mut k = j;
+                    let mut d = 0usize;
+                    while k < end {
+                        match b[k] {
+                            b'(' | b'[' => d += 1,
+                            b')' | b']' => d = d.saturating_sub(1),
+                            b'{' => k = matching_brace(b, k),
+                            b',' if d == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    arms.push(vec![Node::Text(j, s[j..k].to_owned())]);
+                    i = k + 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    arms
+}
+
+// ---- scans over the tree ---------------------------------------------------
+
+fn flat_text(nodes: &[Node], out: &mut String) {
+    for n in nodes {
+        match n {
+            Node::Text(_, t) => {
+                out.push_str(t);
+                out.push('\n');
+            }
+            Node::If { arms, .. } | Node::Match { arms, .. } => {
+                for a in arms {
+                    flat_text(a, out);
+                }
+            }
+            Node::Loop { body } | Node::Block { body } => flat_text(body, out),
+        }
+    }
+}
+
+fn contains_call(nodes: &[Node], name: &str) -> bool {
+    let mut t = String::new();
+    flat_text(nodes, &mut t);
+    t.contains(name)
+}
+
+/// Same-impl method names invoked as `self.name(…)` in `text`.
+fn self_callees(text: &str) -> Vec<String> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find("self.") {
+        let at = from + p + 5;
+        from = at;
+        let name: String = text[at..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let after = at + name.len();
+        if !name.is_empty() && b.get(after) == Some(&b'(') {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Whether `text` can reach a `direct_put` through same-impl calls
+/// (inlining depth ≤ 2).
+fn put_reachable(text: &str, fns: &[(String, String)], depth: u32) -> bool {
+    if text.contains("direct_put(") {
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    self_callees(text).iter().any(|callee| {
+        fns.iter()
+            .filter(|(n, _)| n == callee)
+            .any(|(_, body)| put_reachable(body, fns, depth - 1))
+    })
+}
+
+fn allowed(src_lines: &[&str], line: usize, rule: &str) -> bool {
+    src_lines
+        .get(line.saturating_sub(1))
+        .is_some_and(|l| l.contains(&format!("ckd-check: allow({rule})")))
+}
+
+// ---- the rules -------------------------------------------------------------
+
+struct RuleCtx<'a> {
+    file: &'a str,
+    scrubbed: &'a str,
+    src_lines: Vec<&'a str>,
+    findings: Vec<TsFinding>,
+}
+
+impl RuleCtx<'_> {
+    fn flag(&mut self, rule: &'static str, func: &str, offset: usize, detail: String) {
+        let line = line_of(self.scrubbed, offset);
+        if allowed(&self.src_lines, line, rule) {
+            return;
+        }
+        self.findings.push(TsFinding {
+            file: self.file.to_owned(),
+            line,
+            rule,
+            func: func.to_owned(),
+            detail,
+        });
+    }
+}
+
+/// A `direct_put` call site: the handle-argument text, the branch path
+/// (`(branch id, arm idx)` pairs), loop nesting, and offset.
+struct PutSite {
+    arg: String,
+    path: Vec<(u32, usize)>,
+    in_loop: bool,
+    at: usize,
+}
+
+fn collect_puts(
+    nodes: &[Node],
+    path: &mut Vec<(u32, usize)>,
+    in_loop: bool,
+    next_branch: &mut u32,
+    out: &mut Vec<PutSite>,
+) {
+    for n in nodes {
+        match n {
+            Node::Text(off, t) => {
+                let mut from = 0;
+                while let Some(p) = t[from..].find("direct_put(") {
+                    let a = from + p + "direct_put(".len();
+                    let mut depth = 1usize;
+                    let mut k = a;
+                    let b = t.as_bytes();
+                    while k < b.len() && depth > 0 {
+                        match b[k] {
+                            b'(' => depth += 1,
+                            b')' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    out.push(PutSite {
+                        arg: t[a..k.saturating_sub(1)].trim().to_owned(),
+                        path: path.clone(),
+                        in_loop,
+                        at: off + from + p,
+                    });
+                    from = a;
+                }
+            }
+            Node::If { arms, .. } | Node::Match { arms, .. } => {
+                let id = *next_branch;
+                *next_branch += 1;
+                for (ai, a) in arms.iter().enumerate() {
+                    path.push((id, ai));
+                    collect_puts(a, path, in_loop, next_branch, out);
+                    path.pop();
+                }
+            }
+            Node::Loop { body } => collect_puts(body, path, true, next_branch, out),
+            Node::Block { body } => collect_puts(body, path, in_loop, next_branch, out),
+        }
+    }
+}
+
+fn mutually_exclusive(a: &[(u32, usize)], b: &[(u32, usize)]) -> bool {
+    a.iter()
+        .any(|(id, arm)| b.iter().any(|(id2, arm2)| id == id2 && arm != arm2))
+}
+
+fn rule_double_put(ctx: &mut RuleCtx<'_>, func: &str, body: &[Node]) {
+    let mut sites = Vec::new();
+    collect_puts(body, &mut Vec::new(), false, &mut 0, &mut sites);
+    for i in 0..sites.len() {
+        for j in i + 1..sites.len() {
+            let (a, b) = (&sites[i], &sites[j]);
+            if a.arg != b.arg || a.arg.contains('[') || a.in_loop || b.in_loop {
+                continue;
+            }
+            if mutually_exclusive(&a.path, &b.path) {
+                continue;
+            }
+            ctx.flag(
+                "double-put-in-flight",
+                func,
+                b.at,
+                format!(
+                    "second `direct_put({})` with the first still in flight (no completion can intervene within one handler); line {} holds the first",
+                    a.arg,
+                    line_of(ctx.scrubbed, a.at)
+                ),
+            );
+        }
+    }
+}
+
+fn rule_read_outside_callback(
+    ctx: &mut RuleCtx<'_>,
+    func: &str,
+    body_text: &str,
+    body_open: usize,
+    reachable_from_callback: bool,
+) {
+    if func == "direct_callback" || reachable_from_callback {
+        return;
+    }
+    let mut from = 0;
+    while let Some(p) = body_text[from..].find("direct_recv_region(") {
+        let at = from + p;
+        from = at + 1;
+        ctx.flag(
+            "read-outside-callback",
+            func,
+            body_open + at,
+            "landing buffer read outside any completion callback: no path carries evidence the put finished landing".to_owned(),
+        );
+    }
+}
+
+/// In `direct_callback`: an explicit branch where one arm re-arms and a
+/// sibling doesn't, while a put is still reachable afterwards.
+fn rule_skip_ready(ctx: &mut RuleCtx<'_>, func: &str, body: &[Node], fns: &[(String, String)]) {
+    fn arm_text(a: &[Node]) -> String {
+        let mut t = String::new();
+        flat_text(a, &mut t);
+        t
+    }
+    fn walk(
+        ctx: &mut RuleCtx<'_>,
+        func: &str,
+        nodes: &[Node],
+        after: &str,
+        fns: &[(String, String)],
+    ) {
+        for (i, n) in nodes.iter().enumerate() {
+            let rest = || {
+                let mut t = String::new();
+                flat_text(&nodes[i + 1..], &mut t);
+                t.push_str(after);
+                t
+            };
+            match n {
+                Node::If { arms, at, .. } | Node::Match { arms, at } => {
+                    let explicit = match n {
+                        Node::If { has_else, .. } => *has_else,
+                        _ => true,
+                    };
+                    let readied: Vec<bool> = arms
+                        .iter()
+                        .map(|a| contains_call(a, "direct_ready"))
+                        .collect();
+                    if explicit && readied.iter().any(|r| *r) && readied.iter().any(|r| !*r) {
+                        let tail = rest();
+                        let bare_continues = arms
+                            .iter()
+                            .zip(&readied)
+                            .filter(|(_, r)| !**r)
+                            .any(|(a, _)| put_reachable(&arm_text(a), fns, 2));
+                        if bare_continues || put_reachable(&tail, fns, 2) {
+                            ctx.flag(
+                                "skip-ready-path",
+                                func,
+                                *at,
+                                "one branch arm re-arms the channel, a sibling arm does not, and the protocol continues toward another put — the bare arm leaves the next put landing on an unconsumed window".to_owned(),
+                            );
+                        }
+                    }
+                    for a in arms {
+                        walk(ctx, func, a, &rest(), fns);
+                    }
+                }
+                Node::Loop { body } | Node::Block { body } => {
+                    walk(ctx, func, body, &rest(), fns);
+                }
+                Node::Text(..) => {}
+            }
+        }
+    }
+    walk(ctx, func, body, "", fns);
+}
+
+fn rule_put_before_assoc(ctx: &mut RuleCtx<'_>, func: &str, body_text: &str, body_open: usize) {
+    // `let X = … direct_create_handle…` then `direct_put(…X…)` with no
+    // `direct_assoc…(…X…)` in between (straight-line textual order).
+    let mut from = 0;
+    while let Some(p) = body_text[from..].find("direct_create_handle") {
+        let at = from + p;
+        from = at + 1;
+        let Some(let_pos) = body_text[..at].rfind("let ") else {
+            continue;
+        };
+        let binding: String = body_text[let_pos + 4..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if binding.is_empty() {
+            continue;
+        }
+        let rest = &body_text[at..];
+        let put = last_word(rest, "direct_put")
+            .map(|_| rest.find("direct_put").unwrap())
+            .filter(|p| {
+                let args = &rest[*p..rest.len().min(*p + 120)];
+                last_word(args, &binding).is_some()
+            });
+        let Some(put_pos) = put else { continue };
+        let between = &rest[..put_pos];
+        if last_word(between, "direct_assoc_local").is_none() && !between.contains("direct_assoc") {
+            ctx.flag(
+                "put-before-assoc",
+                func,
+                body_open + at + put_pos,
+                format!("`direct_put({binding})` before any `direct_assoc` on the handle created here: nothing is attached to send"),
+            );
+        }
+    }
+}
+
+fn rule_handle_never_used(ctx: &mut RuleCtx<'_>, func: &str, body_text: &str, body_open: usize) {
+    let mut from = 0;
+    while let Some(p) = body_text[from..].find("direct_create_handle") {
+        let at = from + p;
+        from = at + 1;
+        let Some(let_pos) = body_text[..at].rfind("let ") else {
+            continue;
+        };
+        // only a plain `let x = …` binding (skip `let Some(x)`, fields, …)
+        let binding: String = body_text[let_pos + 4..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if binding.is_empty() || binding == "_" {
+            continue;
+        }
+        // end of the binding statement
+        let Some(semi) = body_text[at..].find(';') else {
+            continue;
+        };
+        let rest = &body_text[at + semi..];
+        if last_word(rest, &binding).is_none() {
+            ctx.flag(
+                "handle-never-used",
+                func,
+                body_open + at,
+                format!("created handle `{binding}` is never referenced again: an armed channel dropped on the floor"),
+            );
+        }
+    }
+}
+
+// ---- driver ----------------------------------------------------------------
+
+/// Analyze one source file.
+pub fn analyze_source(file: &str, src: &str) -> Vec<TsFinding> {
+    let scrubbed = scrub(src);
+    let mut ctx = RuleCtx {
+        file,
+        scrubbed: &scrubbed,
+        src_lines: src.lines().collect(),
+        findings: Vec::new(),
+    };
+    for im in parse_impls(&scrubbed) {
+        let fns: Vec<(String, String)> = im
+            .fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    scrubbed[f.body_open + 1..f.body_close].to_owned(),
+                )
+            })
+            .collect();
+        // functions reachable (depth ≤ 2) from a direct_callback
+        let mut reach: Vec<String> = Vec::new();
+        for (n, body) in &fns {
+            if n != "direct_callback" {
+                continue;
+            }
+            for c1 in self_callees(body) {
+                for (n2, b2) in &fns {
+                    if *n2 == c1 {
+                        reach.extend(self_callees(b2));
+                    }
+                }
+                reach.push(c1);
+            }
+        }
+        for f in &im.fns {
+            let body = parse_block(&scrubbed, f.body_open + 1, f.body_close);
+            let body_text = &scrubbed[f.body_open + 1..f.body_close];
+            rule_double_put(&mut ctx, &f.name, &body);
+            rule_read_outside_callback(
+                &mut ctx,
+                &f.name,
+                body_text,
+                f.body_open + 1,
+                reach.contains(&f.name),
+            );
+            if f.name == "direct_callback" {
+                rule_skip_ready(&mut ctx, &f.name, &body, &fns);
+            }
+            rule_put_before_assoc(&mut ctx, &f.name, body_text, f.body_open + 1);
+            rule_handle_never_used(&mut ctx, &f.name, body_text, f.body_open + 1);
+        }
+    }
+    ctx.findings
+}
+
+/// Analyze every `.rs` file under each path (file or directory, one level
+/// of recursion like the textual lint).
+pub fn analyze_paths(paths: &[String]) -> io::Result<Vec<TsFinding>> {
+    let mut files = Vec::new();
+    for p in paths {
+        collect_rs(Path::new(p), &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let src = fs::read_to_string(&f)?;
+        out.extend(analyze_source(&f.to_string_lossy(), &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs(p: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    if p.is_dir() {
+        for e in fs::read_dir(p)? {
+            collect_rs(&e?.path(), out)?;
+        }
+    } else if p.extension().is_some_and(|e| e == "rs") {
+        out.push(p.to_path_buf());
+    }
+    Ok(())
+}
+
+/// The acceptance gate: the three deliberately-racy mutants must be
+/// flagged (by their respective rules, all in `mutants.rs`) and every
+/// other scanned file must be clean.
+pub fn typestate_gate(findings: &[TsFinding]) -> Result<String, String> {
+    let in_mutants: Vec<&TsFinding> = findings
+        .iter()
+        .filter(|f| f.file.ends_with("mutants.rs"))
+        .collect();
+    let elsewhere: Vec<&TsFinding> = findings
+        .iter()
+        .filter(|f| !f.file.ends_with("mutants.rs"))
+        .collect();
+    if !elsewhere.is_empty() {
+        let lines: Vec<String> = elsewhere.iter().map(|f| f.render()).collect();
+        return Err(format!(
+            "typestate findings outside mutants.rs:\n{}",
+            lines.join("\n")
+        ));
+    }
+    for want in [
+        "double-put-in-flight",
+        "read-outside-callback",
+        "skip-ready-path",
+    ] {
+        if !in_mutants.iter().any(|f| f.rule == want) {
+            return Err(format!(
+                "mutants.rs should trip `{want}` but did not (found: {:?})",
+                in_mutants.iter().map(|f| f.rule).collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(format!(
+        "typestate gate: {} finding(s), all in mutants.rs, all three racy mutants flagged",
+        in_mutants.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        analyze_source("test.rs", src)
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn double_put_on_one_path_is_flagged() {
+        let src = r#"
+impl P {
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx.direct_put(h);
+        if self.kind == Kind::Double && self.bounces == 0 {
+            let _ = ctx.direct_put(h);
+        }
+    }
+}
+"#;
+        assert_eq!(rules_of(src), ["double-put-in-flight"]);
+    }
+
+    #[test]
+    fn puts_in_sibling_arms_do_not_pair() {
+        let src = r#"
+impl P {
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        if self.left {
+            let _ = ctx.direct_put(h);
+        } else {
+            let _ = ctx.direct_put(h);
+        }
+    }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn indexed_and_looped_puts_are_exempt() {
+        let src = r#"
+impl P {
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.direct_put(self.handles[0]).unwrap();
+        ctx.direct_put(self.handles[1]).unwrap();
+        for d in 0..6 {
+            ctx.direct_put(h).unwrap();
+        }
+    }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn recv_read_in_entry_is_flagged_but_callback_helpers_are_fine() {
+        let bad = r#"
+impl P {
+    fn entry(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let r = ctx.direct_recv_region(h).expect("region");
+    }
+}
+"#;
+        assert_eq!(rules_of(bad), ["read-outside-callback"]);
+        let good = r#"
+impl P {
+    fn consume(&mut self, ctx: &mut Ctx<'_>) {
+        let r = ctx.direct_recv_region(h).expect("region");
+    }
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, h: HandleId) {
+        self.consume(ctx);
+    }
+}
+"#;
+        assert!(rules_of(good).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_ready_branch_with_continuation_is_flagged() {
+        let src = r#"
+impl P {
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx.direct_put(h);
+    }
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, handle: HandleId) {
+        if self.skip {
+        } else {
+            ctx.direct_ready(handle).expect("ready");
+        }
+        if self.bounces < self.iters {
+            self.serve(ctx);
+        }
+    }
+}
+"#;
+        assert_eq!(rules_of(src), ["skip-ready-path"]);
+    }
+
+    #[test]
+    fn guarded_ready_without_else_is_not_flagged() {
+        // the jacobi/matmul shape: `if <have channel> { ready }` with no
+        // else arm, followed by protocol continuation
+        let src = r#"
+impl P {
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx.direct_put(h);
+    }
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, handle: HandleId) {
+        if self.have_channel {
+            ctx.direct_ready(handle).expect("ready");
+        }
+        self.serve(ctx);
+    }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn ready_mark_counts_as_a_re_arm() {
+        let src = r#"
+impl P {
+    fn direct_callback(&mut self, ctx: &mut Ctx<'_>, _tag: u32, h: HandleId) {
+        if self.split {
+            ctx.direct_ready_mark(h).expect("mark");
+        } else {
+            ctx.direct_ready(h).expect("ready");
+        }
+        ctx.direct_put(self.out).unwrap();
+    }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn put_before_assoc_and_dropped_handle_are_flagged() {
+        let src = r#"
+impl P {
+    fn bad_put(&mut self, ctx: &mut Ctx<'_>) {
+        let h = ctx.direct_create_handle(r, PAT, 0).expect("create");
+        ctx.direct_put(h).expect("put");
+    }
+    fn bad_drop(&mut self, ctx: &mut Ctx<'_>) {
+        let h = ctx.direct_create_handle(r, PAT, 0).expect("create");
+        self.other = 1;
+    }
+    fn good(&mut self, ctx: &mut Ctx<'_>) {
+        let h = ctx.direct_create_handle(r, PAT, 0).expect("create");
+        ctx.direct_assoc_local(h, r2).expect("assoc");
+        ctx.direct_put(h).expect("put");
+    }
+}
+"#;
+        let rules = rules_of(src);
+        assert!(rules.contains(&"put-before-assoc"), "{rules:?}");
+        assert!(rules.contains(&"handle-never-used"), "{rules:?}");
+        assert_eq!(rules.len(), 2, "{rules:?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses_a_finding() {
+        let src = r#"
+impl P {
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx.direct_put(h);
+        let _ = ctx.direct_put(h); // ckd-check: allow(double-put-in-flight)
+    }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+}

@@ -27,10 +27,12 @@
 
 pub mod clock;
 pub mod diag;
+pub mod independence;
 pub mod lint;
 pub mod sanitizer;
 
 pub use clock::VectorClock;
 pub use diag::{Diagnostic, EventRef, RaceKind};
+pub use independence::{commutes, Footprint};
 pub use lint::{lint_file, lint_paths, lint_source, LintFinding, RULES};
 pub use sanitizer::{DirectOp, SanCore, Sanitizer, SanitizerConfig};

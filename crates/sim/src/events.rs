@@ -22,6 +22,64 @@
 
 use crate::time::Time;
 
+/// What a [`ReorderPolicy`] is allowed to see about a pending event: its
+/// identity (`seq`), its timestamp, and the opaque footprint tag the
+/// runtime attached at push time (0 = unknown, conservatively conflicting
+/// with everything — the encoding is owned by `ckd-race`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventMeta {
+    /// The event's unique, monotone sequence number.
+    pub seq: u64,
+    /// The event's scheduled firing time.
+    pub at: Time,
+    /// Footprint tag attached via [`EventQueue::push_tagged`] (0 if the
+    /// event was pushed through plain [`EventQueue::push`]).
+    pub tag: u64,
+}
+
+/// A pluggable pop-order policy: at each pop the queue collects every
+/// pending event whose timestamp lies within [`ReorderPolicy::window`] of
+/// the earliest one and, when there is more than one, lets the policy pick
+/// which fires next. Index 0 of the candidate slice is always the
+/// canonical `(time, seq)` minimum, so a policy that returns 0 reproduces
+/// the default order exactly (see [`IdentityPolicy`]).
+///
+/// Installing a policy relaxes the queue's causality checks: choosing a
+/// later candidate lets virtual time regress when the jumped-over event is
+/// eventually popped, so the horizon becomes a high-water mark instead of
+/// a monotone floor. With no policy installed the queue's behavior — and
+/// its debug assertions — are byte-identical to the policy-free build.
+pub trait ReorderPolicy {
+    /// Width of the commutation window: candidates are all pending events
+    /// with `at <= earliest + window`. `Time::ZERO` restricts reordering
+    /// to same-virtual-time events.
+    fn window(&self) -> Time;
+
+    /// Pick the next event among `cands` (sorted by `(time, seq)`; always
+    /// at least two entries — singleton pops never consult the policy).
+    /// Out-of-range returns are clamped to the last candidate.
+    fn choose(&mut self, cands: &[EventMeta]) -> usize;
+}
+
+/// The do-nothing policy: always picks the canonical minimum. Exists so
+/// tests can prove the policy seam itself is order-transparent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityPolicy {
+    /// Window to advertise (exercises candidate collection without
+    /// changing the chosen order).
+    pub window: Time,
+}
+
+impl ReorderPolicy for IdentityPolicy {
+    fn window(&self) -> Time {
+        self.window
+    }
+
+    fn choose(&mut self, _cands: &[EventMeta]) -> usize {
+        0
+    }
+}
+
 /// Heap entry: packed `(time, seq)` key plus the payload's slab slot.
 #[derive(Clone, Copy)]
 struct Entry {
@@ -45,12 +103,18 @@ pub struct EventQueue<E> {
     heap: Vec<Entry>,
     /// Payload slab; `None` slots are free and listed in `free`.
     slots: Vec<Option<E>>,
+    /// Footprint tags parallel to `slots` (0 when untagged). Only read
+    /// when a policy is installed.
+    tags: Vec<u64>,
     free: Vec<u32>,
     seq: u64,
     /// The timestamp of the most recently popped event. Pushing an event
     /// earlier than this is a causality violation and panics in debug builds.
+    /// With a [`ReorderPolicy`] installed it degrades to a high-water mark.
     horizon: Time,
     popped: u64,
+    /// Installed pop-order policy; `None` is the byte-identical fast path.
+    policy: Option<Box<dyn ReorderPolicy>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -65,10 +129,12 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::new(),
             slots: Vec::new(),
+            tags: Vec::new(),
             free: Vec::new(),
             seq: 0,
             horizon: Time::ZERO,
             popped: 0,
+            policy: None,
         }
     }
 
@@ -77,21 +143,45 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::with_capacity(cap),
             slots: Vec::with_capacity(cap),
+            tags: Vec::new(),
             free: Vec::new(),
             seq: 0,
             horizon: Time::ZERO,
             popped: 0,
+            policy: None,
         }
+    }
+
+    /// Install a [`ReorderPolicy`]. From here on pops consult the policy
+    /// whenever more than one pending event lies inside its window, and
+    /// the horizon check degrades to a high-water mark (reordering lets
+    /// virtual time regress by design).
+    pub fn set_policy(&mut self, policy: Box<dyn ReorderPolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// True when a [`ReorderPolicy`] is installed — the runtime uses this
+    /// to skip footprint computation entirely on the canonical path.
+    #[inline]
+    pub fn reordering(&self) -> bool {
+        self.policy.is_some()
     }
 
     /// Schedule `ev` to fire at absolute time `at`.
     ///
     /// `at` may equal the current horizon (same-timestamp events run in FIFO
-    /// push order) but must not precede it.
+    /// push order) but must not precede it, unless a policy is installed.
     #[inline]
     pub fn push(&mut self, at: Time, ev: E) {
+        self.push_tagged(at, 0, ev);
+    }
+
+    /// [`EventQueue::push`] with a footprint tag the installed policy (and
+    /// the model checker driving it) can read back through [`EventMeta`].
+    #[inline]
+    pub fn push_tagged(&mut self, at: Time, tag: u64, ev: E) {
         debug_assert!(
-            at >= self.horizon,
+            self.policy.is_some() || at >= self.horizon,
             "causality violation: scheduling at {at} behind horizon {}",
             self.horizon
         );
@@ -108,6 +198,12 @@ impl<E> EventQueue<E> {
                 s
             }
         };
+        if self.policy.is_some() {
+            if self.tags.len() <= slot as usize {
+                self.tags.resize(slot as usize + 1, 0);
+            }
+            self.tags[slot as usize] = tag;
+        }
         self.heap.push(Entry {
             key: pack(at, seq),
             slot,
@@ -116,9 +212,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Remove and return the earliest event, advancing the horizon to its
-    /// timestamp.
+    /// timestamp. With a policy installed, "earliest" becomes "whichever
+    /// in-window candidate the policy picks".
     #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        if self.policy.is_some() {
+            return self.pop_policy(Time::MAX);
+        }
         let root = *self.heap.first()?;
         self.remove_root();
         Some(self.take(root))
@@ -129,12 +229,54 @@ impl<E> EventQueue<E> {
     /// instead of a peek followed by a pop).
     #[inline]
     pub fn pop_before(&mut self, limit: Time) -> Option<(Time, E)> {
+        if self.policy.is_some() {
+            return self.pop_policy(limit);
+        }
         let root = *self.heap.first()?;
         if key_time(root.key) > limit {
             return None;
         }
         self.remove_root();
         Some(self.take(root))
+    }
+
+    /// The policy-mediated pop: collect every pending event inside the
+    /// window anchored at the earliest one (clamped to `limit`), hand the
+    /// sorted candidate list to the policy, and remove its pick from an
+    /// arbitrary heap position. O(n) per pop — model-checking runs only.
+    fn pop_policy(&mut self, limit: Time) -> Option<(Time, E)> {
+        let root = *self.heap.first()?;
+        let t0 = key_time(root.key);
+        if t0 > limit {
+            return None;
+        }
+        let mut policy = self.policy.take().expect("caller checked policy");
+        let cutoff = Time::from_ps(t0.as_ps().saturating_add(policy.window().as_ps())).min(limit);
+        let mut cands: Vec<(usize, Entry)> = self
+            .heap
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| key_time(e.key) <= cutoff)
+            .map(|(i, e)| (i, *e))
+            .collect();
+        cands.sort_by_key(|(_, e)| e.key);
+        let pick = if cands.len() > 1 {
+            let metas: Vec<EventMeta> = cands
+                .iter()
+                .map(|(_, e)| EventMeta {
+                    seq: e.key as u64,
+                    at: key_time(e.key),
+                    tag: self.tags.get(e.slot as usize).copied().unwrap_or(0),
+                })
+                .collect();
+            policy.choose(&metas).min(cands.len() - 1)
+        } else {
+            0
+        };
+        self.policy = Some(policy);
+        let (heap_idx, entry) = cands[pick];
+        self.remove_at(heap_idx);
+        Some(self.take(entry))
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -185,6 +327,21 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Drop the entry at heap index `i`, restoring the heap property in
+    /// whichever direction the swapped-in tail element violates it.
+    fn remove_at(&mut self, i: usize) {
+        let last = self.heap.pop().expect("caller checked non-empty");
+        if i == self.heap.len() {
+            return;
+        }
+        self.heap[i] = last;
+        if i > 0 && self.heap[i].key < self.heap[(i - 1) / 2].key {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+    }
+
     /// Extract the payload of a removed entry and account the pop.
     #[inline]
     fn take(&mut self, e: Entry) -> (Time, E) {
@@ -193,8 +350,8 @@ impl<E> EventQueue<E> {
             .expect("heap entry points at a live slot");
         self.free.push(e.slot);
         let at = key_time(e.key);
-        debug_assert!(at >= self.horizon);
-        self.horizon = at;
+        debug_assert!(self.policy.is_some() || at >= self.horizon);
+        self.horizon = self.horizon.max(at);
         self.popped += 1;
         (at, ev)
     }
@@ -320,6 +477,94 @@ mod tests {
         assert_eq!(q.pop_before(Time::MAX), None);
         assert_eq!(q.horizon(), Time::from_ns(30));
         assert_eq!(q.events_processed(), 2);
+    }
+
+    /// Picks the last (latest) in-window candidate — maximal reordering.
+    struct LastWins {
+        window: Time,
+    }
+
+    impl ReorderPolicy for LastWins {
+        fn window(&self) -> Time {
+            self.window
+        }
+        fn choose(&mut self, cands: &[EventMeta]) -> usize {
+            cands.len() - 1
+        }
+    }
+
+    #[test]
+    fn identity_policy_is_order_transparent() {
+        let mut plain = EventQueue::new();
+        let mut seamed = EventQueue::new();
+        seamed.set_policy(Box::new(IdentityPolicy {
+            window: Time::from_ns(50),
+        }));
+        assert!(seamed.reordering() && !plain.reordering());
+        for (i, ns) in [30u64, 10, 10, 20, 25, 10].iter().enumerate() {
+            plain.push(Time::from_ns(*ns), i);
+            seamed.push_tagged(Time::from_ns(*ns), i as u64 + 1, i);
+        }
+        loop {
+            let (a, b) = (plain.pop(), seamed.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn policy_reorders_only_inside_the_window() {
+        let mut q = EventQueue::new();
+        q.set_policy(Box::new(LastWins {
+            window: Time::from_ns(5),
+        }));
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(12), "b");
+        q.push(Time::from_ns(14), "c");
+        q.push(Time::from_ns(40), "far");
+        // window [10, 15]: candidates a/b/c, policy picks c; then [10, 15]
+        // again (time regresses legally): picks b, then a, then far.
+        assert_eq!(q.pop(), Some((Time::from_ns(14), "c")));
+        assert_eq!(q.pop(), Some((Time::from_ns(12), "b")));
+        assert_eq!(q.pop(), Some((Time::from_ns(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ns(40), "far")));
+        assert_eq!(q.horizon(), Time::from_ns(40));
+        assert_eq!(q.events_processed(), 4);
+    }
+
+    #[test]
+    fn policy_respects_pop_before_limit() {
+        let mut q = EventQueue::new();
+        q.set_policy(Box::new(LastWins {
+            window: Time::from_ns(100),
+        }));
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(60), "b");
+        // the window reaches b, but the scheduler's limit clamps it out
+        assert_eq!(
+            q.pop_before(Time::from_ns(20)),
+            Some((Time::from_ns(10), "a"))
+        );
+        assert_eq!(q.pop_before(Time::from_ns(20)), None);
+        assert_eq!(q.pop_before(Time::MAX), Some((Time::from_ns(60), "b")));
+    }
+
+    #[test]
+    fn policy_allows_pushes_behind_the_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.set_policy(Box::new(LastWins {
+            window: Time::from_ns(50),
+        }));
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(20), 2);
+        assert_eq!(q.pop(), Some((Time::from_ns(20), 2)));
+        // a handler running at the regressed time may schedule "behind"
+        // the high-water mark without tripping the causality assert
+        q.push(Time::from_ns(15), 3);
+        assert_eq!(q.pop(), Some((Time::from_ns(15), 3)));
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 1)));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{EventMeta, EventQueue, IdentityPolicy, ReorderPolicy};
 pub use fault::{FaultAction, FaultCounts, FaultKind, FaultOp, FaultPlan, FaultProbs, Link};
 pub use rng::DetRng;
 pub use stats::{Histogram, OnlineStats, Sampler};

@@ -12,6 +12,17 @@ run() {
     "$@"
 }
 
+# Scratch hygiene: no untracked top-level directories (stray examples_tmp/,
+# scratch/, … must either be committed or cleaned up before the gate).
+echo "==> no untracked top-level scratch directories"
+stray=$(git status --porcelain --untracked-files=normal \
+    | awk '$1 == "??" && $2 ~ /^[^\/]+\/$/ {print $2}')
+if [ -n "$stray" ]; then
+    echo "error: untracked top-level directories present:" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace -q
 
@@ -74,5 +85,16 @@ run scripts/bench_gate.sh
 # snapshot JSONL streams that are byte-identical across worker counts,
 # then print the merged phase/histogram report.
 run ./target/release/ckd-sweep profile --workers 2
+
+# Schedule-space model checker: the four paper apps must certify as
+# order-independent (with the DPOR pruning ratio gated at >= 2x inside the
+# binary), the emitted certificate must validate, the schedule-dependent
+# mutant — clean under the canonical schedule — must be caught with a
+# replayable counterexample, and the typestate pass must flag exactly the
+# racy mutants while every correct app stays clean.
+run ./target/release/ckd-check certify --budget 48 --out target/ckd-check-cert.json
+run ./target/release/ckd-check validate target/ckd-check-cert.json
+run ./target/release/ckd-check mutant --budget 16
+run ./target/release/ckd-check lint --gate crates/apps/src
 
 echo "All checks passed."

@@ -658,3 +658,88 @@ fn strided_channel_moves_exactly_the_window() {
         }
     }
 }
+
+// ----------------------------------------------------------- reorder policy
+
+/// A policy that picks a pseudo-random candidate at every choice point —
+/// the harshest schedule the seam can produce.
+struct ChaosPolicy {
+    rng: DetRng,
+    window: Time,
+}
+
+impl ckd_sim::ReorderPolicy for ChaosPolicy {
+    fn window(&self) -> Time {
+        self.window
+    }
+
+    fn choose(&mut self, cands: &[ckd_sim::EventMeta]) -> usize {
+        self.rng.range(0, cands.len() as u64) as usize
+    }
+}
+
+#[test]
+fn any_reorder_policy_schedule_is_a_valid_in_window_permutation() {
+    let mut rng = DetRng::new(0xC0DE).stream("reorder-permutation");
+    for case in 0..CASES {
+        let n = rng.range(1, 150) as usize;
+        let window = Time::from_ns(rng.range(0, 20));
+        let times: Vec<u64> = (0..n).map(|_| rng.range(0, 40)).collect();
+        let mut q = ckd_sim::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push_tagged(Time::from_ns(t), i as u64 + 1, i);
+        }
+        q.set_policy(Box::new(ChaosPolicy {
+            rng: DetRng::new(0xBAD5EED ^ case as u64).stream("chaos"),
+            window,
+        }));
+        let mut remaining: Vec<Time> = times.iter().map(|&t| Time::from_ns(t)).collect();
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            // every pop stays inside the window anchored at the current min
+            let min = *remaining.iter().min().expect("queue and model agree");
+            assert!(
+                t.as_ps() <= min.as_ps() + window.as_ps(),
+                "case {case}: popped {}ps with min {}ps window {}ps",
+                t.as_ps(),
+                min.as_ps(),
+                window.as_ps()
+            );
+            let at = remaining
+                .iter()
+                .position(|&r| r == t)
+                .expect("popped time was pending");
+            remaining.swap_remove(at);
+            popped.push(i);
+        }
+        // …and the drain is a permutation of the input
+        assert!(remaining.is_empty(), "case {case}");
+        popped.sort_unstable();
+        assert_eq!(popped, (0..n).collect::<Vec<_>>(), "case {case}");
+    }
+}
+
+#[test]
+fn identity_policy_is_byte_identical_to_the_min_heap_order() {
+    let mut rng = DetRng::new(0x1DE7).stream("identity-policy");
+    for case in 0..CASES {
+        let n = rng.range(1, 150) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.range(0, 40)).collect();
+        let mut plain = ckd_sim::EventQueue::new();
+        let mut scripted = ckd_sim::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            plain.push(Time::from_ns(t), i);
+            scripted.push_tagged(Time::from_ns(t), i as u64 + 1, i);
+        }
+        scripted.set_policy(Box::new(ckd_sim::IdentityPolicy {
+            window: Time::from_ns(rng.range(0, 20)),
+        }));
+        loop {
+            let (a, b) = (plain.pop(), scripted.pop());
+            assert_eq!(a, b, "case {case}: identity policy diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
