@@ -7,10 +7,15 @@
 //! ckd-sweep jacobi   [--workers N] [--out FILE]   # Fig 2(a) → BENCH_jacobi.json
 //! ckd-sweep matmul   [--workers N] [--out FILE]   # Fig 3(b) → BENCH_matmul.json
 //! ckd-sweep smoke    [--workers N]                # tiny grid, asserts N-worker == 1-worker bytes
+//! ckd-sweep pdes                                  # sharded-vs-serial byte-compare of a traced run
 //! ckd-sweep validate FILE...                      # schema-check BENCH_*.json files
 //! ckd-sweep profile  [--workers N] [--out FILE]   # profiled smoke grid: phase table,
 //!                                                 # histograms, snapshot validation
 //! ```
+//!
+//! `--shards N` forces every run of a grid onto the sharded PDES engine
+//! (`MachineBuilder::with_shards`); results are byte-identical either way,
+//! so the emitted file differs only in the `shards`/`pdes_rounds` fields.
 //!
 //! `sweep64` also times a one-worker serial pass over the same grid and
 //! records the wall-clock speedup in the emitted file; every command
@@ -33,12 +38,14 @@ fn cores() -> usize {
 struct Opts {
     workers: usize,
     out: Option<String>,
+    shards: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         workers: cores().min(4),
         out: None,
+        shards: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -53,10 +60,29 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--out" => {
                 opts.out = Some(it.next().ok_or("--out needs a path")?.clone());
             }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+                opts.shards = Some(n);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
     Ok(opts)
+}
+
+/// Apply a `--shards` override to every grid point.
+fn with_shards(grid: Vec<RunSpec>, shards: Option<usize>) -> Vec<RunSpec> {
+    match shards {
+        None => grid,
+        Some(n) => grid
+            .into_iter()
+            .map(|s| RunSpec { shards: n, ..s })
+            .collect(),
+    }
 }
 
 /// Run `grid` with the requested workers, prove the merge matches a
@@ -178,6 +204,64 @@ fn profile(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The PDES smoke: run a small traced Jacobi once on the serial engine
+/// and once on 2 shards, and require every export byte — trace JSON, text
+/// summary, `{:#?}` stats — to be identical. This is the one-command
+/// version of `tests/pdes_determinism.rs`, cheap enough for every
+/// `scripts/check.sh` run.
+fn pdes() -> Result<(), String> {
+    use ckd_apps::jacobi3d::{run_jacobi_on, JacobiCfg};
+    use ckd_apps::{Platform, Variant};
+    use ckd_charm::{chrome_trace_json, text_summary, TraceConfig};
+
+    let cfg = JacobiCfg {
+        domain: [16, 16, 16],
+        chares: [2, 2, 2],
+        iters: 3,
+        variant: Variant::Ckd,
+        real_compute: false,
+    };
+    let platform = Platform::IbAbe { cores_per_node: 2 };
+    let run = |shards: usize| {
+        let mut m = platform
+            .builder(8)
+            .with_tracing(TraceConfig::default())
+            .with_shards(shards)
+            .build();
+        run_jacobi_on(&mut m, cfg);
+        let exports = (
+            chrome_trace_json(m.tracer()).ok_or("pdes: run was not traced")?,
+            text_summary(m.tracer()).ok_or("pdes: run was not traced")?,
+            format!("{:#?}\n", m.stats()),
+        );
+        Ok::<_, String>((exports, m.pdes_stats()))
+    };
+    let (serial, none) = run(1)?;
+    if none.is_some() {
+        return Err("pdes: shards=1 must run the serial engine".into());
+    }
+    let (sharded, stats) = run(2)?;
+    if serial != sharded {
+        return Err("pdes: sharded exports diverged from serial".into());
+    }
+    let stats = stats.ok_or("pdes: sharded run reported no engine stats")?;
+    if stats.rounds == 0 {
+        return Err("pdes: engine never started a round".into());
+    }
+    if stats.window_spills > 0 {
+        return Err(format!(
+            "pdes: {} events violated the safe window",
+            stats.window_spills
+        ));
+    }
+    eprintln!(
+        "ckd-sweep pdes: 2-shard run byte-identical to serial \
+         ({} rounds, {} cross-shard events)",
+        stats.rounds, stats.cross_shard
+    );
+    Ok(())
+}
+
 fn validate(paths: &[String]) -> Result<(), String> {
     if paths.is_empty() {
         return Err("validate: no files given".into());
@@ -194,18 +278,51 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|profile|validate> \
-             [--workers N] [--out FILE]"
+            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|pdes|profile|validate> \
+             [--workers N] [--out FILE] [--shards N]"
                 .into(),
         );
     };
     let rest = &args[1..];
     match cmd.as_str() {
-        "sweep64" => emit("sweep", &sweep64_grid(), &parse_opts(rest)?, true),
-        "table1" => emit("table1", &table1_grid(), &parse_opts(rest)?, false),
-        "jacobi" => emit("jacobi", &fig2a_grid(), &parse_opts(rest)?, false),
-        "matmul" => emit("matmul", &fig3b_grid(), &parse_opts(rest)?, false),
+        "sweep64" => {
+            let opts = parse_opts(rest)?;
+            emit(
+                "sweep",
+                &with_shards(sweep64_grid(), opts.shards),
+                &opts,
+                true,
+            )
+        }
+        "table1" => {
+            let opts = parse_opts(rest)?;
+            emit(
+                "table1",
+                &with_shards(table1_grid(), opts.shards),
+                &opts,
+                false,
+            )
+        }
+        "jacobi" => {
+            let opts = parse_opts(rest)?;
+            emit(
+                "jacobi",
+                &with_shards(fig2a_grid(), opts.shards),
+                &opts,
+                false,
+            )
+        }
+        "matmul" => {
+            let opts = parse_opts(rest)?;
+            emit(
+                "matmul",
+                &with_shards(fig3b_grid(), opts.shards),
+                &opts,
+                false,
+            )
+        }
         "smoke" => smoke(&parse_opts(rest)?),
+        "pdes" => pdes(),
         // both spellings: `profile` as a subcommand, `--profile` as a flag
         "profile" | "--profile" => profile(&parse_opts(rest)?),
         "validate" => validate(rest),

@@ -28,14 +28,18 @@ use ckd_charm::{FaultPlan, MachineStats, ProfConfig, ProfShard};
 
 use crate::TABLE_SIZES;
 
-/// Current schema tag of every JSON file this module emits: v2 adds the
-/// per-run `callbacks`/`poll_checks` counters and the host-side
-/// `events_per_sec`/`puts_per_sec` throughput metrics the bench gate
-/// enforces a floor on.
-pub const SCHEMA: &str = "ckd-sweep/v2";
+/// Current schema tag of every JSON file this module emits: v3 adds the
+/// per-run `shards`/`pdes_rounds` fields recording whether the run used
+/// the sharded PDES engine (`MachineBuilder::with_shards`) and how many
+/// safe-window rounds it took.
+pub const SCHEMA: &str = "ckd-sweep/v3";
 
-/// The previous schema tag; [`validate_sweep_json`] still accepts files
+/// The v2 schema tag (per-run `callbacks`/`poll_checks`, host-side
+/// throughput metrics); [`validate_sweep_json`] still accepts files
 /// carrying it so older trajectory archives keep validating.
+pub const SCHEMA_V2: &str = "ckd-sweep/v2";
+
+/// The original schema tag; likewise still accepted.
 pub const SCHEMA_V1: &str = "ckd-sweep/v1";
 
 /// One application grid point: which app to run and its shape parameters.
@@ -130,6 +134,9 @@ pub struct RunSpec {
     pub seed: u64,
     /// Packet drop probability in permille (0 = no fault plane at all).
     pub drop_permille: u32,
+    /// PDES shard count (1 = the serial engine; byte-identical results
+    /// either way, so this only changes how the run executes).
+    pub shards: usize,
 }
 
 /// The deterministic outcome of one grid point plus the machine's full
@@ -158,6 +165,9 @@ pub struct RunRecord {
     pub callbacks: u64,
     /// Handles examined by poll sweeps (summed over PEs).
     pub poll_checks: u64,
+    /// Safe-window rounds of the PDES engine (0 for serial runs;
+    /// deterministic, so it participates in equality).
+    pub pdes_rounds: u64,
     /// The run's JSONL snapshot stream when profiling was on
     /// (deterministic, so it participates in equality).
     pub snapshots: Option<String>,
@@ -179,6 +189,7 @@ impl PartialEq for RunRecord {
             && self.stats == other.stats
             && self.callbacks == other.callbacks
             && self.poll_checks == other.poll_checks
+            && self.pdes_rounds == other.pdes_rounds
             && self.snapshots == other.snapshots
     }
 }
@@ -195,7 +206,10 @@ impl RunSpec {
     /// carries the run's [`ProfShard`] and snapshot JSONL.
     pub fn execute_with(&self, prof: Option<ProfConfig>) -> RunRecord {
         let t0 = Instant::now();
-        let mut b = self.platform.builder(self.pes);
+        let mut b = self
+            .platform
+            .builder(self.pes)
+            .with_shards(self.shards.max(1));
         if self.drop_permille > 0 {
             let p = f64::from(self.drop_permille) / 1000.0;
             b = b.with_faults(FaultPlan::new(self.seed).with_drop(p));
@@ -265,6 +279,7 @@ impl RunSpec {
             stats: m.stats().clone(),
             callbacks: m.callback_total(),
             poll_checks: m.poll_check_total(),
+            pdes_rounds: m.pdes_stats().map_or(0, |s| s.rounds),
             snapshots: m.profiler().snapshots_jsonl().map(str::to_string),
             host_ns: t0.elapsed().as_nanos() as u64,
             prof: m.profiler().shard().cloned(),
@@ -366,7 +381,7 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
              \"drop_permille\": {}, \"metric_ps\": {}, \"total_ps\": {}, \"lossy_puts\": {}, \
              \"events\": {}, \"msgs_sent\": {}, \"msg_bytes\": {}, \"puts\": {}, \
              \"put_bytes\": {}, \"reductions\": {}, \"retries\": {}, \"callbacks\": {}, \
-             \"poll_checks\": {}}}{}\n",
+             \"poll_checks\": {}, \"shards\": {}, \"pdes_rounds\": {}}}{}\n",
             s.app.label(),
             s.app.shape(),
             s.app.size(),
@@ -388,6 +403,8 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
             r.stats.rel.retries,
             r.callbacks,
             r.poll_checks,
+            s.shards,
+            r.pdes_rounds,
             if i + 1 == records.len() { "" } else { "," },
         ));
     }
@@ -445,18 +462,35 @@ const RUN_KEYS_COMMON: [&str; 9] = [
 /// Per-run keys added by `ckd-sweep/v2`.
 const RUN_KEYS_V2: [&str; 2] = ["\"callbacks\"", "\"poll_checks\""];
 
-/// Structural check of a `BENCH_*.json` sweep file: schema tag (both
-/// `ckd-sweep/v1` and `v2` are accepted), balanced delimiters, and the
-/// per-run keys of the tagged version — errors name the missing or extra
-/// field. Deliberately parser-free (the workspace is std-only), like the
+/// Per-run keys added by `ckd-sweep/v3`.
+const RUN_KEYS_V3: [&str; 2] = ["\"shards\"", "\"pdes_rounds\""];
+
+/// Host-block keys the bench gate reads; required whenever a v2/v3 file
+/// carries a `"host"` object at all.
+const HOST_KEYS: [&str; 2] = ["\"events_per_sec\"", "\"puts_per_sec\""];
+
+/// Structural check of a `BENCH_*.json` sweep file: schema tag
+/// (`ckd-sweep/v1`, `v2` and `v3` are all accepted), balanced delimiters,
+/// and the per-run keys of the tagged version — errors name the missing
+/// or extra field and the version whose contract it violates.
+/// Deliberately parser-free (the workspace is std-only), like the
 /// trace-export sanity tests.
 pub fn validate_sweep_json(s: &str) -> Result<(), String> {
-    let v2 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\""));
+    let v3 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\""));
+    let v2 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA_V2}\""));
     let v1 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA_V1}\""));
-    if !v2 && !v1 {
-        return Err(format!("missing schema tag ({SCHEMA:?} or {SCHEMA_V1:?})"));
+    if !v3 && !v2 && !v1 {
+        return Err(format!(
+            "missing schema tag ({SCHEMA:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
+        ));
     }
-    let tag = if v2 { SCHEMA } else { SCHEMA_V1 };
+    let tag = if v3 {
+        SCHEMA
+    } else if v2 {
+        SCHEMA_V2
+    } else {
+        SCHEMA_V1
+    };
     if !s.contains("\"name\": ") || !s.contains("\"runs\": [") {
         return Err("missing name/runs".into());
     }
@@ -480,13 +514,33 @@ pub fn validate_sweep_json(s: &str) -> Result<(), String> {
     }
     for key in RUN_KEYS_V2 {
         let n = s.matches(key).count();
-        if v2 && n != runs {
+        if (v2 || v3) && n != runs {
             return Err(format!("{tag}: missing v2 key {key} ({n}/{runs} runs)"));
         }
         if v1 && n != 0 {
             return Err(format!(
                 "{tag}: extra v2-only key {key} in a v1 file ({n} occurrences)"
             ));
+        }
+    }
+    for key in RUN_KEYS_V3 {
+        let n = s.matches(key).count();
+        if v3 && n != runs {
+            return Err(format!("{tag}: missing v3 key {key} ({n}/{runs} runs)"));
+        }
+        if !v3 && n != 0 {
+            return Err(format!(
+                "{tag}: extra v3-only key {key} in a {tag} file ({n} occurrences)"
+            ));
+        }
+    }
+    // the host block is optional, but when present it must carry the
+    // throughput metrics the bench gate reads (v2 onwards)
+    if (v2 || v3) && s.contains("\"host\": {") {
+        for key in HOST_KEYS {
+            if !s.contains(key) {
+                return Err(format!("{tag}: host block missing {key}"));
+            }
         }
     }
     Ok(())
@@ -543,6 +597,7 @@ pub fn sweep64_grid() -> Vec<RunSpec> {
                     iters,
                     seed,
                     drop_permille: 20,
+                    shards: 1,
                 });
             }
         }
@@ -565,6 +620,7 @@ pub fn table1_grid() -> Vec<RunSpec> {
                 iters: 30,
                 seed: 0,
                 drop_permille: 0,
+                shards: 1,
             });
         }
     }
@@ -586,7 +642,9 @@ fn jacobi_grid_for(pes: usize) -> [usize; 3] {
 }
 
 /// Fig 2(a): Jacobi3D on the Infiniband (Abe) model, both transports,
-/// over the paper's processor counts.
+/// over the paper's processor counts — plus one sharded replica of the
+/// largest CkDirect point, which must land byte-identical metrics to its
+/// serial twin while recording `pdes_rounds > 0`.
 pub fn fig2a_grid() -> Vec<RunSpec> {
     let abe = Platform::IbAbe { cores_per_node: 8 };
     let mut grid = Vec::new();
@@ -603,9 +661,13 @@ pub fn fig2a_grid() -> Vec<RunSpec> {
                 iters: 4,
                 seed: 0,
                 drop_permille: 0,
+                shards: 1,
             });
         }
     }
+    let mut sharded = grid[grid.len() - 1];
+    sharded.shards = 4;
+    grid.push(sharded);
     grid
 }
 
@@ -636,6 +698,7 @@ pub fn fig3b_grid() -> Vec<RunSpec> {
                 iters: 2,
                 seed: 0,
                 drop_permille: 0,
+                shards: 1,
             });
         }
     }
@@ -643,7 +706,10 @@ pub fn fig3b_grid() -> Vec<RunSpec> {
 }
 
 /// A tiny mixed grid for CI smoke checks and the determinism suite:
-/// every app, both a clean and a faulty point, seconds to run.
+/// every app, both a clean and a faulty point, seconds to run. The clean
+/// Jacobi point runs sharded (`shards = 2`) so the PDES path is on every
+/// smoke sweep too — its record must be indistinguishable from a serial
+/// run apart from `pdes_rounds`.
 pub fn smoke_grid() -> Vec<RunSpec> {
     let abe = Platform::IbAbe { cores_per_node: 2 };
     let mut grid = Vec::new();
@@ -668,6 +734,7 @@ pub fn smoke_grid() -> Vec<RunSpec> {
         ),
     ] {
         for (seed, drop_permille) in [(0u64, 0u32), (0x5EED, 50)] {
+            let sharded = matches!(app, AppCase::Jacobi { .. }) && drop_permille == 0;
             grid.push(RunSpec {
                 app,
                 variant: Variant::Ckd,
@@ -676,6 +743,7 @@ pub fn smoke_grid() -> Vec<RunSpec> {
                 iters,
                 seed,
                 drop_permille,
+                shards: if sharded { 2 } else { 1 },
             });
         }
     }
@@ -690,9 +758,22 @@ mod tests {
     fn grids_have_the_advertised_shapes() {
         assert_eq!(sweep64_grid().len(), 64, "4 apps × 4 sizes × 4 seeds");
         assert_eq!(table1_grid().len(), 2 * TABLE_SIZES.len());
-        assert_eq!(fig2a_grid().len(), 10);
+        assert_eq!(fig2a_grid().len(), 11, "10 serial points + 1 sharded");
         assert_eq!(fig3b_grid().len(), 10);
         assert_eq!(smoke_grid().len(), 8);
+        // the sharded fig2a point replicates the largest CkDirect point
+        let fig2a = fig2a_grid();
+        let sharded = fig2a[10];
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(
+            RunSpec {
+                shards: 1,
+                ..sharded
+            },
+            fig2a[9],
+            "sharded point must be the serial 256-PE Ckd point's twin"
+        );
+        assert_eq!(smoke_grid()[2].shards, 2, "clean jacobi smoke is sharded");
     }
 
     #[test]
@@ -719,7 +800,7 @@ mod tests {
     fn schema_check_rejects_mangled_files() {
         let records = run_sweep(&[smoke_grid()[0]], 1);
         let good = sweep_json("unit", &records, None);
-        assert!(validate_sweep_json(&good.replace("ckd-sweep/v2", "v0")).is_err());
+        assert!(validate_sweep_json(&good.replace("ckd-sweep/v3", "v0")).is_err());
         let e = validate_sweep_json(&good.replace("\"metric_ps\"", "\"m\"")).unwrap_err();
         assert!(
             e.contains("\"metric_ps\""),
@@ -729,36 +810,82 @@ mod tests {
         assert!(validate_sweep_json("{\n}").is_err());
     }
 
-    #[test]
-    fn schema_check_accepts_v1_and_polices_the_version_line() {
-        let records = run_sweep(&[smoke_grid()[0]], 1);
-        let v2 = sweep_json("unit", &records, None);
-        // a faithful v1 file: old tag, v2-only counters stripped per line
-        let mut v1 = String::new();
-        for line in v2.replace(SCHEMA, SCHEMA_V1).lines() {
+    /// Strip every per-run key from `cut` onwards, rewriting a current
+    /// emission into a faithful older-schema file.
+    fn downversion(s: &str, old_tag: &str, cut_key: &str) -> String {
+        let mut out = String::new();
+        for line in s.replace(SCHEMA, old_tag).lines() {
             if let (true, Some(cut)) = (
                 line.trim_start().starts_with("{\"app\""),
-                line.find(", \"callbacks\""),
+                line.find(cut_key),
             ) {
-                v1.push_str(&line[..cut]);
-                v1.push_str(&line[line.rfind('}').unwrap()..]);
+                out.push_str(&line[..cut]);
+                out.push_str(&line[line.rfind('}').unwrap()..]);
             } else {
-                v1.push_str(line);
+                out.push_str(line);
             }
-            v1.push('\n');
+            out.push('\n');
         }
+        out
+    }
+
+    #[test]
+    fn schema_check_accepts_older_versions_and_polices_the_version_line() {
+        let records = run_sweep(&[smoke_grid()[0]], 1);
+        let v3 = sweep_json("unit", &records, None);
+        // faithful v2 and v1 files validate
+        let v2 = downversion(&v3, SCHEMA_V2, ", \"shards\"");
+        validate_sweep_json(&v2).unwrap();
+        let v1 = downversion(&v3, SCHEMA_V1, ", \"callbacks\"");
         validate_sweep_json(&v1).unwrap();
         // a v1 file that smuggles v2 keys is named and shamed
-        let bad = v2.replace(SCHEMA, SCHEMA_V1);
-        let e = validate_sweep_json(&bad).unwrap_err();
+        let e = validate_sweep_json(&v3.replace(SCHEMA, SCHEMA_V1)).unwrap_err();
         assert!(e.contains("\"callbacks\""), "error must name the key: {e}");
-        // a v2 file missing a v2 key likewise
-        let bad = v2.replace("\"poll_checks\"", "\"pc\"");
-        let e = validate_sweep_json(&bad).unwrap_err();
+        // ...as is a v2 file that smuggles v3 keys
+        let e = validate_sweep_json(&v3.replace(SCHEMA, SCHEMA_V2)).unwrap_err();
+        assert!(e.contains("\"shards\""), "error must name the key: {e}");
+        // a v3 file missing a v2-era key likewise
+        let e = validate_sweep_json(&v3.replace("\"poll_checks\"", "\"pc\"")).unwrap_err();
         assert!(
             e.contains("\"poll_checks\""),
             "error must name the key: {e}"
         );
+        // ...and a v3 file missing a v3 key names both key and version
+        let e = validate_sweep_json(&v3.replace("\"pdes_rounds\"", "\"pr\"")).unwrap_err();
+        assert!(
+            e.contains("\"pdes_rounds\"") && e.contains(SCHEMA),
+            "error must name key and version: {e}"
+        );
+    }
+
+    /// The bench gate reads `events_per_sec`/`puts_per_sec` from the host
+    /// block; a file whose host block lost them must fail validation —
+    /// on current files and on v2 archives alike.
+    #[test]
+    fn schema_check_requires_throughput_in_host_blocks() {
+        let records = run_sweep(&[smoke_grid()[0]], 1);
+        let host = HostReport {
+            workers: 2,
+            wall_ns: 1_000_000,
+            serial_wall_ns: Some(2_000_000),
+            cores: 4,
+        };
+        let v3 = sweep_json("unit", &records, Some(&host));
+        validate_sweep_json(&v3).unwrap();
+        let v2 = downversion(&v3, SCHEMA_V2, ", \"shards\"");
+        validate_sweep_json(&v2).unwrap();
+        for file in [v3, v2] {
+            let gutted: String = file
+                .lines()
+                .filter(|l| !l.contains("\"events_per_sec\""))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            let e = validate_sweep_json(&gutted).unwrap_err();
+            assert!(
+                e.contains("\"events_per_sec\""),
+                "error must name the missing host metric: {e}"
+            );
+        }
     }
 
     #[test]

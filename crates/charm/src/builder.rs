@@ -41,6 +41,7 @@ pub struct MachineBuilder {
     learning: Option<LearnConfig>,
     layers: Vec<Box<dyn RuntimeLayer>>,
     checker: Option<Box<dyn ReorderPolicy>>,
+    shards: usize,
 }
 
 impl MachineBuilder {
@@ -57,6 +58,7 @@ impl MachineBuilder {
             learning: None,
             layers: Vec::new(),
             checker: None,
+            shards: 1,
         }
     }
 
@@ -148,6 +150,20 @@ impl MachineBuilder {
         self
     }
 
+    /// Shard the run's PEs over `shards` OS threads with conservative
+    /// lookahead (`ckd_sim::pdes`): each shard owns its own event heap,
+    /// advanced in safe-window rounds derived from the fabric's minimum
+    /// cross-node latency, while dispatch stays on the calling thread.
+    /// Pop order — and therefore every trace byte — is identical to the
+    /// serial scheduler. `shards = 1` is the zero-cost serial path.
+    /// Never combine with [`MachineBuilder::with_checker`]: the checker's
+    /// reorder policy needs the single serial heap it explores.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
+        self
+    }
+
     /// Push a user-written [`RuntimeLayer`] onto the stack (after the
     /// built-in layers, in installation order). See
     /// `examples/custom_layer.rs`.
@@ -189,7 +205,15 @@ impl MachineBuilder {
             m.install_layer(layer);
         }
         if let Some(policy) = self.checker {
+            assert!(
+                self.shards == 1,
+                "with_shards cannot combine with with_checker: schedule \
+                 exploration needs the single serial event heap"
+            );
             m.install_checker(policy);
+        }
+        if self.shards > 1 {
+            m.install_pdes(self.shards);
         }
         m
     }

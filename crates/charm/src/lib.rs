@@ -29,6 +29,7 @@ pub mod layer;
 pub mod learn;
 pub mod machine;
 pub mod msg;
+pub(crate) mod pdes;
 pub mod reduction;
 pub(crate) mod rel;
 pub mod stats;
@@ -58,3 +59,6 @@ pub use ckd_trace::{
 // enable/inspect flow of chaos tests and experiments.
 pub use ckd_net::{RelStats, RetryPolicy};
 pub use ckd_sim::{FaultCounts, FaultKind, FaultOp, FaultPlan, FaultProbs};
+// PDES engine counters, surfaced through `Machine::pdes_stats` when a run
+// is sharded with `MachineBuilder::with_shards`.
+pub use ckd_sim::pdes::PdesStats;

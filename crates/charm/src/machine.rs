@@ -131,10 +131,12 @@ pub(crate) enum Ev {
     },
     /// A reliability ack reached the sender: retire the pending packet.
     /// Charges no PE time and emits no trace record — pure NIC protocol.
-    RelAck { token: u64 },
+    /// `to` is the sender PE the ack lands on (shard homing).
+    RelAck { token: u64, to: u32 },
     /// Retransmission timer: if the packet is still pending at this exact
-    /// attempt, resend it through the fault plane with backoff.
-    RelTimer { token: u64, attempt: u32 },
+    /// attempt, resend it through the fault plane with backoff. `to` is the
+    /// sender PE the timer fires on (shard homing).
+    RelTimer { token: u64, attempt: u32, to: u32 },
 }
 
 pub(crate) struct PeState {
@@ -167,6 +169,9 @@ pub struct Machine {
     /// enters the profiled dispatch loop.
     pub(crate) prof: Profiler,
     pub(crate) stats: MachineStats,
+    /// Sharded PDES engine replacing `events` when `with_shards(n > 1)`
+    /// was requested; `None` is the serial fast path (see `pdes.rs`).
+    pub(crate) pdes: Option<crate::pdes::PdesRuntime>,
     pub(crate) stop: bool,
     /// Recycled callback-delivery buffers: the scheduler hands these to
     /// entry methods and completion callbacks instead of allocating a
@@ -228,6 +233,7 @@ impl Machine {
             stack: LayerStack::new(),
             prof: Profiler::disabled(),
             stats: MachineStats::default(),
+            pdes: None,
             stop: false,
             cb_pool: Vec::new(),
         }
@@ -484,7 +490,7 @@ impl Machine {
             return self.run_until_profiled(limit);
         }
         while !self.stop {
-            let Some((t, ev)) = self.events.pop_before(limit) else {
+            let Some((t, ev)) = self.pop_next(limit) else {
                 break;
             };
             self.now = t;
@@ -503,12 +509,12 @@ impl Machine {
         let loop_t0 = std::time::Instant::now();
         let every = self.prof.snapshot_every();
         while !self.stop {
-            let Some((t, ev)) = self.events.pop_before(limit) else {
+            let Some((t, ev)) = self.pop_next(limit) else {
                 break;
             };
             self.now = t;
             self.stats.events += 1;
-            self.prof.event_dispatched(self.events.len() as u64);
+            self.prof.event_dispatched(self.queue_depth() as u64);
             let phase = phase_of(&ev);
             let t0 = self.prof.begin();
             self.dispatch(ev);
@@ -533,7 +539,7 @@ impl Machine {
             msgs_sent: self.stats.msgs_sent,
             puts: self.stats.puts,
             put_bytes: self.stats.put_bytes,
-            queue_depth: self.events.len() as u64,
+            queue_depth: self.queue_depth() as u64,
             pollq: self.direct.pollq_total() as u64,
             ring_drops: self.stack.tracer.dropped_total(),
             retries: self.stats.rel.retries,
@@ -567,12 +573,15 @@ impl Machine {
     }
 
     /// Every runtime event enters the queue through here. On the canonical
-    /// path (no checker installed) this is exactly `events.push`; with a
+    /// path (no checker, shards=1) this is exactly `events.push`; with a
     /// `ReorderPolicy` installed it additionally stamps the event with its
     /// independence footprint so the checker can tell which pending events
-    /// commute (see `ckd_race::independence`).
+    /// commute (see `ckd_race::independence`); with shards > 1 it routes
+    /// the event to its home shard's heap (see `pdes.rs`).
     pub(crate) fn push_ev(&mut self, at: Time, ev: Ev) {
-        if self.events.reordering() {
+        if self.pdes.is_some() {
+            self.push_ev_sharded(at, ev);
+        } else if self.events.reordering() {
             let tag = self.footprint_of(&ev).tag();
             self.events.push_tagged(at, tag, ev);
         } else {

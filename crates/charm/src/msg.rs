@@ -1,7 +1,7 @@
 //! Messages and entry-method identifiers.
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -28,13 +28,15 @@ pub enum Payload {
     /// Bulk bytes — really transferred, really received.
     Bytes(Bytes),
     /// A typed control value (broadcast-cloneable, zero serialization).
-    Value(Rc<dyn Any>),
+    /// `Send + Sync` so in-flight messages can sit on another shard's event
+    /// heap when a run is sharded over threads.
+    Value(Arc<dyn Any + Send + Sync>),
 }
 
 impl Payload {
     /// Wrap a typed value.
-    pub fn value<T: Any>(v: T) -> Payload {
-        Payload::Value(Rc::new(v))
+    pub fn value<T: Any + Send + Sync>(v: T) -> Payload {
+        Payload::Value(Arc::new(v))
     }
 
     /// Borrow a typed value back out; `None` on kind or type mismatch.
@@ -99,7 +101,7 @@ impl Msg {
     }
 
     /// A typed control message with an explicitly modeled size.
-    pub fn value<T: Any>(ep: EntryId, v: T, modeled_size: usize) -> Msg {
+    pub fn value<T: Any + Send + Sync>(ep: EntryId, v: T, modeled_size: usize) -> Msg {
         Msg {
             ep,
             payload: Payload::value(v),

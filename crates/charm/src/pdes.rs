@@ -1,0 +1,93 @@
+//! Machine ↔ PDES glue: routing runtime events to their home shards.
+//!
+//! The engine itself lives in `ckd_sim::pdes`; this module decides *which*
+//! shard each [`Ev`] belongs to (the PE whose state its dispatch mutates —
+//! the same PE its independence footprint names), derives the node-aligned
+//! [`ShardMap`] from the topology, and takes the safe window from the
+//! fabric's minimum cross-node latency. Dispatch itself stays on the
+//! coordinator thread — `Machine` is deliberately `!Send` (chares hold
+//! `Rc`s) — so the worker threads act purely as progress engines for their
+//! shards' heaps.
+
+use ckd_sim::pdes::{PdesStats, ShardMap, ShardedEngine};
+use ckd_sim::Time;
+use ckd_topo::Pe;
+
+use crate::machine::{Ev, Machine};
+
+/// The sharded engine a machine runs on when `with_shards(n > 1)`.
+pub(crate) struct PdesRuntime {
+    pub(crate) engine: ShardedEngine<Ev>,
+}
+
+/// Event payloads must be shippable to shard worker threads.
+fn _assert_ev_send(ev: Ev) -> impl Send {
+    ev
+}
+
+impl Machine {
+    /// Build the node-aligned shard map and the threaded engine. Called by
+    /// the builder exactly once, before any event is pushed.
+    pub(crate) fn install_pdes(&mut self, shards: usize) {
+        debug_assert!(self.events.is_empty(), "install_pdes before seeding");
+        let topo = self.net.machine();
+        let nodes: Vec<u32> = (0..self.npes())
+            .map(|p| topo.node_of(Pe(p as u32)).0)
+            .collect();
+        let map = ShardMap::node_aligned(&nodes, shards);
+        let lookahead = self.net.fabric().lookahead();
+        self.pdes = Some(PdesRuntime {
+            engine: ShardedEngine::new(map, lookahead),
+        });
+    }
+
+    /// PDES engine counters, when the machine runs sharded. Deliberately
+    /// not part of [`MachineStats`](crate::MachineStats): serial and
+    /// sharded runs must keep byte-identical stats output.
+    pub fn pdes_stats(&self) -> Option<PdesStats> {
+        self.pdes.as_ref().map(|p| p.engine.stats())
+    }
+
+    /// Pop the next runtime event at or before `limit` from whichever
+    /// engine this machine runs on.
+    #[inline]
+    pub(crate) fn pop_next(&mut self, limit: Time) -> Option<(Time, Ev)> {
+        match self.pdes.as_mut() {
+            None => self.events.pop_before(limit),
+            Some(p) => p.engine.pop_before(limit),
+        }
+    }
+
+    /// Pending events across whichever engine this machine runs on.
+    #[inline]
+    pub(crate) fn queue_depth(&self) -> usize {
+        match self.pdes.as_ref() {
+            None => self.events.len(),
+            Some(p) => p.engine.len(),
+        }
+    }
+
+    /// Route an event to its home shard. The home PE mirrors the event's
+    /// independence footprint: the PE whose state dispatch mutates.
+    pub(crate) fn push_ev_sharded(&mut self, at: Time, ev: Ev) {
+        let home = self.home_pe_of(&ev);
+        let p = self.pdes.as_mut().expect("caller checked pdes");
+        let shard = home.map_or(0, |pe| p.engine.map().shard_of(pe.idx()));
+        p.engine.push(at, shard, ev);
+    }
+
+    /// The PE an event fires on, `None` for events with no resolvable home
+    /// (a direct landing on a handle that has been torn down) — those are
+    /// conservatively homed on shard 0; order is unaffected either way.
+    fn home_pe_of(&self, ev: &Ev) -> Option<Pe> {
+        match ev {
+            Ev::MsgArrive { pe, .. } | Ev::PeLoop { pe } => Some(*pe),
+            Ev::ReduceUp { to, .. } | Ev::BcastDown { to, .. } => Some(*to),
+            Ev::DirectLand { handle, .. } | Ev::DirectGetLand { handle, .. } => {
+                self.direct.recv_pe(*handle).ok()
+            }
+            Ev::RelDeliver { link, .. } => Some(Pe(link.1)),
+            Ev::RelAck { to, .. } | Ev::RelTimer { to, .. } => Some(Pe(*to)),
+        }
+    }
+}

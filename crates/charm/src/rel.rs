@@ -173,27 +173,33 @@ impl Machine {
             inner: Box::new(inner),
         };
         match action {
-            FaultAction::Deliver => self.events.push(at + wire_delay, mk(ev, false)),
+            FaultAction::Deliver => self.push_ev(at + wire_delay, mk(ev, false)),
             FaultAction::Drop => {
                 self.stats.rel.drops_injected += 1;
                 self.stack.tracer.rel_drop(link.0 as usize, at, link.1);
             }
             FaultAction::Corrupt => {
                 self.stats.rel.corrupts_injected += 1;
-                self.events.push(at + wire_delay, mk(ev, true));
+                self.push_ev(at + wire_delay, mk(ev, true));
             }
             FaultAction::Duplicate { extra } => {
                 self.stats.rel.dups_injected += 1;
-                self.events.push(at + wire_delay, mk(ev.clone(), false));
-                self.events.push(at + wire_delay + extra, mk(ev, false));
+                self.push_ev(at + wire_delay, mk(ev.clone(), false));
+                self.push_ev(at + wire_delay + extra, mk(ev, false));
             }
             FaultAction::Delay { extra } => {
                 self.stats.rel.delays_injected += 1;
-                self.events.push(at + wire_delay + extra, mk(ev, false));
+                self.push_ev(at + wire_delay + extra, mk(ev, false));
             }
         }
-        self.events
-            .push(at + timeout, Ev::RelTimer { token, attempt });
+        self.push_ev(
+            at + timeout,
+            Ev::RelTimer {
+                token,
+                attempt,
+                to: link.0,
+            },
+        );
     }
 
     /// A reliable packet arrived: verify, dedup, ack, and (when fresh and
@@ -258,21 +264,21 @@ impl Machine {
     fn rel_send_ack(&mut self, token: u64, link: (u32, u32)) {
         let t = self.net.control(Pe(link.1), Pe(link.0));
         let rel = self.stack.rel.as_mut().expect("rel enabled");
+        let to = link.0;
         match rel.plan.decide(self.now, (link.1, link.0), FaultOp::Ack) {
-            FaultAction::Deliver => self.events.push(self.now + t.delay, Ev::RelAck { token }),
+            FaultAction::Deliver => self.push_ev(self.now + t.delay, Ev::RelAck { token, to }),
             FaultAction::Drop | FaultAction::Corrupt => {
                 // a corrupted ack fails its CRC at the sender NIC — lost
                 // either way
                 self.stats.rel.acks_lost += 1;
             }
             FaultAction::Duplicate { extra } => {
-                self.events.push(self.now + t.delay, Ev::RelAck { token });
-                self.events
-                    .push(self.now + t.delay + extra, Ev::RelAck { token });
+                self.push_ev(self.now + t.delay, Ev::RelAck { token, to });
+                self.push_ev(self.now + t.delay + extra, Ev::RelAck { token, to });
             }
-            FaultAction::Delay { extra } => self
-                .events
-                .push(self.now + t.delay + extra, Ev::RelAck { token }),
+            FaultAction::Delay { extra } => {
+                self.push_ev(self.now + t.delay + extra, Ev::RelAck { token, to });
+            }
         }
     }
 

@@ -88,12 +88,12 @@ struct Entry {
 }
 
 #[inline]
-fn pack(at: Time, seq: u64) -> u128 {
+pub(crate) fn pack(at: Time, seq: u64) -> u128 {
     ((at.as_ps() as u128) << 64) | seq as u128
 }
 
 #[inline]
-fn key_time(key: u128) -> Time {
+pub(crate) fn key_time(key: u128) -> Time {
     Time::from_ps((key >> 64) as u64)
 }
 
@@ -211,6 +211,42 @@ impl<E> EventQueue<E> {
         self.sift_up(self.heap.len() - 1);
     }
 
+    /// Schedule `ev` at `at` under a *caller-supplied* sequence number
+    /// instead of the queue's own counter. This is the sharding seam: the
+    /// PDES coordinator assigns one globally monotone sequence across every
+    /// shard's queue so that merging the shards back together reproduces the
+    /// exact `(time, seq)` total order a single serial queue would have used.
+    ///
+    /// The caller must guarantee `seq` is unique across all pushes into this
+    /// queue (packed keys must stay unique for pop order to be total). The
+    /// internal counter is bumped past `seq` so interleaved [`EventQueue::push`]
+    /// calls can never collide.
+    #[inline]
+    pub fn push_at_seq(&mut self, at: Time, seq: u64, ev: E) {
+        debug_assert!(
+            self.policy.is_some() || at >= self.horizon,
+            "causality violation: scheduling at {at} behind horizon {}",
+            self.horizon
+        );
+        self.seq = self.seq.max(seq.saturating_add(1));
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Some(ev));
+                s
+            }
+        };
+        self.heap.push(Entry {
+            key: pack(at, seq),
+            slot,
+        });
+        self.sift_up(self.heap.len() - 1);
+    }
+
     /// Remove and return the earliest event, advancing the horizon to its
     /// timestamp. With a policy installed, "earliest" becomes "whichever
     /// in-window candidate the policy picks".
@@ -279,10 +315,33 @@ impl<E> EventQueue<E> {
         Some(self.take(entry))
     }
 
+    /// [`EventQueue::pop_before`], but exposing the popped event's sequence
+    /// number alongside its timestamp. The PDES drain path uses this to
+    /// carry each event's original `(time, seq)` key across shard channels
+    /// so the coordinator can merge shards in the serial total order.
+    /// Bypasses any installed policy (shard queues never have one).
+    #[inline]
+    pub fn pop_keyed_before(&mut self, limit: Time) -> Option<(Time, u64, E)> {
+        let root = *self.heap.first()?;
+        if key_time(root.key) > limit {
+            return None;
+        }
+        self.remove_root();
+        let seq = root.key as u64;
+        let (at, ev) = self.take(root);
+        Some((at, seq, ev))
+    }
+
     /// Timestamp of the earliest pending event, if any.
     #[inline]
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.first().map(|e| key_time(e.key))
+    }
+
+    /// `(time, seq)` key of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(Time, u64)> {
+        self.heap.first().map(|e| (key_time(e.key), e.key as u64))
     }
 
     /// Number of pending events.
@@ -565,6 +624,52 @@ mod tests {
         q.push(Time::from_ns(15), 3);
         assert_eq!(q.pop(), Some((Time::from_ns(15), 3)));
         assert_eq!(q.pop(), Some((Time::from_ns(10), 1)));
+    }
+
+    #[test]
+    fn caller_supplied_seqs_define_the_tie_order() {
+        let mut q = EventQueue::new();
+        // Push out of seq order at one timestamp: pops must follow the
+        // caller's seq, not arrival order.
+        q.push_at_seq(Time::from_ns(5), 7, "late");
+        q.push_at_seq(Time::from_ns(5), 2, "early");
+        q.push_at_seq(Time::from_ns(1), 9, "first");
+        assert_eq!(q.peek_key(), Some((Time::from_ns(1), 9)));
+        assert_eq!(
+            q.pop_keyed_before(Time::MAX),
+            Some((Time::from_ns(1), 9, "first"))
+        );
+        assert_eq!(
+            q.pop_keyed_before(Time::MAX),
+            Some((Time::from_ns(5), 2, "early"))
+        );
+        // The internal counter must have advanced past every supplied seq,
+        // so a plain push cannot collide with seq 7 still in the heap.
+        q.push(Time::from_ns(5), "plain");
+        assert_eq!(
+            q.pop_keyed_before(Time::MAX),
+            Some((Time::from_ns(5), 7, "late"))
+        );
+        let (t, seq, ev) = q.pop_keyed_before(Time::MAX).unwrap();
+        assert_eq!((t, ev), (Time::from_ns(5), "plain"));
+        assert!(seq >= 10, "plain push reused a low seq: {seq}");
+        assert_eq!(q.pop_keyed_before(Time::MAX), None);
+        assert_eq!(q.events_processed(), 4);
+        assert_eq!(q.horizon(), Time::from_ns(5));
+    }
+
+    #[test]
+    fn pop_keyed_before_respects_the_limit() {
+        let mut q = EventQueue::new();
+        q.push_at_seq(Time::from_ns(10), 0, "a");
+        q.push_at_seq(Time::from_ns(30), 1, "b");
+        assert_eq!(q.pop_keyed_before(Time::from_ns(9)), None);
+        assert_eq!(
+            q.pop_keyed_before(Time::from_ns(10)),
+            Some((Time::from_ns(10), 0, "a"))
+        );
+        assert_eq!(q.pop_keyed_before(Time::from_ns(29)), None);
+        assert_eq!(q.peek_key(), Some((Time::from_ns(30), 1)));
     }
 
     #[test]

@@ -73,10 +73,15 @@ run cargo test --release --offline -q --test trace_determinism
 
 # Sweep engine: a tiny grid on 2 workers must merge byte-identical to the
 # 1-worker pass, the committed trajectory files must parse against the
-# ckd-sweep schema (v1 or v2), and the full 64-run sweep must reproduce
-# the committed virtual-time baseline within the host-tolerant wall and
-# throughput budgets.
+# ckd-sweep schema (v1 through v3), and the full 64-run sweep must
+# reproduce the committed virtual-time baseline within the host-tolerant
+# wall and throughput budgets.
 run ./target/release/ckd-sweep smoke --workers 2
+
+# PDES smoke: a small traced Jacobi on the 2-shard conservative-lookahead
+# engine must export byte-identical trace/summary/stats to the serial run
+# (the one-command version of tests/pdes_determinism.rs).
+run ./target/release/ckd-sweep pdes
 run ./target/release/ckd-sweep validate \
     BENCH_table1.json BENCH_jacobi.json BENCH_matmul.json BENCH_sweep.json
 run scripts/bench_gate.sh
@@ -94,6 +99,14 @@ run ./target/release/ckd-sweep profile --workers 2
 # racy mutants while every correct app stays clean.
 run ./target/release/ckd-check certify --budget 48 --out target/ckd-check-cert.json
 run ./target/release/ckd-check validate target/ckd-check-cert.json
+# ...and again over the PDES safe window: exploring schedules within the
+# sharded engine's round width (the IB fabric's 4550 ns minimum cross-node
+# latency) must still find every interleaving result-equivalent, i.e. the
+# independence certificates cover exactly the reorderings sharded rounds
+# could ever expose.
+run ./target/release/ckd-check certify --window-ns 4550 --budget 48 \
+    --out target/ckd-check-pdes-cert.json
+run ./target/release/ckd-check validate target/ckd-check-pdes-cert.json
 run ./target/release/ckd-check mutant --budget 16
 run ./target/release/ckd-check lint --gate crates/apps/src
 
