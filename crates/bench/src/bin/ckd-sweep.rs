@@ -8,6 +8,7 @@
 //! ckd-sweep matmul   [--workers N] [--out FILE]   # Fig 3(b) → BENCH_matmul.json
 //! ckd-sweep smoke    [--workers N]                # tiny grid, asserts N-worker == 1-worker bytes
 //! ckd-sweep pdes                                  # sharded-vs-serial byte-compare of a traced run
+//! ckd-sweep channels [--out FILE]                 # channel-storm herd scaling → BENCH_channels.json
 //! ckd-sweep validate FILE...                      # schema-check BENCH_*.json files
 //! ckd-sweep profile  [--workers N] [--out FILE]   # profiled smoke grid: phase table,
 //!                                                 # histograms, snapshot validation
@@ -26,8 +27,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ckd_bench::{
-    fig2a_grid, fig3b_grid, run_sweep, run_sweep_with, smoke_grid, sweep64_grid, sweep_json,
-    table1_grid, validate_sweep_json, HostReport, RunSpec,
+    channels_json, fig2a_grid, fig3b_grid, run_storm_point, run_sweep, run_sweep_with, smoke_grid,
+    sweep64_grid, sweep_json, table1_grid, validate_channels_json, validate_sweep_json, HostReport,
+    RunSpec, CHANNELS_SCHEMA, STORM_REGISTERED,
 };
 use ckd_charm::{validate_snapshot_jsonl, ProfConfig, ProfShard};
 
@@ -262,13 +264,92 @@ fn pdes() -> Result<(), String> {
     Ok(())
 }
 
+/// The channel-storm trajectory: a fixed active window over a herd of
+/// 1k→100k registered channels on one PE. Proves (a) the deterministic
+/// section is byte-identical across repeats and across the serial/PDES
+/// engines, and (b) host cost per sweep stays roughly flat as the herd
+/// grows 100× — the O(active) claim of the sharded poll rings. The
+/// linear-scan plane this replaced would fail (b) by ~two orders of
+/// magnitude.
+fn channels(opts: &Opts) -> Result<(), String> {
+    // (a) determinism: repeat the smallest point serially, then run it on
+    // the 2-shard PDES engine; all deterministic bytes must agree.
+    let probe = STORM_REGISTERED[0];
+    let first = run_storm_point(probe, 1);
+    let again = run_storm_point(probe, 1);
+    if ckd_bench::chanstorm::det_line(&first.result)
+        != ckd_bench::chanstorm::det_line(&again.result)
+        || first.stats_debug != again.stats_debug
+    {
+        return Err("channels: serial re-run diverged".into());
+    }
+    let sharded = run_storm_point(probe, 2);
+    if ckd_bench::chanstorm::det_line(&first.result)
+        != ckd_bench::chanstorm::det_line(&sharded.result)
+        || first.stats_debug != sharded.stats_debug
+    {
+        return Err("channels: PDES engine diverged from serial".into());
+    }
+
+    let mut points = vec![first];
+    for &registered in &STORM_REGISTERED[1..] {
+        points.push(run_storm_point(registered, 1));
+    }
+    for p in &points {
+        eprintln!(
+            "ckd-sweep channels: registered {:>6}  sweeps {:>5}  ns/sweep {:>8.0}",
+            p.result.registered,
+            p.sweeps,
+            p.ns_per_sweep()
+        );
+    }
+
+    // (b) flatness: growing the herd 100x must not grow per-sweep host
+    // cost by more than 3x (plus a fixed 5us of timer slack for tiny
+    // absolute costs). O(registered) behavior would show ~100x here.
+    let (small, large) = (
+        points[0].ns_per_sweep(),
+        points[points.len() - 1].ns_per_sweep(),
+    );
+    if points.iter().any(|p| p.sweeps == 0) {
+        return Err("channels: a point ran no sweeps".into());
+    }
+    if large > 3.0 * small + 5_000.0 {
+        return Err(format!(
+            "channels: per-sweep host cost scales with the herd \
+             ({large:.0} ns at {} vs {small:.0} ns at {} registered)",
+            points[points.len() - 1].result.registered,
+            points[0].result.registered,
+        ));
+    }
+
+    let json = channels_json(&points, cores());
+    validate_channels_json(&json)?;
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_channels.json".to_string());
+    std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "ckd-sweep channels: host cost flat across a 100x herd \
+         ({small:.0} -> {large:.0} ns/sweep) -> {path}"
+    );
+    Ok(())
+}
+
 fn validate(paths: &[String]) -> Result<(), String> {
     if paths.is_empty() {
         return Err("validate: no files given".into());
     }
     for p in paths {
         let s = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
-        validate_sweep_json(&s).map_err(|e| format!("{p}: {e}"))?;
+        // dispatch on the schema tag: channel-storm files have their own
+        // shape; everything else is a sweep trajectory
+        if s.contains(CHANNELS_SCHEMA) {
+            validate_channels_json(&s).map_err(|e| format!("{p}: {e}"))?;
+        } else {
+            validate_sweep_json(&s).map_err(|e| format!("{p}: {e}"))?;
+        }
         eprintln!("ckd-sweep validate: {p} ok");
     }
     Ok(())
@@ -278,7 +359,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|pdes|profile|validate> \
+            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|pdes|channels|profile|validate> \
              [--workers N] [--out FILE] [--shards N]"
                 .into(),
         );
@@ -323,6 +404,7 @@ fn run() -> Result<(), String> {
         }
         "smoke" => smoke(&parse_opts(rest)?),
         "pdes" => pdes(),
+        "channels" => channels(&parse_opts(rest)?),
         // both spellings: `profile` as a subcommand, `--profile` as a flag
         "profile" | "--profile" => profile(&parse_opts(rest)?),
         "validate" => validate(rest),

@@ -17,8 +17,13 @@
 use ckd_charm::{text_summary, Machine, MachineBuilder, TraceConfig};
 use ckd_sim::Time;
 
+pub mod chanstorm;
 pub mod sweep;
 
+pub use chanstorm::{
+    channels_json, run_storm_point, validate_channels_json, StormPoint, CHANNELS_SCHEMA,
+    STORM_ACTIVE, STORM_ITERS, STORM_REGISTERED,
+};
 pub use sweep::{
     fig2a_grid, fig3b_grid, run_sweep, run_sweep_with, smoke_grid, sweep64_grid, sweep_json,
     table1_grid, validate_sweep_json, AppCase, HostReport, RunRecord, RunSpec, SCHEMA, SCHEMA_V1,

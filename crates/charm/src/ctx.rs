@@ -482,6 +482,19 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// `CkDirect_destroyHandle`: tear the channel down and recycle its
+    /// registry slot. Purely local to the receiver. Rejected (and reported
+    /// to the sanitizer) while a put is outstanding — destroying a window
+    /// the NIC may still write into is a lifecycle race; any handle copy
+    /// the sender still holds goes stale and fails with `BadHandle`.
+    pub fn direct_destroy(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        let now = self.san_ctx();
+        self.m
+            .direct
+            .destroy_handle(handle)
+            .map_err(|e| self.san_fail(now, handle, DirectOp::Destroy, e))
+    }
+
     /// The receive window of a channel (the same storage registered at
     /// creation — reading it *is* reading the landed data).
     pub fn direct_recv_region(&self, handle: HandleId) -> Result<Region, DirectError> {

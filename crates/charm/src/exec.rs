@@ -191,30 +191,31 @@ impl Machine {
         let depth = self.pes[pe.idx()].queue.len() as u32;
         self.observe_event(pe.idx(), EventKind::PeLoop { depth });
 
-        // CkDirect poll sweep (sentinel-polling backends): check every
-        // armed handle.
-        if self.backend.polls() {
+        // CkDirect poll sweep (sentinel-polling backends): charge every
+        // armed handle, visit only the landed ones. An empty polling queue
+        // is skipped outright — nothing to charge, nothing to deliver.
+        if self.backend.polls() && self.direct.pollq_len(pe) > 0 {
             let pt0 = self.prof.begin();
             self.stack.san.set_ctx(pe.idx(), start);
-            let sweep = self.direct.poll_sweep(pe);
-            if sweep.checked > 0 {
-                elapsed += self.cfg.poll_per_handle * sweep.checked as u64;
-                self.pes[pe.idx()].stats.poll_checks += sweep.checked as u64;
-                self.prof.poll_batch(sweep.checked as u64);
-                self.stack.tracer.poll_sweep(
-                    pe.idx(),
-                    start,
-                    start + elapsed,
-                    sweep.checked as u32,
-                    sweep.deliveries.len() as u32,
-                );
-            }
+            let mut deliveries = self.take_sweep_buf();
+            let checked = self.direct.poll_sweep_into(pe, &mut deliveries);
+            elapsed += self.cfg.poll_per_handle * checked as u64;
+            self.pes[pe.idx()].stats.poll_checks += checked as u64;
+            self.prof.poll_batch(checked as u64);
+            self.stack.tracer.poll_sweep(
+                pe.idx(),
+                start,
+                start + elapsed,
+                checked as u32,
+                deliveries.len() as u32,
+            );
             self.prof.end(Phase::Poll, pt0);
-            if !sweep.deliveries.is_empty() {
+            if !deliveries.is_empty() {
                 let mut cbs = self.take_cb_buf();
-                cbs.extend(sweep.deliveries.into_iter().map(|(h, cb)| (cb, h)));
+                cbs.extend(deliveries.drain(..).map(|(h, cb)| (cb, h)));
                 elapsed = self.run_callbacks(pe, start, elapsed, cbs);
             }
+            self.recycle_sweep_buf(deliveries);
         }
 
         // One message through the scheduler.

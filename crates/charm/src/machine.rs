@@ -177,6 +177,9 @@ pub struct Machine {
     /// entry methods and completion callbacks instead of allocating a
     /// fresh `Vec` per invocation (see `exec::run_callbacks`).
     pub(crate) cb_pool: Vec<Vec<(DirectCb, HandleId)>>,
+    /// Recycled poll-sweep delivery buffers, pooled the same way so the
+    /// per-iteration sweep allocates nothing in steady state.
+    pub(crate) sweep_pool: Vec<Vec<(HandleId, DirectCb)>>,
 }
 
 impl Machine {
@@ -236,6 +239,7 @@ impl Machine {
             pdes: None,
             stop: false,
             cb_pool: Vec::new(),
+            sweep_pool: Vec::new(),
         }
     }
 
@@ -249,6 +253,19 @@ impl Machine {
         buf.clear();
         if self.cb_pool.len() < 8 {
             self.cb_pool.push(buf);
+        }
+    }
+
+    /// Borrow a recycled sweep-delivery buffer (empty, capacity retained).
+    pub(crate) fn take_sweep_buf(&mut self) -> Vec<(HandleId, DirectCb)> {
+        self.sweep_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained sweep-delivery buffer to the pool.
+    pub(crate) fn recycle_sweep_buf(&mut self, mut buf: Vec<(HandleId, DirectCb)>) {
+        buf.clear();
+        if self.sweep_pool.len() < 8 {
+            self.sweep_pool.push(buf);
         }
     }
 
@@ -541,6 +558,7 @@ impl Machine {
             put_bytes: self.stats.put_bytes,
             queue_depth: self.queue_depth() as u64,
             pollq: self.direct.pollq_total() as u64,
+            ready: self.direct.ready_total() as u64,
             ring_drops: self.stack.tracer.dropped_total(),
             retries: self.stats.rel.retries,
         };

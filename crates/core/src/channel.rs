@@ -8,14 +8,58 @@ use crate::strided::StridedSpec;
 
 /// Identifies a CkDirect channel. The receiver creates it and ships it to
 /// the sender inside an ordinary message during setup.
+///
+/// The 32 bits pack a slab **slot** (low [`HandleId::SLOT_BITS`] bits) and
+/// a **generation** tag (high 8 bits). The registry bumps a slot's
+/// generation every time [`DirectRegistry::destroy_handle`] recycles it, so
+/// a handle held across a destroy goes stale — every registry operation on
+/// it fails with `BadHandle` instead of silently touching the slot's new
+/// tenant. Channels that are never destroyed carry generation 0, making the
+/// packed value identical to the dense index the registry historically
+/// handed out.
+///
+/// The tag wraps after 256 reuses of one slot, so it is a probabilistic
+/// (but in practice decisive) stale-handle detector, not a cryptographic
+/// one — the same trade every slab-allocated handle scheme makes.
+///
+/// [`DirectRegistry::destroy_handle`]: crate::DirectRegistry::destroy_handle
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HandleId(pub u32);
 
+/// Sentinel slot-link value: "no neighbor" in an intrusive ready ring and
+/// "end of the freelist" in the slab.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
 impl HandleId {
-    /// Dense index for table lookups.
+    /// Bits of the packed value that address the slab slot.
+    pub const SLOT_BITS: u32 = 24;
+    /// Maximum live channels a registry can hold (one per slot).
+    pub const MAX_SLOTS: usize = 1 << Self::SLOT_BITS;
+    const SLOT_MASK: u32 = (1 << Self::SLOT_BITS) - 1;
+
+    /// Pack a slab slot and generation tag into a handle.
+    #[inline]
+    pub fn new(slot: u32, generation: u8) -> HandleId {
+        debug_assert!(slot <= Self::SLOT_MASK);
+        HandleId((u32::from(generation) << Self::SLOT_BITS) | slot)
+    }
+
+    /// The slab slot this handle addresses.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.0 & Self::SLOT_MASK
+    }
+
+    /// The generation tag this handle was minted with.
+    #[inline]
+    pub fn generation(self) -> u8 {
+        (self.0 >> Self::SLOT_BITS) as u8
+    }
+
+    /// Dense index for table lookups (the slot).
     #[inline]
     pub fn idx(self) -> usize {
-        self.0 as usize
+        self.slot() as usize
     }
 }
 
@@ -76,6 +120,23 @@ pub(crate) struct Channel<C> {
     pub marked: bool,
     /// Present in the owning PE's polling queue.
     pub in_pollq: bool,
+    /// Linked into the owning PE's ready ring (landed, detectable, armed —
+    /// the next sweep will deliver it).
+    pub ready_linked: bool,
+    /// Next slot in the intrusive ready ring ([`NO_SLOT`] when unlinked or
+    /// at the tail).
+    pub ready_next: u32,
+    /// Previous slot in the intrusive ready ring ([`NO_SLOT`] when unlinked
+    /// or at the head).
+    pub ready_prev: u32,
+    /// Poll-queue insertion sequence on the owning PE. Sweeps deliver in
+    /// ascending order of this value — exactly the historical per-PE
+    /// `Vec<HandleId>` insertion order.
+    pub pollq_seq: u64,
+    /// The owning PE's sweep count when this channel last entered the poll
+    /// queue; `checks` accrues `sweeps - enqueue_sweeps` lazily while the
+    /// channel stays armed.
+    pub enqueue_sweeps: u64,
     /// Strided receive side: scatter the wire image into this backing
     /// layout at delivery.
     pub recv_scatter: Option<(Region, StridedSpec)>,
@@ -116,6 +177,11 @@ impl<C> Channel<C> {
             phase: DataPhase::Empty,
             marked: true,
             in_pollq: false,
+            ready_linked: false,
+            ready_next: NO_SLOT,
+            ready_prev: NO_SLOT,
+            pollq_seq: 0,
+            enqueue_sweeps: 0,
             collided: false,
             puts: 0,
             deliveries: 0,

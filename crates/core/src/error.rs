@@ -36,11 +36,16 @@ pub enum DirectError {
     /// `ready_poll_q` (or `ready`) called when the channel was already
     /// armed / delivered without an intervening `ready_mark`.
     NotMarked,
-    /// The handle id does not name a live channel.
+    /// The handle id does not name a live channel — it was never created,
+    /// or it was destroyed and its slot's generation has moved on.
     BadHandle,
     /// An operation was issued from the wrong PE (e.g. `put` from a PE other
     /// than the one that called `assoc_local`).
     WrongPe,
+    /// `create_handle` would exceed the registry's slot capacity (the
+    /// handle's 24-bit slot field). Historically the index silently
+    /// wrapped; now the caller is told.
+    TooManyHandles,
 }
 
 impl fmt::Display for DirectError {
@@ -60,6 +65,7 @@ impl fmt::Display for DirectError {
             DirectError::NotMarked => "ready_poll_q without a preceding ready_mark",
             DirectError::BadHandle => "unknown CkDirect handle",
             DirectError::WrongPe => "operation issued from the wrong PE",
+            DirectError::TooManyHandles => "channel registry is out of handle slots",
         };
         f.write_str(s)
     }
@@ -89,6 +95,7 @@ mod tests {
             DirectError::NotMarked,
             DirectError::BadHandle,
             DirectError::WrongPe,
+            DirectError::TooManyHandles,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -13,12 +13,42 @@
 //!   the callbacks it returns; on `DcmfCallback`, `land` itself hands the
 //!   callback back.
 //!
+//! # Storage: a freelist slab with generation-tagged handles
+//!
+//! Channels live in a slab: a `Vec` of slots threaded by a freelist, so
+//! [`DirectRegistry::destroy_handle`] recycles storage in O(1) and a
+//! million-channel registry does not grow without bound. Each slot carries
+//! a generation tag that is bumped on destroy and packed into the
+//! [`HandleId`], so a stale handle held across a destroy is rejected with
+//! `BadHandle` instead of aliasing the slot's next tenant.
+//!
+//! # Poll plane: sharded hierarchical ready rings
+//!
+//! The historical poll plane kept one `Vec<HandleId>` per PE and rescanned
+//! it linearly every sweep — O(all armed channels) of *host* work per
+//! sweep, which is exactly the OpenAtom pathology (§5.2) transplanted into
+//! the simulator's own inner loop. The registry now keeps, per PE:
+//!
+//! * an `armed` counter — how many channels are in the (conceptual)
+//!   polling queue, which is still what a sweep *charges* in virtual time
+//!   (`poll_per_handle × armed`, the paper's modeled cost);
+//! * 64 **ready rings** — intrusive doubly-linked lists, sharded by slot,
+//!   holding only channels whose data has landed detectably; a channel is
+//!   linked by [`DirectRegistry::land`] and unlinked at delivery;
+//! * a one-word **summary** bitmask of non-empty shards.
+//!
+//! A sweep therefore visits only landed channels (plus one summary-word
+//! scan): O(1) amortized host cost per delivery, independent of how many
+//! idle channels sit registered on the PE. Delivery order, per-channel
+//! `checks`, and every virtual-time cost are byte-identical to the linear
+//! scan — proven by the golden corpus and the determinism suites.
+//!
 //! The registry is generic over the callback token `C` so this crate stays
 //! free of runtime types.
 
 use ckd_topo::Pe;
 
-use crate::channel::{Channel, DataPhase, DirectBackend, HandleId};
+use crate::channel::{Channel, DataPhase, DirectBackend, HandleId, NO_SLOT};
 use crate::error::DirectError;
 use crate::region::Region;
 use crate::strided::StridedSpec;
@@ -76,6 +106,9 @@ pub enum Transition {
     Delivered,
     /// `ready_mark` (or the BG/P `ready` release) re-armed the channel.
     Marked,
+    /// `destroy_handle` succeeded: the channel is gone and its slot will be
+    /// recycled under a new generation.
+    Destroyed,
 }
 
 /// Observer invoked on every committed lifecycle transition.
@@ -152,13 +185,148 @@ pub struct ChannelCounters {
     pub corrupt_landings: u64,
 }
 
+/// Ready-ring shards per PE (slot `s` hashes to shard `s & 63`).
+const POLL_SHARDS: usize = 64;
+
+/// One slab slot: an occupied channel or a freelist link, plus the
+/// generation tag that outlives both.
+struct SlotEntry<C> {
+    /// Bumped every time the slot is recycled; packed into handles.
+    gen: u8,
+    state: SlotState<C>,
+}
+
+// Channels live *inline* in the slab deliberately: boxing them would put
+// a pointer chase on every chan()/sweep access, and a freed slot's spare
+// bytes are reclaimed the moment the freelist recycles it.
+#[allow(clippy::large_enum_variant)]
+enum SlotState<C> {
+    Occupied(Channel<C>),
+    Free { next_free: u32 },
+}
+
+/// Per-PE poll plane: the counters that replace the historical
+/// `Vec<HandleId>` polling queue, plus the two-level ready structure.
+struct PePoll {
+    /// Bitmask of shards whose ready ring is non-empty.
+    summary: u64,
+    /// Heads of the per-shard intrusive ready rings ([`NO_SLOT`] = empty).
+    heads: [u32; POLL_SHARDS],
+    /// Channels in the (conceptual) polling queue — what a sweep charges.
+    armed: usize,
+    /// Channels currently linked in a ready ring (deliverable backlog).
+    ready: usize,
+    /// Poll sweeps run on this PE (lazy per-channel `checks` accounting).
+    sweeps: u64,
+    /// Next poll-queue insertion sequence (delivery ordering).
+    next_seq: u64,
+}
+
+impl PePoll {
+    fn new() -> PePoll {
+        PePoll {
+            summary: 0,
+            heads: [NO_SLOT; POLL_SHARDS],
+            armed: 0,
+            ready: 0,
+            sweeps: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Enter `ch` into this PE's polling queue (it is not already there).
+    fn enqueue<C>(&mut self, ch: &mut Channel<C>) {
+        debug_assert!(!ch.in_pollq);
+        ch.in_pollq = true;
+        ch.pollq_seq = self.next_seq;
+        self.next_seq += 1;
+        ch.enqueue_sweeps = self.sweeps;
+        self.armed += 1;
+    }
+}
+
+#[inline]
+fn shard_of(slot: u32) -> usize {
+    (slot as usize) & (POLL_SHARDS - 1)
+}
+
+/// The channel occupying `slot` (ring maintenance only touches live slots).
+fn occupied_mut<C>(slots: &mut [SlotEntry<C>], slot: u32) -> &mut Channel<C> {
+    match &mut slots[slot as usize].state {
+        SlotState::Occupied(ch) => ch,
+        SlotState::Free { .. } => unreachable!("ring member in a free slot"),
+    }
+}
+
+/// Link `slot` (landed, detectable, armed) into its shard's ready ring.
+fn ring_link<C>(pp: &mut PePoll, slots: &mut [SlotEntry<C>], slot: u32) {
+    let shard = shard_of(slot);
+    let head = pp.heads[shard];
+    {
+        let ch = occupied_mut(slots, slot);
+        debug_assert!(!ch.ready_linked);
+        ch.ready_linked = true;
+        ch.ready_prev = NO_SLOT;
+        ch.ready_next = head;
+    }
+    if head != NO_SLOT {
+        occupied_mut(slots, head).ready_prev = slot;
+    }
+    pp.heads[shard] = slot;
+    pp.summary |= 1 << shard;
+    pp.ready += 1;
+}
+
+/// Unlink `slot` from its shard's ready ring (delivery raced ahead of the
+/// sweep, or the channel is being torn down).
+fn ring_unlink<C>(pp: &mut PePoll, slots: &mut [SlotEntry<C>], slot: u32) {
+    let (prev, next) = {
+        let ch = occupied_mut(slots, slot);
+        debug_assert!(ch.ready_linked);
+        ch.ready_linked = false;
+        let links = (ch.ready_prev, ch.ready_next);
+        ch.ready_prev = NO_SLOT;
+        ch.ready_next = NO_SLOT;
+        links
+    };
+    if prev != NO_SLOT {
+        occupied_mut(slots, prev).ready_next = next;
+    }
+    if next != NO_SLOT {
+        occupied_mut(slots, next).ready_prev = prev;
+    }
+    let shard = shard_of(slot);
+    if prev == NO_SLOT {
+        pp.heads[shard] = next;
+        if next == NO_SLOT {
+            pp.summary &= !(1u64 << shard);
+        }
+    }
+    pp.ready -= 1;
+}
+
 /// All CkDirect channels of one simulated machine.
 pub struct DirectRegistry<C> {
     cfg: DirectConfig,
-    channels: Vec<Channel<C>>,
-    /// Per-PE polling queues (IbPoll backend only), in insertion order as
-    /// the paper describes.
-    pollq: Vec<Vec<HandleId>>,
+    /// The channel slab: slots threaded by `free_head`.
+    slots: Vec<SlotEntry<C>>,
+    /// First recycled slot to hand out, [`NO_SLOT`] when the freelist is
+    /// empty (then the slab bump-allocates, preserving the historical
+    /// dense-index handle sequence for never-destroying workloads).
+    free_head: u32,
+    /// Slots the slab may grow to (lowered by capacity tests).
+    slot_cap: usize,
+    /// Live (occupied) channels.
+    live: usize,
+    /// Channels ever created.
+    created: u64,
+    /// Channels destroyed.
+    destroyed: u64,
+    /// Per-PE poll planes (IbPoll backend only).
+    polls: Vec<PePoll>,
+    /// Sweep scratch: (pollq_seq, slot) of drained ready channels, pooled
+    /// so steady-state sweeps allocate nothing.
+    scratch: Vec<(u64, u32)>,
     total_puts: u64,
     total_deliveries: u64,
     total_poll_checks: u64,
@@ -174,8 +342,14 @@ impl<C: Clone> DirectRegistry<C> {
     pub fn new(npes: usize, cfg: DirectConfig) -> DirectRegistry<C> {
         DirectRegistry {
             cfg,
-            channels: Vec::new(),
-            pollq: vec![Vec::new(); npes],
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            slot_cap: HandleId::MAX_SLOTS,
+            live: 0,
+            created: 0,
+            destroyed: 0,
+            polls: (0..npes).map(|_| PePoll::new()).collect(),
+            scratch: Vec::new(),
             total_puts: 0,
             total_deliveries: 0,
             total_poll_checks: 0,
@@ -209,6 +383,13 @@ impl<C: Clone> DirectRegistry<C> {
         self.cfg.backend
     }
 
+    /// Lower the slab's slot capacity so tests can exercise
+    /// `TooManyHandles` without creating 2^24 channels.
+    #[doc(hidden)]
+    pub fn set_slot_cap_for_tests(&mut self, cap: usize) {
+        self.slot_cap = cap.min(HandleId::MAX_SLOTS);
+    }
+
     /// `CkDirect_createHandle`: register `recv` (on `recv_pe`) as the
     /// destination window, arm the out-of-band pattern in its last 8 bytes,
     /// and — on the polling backend — enqueue the handle for polling.
@@ -225,14 +406,32 @@ impl<C: Clone> DirectRegistry<C> {
         if recv.len() < 8 {
             return Err(DirectError::BufferTooSmall);
         }
-        let id = HandleId(self.channels.len() as u32);
+        let slot = if self.free_head != NO_SLOT {
+            let slot = self.free_head;
+            let SlotState::Free { next_free } = self.slots[slot as usize].state else {
+                unreachable!("freelist points at an occupied slot")
+            };
+            self.free_head = next_free;
+            slot
+        } else {
+            if self.slots.len() >= self.slot_cap {
+                return Err(DirectError::TooManyHandles);
+            }
+            self.slots.push(SlotEntry {
+                gen: 0,
+                state: SlotState::Free { next_free: NO_SLOT },
+            });
+            (self.slots.len() - 1) as u32
+        };
+        let id = HandleId::new(slot, self.slots[slot as usize].gen);
         recv.set_last_word(oob);
         let mut ch = Channel::new(recv_pe, recv, oob, callback);
         if self.cfg.backend == DirectBackend::IbPoll {
-            ch.in_pollq = true;
-            self.pollq[recv_pe.idx()].push(id);
+            self.polls[recv_pe.idx()].enqueue(&mut ch);
         }
-        self.channels.push(ch);
+        self.slots[slot as usize].state = SlotState::Occupied(ch);
+        self.live += 1;
+        self.created += 1;
         self.emit(id, Transition::Created);
         Ok(id)
     }
@@ -250,7 +449,7 @@ impl<C: Clone> DirectRegistry<C> {
         wire_bytes: usize,
     ) -> Result<HandleId, DirectError> {
         let id = self.create_handle(recv_pe, recv, oob, callback)?;
-        self.channels[id.idx()].wire_bytes = wire_bytes.max(8);
+        self.chan_mut(id).expect("just created").wire_bytes = wire_bytes.max(8);
         Ok(id)
     }
 
@@ -278,7 +477,7 @@ impl<C: Clone> DirectRegistry<C> {
         }
         let wire = Region::alloc(spec.payload_len());
         let id = self.create_handle(recv_pe, wire, oob, callback)?;
-        self.channels[id.idx()].recv_scatter = Some((backing, spec));
+        self.chan_mut(id).expect("just created").recv_scatter = Some((backing, spec));
         Ok(id)
     }
 
@@ -298,7 +497,7 @@ impl<C: Clone> DirectRegistry<C> {
         let ch_oob = self.chan(handle)?.oob;
         wire.set_last_word(!ch_oob);
         self.assoc_local(handle, send_pe, wire)?;
-        self.channels[handle.idx()].send_gather = Some((backing, spec));
+        self.chan_mut(handle)?.send_gather = Some((backing, spec));
         Ok(())
     }
 
@@ -391,13 +590,15 @@ impl<C: Clone> DirectRegistry<C> {
         ch.phase = DataPhase::InFlight;
         ch.puts += 1;
         let seq = ch.puts;
+        let dst = ch.recv_pe;
+        let bytes = ch.wire_bytes;
         self.total_puts += 1;
         self.emit(handle, Transition::PutIssued);
         Ok(PutRequest {
             handle,
             src: send_pe,
-            dst: self.channels[handle.idx()].recv_pe,
-            bytes: self.channels[handle.idx()].wire_bytes,
+            dst,
+            bytes,
             seq,
         })
     }
@@ -424,13 +625,14 @@ impl<C: Clone> DirectRegistry<C> {
         ch.phase = DataPhase::InFlight;
         ch.puts += 1;
         let seq = ch.puts;
+        let bytes = ch.wire_bytes;
         self.total_puts += 1;
         self.emit(handle, Transition::GetIssued);
         Ok(PutRequest {
             handle,
             src: send_pe,
             dst: from_pe,
-            bytes: self.channels[handle.idx()].wire_bytes,
+            bytes,
             seq,
         })
     }
@@ -448,9 +650,10 @@ impl<C: Clone> DirectRegistry<C> {
         if let Some((backing, spec)) = &ch.recv_scatter {
             spec.scatter(&ch.recv, backing);
         }
+        let cb = ch.callback.clone();
         self.total_deliveries += 1;
         self.emit(handle, Transition::Delivered);
-        Ok(self.channels[handle.idx()].callback.clone())
+        Ok(cb)
     }
 
     /// Executor callback: the wire delay has elapsed; move the bytes into
@@ -464,10 +667,18 @@ impl<C: Clone> DirectRegistry<C> {
         match backend {
             DirectBackend::IbPoll => {
                 ch.phase = DataPhase::Landed;
-                if ch.recv.last_word() == ch.oob {
+                let detectable = ch.recv.last_word() != ch.oob;
+                if !detectable {
                     // Payload ends with the pattern: the poller will never
                     // see the sentinel change. Record the pathology.
                     ch.collided = true;
+                }
+                let pe = ch.recv_pe;
+                // A detectable landing on an armed channel is exactly what
+                // the next sweep will deliver: expose it to the ready rings
+                // so the sweep finds it without scanning the idle herd.
+                if detectable && ch.in_pollq {
+                    ring_link(&mut self.polls[pe.idx()], &mut self.slots, handle.slot());
                 }
                 self.emit(handle, Transition::Landed);
                 Ok(LandOutcome::AwaitPoll)
@@ -479,12 +690,11 @@ impl<C: Clone> DirectRegistry<C> {
                 if let Some((backing, spec)) = &ch.recv_scatter {
                     spec.scatter(&ch.recv, backing);
                 }
+                let cb = ch.callback.clone();
                 self.total_deliveries += 1;
                 self.emit(handle, Transition::Landed);
                 self.emit(handle, Transition::Delivered);
-                Ok(LandOutcome::Deliver(
-                    self.channels[handle.idx()].callback.clone(),
-                ))
+                Ok(LandOutcome::Deliver(cb))
             }
         }
     }
@@ -528,42 +738,88 @@ impl<C: Clone> DirectRegistry<C> {
         Ok(true)
     }
 
-    /// One scan of `pe`'s polling queue (IbPoll backend): check each armed
-    /// handle's sentinel, collect the callbacks of channels whose data has
-    /// landed, and drop them from the queue.
+    /// One scan of `pe`'s polling queue (IbPoll backend): charge every
+    /// armed handle's sentinel check, collect the callbacks of channels
+    /// whose data has landed, and drop them from the queue.
     ///
     /// The `checked` count is returned so the scheduler can charge
     /// `poll_per_handle × checked` — the overhead that §5.2 of the paper
-    /// shows swamping OpenAtom when thousands of channels stay queued.
-    pub fn poll_sweep(&mut self, pe: Pe) -> SweepOutcome<C> {
+    /// shows swamping OpenAtom when thousands of channels stay queued. The
+    /// *host* cost, by contrast, is O(deliveries): only the ready rings are
+    /// walked, never the armed herd.
+    ///
+    /// Allocation-free variant: deliveries are appended to `out` (cleared
+    /// buffers are pooled by the executor); returns `checked`.
+    pub fn poll_sweep_into(&mut self, pe: Pe, out: &mut Vec<(HandleId, C)>) -> usize {
         debug_assert_eq!(self.cfg.backend, DirectBackend::IbPoll);
-        let q = std::mem::take(&mut self.pollq[pe.idx()]);
-        let checked = q.len();
+        let pp = &mut self.polls[pe.idx()];
+        pp.sweeps += 1;
+        let sweeps_now = pp.sweeps;
+        let checked = pp.armed;
         self.total_poll_checks += checked as u64;
-        let mut deliveries = Vec::new();
-        let mut keep = Vec::with_capacity(q.len());
-        for id in q {
-            let ch = &mut self.channels[id.idx()];
-            ch.checks += 1;
-            let arrived = ch.phase == DataPhase::Landed && ch.recv.last_word() != ch.oob;
-            if arrived {
-                ch.phase = DataPhase::Delivered;
-                ch.marked = false;
-                ch.in_pollq = false;
-                ch.deliveries += 1;
-                if let Some((backing, spec)) = &ch.recv_scatter {
-                    spec.scatter(&ch.recv, backing);
-                }
-                self.total_deliveries += 1;
-                deliveries.push((id, ch.callback.clone()));
-                if let Some(p) = self.probe.as_mut() {
-                    p(id, Transition::Delivered);
-                }
-            } else {
-                keep.push(id);
+
+        // Drain every non-empty shard ring; the summary word skips the rest.
+        let mut ready = std::mem::take(&mut self.scratch);
+        debug_assert!(ready.is_empty());
+        let mut summary = pp.summary;
+        while summary != 0 {
+            let shard = summary.trailing_zeros() as usize;
+            summary &= summary - 1;
+            let mut slot = pp.heads[shard];
+            while slot != NO_SLOT {
+                let ch = occupied_mut(&mut self.slots, slot);
+                debug_assert!(ch.ready_linked);
+                let next = ch.ready_next;
+                ch.ready_linked = false;
+                ch.ready_prev = NO_SLOT;
+                ch.ready_next = NO_SLOT;
+                ready.push((ch.pollq_seq, slot));
+                slot = next;
+            }
+            pp.heads[shard] = NO_SLOT;
+        }
+        pp.summary = 0;
+        debug_assert_eq!(pp.ready, ready.len());
+        pp.ready = 0;
+        pp.armed -= ready.len();
+        // Replay queue-insertion order: byte-identical delivery order to
+        // the historical linear scan.
+        ready.sort_unstable();
+
+        for &(_, slot) in &ready {
+            let entry = &mut self.slots[slot as usize];
+            let id = HandleId::new(slot, entry.gen);
+            let SlotState::Occupied(ch) = &mut entry.state else {
+                unreachable!("ready channel in a free slot")
+            };
+            debug_assert!(ch.phase == DataPhase::Landed && ch.recv.last_word() != ch.oob);
+            ch.phase = DataPhase::Delivered;
+            ch.marked = false;
+            ch.in_pollq = false;
+            // Settle the lazy sweep accounting: every sweep since this
+            // channel entered the queue examined it, this one included.
+            ch.checks += sweeps_now - ch.enqueue_sweeps;
+            ch.deliveries += 1;
+            if let Some((backing, spec)) = &ch.recv_scatter {
+                spec.scatter(&ch.recv, backing);
+            }
+            let cb = ch.callback.clone();
+            self.total_deliveries += 1;
+            out.push((id, cb));
+            if let Some(p) = self.probe.as_mut() {
+                p(id, Transition::Delivered);
             }
         }
-        self.pollq[pe.idx()] = keep;
+        ready.clear();
+        self.scratch = ready;
+        checked
+    }
+
+    /// [`Self::poll_sweep_into`] with an owned result (tests and simple
+    /// drivers; the executor's hot loop reuses a pooled buffer instead).
+    pub fn poll_sweep(&mut self, pe: Pe) -> SweepOutcome<C> {
+        let mut deliveries = Vec::new();
+        let checked = self.poll_sweep_into(pe, &mut deliveries);
         SweepOutcome {
             checked,
             deliveries,
@@ -601,10 +857,23 @@ impl<C: Clone> DirectRegistry<C> {
             self.ready_noop_bgp(handle)?;
             return Ok(None);
         }
-        let ch = self.chan_mut(handle)?;
-        match ch.phase {
-            DataPhase::Landed if ch.recv.last_word() != ch.oob => {
-                // Data raced ahead of the poll-queue insertion: deliver now.
+        let (phase, detectable, linked, pe) = {
+            let ch = self.chan(handle)?;
+            (
+                ch.phase,
+                ch.recv.last_word() != ch.oob,
+                ch.ready_linked,
+                ch.recv_pe,
+            )
+        };
+        match phase {
+            DataPhase::Landed if detectable => {
+                // Data raced ahead of the poll-queue insertion: deliver now
+                // (and retract it from the rings — no sweep may see it).
+                if linked {
+                    ring_unlink(&mut self.polls[pe.idx()], &mut self.slots, handle.slot());
+                }
+                let ch = occupied_mut(&mut self.slots, handle.slot());
                 ch.phase = DataPhase::Delivered;
                 ch.marked = false;
                 ch.deliveries += 1;
@@ -617,13 +886,13 @@ impl<C: Clone> DirectRegistry<C> {
                 Ok(Some(cb))
             }
             DataPhase::Empty | DataPhase::InFlight | DataPhase::Landed => {
+                let pp = &mut self.polls[pe.idx()];
+                let ch = occupied_mut(&mut self.slots, handle.slot());
                 if !ch.marked {
                     return Err(DirectError::NotMarked);
                 }
                 if !ch.in_pollq {
-                    ch.in_pollq = true;
-                    let pe = ch.recv_pe;
-                    self.pollq[pe.idx()].push(handle);
+                    pp.enqueue(ch);
                 }
                 Ok(None)
             }
@@ -653,6 +922,43 @@ impl<C: Clone> DirectRegistry<C> {
         Ok(())
     }
 
+    /// `CkDirect_destroyHandle`: tear the channel down and recycle its
+    /// slab slot under a new generation, so the stale handle (and any copy
+    /// of it still held by a sender) is rejected with `BadHandle` from now
+    /// on.
+    ///
+    /// Refused with `PutInFlight` while a transfer is outstanding
+    /// (`InFlight` or `Landed`-but-undelivered): destroying a window the
+    /// NIC may still write into is exactly the misuse the lifecycle
+    /// sanitizer exists to catch, and the rejection is reported to it
+    /// through the failed-op path. A `Delivered` channel may be destroyed —
+    /// the receiver owns the data and is declaring the channel dead.
+    pub fn destroy_handle(&mut self, handle: HandleId) -> Result<(), DirectError> {
+        let (phase, pe, in_pollq) = {
+            let ch = self.chan(handle)?;
+            (ch.phase, ch.recv_pe, ch.in_pollq)
+        };
+        if matches!(phase, DataPhase::InFlight | DataPhase::Landed) {
+            return Err(DirectError::PutInFlight);
+        }
+        let slot = handle.slot();
+        // Not Landed ⇒ never linked in a ready ring.
+        debug_assert!(!self.chan(handle).expect("validated").ready_linked);
+        if in_pollq {
+            self.polls[pe.idx()].armed -= 1;
+        }
+        let entry = &mut self.slots[slot as usize];
+        entry.gen = entry.gen.wrapping_add(1);
+        entry.state = SlotState::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = slot;
+        self.live -= 1;
+        self.destroyed += 1;
+        self.emit(handle, Transition::Destroyed);
+        Ok(())
+    }
+
     /// Current data phase (tests and runtime assertions).
     pub fn phase(&self, handle: HandleId) -> Result<DataPhase, DirectError> {
         Ok(self.chan(handle)?.phase)
@@ -674,21 +980,43 @@ impl<C: Clone> DirectRegistry<C> {
         Ok(self.chan(handle)?.collided)
     }
 
-    /// Number of handles currently being polled on `pe`.
+    /// Number of handles currently being polled on `pe` (O(1): a counter,
+    /// not a queue walk).
     pub fn pollq_len(&self, pe: Pe) -> usize {
-        self.pollq[pe.idx()].len()
+        self.polls[pe.idx()].armed
     }
 
     /// Handles currently enqueued for polling across every PE — the
     /// machine-wide poll occupancy the telemetry snapshots report (always
     /// 0 on callback backends).
     pub fn pollq_total(&self) -> usize {
-        self.pollq.iter().map(Vec::len).sum()
+        self.polls.iter().map(|p| p.armed).sum()
+    }
+
+    /// Armed channels whose data has landed detectably and awaits the next
+    /// sweep — the machine-wide deliverable backlog (ready-ring occupancy).
+    pub fn ready_total(&self) -> usize {
+        self.polls.iter().map(|p| p.ready).sum()
+    }
+
+    /// Poll sweeps run across every PE.
+    pub fn sweep_count(&self) -> u64 {
+        self.polls.iter().map(|p| p.sweeps).sum()
     }
 
     /// Total channels ever created.
     pub fn channel_count(&self) -> usize {
-        self.channels.len()
+        self.created as usize
+    }
+
+    /// Channels currently live (created minus destroyed).
+    pub fn live_channels(&self) -> usize {
+        self.live
+    }
+
+    /// Channels destroyed over the registry's lifetime.
+    pub fn destroyed_channels(&self) -> usize {
+        self.destroyed as usize
     }
 
     /// Lifetime counters across all channels.
@@ -705,10 +1033,18 @@ impl<C: Clone> DirectRegistry<C> {
     /// Per-channel lifetime counters (observability snapshot).
     pub fn channel_counters(&self, handle: HandleId) -> Result<ChannelCounters, DirectError> {
         let ch = self.chan(handle)?;
+        // Queued channels accrue `checks` lazily: one per sweep since they
+        // entered the queue (see `poll_sweep_into`, which settles the
+        // balance at delivery).
+        let pending = if ch.in_pollq {
+            self.polls[ch.recv_pe.idx()].sweeps - ch.enqueue_sweeps
+        } else {
+            0
+        };
         Ok(ChannelCounters {
             puts: ch.puts,
             deliveries: ch.deliveries,
-            checks: ch.checks,
+            checks: ch.checks + pending,
             wire_bytes: ch.wire_bytes,
             dup_landings: ch.dup_landings,
             corrupt_landings: ch.corrupt_landings,
@@ -716,15 +1052,23 @@ impl<C: Clone> DirectRegistry<C> {
     }
 
     fn chan(&self, handle: HandleId) -> Result<&Channel<C>, DirectError> {
-        self.channels
-            .get(handle.idx())
-            .ok_or(DirectError::BadHandle)
+        match self.slots.get(handle.idx()) {
+            Some(SlotEntry {
+                gen,
+                state: SlotState::Occupied(ch),
+            }) if *gen == handle.generation() => Ok(ch),
+            _ => Err(DirectError::BadHandle),
+        }
     }
 
     fn chan_mut(&mut self, handle: HandleId) -> Result<&mut Channel<C>, DirectError> {
-        self.channels
-            .get_mut(handle.idx())
-            .ok_or(DirectError::BadHandle)
+        match self.slots.get_mut(handle.idx()) {
+            Some(SlotEntry {
+                gen,
+                state: SlotState::Occupied(ch),
+            }) if *gen == handle.generation() => Ok(ch),
+            _ => Err(DirectError::BadHandle),
+        }
     }
 }
 
@@ -993,6 +1337,39 @@ mod tests {
     }
 
     #[test]
+    fn ready_poll_q_delivery_while_queued_keeps_the_slot_armed() {
+        // ready_poll_q during the InFlight window, then a second
+        // ready_poll_q after the landing: the raced delivery must retract
+        // the channel from the ready rings (no sweep may double-deliver)
+        // while the handle stays in the polling queue, exactly like the
+        // historical Vec-based plane.
+        let (mut reg, h, send, _r) = setup(DirectConfig::ib());
+        send.fill(1);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        reg.poll_sweep(Pe(1));
+        reg.ready_mark(h).unwrap();
+        send.fill(2);
+        reg.put(h, Pe(0)).unwrap();
+        assert!(
+            reg.ready_poll_q(h).unwrap().is_none(),
+            "re-queued in flight"
+        );
+        reg.land(h).unwrap();
+        // landing on a queued channel: deliverable backlog of 1
+        assert_eq!(reg.ready_total(), 1);
+        let cb = reg.ready_poll_q(h).unwrap();
+        assert_eq!(cb, Some(7), "raced landing delivered at ReadyPollQ");
+        assert_eq!(reg.ready_total(), 0, "retracted from the ready rings");
+        // historical semantics: the queue entry (and its sweep charge)
+        // survives the raced delivery until the handle cycles again
+        assert_eq!(reg.pollq_len(Pe(1)), 1);
+        let sweep = reg.poll_sweep(Pe(1));
+        assert_eq!(sweep.checked, 1, "still charged while queued");
+        assert!(sweep.deliveries.is_empty(), "but never double-delivered");
+    }
+
+    #[test]
     fn bad_handle() {
         let mut reg = Reg::new(1, DirectConfig::ib());
         assert_eq!(
@@ -1065,6 +1442,8 @@ mod tests {
     #[test]
     fn sweep_checks_every_armed_handle() {
         // polling cost scales with queue length — the OpenAtom pathology.
+        // (The *charged* cost, that is; the host now only walks the ready
+        // rings, which is the whole point of the sharded poll plane.)
         let mut reg = Reg::new(1, DirectConfig::ib());
         for _ in 0..50 {
             reg.create_handle(Pe(0), Region::alloc(16), u64::MAX, 0)
@@ -1074,6 +1453,172 @@ mod tests {
         assert_eq!(sweep.checked, 50);
         assert!(sweep.deliveries.is_empty());
         assert_eq!(reg.pollq_len(Pe(0)), 50, "undelivered handles stay queued");
+    }
+
+    #[test]
+    fn lazy_check_accounting_matches_the_linear_scan() {
+        // Idle queued channels accrue one `checks` per sweep without the
+        // sweep ever visiting them; a delivered channel's final balance
+        // includes its delivering sweep — exactly the linear scan's counts.
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        let recv = Region::alloc(16);
+        let send = Region::alloc(16);
+        let idle = reg
+            .create_handle(Pe(0), Region::alloc(16), u64::MAX, 0)
+            .unwrap();
+        let busy = reg.create_handle(Pe(0), recv, u64::MAX, 1).unwrap();
+        reg.assoc_local(busy, Pe(0), send.clone()).unwrap();
+        reg.poll_sweep(Pe(0));
+        reg.poll_sweep(Pe(0));
+        assert_eq!(reg.channel_counters(idle).unwrap().checks, 2);
+        assert_eq!(reg.channel_counters(busy).unwrap().checks, 2);
+        send.fill(3);
+        reg.put(busy, Pe(0)).unwrap();
+        reg.land(busy).unwrap();
+        assert_eq!(reg.poll_sweep(Pe(0)).deliveries.len(), 1);
+        // the delivering sweep counted for both channels
+        assert_eq!(reg.channel_counters(idle).unwrap().checks, 3);
+        assert_eq!(reg.channel_counters(busy).unwrap().checks, 3);
+        // delivered channel's balance is settled: further sweeps are free
+        reg.poll_sweep(Pe(0));
+        assert_eq!(reg.channel_counters(idle).unwrap().checks, 4);
+        assert_eq!(reg.channel_counters(busy).unwrap().checks, 3);
+    }
+
+    #[test]
+    fn sweep_host_cost_is_proportional_to_deliveries() {
+        // The structural O(active) claim, testable without a clock: a
+        // sweep's ready-ring drain touches only landed channels, so the
+        // deliverable backlog (ready_total) — not the armed herd — bounds
+        // the walk. 10_000 armed idlers, 3 landed: backlog is 3.
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        for _ in 0..10_000 {
+            reg.create_handle(Pe(0), Region::alloc(16), u64::MAX, 0)
+                .unwrap();
+        }
+        let send = Region::alloc(16);
+        send.fill(1);
+        let mut active = Vec::new();
+        for i in 0..3 {
+            let recv = Region::alloc(16);
+            let h = reg.create_handle(Pe(0), recv, u64::MAX, 100 + i).unwrap();
+            reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+            active.push(h);
+        }
+        for &h in &active {
+            reg.put(h, Pe(0)).unwrap();
+            reg.land(h).unwrap();
+        }
+        assert_eq!(reg.ready_total(), 3, "only landed channels are ringed");
+        let sweep = reg.poll_sweep(Pe(0));
+        assert_eq!(sweep.checked, 10_003, "virtual charge covers the herd");
+        assert_eq!(
+            sweep.deliveries.iter().map(|&(h, _)| h).collect::<Vec<_>>(),
+            active,
+            "delivered in queue-insertion order"
+        );
+        assert_eq!(reg.ready_total(), 0);
+    }
+
+    #[test]
+    fn destroy_recycles_slots_under_a_new_generation() {
+        let mut reg = Reg::new(2, DirectConfig::ib());
+        let h0 = reg
+            .create_handle(Pe(1), Region::alloc(16), u64::MAX, 0)
+            .unwrap();
+        let h1 = reg
+            .create_handle(Pe(1), Region::alloc(16), u64::MAX, 1)
+            .unwrap();
+        assert_eq!((h0.slot(), h0.generation()), (0, 0));
+        assert_eq!(reg.pollq_len(Pe(1)), 2);
+        reg.destroy_handle(h0).unwrap();
+        assert_eq!(reg.live_channels(), 1);
+        assert_eq!(reg.destroyed_channels(), 1);
+        assert_eq!(reg.pollq_len(Pe(1)), 1, "destroy leaves the poll queue");
+        // every op on the stale handle is rejected
+        assert_eq!(reg.phase(h0).unwrap_err(), DirectError::BadHandle);
+        assert_eq!(reg.put(h0, Pe(0)).unwrap_err(), DirectError::BadHandle);
+        assert_eq!(reg.destroy_handle(h0).unwrap_err(), DirectError::BadHandle);
+        // the slot is recycled under a bumped generation
+        let h2 = reg
+            .create_handle(Pe(1), Region::alloc(16), u64::MAX, 2)
+            .unwrap();
+        assert_eq!((h2.slot(), h2.generation()), (0, 1));
+        assert_ne!(h2, h0, "stale handle cannot alias the new tenant");
+        assert_eq!(reg.phase(h0).unwrap_err(), DirectError::BadHandle);
+        assert_eq!(reg.phase(h2).unwrap(), DataPhase::Empty);
+        assert_eq!(reg.phase(h1).unwrap(), DataPhase::Empty, "bystander lives");
+        assert_eq!(reg.channel_count(), 3, "creations, not live channels");
+        assert_eq!(reg.live_channels(), 2);
+    }
+
+    #[test]
+    fn destroy_while_in_flight_is_refused() {
+        let (mut reg, h, _send, _recv) = setup(DirectConfig::ib());
+        reg.put(h, Pe(0)).unwrap();
+        assert_eq!(reg.destroy_handle(h).unwrap_err(), DirectError::PutInFlight);
+        reg.land(h).unwrap();
+        assert_eq!(
+            reg.destroy_handle(h).unwrap_err(),
+            DirectError::PutInFlight,
+            "landed-but-undelivered is still outstanding"
+        );
+        reg.poll_sweep(Pe(1));
+        // delivered data belongs to the receiver; it may destroy now
+        reg.destroy_handle(h).unwrap();
+        assert_eq!(reg.live_channels(), 0);
+    }
+
+    #[test]
+    fn destroy_emits_the_lifecycle_transition() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(u32, Transition)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        let sink = Rc::clone(&seen);
+        reg.set_probe(Box::new(move |h, t| sink.borrow_mut().push((h.0, t))));
+        let h = reg
+            .create_handle(Pe(0), Region::alloc(16), u64::MAX, 0)
+            .unwrap();
+        reg.destroy_handle(h).unwrap();
+        assert_eq!(
+            seen.borrow().as_slice(),
+            &[(h.0, Transition::Created), (h.0, Transition::Destroyed)]
+        );
+    }
+
+    #[test]
+    fn too_many_handles_is_reported_not_wrapped() {
+        let mut reg = Reg::new(1, DirectConfig::ib());
+        reg.set_slot_cap_for_tests(2);
+        let h0 = reg
+            .create_handle(Pe(0), Region::alloc(16), u64::MAX, 0)
+            .unwrap();
+        reg.create_handle(Pe(0), Region::alloc(16), u64::MAX, 1)
+            .unwrap();
+        assert_eq!(
+            reg.create_handle(Pe(0), Region::alloc(16), u64::MAX, 2)
+                .unwrap_err(),
+            DirectError::TooManyHandles
+        );
+        // destroying frees a slot; creation works again (recycled, not grown)
+        reg.destroy_handle(h0).unwrap();
+        let h2 = reg
+            .create_handle(Pe(0), Region::alloc(16), u64::MAX, 2)
+            .unwrap();
+        assert_eq!(h2.slot(), h0.slot());
+        assert_eq!(h2.generation(), 1);
+    }
+
+    #[test]
+    fn handle_packing_round_trips() {
+        let h = HandleId::new(0x00AB_CDEF & 0x00FF_FFFF, 0x7F);
+        assert_eq!(h.slot(), 0x00AB_CDEF);
+        assert_eq!(h.generation(), 0x7F);
+        assert_eq!(h.idx(), 0x00AB_CDEF);
+        // generation 0 packs to the bare slot — the historical dense index
+        let g0 = HandleId::new(42, 0);
+        assert_eq!(g0.0, 42);
     }
 }
 

@@ -22,6 +22,10 @@
 //! * `ignored-put-outcome` — a `direct_put` whose `PutOutcome` is dropped
 //!   (bare statement unwrapping the `Result`, or `let _ =`): the app never
 //!   learns its channel went `Retried`/`Degraded` under fault injection.
+//! * `destroyed-handle-use` — any `direct_*` call on a handle expression
+//!   that an earlier `direct_destroy` in the same function already tore
+//!   down: the slot may be recycled, so the stale generation is rejected
+//!   (`BadHandle`) at run time.
 //!
 //! False positives are suppressed in source with
 //! `// ckd-lint: allow(<rule>)` on the offending line or the line above,
@@ -66,6 +70,7 @@ pub const RULES: &[&str] = &[
     "double-put-same-handle",
     "swallowed-direct-error",
     "ignored-put-outcome",
+    "destroyed-handle-use",
 ];
 
 /// Lint one source text. `label` is used for reporting only.
@@ -217,8 +222,32 @@ fn lint_function<F: FnMut(&'static str, usize, String)>(lines: &[&str], f: &FnSp
     let is_callback = f.name.contains("callback");
     // last handle expression put inside this body, pending a ready
     let mut pending_put: Option<(String, usize)> = None;
+    // handle expressions torn down earlier in this body
+    let mut destroyed: Vec<(String, usize)> = Vec::new();
     for (idx, line) in lines.iter().enumerate().take(f.end + 1).skip(f.start) {
         let code = line.split("//").next().unwrap_or("");
+
+        for (name, arg) in direct_calls(code) {
+            if name == "destroy" {
+                continue; // double destroy surfaces as BadHandle below too
+            }
+            if let Some((_, at)) = destroyed.iter().find(|(d, _)| *d == arg) {
+                push(
+                    "destroyed-handle-use",
+                    idx,
+                    format!(
+                        "direct_{name} on `{arg}` in fn `{}` after direct_destroy on \
+                         line {}; the slot may be recycled and the stale generation \
+                         is rejected (BadHandle)",
+                        f.name,
+                        at + 1
+                    ),
+                );
+            }
+        }
+        if let Some(arg) = call_arg(code, "direct_destroy(") {
+            destroyed.push((arg, idx));
+        }
 
         if code.contains("direct_recv_region(") && !is_callback {
             push(
@@ -310,6 +339,31 @@ fn lint_function<F: FnMut(&'static str, usize, String)>(lines: &[&str], f: &FnSp
             );
         }
     }
+}
+
+/// Every `.direct_<name>(<first_arg>…)` call on this line, textually.
+fn direct_calls(code: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(pos) = rest.find(".direct_") {
+        let tail = &rest[pos + ".direct_".len()..];
+        let name: String = tail
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(args) = tail[name.len()..].strip_prefix('(') {
+            let arg: String = args
+                .chars()
+                .take_while(|c| *c != ',' && *c != ')')
+                .collect();
+            let arg = arg.trim().to_string();
+            if !name.is_empty() && !arg.is_empty() {
+                out.push((name, arg));
+            }
+        }
+        rest = &rest[pos + ".direct_".len()..];
+    }
+    out
 }
 
 /// First argument expression of `call` on this line, textually.
@@ -478,6 +532,39 @@ mod tests {
         assert!(lint(allowed)
             .iter()
             .all(|f| f.rule != "ignored-put-outcome"));
+    }
+
+    #[test]
+    fn destroyed_handle_use_is_flagged_per_function() {
+        let bad = "fn teardown(ctx: &mut Ctx) {\n    ctx.direct_destroy(self.h).unwrap();\n    \
+                   ctx.direct_put(self.h).unwrap();\n    ctx.direct_ready(self.h).unwrap();\n}\n";
+        let hits = lint(bad);
+        assert_eq!(
+            hits.iter()
+                .filter(|f| f.rule == "destroyed-handle-use")
+                .count(),
+            2,
+            "{hits:?}"
+        );
+        // a different handle after the destroy: fine
+        let ok = "fn teardown(ctx: &mut Ctx) {\n    ctx.direct_destroy(self.old).unwrap();\n    \
+                  ctx.direct_put(self.live).unwrap();\n    ctx.direct_ready(self.live).unwrap();\n}\n";
+        assert!(lint(ok).iter().all(|f| f.rule != "destroyed-handle-use"));
+        // destroy last (the chanstorm teardown shape): fine
+        let last = "fn teardown(ctx: &mut Ctx) {\n    ctx.direct_ready(self.h).unwrap();\n    \
+                    ctx.direct_destroy(self.h).unwrap();\n}\n";
+        assert!(lint(last).iter().all(|f| f.rule != "destroyed-handle-use"));
+        // the scan is per-function: use in a later fn is a fresh body
+        let split = "fn a(ctx: &mut Ctx) {\n    ctx.direct_destroy(self.h).unwrap();\n}\n\
+                     fn b(ctx: &mut Ctx) {\n    ctx.direct_ready(self.h).unwrap();\n}\n";
+        assert!(lint(split).iter().all(|f| f.rule != "destroyed-handle-use"));
+        let allowed =
+            "fn teardown(ctx: &mut Ctx) {\n    ctx.direct_destroy(self.h).unwrap();\n    \
+                       // ckd-lint: allow(destroyed-handle-use)\n    \
+                       ctx.direct_ready(self.h).unwrap();\n}\n";
+        assert!(lint(allowed)
+            .iter()
+            .all(|f| f.rule != "destroyed-handle-use"));
     }
 
     #[test]

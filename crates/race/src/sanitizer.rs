@@ -73,6 +73,8 @@ pub enum DirectOp {
     ReadyPollQ,
     /// The unsplit `ready`.
     Ready,
+    /// `destroy_handle`.
+    Destroy,
 }
 
 impl DirectOp {
@@ -85,6 +87,7 @@ impl DirectOp {
             DirectOp::ReadyMark => "ready_mark",
             DirectOp::ReadyPollQ => "ready_poll_q",
             DirectOp::Ready => "ready",
+            DirectOp::Destroy => "destroy_handle",
         }
     }
 }
@@ -290,6 +293,14 @@ impl SanCore {
                     h.armed_clock = snapshot;
                     h.state = Phase::Armed;
                 }
+            }
+            Transition::Destroyed => {
+                // The registry only commits a destroy with no transfer
+                // outstanding (destroy-while-in-flight is rejected and
+                // surfaces through `op_failed`), so the handle's record can
+                // simply be dropped; a stale-handle op later arrives as a
+                // failed BadHandle op, not a transition.
+                self.handles.remove(&handle.0);
             }
         }
     }

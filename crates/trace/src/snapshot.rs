@@ -27,6 +27,9 @@ pub struct Snapshot {
     pub queue_depth: u64,
     /// Handles currently enqueued for polling across every PE.
     pub pollq: u64,
+    /// Armed handles whose data has landed and awaits the next sweep —
+    /// the deliverable backlog (registry ready-ring occupancy).
+    pub ready: u64,
     /// Trace-ring records evicted so far (0 with tracing off).
     pub ring_drops: u64,
     /// Reliability-layer retransmissions so far.
@@ -39,7 +42,7 @@ impl Snapshot {
         format!(
             "{{\"t_ps\": {}, \"events\": {}, \"msgs_sent\": {}, \"puts\": {}, \
              \"put_bytes\": {}, \"queue_depth\": {}, \"pollq\": {}, \
-             \"ring_drops\": {}, \"retries\": {}}}",
+             \"ready\": {}, \"ring_drops\": {}, \"retries\": {}}}",
             self.t_ps,
             self.events,
             self.msgs_sent,
@@ -47,6 +50,7 @@ impl Snapshot {
             self.put_bytes,
             self.queue_depth,
             self.pollq,
+            self.ready,
             self.ring_drops,
             self.retries,
         )
@@ -90,7 +94,7 @@ impl SnapshotStream {
 }
 
 /// Keys every snapshot line must carry, in emission order.
-const KEYS: [&str; 9] = [
+const KEYS: [&str; 10] = [
     "\"t_ps\"",
     "\"events\"",
     "\"msgs_sent\"",
@@ -98,6 +102,7 @@ const KEYS: [&str; 9] = [
     "\"put_bytes\"",
     "\"queue_depth\"",
     "\"pollq\"",
+    "\"ready\"",
     "\"ring_drops\"",
     "\"retries\"",
 ];
@@ -168,6 +173,7 @@ mod tests {
             put_bytes: 4096,
             queue_depth: 5,
             pollq: 1,
+            ready: 0,
             ring_drops: 0,
             retries: 0,
         }

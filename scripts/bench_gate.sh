@@ -23,6 +23,13 @@
 #     sail past a slow baseline with a real regression, and a slow host
 #     would flake on a fast one. Recomputing the floor from the fresh
 #     serial wall clock keeps the comparison host-relative, like check 2.
+#
+#  4. Channel-storm trajectory: a fresh `ckd-sweep channels` run (1k→100k
+#     registered channels, fixed active window) must reproduce the
+#     committed BENCH_channels.json deterministic section byte-for-byte.
+#     The host-side flatness gate — per-sweep cost must not scale with
+#     the registered herd — runs *inside* the binary against the fresh
+#     host's own numbers, so it stays host-relative like checks 2–3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,3 +85,23 @@ for metric in events_per_sec puts_per_sec; do
     echo "bench_gate: $metric $fresh vs serial-derived floor $floor"
 done
 echo "bench_gate: runs identical to baseline; wall ${wall} ms vs serial ${serial} ms (within 1.5x)"
+
+# Check 4: the channel-storm trajectory (deterministic section + in-binary
+# host flatness gate).
+CH_BASELINE=BENCH_channels.json
+if [ ! -f "$CH_BASELINE" ]; then
+    echo "bench_gate: no committed $CH_BASELINE baseline" >&2
+    exit 1
+fi
+CH_FRESH=$(mktemp)
+trap 'rm -f "$FRESH" "$CH_FRESH"' EXIT
+./target/release/ckd-sweep channels --out "$CH_FRESH" >/dev/null
+if ! diff <(runs_of "$CH_BASELINE") <(runs_of "$CH_FRESH") >/dev/null; then
+    echo "bench_gate: channel-storm results diverged from $CH_BASELINE:" >&2
+    diff <(runs_of "$CH_BASELINE") <(runs_of "$CH_FRESH") | head -20 >&2
+    echo "bench_gate: if the change is intentional, regenerate with:" >&2
+    echo "  ./target/release/ckd-sweep channels" >&2
+    exit 1
+fi
+./target/release/ckd-sweep validate "$CH_FRESH" >/dev/null 2>&1
+echo "bench_gate: channel storm identical to baseline; per-sweep host cost flat across the herd"

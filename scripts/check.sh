@@ -82,8 +82,16 @@ run ./target/release/ckd-sweep smoke --workers 2
 # engine must export byte-identical trace/summary/stats to the serial run
 # (the one-command version of tests/pdes_determinism.rs).
 run ./target/release/ckd-sweep pdes
+
+# Channel-storm smoke: 100k persistent channels registered on one PE with
+# a 64-channel active window must complete, tear down every slab slot,
+# stay byte-identical across the serial and 2-shard PDES engines, and —
+# the point of the sharded poll rings — keep per-sweep host cost flat
+# while the registered herd grows 100x. All asserted inside the binary.
+run ./target/release/ckd-sweep channels --out target/BENCH_channels_fresh.json
 run ./target/release/ckd-sweep validate \
-    BENCH_table1.json BENCH_jacobi.json BENCH_matmul.json BENCH_sweep.json
+    BENCH_table1.json BENCH_jacobi.json BENCH_matmul.json BENCH_sweep.json \
+    BENCH_channels.json
 run scripts/bench_gate.sh
 
 # Profiler smoke: the profiled smoke grid must emit structurally valid

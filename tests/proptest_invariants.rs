@@ -360,6 +360,210 @@ fn registry_delivers_every_put_intact() {
     }
 }
 
+/// Reference model for the slab registry: the naive storage the slab
+/// replaced — a `HashMap` from packed handle to logical channel phase plus
+/// a `Vec` modelling the per-PE poll queue in enqueue order. Arbitrary
+/// create/destroy/put/land/ready/sweep interleavings must behave
+/// identically: same per-op verdicts, same delivery order, same live and
+/// destroyed counts, and every stale (destroyed) handle must answer
+/// `BadHandle` to every operation forever — generation tags make slot
+/// reuse unobservable.
+#[test]
+fn slab_registry_matches_a_naive_reference_model() {
+    use std::collections::HashMap;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Phase {
+        Empty,
+        InFlight,
+        Landed,
+        Delivered,
+    }
+
+    let mut rng = DetRng::new(0x51AB).stream("slab-reference");
+    for case in 0..CASES {
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::ib());
+        let send = Region::alloc(32);
+        send.set_last_word(0x1234_5678_9ABC_DEF0);
+        let mut model: HashMap<u64, Phase> = HashMap::new();
+        let mut pollq: Vec<ckdirect::HandleId> = Vec::new(); // enqueue order
+        let mut live: Vec<ckdirect::HandleId> = Vec::new();
+        let mut stale: Vec<ckdirect::HandleId> = Vec::new();
+        let mut destroyed = 0usize;
+        let mut next_cb = 0u32;
+
+        for step in 0..rng.range(20, 120) {
+            // ~every 6th op goes to a stale handle, which must always be
+            // rejected as BadHandle no matter what now occupies the slot
+            if !stale.is_empty() && rng.chance(0.15) {
+                let h = stale[rng.range(0, stale.len() as u64) as usize];
+                let err = match rng.range(0, 4) {
+                    0 => reg.put(h, Pe(0)).map(|_| ()).unwrap_err(),
+                    1 => reg.land(h).map(|_| ()).unwrap_err(),
+                    2 => reg.ready(h).map(|_| ()).unwrap_err(),
+                    _ => reg.destroy_handle(h).unwrap_err(),
+                };
+                assert_eq!(
+                    err,
+                    DirectError::BadHandle,
+                    "case {case} step {step}: stale handle accepted"
+                );
+                continue;
+            }
+            match rng.range(0, 6) {
+                0 => {
+                    // create + assoc: a fresh armed channel at the back of
+                    // the poll queue
+                    let h = reg
+                        .create_handle(Pe(1), Region::alloc(32), u64::MAX, next_cb)
+                        .unwrap();
+                    next_cb += 1;
+                    reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+                    assert!(
+                        model.insert(h.0 as u64, Phase::Empty).is_none(),
+                        "case {case}: live handle id reused"
+                    );
+                    pollq.push(h);
+                    live.push(h);
+                }
+                1 if !live.is_empty() => {
+                    let h = live[rng.range(0, live.len() as u64) as usize];
+                    let want = model[&(h.0 as u64)];
+                    let got = reg.put(h, Pe(0)).map(|_| ());
+                    match want {
+                        Phase::Empty => {
+                            got.unwrap();
+                            model.insert(h.0 as u64, Phase::InFlight);
+                        }
+                        Phase::InFlight | Phase::Landed => {
+                            assert_eq!(got.unwrap_err(), DirectError::PutInFlight);
+                        }
+                        Phase::Delivered => {
+                            assert_eq!(got.unwrap_err(), DirectError::Overwrite);
+                        }
+                    }
+                }
+                2 if !live.is_empty() => {
+                    let h = live[rng.range(0, live.len() as u64) as usize];
+                    if model[&(h.0 as u64)] == Phase::InFlight {
+                        reg.land(h).unwrap();
+                        model.insert(h.0 as u64, Phase::Landed);
+                    }
+                }
+                3 => {
+                    // sweep: the ring plane must deliver exactly the landed
+                    // channels, in enqueue order, and check every armed one
+                    let armed = pollq.len();
+                    let out = reg.poll_sweep(Pe(1));
+                    assert_eq!(out.checked, armed, "case {case} step {step}");
+                    let want: Vec<ckdirect::HandleId> = pollq
+                        .iter()
+                        .copied()
+                        .filter(|h| model[&(h.0 as u64)] == Phase::Landed)
+                        .collect();
+                    let got: Vec<ckdirect::HandleId> =
+                        out.deliveries.iter().map(|&(h, _)| h).collect();
+                    assert_eq!(got, want, "case {case} step {step}: delivery order");
+                    for h in &want {
+                        model.insert(h.0 as u64, Phase::Delivered);
+                    }
+                    pollq.retain(|h| model[&(h.0 as u64)] != Phase::Delivered);
+                }
+                4 if !live.is_empty() => {
+                    let h = live[rng.range(0, live.len() as u64) as usize];
+                    let got = reg.ready(h).map(|_| ());
+                    if model[&(h.0 as u64)] == Phase::Delivered {
+                        got.unwrap();
+                        model.insert(h.0 as u64, Phase::Empty);
+                        pollq.push(h); // re-armed at the back
+                    } else {
+                        assert_eq!(got.unwrap_err(), DirectError::NotDelivered);
+                    }
+                }
+                5 if !live.is_empty() => {
+                    let at = rng.range(0, live.len() as u64) as usize;
+                    let h = live[at];
+                    let got = reg.destroy_handle(h);
+                    match model[&(h.0 as u64)] {
+                        Phase::InFlight | Phase::Landed => {
+                            assert_eq!(got.unwrap_err(), DirectError::PutInFlight);
+                        }
+                        Phase::Empty | Phase::Delivered => {
+                            got.unwrap();
+                            model.remove(&(h.0 as u64));
+                            pollq.retain(|&q| q != h);
+                            live.swap_remove(at);
+                            stale.push(h);
+                            destroyed += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            assert_eq!(reg.live_channels(), live.len(), "case {case} step {step}");
+            assert_eq!(reg.destroyed_channels(), destroyed, "case {case}");
+            assert_eq!(reg.pollq_len(Pe(1)), pollq.len(), "case {case} step {step}");
+        }
+    }
+}
+
+/// Delivery-order equivalence of the sharded ready rings against the
+/// naive `Vec`-scan poll queue they replaced: for arbitrary landing
+/// subsets, re-arms and interleaved sweeps, the rings deliver exactly
+/// what a linear scan of the insertion-ordered `Vec` would — the
+/// byte-identity argument for the whole poll-plane swap, in isolation.
+#[test]
+fn ring_sweep_order_matches_the_vec_pollq_reference() {
+    let mut rng = DetRng::new(0x9106).stream("ring-vs-vec");
+    for case in 0..CASES {
+        let n = rng.range(2, 150) as usize;
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::ib());
+        let send = Region::alloc(16);
+        send.set_last_word(0x0DDC_0FFE_E0DD_F00D);
+        let mut vec_pollq: Vec<ckdirect::HandleId> = (0..n)
+            .map(|cb| {
+                let h = reg
+                    .create_handle(Pe(1), Region::alloc(16), u64::MAX, cb as u32)
+                    .unwrap();
+                reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+                h
+            })
+            .collect();
+        let mut idle: Vec<ckdirect::HandleId> = Vec::new(); // delivered, un-rearmed
+        for round in 0..rng.range(2, 12) {
+            // a random subset of armed channels receives a put+landing
+            let mut landed = Vec::new();
+            for &h in &vec_pollq {
+                if rng.chance(0.3) {
+                    reg.put(h, Pe(0)).unwrap();
+                    reg.land(h).unwrap();
+                    landed.push(h);
+                }
+            }
+            let out = reg.poll_sweep(Pe(1));
+            assert_eq!(out.checked, vec_pollq.len(), "case {case} round {round}");
+            // the reference scan: walk the Vec in insertion order, deliver
+            // landed channels, compact the rest in place
+            let got: Vec<ckdirect::HandleId> = out.deliveries.iter().map(|&(h, _)| h).collect();
+            assert_eq!(got, landed, "case {case} round {round}: order diverged");
+            vec_pollq.retain(|h| !landed.contains(h));
+            idle.extend(landed);
+            // re-arm a random subset of delivered channels (back of queue)
+            let mut still_idle = Vec::new();
+            for h in idle.drain(..) {
+                if rng.chance(0.6) {
+                    reg.ready(h).unwrap();
+                    vec_pollq.push(h);
+                } else {
+                    still_idle.push(h);
+                }
+            }
+            idle = still_idle;
+            assert_eq!(reg.pollq_len(Pe(1)), vec_pollq.len(), "case {case}");
+        }
+    }
+}
+
 // -------------------------------------------------- real-thread channel
 
 /// Any payload that does not end with the pattern survives a put/recv
