@@ -33,6 +33,9 @@ pub enum Platform {
     },
     /// ANL Surveyor: Blue Gene/P, 4 PEs per node, 3-D torus, no RDMA.
     Bgp,
+    /// Modern HPE Slingshot-class system: notified RMA (puts carry a CQ
+    /// notification record), 4 PEs per node in the modeled runs.
+    Slingshot,
 }
 
 impl Platform {
@@ -48,6 +51,7 @@ impl Platform {
                 presets::ib_abe(Topo::ib_cluster(pes, cores_per_node)).with_nic_loopback()
             }
             Platform::Bgp => presets::bgp_surveyor(Topo::bgp_partition(pes)).with_nic_loopback(),
+            Platform::Slingshot => presets::slingshot(Topo::ib_cluster(pes, 4)).with_nic_loopback(),
         };
         Machine::builder(net)
     }
@@ -62,6 +66,7 @@ impl Platform {
         match self {
             Platform::IbAbe { .. } => "Infiniband (Abe)",
             Platform::Bgp => "Blue Gene/P",
+            Platform::Slingshot => "HPE Slingshot",
         }
     }
 
@@ -69,7 +74,7 @@ impl Platform {
     pub fn min_pes(self) -> usize {
         match self {
             Platform::IbAbe { cores_per_node } => cores_per_node.max(2),
-            Platform::Bgp => 4,
+            Platform::Bgp | Platform::Slingshot => 4,
         }
     }
 }
@@ -87,6 +92,9 @@ mod tests {
     fn platforms_build() {
         assert_eq!(Platform::IbAbe { cores_per_node: 2 }.machine(4).npes(), 4);
         assert_eq!(Platform::Bgp.machine(8).npes(), 8);
+        let m = Platform::Slingshot.machine(8);
+        assert_eq!(m.npes(), 8);
+        assert_eq!(m.backend().name(), "notified-put");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ckd-sweep table1   [--workers N] [--out FILE]   # Table 1 charm rows → BENCH_table1.json
 //! ckd-sweep jacobi   [--workers N] [--out FILE]   # Fig 2(a) → BENCH_jacobi.json
 //! ckd-sweep matmul   [--workers N] [--out FILE]   # Fig 3(b) → BENCH_matmul.json
+//! ckd-sweep backends [--workers N] [--out FILE]   # completion-backend grid → BENCH_backends.json
 //! ckd-sweep smoke    [--workers N]                # tiny grid, asserts N-worker == 1-worker bytes
 //! ckd-sweep pdes                                  # sharded-vs-serial byte-compare of a traced run
 //! ckd-sweep channels [--out FILE]                 # channel-storm herd scaling → BENCH_channels.json
@@ -27,9 +28,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ckd_bench::{
-    channels_json, fig2a_grid, fig3b_grid, run_storm_point, run_sweep, run_sweep_with, smoke_grid,
-    sweep64_grid, sweep_json, table1_grid, validate_channels_json, validate_sweep_json, HostReport,
-    RunSpec, CHANNELS_SCHEMA, STORM_REGISTERED,
+    backends_grid, channels_json, fig2a_grid, fig3b_grid, run_storm_point, run_sweep,
+    run_sweep_with, smoke_grid, sweep64_grid, sweep_json, table1_grid, validate_channels_json,
+    validate_sweep_json, HostReport, RunSpec, CHANNELS_SCHEMA, STORM_REGISTERED,
 };
 use ckd_charm::{validate_snapshot_jsonl, ProfConfig, ProfShard};
 
@@ -359,8 +360,8 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|smoke|pdes|channels|profile|validate> \
-             [--workers N] [--out FILE] [--shards N]"
+            "usage: ckd-sweep <sweep64|table1|jacobi|matmul|backends|smoke|pdes|channels|profile\
+             |validate> [--workers N] [--out FILE] [--shards N]"
                 .into(),
         );
     };
@@ -398,6 +399,15 @@ fn run() -> Result<(), String> {
             emit(
                 "matmul",
                 &with_shards(fig3b_grid(), opts.shards),
+                &opts,
+                false,
+            )
+        }
+        "backends" => {
+            let opts = parse_opts(rest)?;
+            emit(
+                "backends",
+                &with_shards(backends_grid(), opts.shards),
                 &opts,
                 false,
             )

@@ -28,15 +28,20 @@ use ckd_charm::{FaultPlan, MachineStats, ProfConfig, ProfShard};
 
 use crate::TABLE_SIZES;
 
-/// Current schema tag of every JSON file this module emits: v3 adds the
-/// per-run `shards`/`pdes_rounds` fields recording whether the run used
-/// the sharded PDES engine (`MachineBuilder::with_shards`) and how many
-/// safe-window rounds it took.
-pub const SCHEMA: &str = "ckd-sweep/v3";
+/// Current schema tag of every JSON file this module emits: v4 adds the
+/// per-run `backend`/`cq_drains` fields recording which put-completion
+/// backend the run used (`ib-sentinel-poll`, `dcmf-callback`,
+/// `notified-put`, `shared-mem`) and how many CQ notification records it
+/// drained.
+pub const SCHEMA: &str = "ckd-sweep/v4";
+
+/// The v3 schema tag (per-run `shards`/`pdes_rounds` PDES fields);
+/// [`validate_sweep_json`] still accepts files carrying it so older
+/// trajectory archives keep validating.
+pub const SCHEMA_V3: &str = "ckd-sweep/v3";
 
 /// The v2 schema tag (per-run `callbacks`/`poll_checks`, host-side
-/// throughput metrics); [`validate_sweep_json`] still accepts files
-/// carrying it so older trajectory archives keep validating.
+/// throughput metrics); likewise still accepted.
 pub const SCHEMA_V2: &str = "ckd-sweep/v2";
 
 /// The original schema tag; likewise still accepted.
@@ -117,6 +122,16 @@ impl AppCase {
     }
 }
 
+/// Which put-completion backend a grid point runs with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendSel {
+    /// The fabric's matching backend (sentinel polling on Infiniband,
+    /// DCMF callbacks on BG/P, notified puts on Slingshot).
+    Auto,
+    /// Force the shared-memory flag backend (single-node runs).
+    SharedMem,
+}
+
 /// One grid point of a sweep: plain data, safe to share across workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunSpec {
@@ -137,6 +152,8 @@ pub struct RunSpec {
     /// PDES shard count (1 = the serial engine; byte-identical results
     /// either way, so this only changes how the run executes).
     pub shards: usize,
+    /// Put-completion backend ([`BackendSel::Auto`] follows the fabric).
+    pub backend: BackendSel,
 }
 
 /// The deterministic outcome of one grid point plus the machine's full
@@ -168,6 +185,12 @@ pub struct RunRecord {
     /// Safe-window rounds of the PDES engine (0 for serial runs;
     /// deterministic, so it participates in equality).
     pub pdes_rounds: u64,
+    /// Name of the put-completion backend the run actually used.
+    pub backend: &'static str,
+    /// Completion-queue notification records drained (0 outside the
+    /// notified-put backend; deterministic, so it participates in
+    /// equality).
+    pub cq_drains: u64,
     /// The run's JSONL snapshot stream when profiling was on
     /// (deterministic, so it participates in equality).
     pub snapshots: Option<String>,
@@ -190,6 +213,8 @@ impl PartialEq for RunRecord {
             && self.callbacks == other.callbacks
             && self.poll_checks == other.poll_checks
             && self.pdes_rounds == other.pdes_rounds
+            && self.backend == other.backend
+            && self.cq_drains == other.cq_drains
             && self.snapshots == other.snapshots
     }
 }
@@ -210,6 +235,9 @@ impl RunSpec {
             .platform
             .builder(self.pes)
             .with_shards(self.shards.max(1));
+        if let BackendSel::SharedMem = self.backend {
+            b = b.with_backend(ckd_charm::backend::SharedMem);
+        }
         if self.drop_permille > 0 {
             let p = f64::from(self.drop_permille) / 1000.0;
             b = b.with_faults(FaultPlan::new(self.seed).with_drop(p));
@@ -280,6 +308,8 @@ impl RunSpec {
             callbacks: m.callback_total(),
             poll_checks: m.poll_check_total(),
             pdes_rounds: m.pdes_stats().map_or(0, |s| s.rounds),
+            backend: m.backend().name(),
+            cq_drains: m.cq_drain_total(),
             snapshots: m.profiler().snapshots_jsonl().map(str::to_string),
             host_ns: t0.elapsed().as_nanos() as u64,
             prof: m.profiler().shard().cloned(),
@@ -343,6 +373,7 @@ fn platform_label(p: Platform) -> String {
     match p {
         Platform::IbAbe { cores_per_node } => format!("ib_abe(cpn={cores_per_node})"),
         Platform::Bgp => "bgp".to_string(),
+        Platform::Slingshot => "slingshot".to_string(),
     }
 }
 
@@ -381,7 +412,8 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
              \"drop_permille\": {}, \"metric_ps\": {}, \"total_ps\": {}, \"lossy_puts\": {}, \
              \"events\": {}, \"msgs_sent\": {}, \"msg_bytes\": {}, \"puts\": {}, \
              \"put_bytes\": {}, \"reductions\": {}, \"retries\": {}, \"callbacks\": {}, \
-             \"poll_checks\": {}, \"shards\": {}, \"pdes_rounds\": {}}}{}\n",
+             \"poll_checks\": {}, \"shards\": {}, \"pdes_rounds\": {}, \
+             \"backend\": \"{}\", \"cq_drains\": {}}}{}\n",
             s.app.label(),
             s.app.shape(),
             s.app.size(),
@@ -405,6 +437,8 @@ pub fn sweep_json(name: &str, records: &[RunRecord], host: Option<&HostReport>) 
             r.poll_checks,
             s.shards,
             r.pdes_rounds,
+            r.backend,
+            r.cq_drains,
             if i + 1 == records.len() { "" } else { "," },
         ));
     }
@@ -465,27 +499,33 @@ const RUN_KEYS_V2: [&str; 2] = ["\"callbacks\"", "\"poll_checks\""];
 /// Per-run keys added by `ckd-sweep/v3`.
 const RUN_KEYS_V3: [&str; 2] = ["\"shards\"", "\"pdes_rounds\""];
 
-/// Host-block keys the bench gate reads; required whenever a v2/v3 file
+/// Per-run keys added by `ckd-sweep/v4`.
+const RUN_KEYS_V4: [&str; 2] = ["\"backend\"", "\"cq_drains\""];
+
+/// Host-block keys the bench gate reads; required whenever a v2+ file
 /// carries a `"host"` object at all.
 const HOST_KEYS: [&str; 2] = ["\"events_per_sec\"", "\"puts_per_sec\""];
 
 /// Structural check of a `BENCH_*.json` sweep file: schema tag
-/// (`ckd-sweep/v1`, `v2` and `v3` are all accepted), balanced delimiters,
+/// (`ckd-sweep/v1` through `v4` are all accepted), balanced delimiters,
 /// and the per-run keys of the tagged version — errors name the missing
 /// or extra field and the version whose contract it violates.
 /// Deliberately parser-free (the workspace is std-only), like the
 /// trace-export sanity tests.
 pub fn validate_sweep_json(s: &str) -> Result<(), String> {
-    let v3 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\""));
+    let v4 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA}\""));
+    let v3 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA_V3}\""));
     let v2 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA_V2}\""));
     let v1 = s.starts_with(&format!("{{\n  \"schema\": \"{SCHEMA_V1}\""));
-    if !v3 && !v2 && !v1 {
+    if !v4 && !v3 && !v2 && !v1 {
         return Err(format!(
-            "missing schema tag ({SCHEMA:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
+            "missing schema tag ({SCHEMA:?}, {SCHEMA_V3:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
         ));
     }
-    let tag = if v3 {
+    let tag = if v4 {
         SCHEMA
+    } else if v3 {
+        SCHEMA_V3
     } else if v2 {
         SCHEMA_V2
     } else {
@@ -514,7 +554,7 @@ pub fn validate_sweep_json(s: &str) -> Result<(), String> {
     }
     for key in RUN_KEYS_V2 {
         let n = s.matches(key).count();
-        if (v2 || v3) && n != runs {
+        if (v2 || v3 || v4) && n != runs {
             return Err(format!("{tag}: missing v2 key {key} ({n}/{runs} runs)"));
         }
         if v1 && n != 0 {
@@ -525,18 +565,29 @@ pub fn validate_sweep_json(s: &str) -> Result<(), String> {
     }
     for key in RUN_KEYS_V3 {
         let n = s.matches(key).count();
-        if v3 && n != runs {
+        if (v3 || v4) && n != runs {
             return Err(format!("{tag}: missing v3 key {key} ({n}/{runs} runs)"));
         }
-        if !v3 && n != 0 {
+        if !(v3 || v4) && n != 0 {
             return Err(format!(
                 "{tag}: extra v3-only key {key} in a {tag} file ({n} occurrences)"
             ));
         }
     }
+    for key in RUN_KEYS_V4 {
+        let n = s.matches(key).count();
+        if v4 && n != runs {
+            return Err(format!("{tag}: missing v4 key {key} ({n}/{runs} runs)"));
+        }
+        if !v4 && n != 0 {
+            return Err(format!(
+                "{tag}: extra v4-only key {key} in a {tag} file ({n} occurrences)"
+            ));
+        }
+    }
     // the host block is optional, but when present it must carry the
     // throughput metrics the bench gate reads (v2 onwards)
-    if (v2 || v3) && s.contains("\"host\": {") {
+    if !v1 && s.contains("\"host\": {") {
         for key in HOST_KEYS {
             if !s.contains(key) {
                 return Err(format!("{tag}: host block missing {key}"));
@@ -598,6 +649,7 @@ pub fn sweep64_grid() -> Vec<RunSpec> {
                     seed,
                     drop_permille: 20,
                     shards: 1,
+                    backend: BackendSel::Auto,
                 });
             }
         }
@@ -621,6 +673,7 @@ pub fn table1_grid() -> Vec<RunSpec> {
                 seed: 0,
                 drop_permille: 0,
                 shards: 1,
+                backend: BackendSel::Auto,
             });
         }
     }
@@ -662,6 +715,7 @@ pub fn fig2a_grid() -> Vec<RunSpec> {
                 seed: 0,
                 drop_permille: 0,
                 shards: 1,
+                backend: BackendSel::Auto,
             });
         }
     }
@@ -699,6 +753,7 @@ pub fn fig3b_grid() -> Vec<RunSpec> {
                 seed: 0,
                 drop_permille: 0,
                 shards: 1,
+                backend: BackendSel::Auto,
             });
         }
     }
@@ -744,6 +799,61 @@ pub fn smoke_grid() -> Vec<RunSpec> {
                 seed,
                 drop_permille,
                 shards: if sharded { 2 } else { 1 },
+                backend: BackendSel::Auto,
+            });
+        }
+    }
+    grid
+}
+
+/// The completion-backend comparison grid: every app on every completion
+/// strategy, clean fabric, identical 8-PE shapes — sentinel polling
+/// (Infiniband), DCMF callbacks (BG/P), notified puts (Slingshot), and
+/// the shared-memory flag backend forced onto a single-node Infiniband
+/// machine. The conformance suite proves the delivered bytes and
+/// callback counts agree across all four; this grid records where each
+/// strategy's modeled costs land.
+pub fn backends_grid() -> Vec<RunSpec> {
+    let fabrics = [
+        (Platform::IbAbe { cores_per_node: 2 }, BackendSel::Auto),
+        (Platform::Bgp, BackendSel::Auto),
+        (Platform::Slingshot, BackendSel::Auto),
+        // one full node: every PE shares memory, so the flag backend is
+        // honest
+        (Platform::IbAbe { cores_per_node: 8 }, BackendSel::SharedMem),
+    ];
+    let mut grid = Vec::with_capacity(16);
+    for (app, iters) in [
+        (AppCase::Pingpong { bytes: 16384 }, 200u32),
+        (
+            AppCase::Jacobi {
+                domain: [32, 32, 32],
+                chares: [4, 2, 2],
+            },
+            12,
+        ),
+        (AppCase::Matmul { n: 128, grid: 2 }, 4),
+        (
+            AppCase::OpenAtom {
+                nstates: 8,
+                nplanes: 2,
+                grain: 2,
+                pts: 256,
+            },
+            6,
+        ),
+    ] {
+        for (platform, backend) in fabrics {
+            grid.push(RunSpec {
+                app,
+                variant: Variant::Ckd,
+                platform,
+                pes: 8,
+                iters,
+                seed: 0,
+                drop_permille: 0,
+                shards: 1,
+                backend,
             });
         }
     }
@@ -774,6 +884,29 @@ mod tests {
             "sharded point must be the serial 256-PE Ckd point's twin"
         );
         assert_eq!(smoke_grid()[2].shards, 2, "clean jacobi smoke is sharded");
+        // the backend-comparison grid: 4 apps × 4 completion strategies,
+        // all clean, all 8 PEs — differing only in platform/backend
+        let backends = backends_grid();
+        assert_eq!(backends.len(), 16, "4 apps × 4 backends");
+        assert!(backends
+            .iter()
+            .all(|s| s.drop_permille == 0 && s.pes == 8 && s.shards == 1));
+        assert_eq!(
+            backends
+                .iter()
+                .filter(|s| s.backend == BackendSel::SharedMem)
+                .count(),
+            4,
+            "one forced shared-memory point per app"
+        );
+        assert_eq!(
+            backends
+                .iter()
+                .filter(|s| s.platform == Platform::Slingshot)
+                .count(),
+            4,
+            "one notified-put point per app"
+        );
     }
 
     #[test]
@@ -800,7 +933,7 @@ mod tests {
     fn schema_check_rejects_mangled_files() {
         let records = run_sweep(&[smoke_grid()[0]], 1);
         let good = sweep_json("unit", &records, None);
-        assert!(validate_sweep_json(&good.replace("ckd-sweep/v3", "v0")).is_err());
+        assert!(validate_sweep_json(&good.replace(SCHEMA, "ckd-sweep/v0")).is_err());
         let e = validate_sweep_json(&good.replace("\"metric_ps\"", "\"m\"")).unwrap_err();
         assert!(
             e.contains("\"metric_ps\""),
@@ -832,28 +965,33 @@ mod tests {
     #[test]
     fn schema_check_accepts_older_versions_and_polices_the_version_line() {
         let records = run_sweep(&[smoke_grid()[0]], 1);
-        let v3 = sweep_json("unit", &records, None);
-        // faithful v2 and v1 files validate
-        let v2 = downversion(&v3, SCHEMA_V2, ", \"shards\"");
+        let v4 = sweep_json("unit", &records, None);
+        // faithful v3, v2 and v1 files validate
+        let v3 = downversion(&v4, SCHEMA_V3, ", \"backend\"");
+        validate_sweep_json(&v3).unwrap();
+        let v2 = downversion(&v4, SCHEMA_V2, ", \"shards\"");
         validate_sweep_json(&v2).unwrap();
-        let v1 = downversion(&v3, SCHEMA_V1, ", \"callbacks\"");
+        let v1 = downversion(&v4, SCHEMA_V1, ", \"callbacks\"");
         validate_sweep_json(&v1).unwrap();
         // a v1 file that smuggles v2 keys is named and shamed
-        let e = validate_sweep_json(&v3.replace(SCHEMA, SCHEMA_V1)).unwrap_err();
+        let e = validate_sweep_json(&v4.replace(SCHEMA, SCHEMA_V1)).unwrap_err();
         assert!(e.contains("\"callbacks\""), "error must name the key: {e}");
         // ...as is a v2 file that smuggles v3 keys
-        let e = validate_sweep_json(&v3.replace(SCHEMA, SCHEMA_V2)).unwrap_err();
+        let e = validate_sweep_json(&v4.replace(SCHEMA, SCHEMA_V2)).unwrap_err();
         assert!(e.contains("\"shards\""), "error must name the key: {e}");
-        // a v3 file missing a v2-era key likewise
-        let e = validate_sweep_json(&v3.replace("\"poll_checks\"", "\"pc\"")).unwrap_err();
+        // ...and a v3 file that smuggles v4 keys
+        let e = validate_sweep_json(&v4.replace(SCHEMA, SCHEMA_V3)).unwrap_err();
+        assert!(e.contains("\"backend\""), "error must name the key: {e}");
+        // a v4 file missing a v2-era key likewise
+        let e = validate_sweep_json(&v4.replace("\"poll_checks\"", "\"pc\"")).unwrap_err();
         assert!(
             e.contains("\"poll_checks\""),
             "error must name the key: {e}"
         );
-        // ...and a v3 file missing a v3 key names both key and version
-        let e = validate_sweep_json(&v3.replace("\"pdes_rounds\"", "\"pr\"")).unwrap_err();
+        // ...and a v4 file missing a v4 key names both key and version
+        let e = validate_sweep_json(&v4.replace("\"cq_drains\"", "\"cd\"")).unwrap_err();
         assert!(
-            e.contains("\"pdes_rounds\"") && e.contains(SCHEMA),
+            e.contains("\"cq_drains\"") && e.contains(SCHEMA),
             "error must name key and version: {e}"
         );
     }
@@ -870,11 +1008,11 @@ mod tests {
             serial_wall_ns: Some(2_000_000),
             cores: 4,
         };
-        let v3 = sweep_json("unit", &records, Some(&host));
-        validate_sweep_json(&v3).unwrap();
-        let v2 = downversion(&v3, SCHEMA_V2, ", \"shards\"");
+        let v4 = sweep_json("unit", &records, Some(&host));
+        validate_sweep_json(&v4).unwrap();
+        let v2 = downversion(&v4, SCHEMA_V2, ", \"shards\"");
         validate_sweep_json(&v2).unwrap();
-        for file in [v3, v2] {
+        for file in [v4, v2] {
             let gutted: String = file
                 .lines()
                 .filter(|l| !l.contains("\"events_per_sec\""))
@@ -886,6 +1024,25 @@ mod tests {
                 "error must name the missing host metric: {e}"
             );
         }
+    }
+
+    #[test]
+    fn backend_selection_flows_into_records() {
+        // the notified-put point drains its CQ; the forced shared-mem
+        // point reports the override and never touches one
+        let mut slingshot = backends_grid()[2];
+        slingshot.iters = 5;
+        let r = slingshot.execute();
+        assert_eq!(r.backend, "notified-put");
+        assert!(r.cq_drains > 0, "notified puts complete via CQ drains");
+        let mut shm = backends_grid()[3];
+        shm.iters = 5;
+        let r = shm.execute();
+        assert_eq!(r.backend, "shared-mem", "BackendSel::SharedMem override");
+        assert_eq!(r.cq_drains, 0);
+        let json = sweep_json("unit", &[r], None);
+        assert!(json.contains("\"backend\": \"shared-mem\", \"cq_drains\": 0"));
+        validate_sweep_json(&json).unwrap();
     }
 
     #[test]

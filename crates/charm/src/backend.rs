@@ -87,6 +87,17 @@ pub trait CompletionBackend {
 
     /// The completion-word layout put landings are detected by.
     fn sentinel(&self) -> SentinelLayout;
+
+    /// Whether the per-PE scheduler drains a bounded notification
+    /// completion queue between iterations (the notified-RMA mechanism).
+    /// Mutually exclusive with [`polls`] in every shipped backend: a
+    /// machine either sweeps sentinels, drains a CQ, or relies on the
+    /// transport's delivery callback.
+    ///
+    /// [`polls`]: CompletionBackend::polls
+    fn drains_cq(&self) -> bool {
+        false
+    }
 }
 
 /// Infiniband sentinel polling (the paper's Abe implementation): puts land
@@ -104,6 +115,7 @@ impl CompletionBackend for IbSentinelPoll {
         DirectConfig {
             backend: DirectBackend::IbPoll,
             detect_collisions: true,
+            cq_depth: 0,
         }
     }
 
@@ -135,6 +147,7 @@ impl CompletionBackend for DcmfCallback {
         DirectConfig {
             backend: DirectBackend::DcmfCallback,
             detect_collisions: true,
+            cq_depth: 0,
         }
     }
 
@@ -167,6 +180,7 @@ impl CompletionBackend for SharedMem {
         DirectConfig {
             backend: DirectBackend::DcmfCallback,
             detect_collisions: true,
+            cq_depth: 0,
         }
     }
 
@@ -187,13 +201,69 @@ impl CompletionBackend for SharedMem {
     }
 }
 
+/// Notified RMA (Slingshot-class fabrics): each put carries a small
+/// notification record that the NIC deposits in a bounded per-PE
+/// completion queue when the payload lands. The receiving scheduler
+/// *drains* the queue — O(notifications) per sweep rather than O(armed
+/// handles) — and a put that would overflow the CQ is held back at the
+/// NIC until the receiver drains (backpressure, never data loss).
+#[derive(Clone, Copy, Debug)]
+pub struct NotifiedPut {
+    /// Modeled depth of the per-PE notification completion queue.
+    pub cq_depth: usize,
+}
+
+impl NotifiedPut {
+    /// Backend with an explicit CQ depth (clamped to at least 1).
+    pub fn with_depth(cq_depth: usize) -> NotifiedPut {
+        NotifiedPut {
+            cq_depth: cq_depth.max(1),
+        }
+    }
+}
+
+impl Default for NotifiedPut {
+    /// The Slingshot preset's CQ depth.
+    fn default() -> NotifiedPut {
+        NotifiedPut { cq_depth: 1024 }
+    }
+}
+
+impl CompletionBackend for NotifiedPut {
+    fn name(&self) -> &'static str {
+        "notified-put"
+    }
+
+    fn direct_config(&self) -> DirectConfig {
+        DirectConfig::notified(self.cq_depth)
+    }
+
+    fn polls(&self) -> bool {
+        false
+    }
+
+    fn put_proto(&self) -> Protocol {
+        Protocol::RdmaPut
+    }
+
+    fn sentinel(&self) -> SentinelLayout {
+        SentinelLayout::None
+    }
+
+    fn drains_cq(&self) -> bool {
+        true
+    }
+}
+
 /// The backend that matches `fabric` — the lookup behind
 /// [`crate::Machine::with_matching_backend`] and the builder default:
-/// sentinel polling on Infiniband, delivery callbacks on DCMF.
+/// sentinel polling on Infiniband, delivery callbacks on DCMF, CQ
+/// notifications on Slingshot (depth taken from the fabric's CQ model).
 pub fn matching_backend(fabric: &FabricParams) -> Box<dyn CompletionBackend> {
     match fabric {
         FabricParams::IbVerbs(_) => Box::new(IbSentinelPoll),
         FabricParams::Dcmf(_) => Box::new(DcmfCallback),
+        FabricParams::Slingshot(_) => Box::new(NotifiedPut::with_depth(fabric.cq().depth)),
     }
 }
 
@@ -203,6 +273,7 @@ pub(crate) fn backend_for(direct_cfg: &DirectConfig) -> Box<dyn CompletionBacken
     match direct_cfg.backend {
         DirectBackend::IbPoll => Box::new(IbSentinelPoll),
         DirectBackend::DcmfCallback => Box::new(DcmfCallback),
+        DirectBackend::NotifiedPut => Box::new(NotifiedPut::with_depth(direct_cfg.cq_depth)),
     }
 }
 
@@ -216,8 +287,10 @@ mod tests {
     fn matching_backend_follows_the_fabric() {
         let ib = presets::ib_abe(Topo::ib_cluster(4, 2));
         let bgp = presets::bgp_surveyor(Topo::bgp_partition(4));
+        let ss = presets::slingshot(Topo::ib_cluster(4, 2));
         assert_eq!(matching_backend(ib.fabric()).name(), "ib-sentinel-poll");
         assert_eq!(matching_backend(bgp.fabric()).name(), "dcmf-callback");
+        assert_eq!(matching_backend(ss.fabric()).name(), "notified-put");
     }
 
     #[test]
@@ -225,12 +298,28 @@ mod tests {
         let ib = IbSentinelPoll;
         let bgp = DcmfCallback;
         let shm = SharedMem;
-        assert!(ib.polls() && !bgp.polls() && !shm.polls());
+        let np = NotifiedPut::default();
+        assert!(ib.polls() && !bgp.polls() && !shm.polls() && !np.polls());
+        assert!(np.drains_cq() && !ib.drains_cq() && !bgp.drains_cq() && !shm.drains_cq());
         assert_eq!(ib.sentinel(), SentinelLayout::OobWord);
         assert_eq!(bgp.sentinel(), SentinelLayout::None);
         assert_eq!(shm.sentinel(), SentinelLayout::Flag);
+        assert_eq!(np.sentinel(), SentinelLayout::None);
         assert_eq!(ib.put_proto(), Protocol::RdmaPut);
         assert_eq!(bgp.put_proto(), Protocol::Dcmf);
+        assert_eq!(np.put_proto(), Protocol::RdmaPut);
+    }
+
+    #[test]
+    fn notified_backend_carries_the_fabric_cq_depth() {
+        let ss = presets::slingshot(Topo::ib_cluster(4, 2));
+        let backend = matching_backend(ss.fabric());
+        let cfg = backend.direct_config();
+        assert_eq!(cfg.backend, DirectBackend::NotifiedPut);
+        assert_eq!(cfg.cq_depth, ss.fabric().cq().depth);
+        assert!(!cfg.detect_collisions, "no sentinel word, no collisions");
+        // zero depth is clamped rather than wedging every put
+        assert_eq!(NotifiedPut::with_depth(0).cq_depth, 1);
     }
 
     #[test]

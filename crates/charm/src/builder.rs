@@ -18,11 +18,14 @@ use ckd_sim::{FaultPlan, ReorderPolicy};
 use ckd_trace::{ProfConfig, TraceConfig};
 use ckdirect::DirectConfig;
 
+use ckd_sim::Time;
+
 use crate::backend::{matching_backend, CompletionBackend};
 use crate::config::RtsConfig;
 use crate::layer::RuntimeLayer;
 use crate::learn::LearnConfig;
 use crate::machine::Machine;
+use crate::progress::{BuildError, ProgressConfig};
 
 /// Builder returned by [`Machine::builder`]. Every knob has a
 /// fabric-matching default: the backend from [`matching_backend`], the
@@ -42,6 +45,7 @@ pub struct MachineBuilder {
     layers: Vec<Box<dyn RuntimeLayer>>,
     checker: Option<Box<dyn ReorderPolicy>>,
     shards: usize,
+    progress: Option<ProgressConfig>,
 }
 
 impl MachineBuilder {
@@ -59,6 +63,7 @@ impl MachineBuilder {
             layers: Vec::new(),
             checker: None,
             shards: 1,
+            progress: None,
         }
     }
 
@@ -172,14 +177,47 @@ impl MachineBuilder {
         self
     }
 
-    /// Construct the machine.
+    /// Enable the async software-progress engine: a modeled progress
+    /// thread that drains the notified-put completion queue on a periodic
+    /// virtual-time tick, even while the scheduler is busy (see
+    /// `progress.rs`). Requires a CQ-draining backend and cannot combine
+    /// with [`MachineBuilder::with_checker`] — [`MachineBuilder::try_build`]
+    /// names the rejection.
+    pub fn with_progress(mut self, cfg: ProgressConfig) -> Self {
+        self.progress = Some(cfg);
+        self
+    }
+
+    /// Construct the machine, panicking on an illegal knob combination.
+    /// Prefer [`MachineBuilder::try_build`] where the caller can report
+    /// the named [`BuildError`] instead.
     pub fn build(self) -> Machine {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Construct the machine, or name the illegal knob combination.
+    pub fn try_build(self) -> Result<Machine, BuildError> {
+        if self.checker.is_some() && self.shards > 1 {
+            return Err(BuildError::CheckerWithShards);
+        }
+        if self.checker.is_some() && self.progress.is_some() {
+            return Err(BuildError::CheckerWithProgress);
+        }
         let backend = self
             .backend
             .unwrap_or_else(|| matching_backend(self.net.fabric()));
+        if let Some(cfg) = &self.progress {
+            if !backend.drains_cq() {
+                return Err(BuildError::ProgressWithoutCq);
+            }
+            if cfg.tick == Time::ZERO {
+                return Err(BuildError::ZeroProgressTick);
+            }
+        }
         let rts = self.rts.unwrap_or_else(|| match self.net.fabric() {
             FabricParams::IbVerbs(_) => RtsConfig::ib_abe(),
             FabricParams::Dcmf(_) => RtsConfig::bgp(),
+            FabricParams::Slingshot(_) => RtsConfig::slingshot(),
         });
         let mut direct_cfg: DirectConfig = backend.direct_config();
         if let Some(detect) = self.detect_collisions {
@@ -205,16 +243,14 @@ impl MachineBuilder {
             m.install_layer(layer);
         }
         if let Some(policy) = self.checker {
-            assert!(
-                self.shards == 1,
-                "with_shards cannot combine with with_checker: schedule \
-                 exploration needs the single serial event heap"
-            );
             m.install_checker(policy);
         }
         if self.shards > 1 {
             m.install_pdes(self.shards);
         }
-        m
+        if let Some(cfg) = self.progress {
+            m.install_progress(cfg);
+        }
+        Ok(m)
     }
 }

@@ -101,6 +101,29 @@ impl RtsConfig {
         }
     }
 
+    /// Charm++-style software costs on a modern Slingshot-class system:
+    /// faster cores shrink every software term relative to Abe, and the
+    /// notified backend never polls, so `poll_per_handle` only matters if
+    /// the user forces the sentinel backend onto this fabric.
+    pub fn slingshot() -> RtsConfig {
+        RtsConfig {
+            env_bytes: 80,
+            alloc: Time::from_ns(400),
+            alloc_ps_per_byte: 0,
+            sched: Time::from_ns(1500),
+            poll_per_handle: Time::from_ns(30),
+            callback_cost: Time::from_ns(120),
+            idle_poll_gap: Time::from_ns(100),
+            eager_max: 16 * 1024,
+            compute: ComputeParams {
+                // modern server core, memory-bound stencil codes; 8 Gflop/s
+                // effective.
+                flops_per_sec: 8.0e9,
+                mem_ps_per_byte: 120,
+            },
+        }
+    }
+
     /// Small, round numbers for unit tests.
     pub fn test() -> RtsConfig {
         RtsConfig {
@@ -139,7 +162,11 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for cfg in [RtsConfig::ib_abe(), RtsConfig::bgp()] {
+        for cfg in [
+            RtsConfig::ib_abe(),
+            RtsConfig::bgp(),
+            RtsConfig::slingshot(),
+        ] {
             assert!(cfg.env_bytes >= 64);
             assert!(cfg.sched > cfg.callback_cost, "callback must beat sched");
             assert!(cfg.poll_per_handle < Time::from_us(1));

@@ -37,6 +37,7 @@ impl Machine {
             Ev::DirectLand { handle, recv_cpu } => self.on_direct_land(handle, recv_cpu),
             Ev::DirectGetLand { handle, recv_cpu } => self.on_direct_get_land(handle, recv_cpu),
             Ev::PeLoop { pe } => self.on_pe_loop(pe),
+            Ev::ProgressTick { pe } => self.on_progress_tick(pe),
             Ev::ReduceUp {
                 array,
                 to,
@@ -142,20 +143,110 @@ impl Machine {
 
     fn on_direct_land(&mut self, handle: HandleId, recv_cpu: Time) {
         self.observe_landing(handle, false);
-        match self.direct.land(handle).expect("land on live channel") {
-            LandOutcome::AwaitPoll => {
+        match self.direct.land(handle) {
+            Ok(LandOutcome::AwaitPoll) => {
                 // Polling backend: the receiving scheduler will notice at
                 // its next sweep; wake it if idle.
                 let pe = self.direct.recv_pe(handle).expect("live channel");
                 self.ensure_loop(pe, self.cfg.idle_poll_gap);
             }
-            LandOutcome::Deliver(cb) => {
+            Ok(LandOutcome::Deliver(cb)) => {
                 // Callback backend (BG/P): charge the DCMF receive handler
                 // and run the user callback immediately.
                 let pe = self.direct.recv_pe(handle).expect("live channel");
                 self.deliver_landing(pe, recv_cpu, cb, handle);
             }
+            Ok(LandOutcome::Notified) => {
+                // Notified backend: the NIC deposited a completion-queue
+                // record; whoever drains first — the async progress tick
+                // or the receiving scheduler — delivers the callback.
+                let pe = self.direct.recv_pe(handle).expect("live channel");
+                if !self.arm_progress_tick(pe) {
+                    self.ensure_loop(pe, self.cfg.idle_poll_gap);
+                }
+            }
+            Err(ckdirect::DirectError::CqOverflow) => {
+                // The receiver's bounded CQ is full, so the NIC holds the
+                // put back at the initiator (backpressure, not data loss).
+                // Re-attempt the landing strictly after the next drain
+                // opportunity on the receiver.
+                let pe = self.direct.recv_pe(handle).expect("live channel");
+                let retry_at = if self.arm_progress_tick(pe) {
+                    self.after_next_progress_tick()
+                } else {
+                    self.ensure_loop(pe, self.cfg.idle_poll_gap);
+                    self.pes[pe.idx()].busy_until.max(self.now)
+                        + self.cfg.idle_poll_gap
+                        + self.cfg.idle_poll_gap
+                };
+                self.push_ev(retry_at, Ev::DirectLand { handle, recv_cpu });
+            }
+            Err(e) => panic!("land on live channel: {e}"),
         }
+    }
+
+    /// The first instant strictly after the next progress-tick boundary
+    /// (where a CQ-overflow retry is guaranteed to find drained space).
+    fn after_next_progress_tick(&self) -> Time {
+        let tick = self
+            .progress
+            .as_ref()
+            .expect("caller checked progress")
+            .tick;
+        let period = tick.as_ps().max(1);
+        Time::from_ps((self.now.as_ps() / period + 1) * period + 1)
+    }
+
+    /// Async progress tick: drain one CQ batch on `pe` at the modeled
+    /// drain cost, then re-arm while records remain (see `progress.rs`).
+    fn on_progress_tick(&mut self, pe: Pe) {
+        if let Some(prog) = self.progress.as_mut() {
+            prog.armed[pe.idx()] = false;
+        }
+        self.stats.progress_ticks += 1;
+        if self.direct.cq_len(pe) > 0 {
+            let start = self.pes[pe.idx()].busy_until.max(self.now);
+            let elapsed = self.drain_cq_batch(pe, start, Time::ZERO);
+            let st = &mut self.pes[pe.idx()];
+            st.busy_until = start + elapsed;
+            st.stats.busy += elapsed;
+        }
+        if self.direct.cq_len(pe) > 0 {
+            self.arm_progress_tick(pe);
+        }
+    }
+
+    /// Drain one bounded batch of completion-queue records on `pe`:
+    /// charge the fabric's modeled drain cost and run the completion
+    /// callbacks of every drained record. Returns the updated elapsed
+    /// time. Caller has checked that the CQ is non-empty.
+    fn drain_cq_batch(&mut self, pe: Pe, start: Time, mut elapsed: Time) -> Time {
+        let cq = self.net.fabric().cq();
+        let pt0 = self.prof.begin();
+        self.stack.san.set_ctx(pe.idx(), start);
+        let mut deliveries = self.take_sweep_buf();
+        let drained = self
+            .direct
+            .cq_drain_into(pe, cq.drain_batch.max(1), &mut deliveries);
+        elapsed += cq.drain_base + cq.drain_per_notification * drained as u64;
+        self.pes[pe.idx()].stats.cq_drains += drained as u64;
+        self.stats.cq_drains += drained as u64;
+        self.prof.poll_batch(drained as u64);
+        self.stack.tracer.poll_sweep(
+            pe.idx(),
+            start,
+            start + elapsed,
+            drained as u32,
+            deliveries.len() as u32,
+        );
+        self.prof.end(Phase::Poll, pt0);
+        if !deliveries.is_empty() {
+            let mut cbs = self.take_cb_buf();
+            cbs.extend(deliveries.drain(..).map(|(h, cb)| (cb, h)));
+            elapsed = self.run_callbacks(pe, start, elapsed, cbs);
+        }
+        self.recycle_sweep_buf(deliveries);
+        elapsed
     }
 
     fn on_direct_get_land(&mut self, handle: HandleId, recv_cpu: Time) {
@@ -218,6 +309,13 @@ impl Machine {
             self.recycle_sweep_buf(deliveries);
         }
 
+        // Notified-put CQ drain (CQ-draining backends): pay the drain base
+        // plus a per-record cost, deliver everything drained. Bounded by
+        // the fabric's drain batch — leftovers re-arm the loop below.
+        if self.backend.drains_cq() && self.direct.cq_len(pe) > 0 {
+            elapsed = self.drain_cq_batch(pe, start, elapsed);
+        }
+
         // One message through the scheduler.
         if let Some((target, msg)) = self.pes[pe.idx()].queue.pop_front() {
             elapsed += self.cfg.sched;
@@ -237,12 +335,14 @@ impl Machine {
             elapsed = self.run_entry(pe, target, start, elapsed, msg);
         }
 
+        // Records past this iteration's drain batch keep the loop alive.
+        let cq_backlog = self.backend.drains_cq() && self.direct.cq_len(pe) > 0;
         let st = &mut self.pes[pe.idx()];
         st.busy_until = start + elapsed;
         st.stats.busy += elapsed;
         // A handler may already have re-armed the loop (e.g. a broadcast
         // delivered to this very PE); don't double-schedule.
-        if !st.queue.is_empty() && !st.loop_scheduled {
+        if (!st.queue.is_empty() || cq_backlog) && !st.loop_scheduled {
             st.loop_scheduled = true;
             let at = st.busy_until;
             self.push_ev(at, Ev::PeLoop { pe });

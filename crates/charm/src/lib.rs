@@ -30,6 +30,7 @@ pub mod learn;
 pub mod machine;
 pub mod msg;
 pub(crate) mod pdes;
+pub mod progress;
 pub mod reduction;
 pub(crate) mod rel;
 pub mod stats;
@@ -46,6 +47,7 @@ pub use layer::{
 pub use learn::{LearnConfig, LearningTotals};
 pub use machine::Machine;
 pub use msg::{EntryId, Msg, Payload};
+pub use progress::{BuildError, ProgressConfig};
 pub use reduction::{RedOp, RedTarget, RedVal};
 pub use stats::{MachineStats, PeStats, ProtoBreakdown, ProtoCounters};
 // Tracing and self-profiling entry points, re-exported so applications

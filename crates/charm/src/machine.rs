@@ -93,6 +93,9 @@ pub(crate) enum Ev {
     DirectGetLand { handle: HandleId, recv_cpu: Time },
     /// One scheduler iteration on `pe`.
     PeLoop { pe: Pe },
+    /// Async software-progress tick on `pe`: drain one completion-queue
+    /// batch even if the scheduler is busy or idle (see `progress.rs`).
+    ProgressTick { pe: Pe },
     /// Reduction partial result moving up the PE tree.
     ReduceUp {
         array: ArrayId,
@@ -172,6 +175,9 @@ pub struct Machine {
     /// Sharded PDES engine replacing `events` when `with_shards(n > 1)`
     /// was requested; `None` is the serial fast path (see `pdes.rs`).
     pub(crate) pdes: Option<crate::pdes::PdesRuntime>,
+    /// Async software-progress engine for CQ-draining backends; `None`
+    /// (the default) leaves draining to the scheduler (see `progress.rs`).
+    pub(crate) progress: Option<crate::progress::ProgressState>,
     pub(crate) stop: bool,
     /// Recycled callback-delivery buffers: the scheduler hands these to
     /// entry methods and completion callbacks instead of allocating a
@@ -237,6 +243,7 @@ impl Machine {
             prof: Profiler::disabled(),
             stats: MachineStats::default(),
             pdes: None,
+            progress: None,
             stop: false,
             cb_pool: Vec::new(),
             sweep_pool: Vec::new(),
@@ -331,6 +338,12 @@ impl Machine {
     /// CkDirect handles examined by poll sweeps, summed over every PE.
     pub fn poll_check_total(&self) -> u64 {
         self.pes.iter().map(|p| p.stats.poll_checks).sum()
+    }
+
+    /// Notification records drained from completion queues, summed over
+    /// every PE (zero on every backend but notified-put).
+    pub fn cq_drain_total(&self) -> u64 {
+        self.stats.cq_drains
     }
 
     /// What the fault plane injected, when faults are enabled.
@@ -559,6 +572,7 @@ impl Machine {
             queue_depth: self.queue_depth() as u64,
             pollq: self.direct.pollq_total() as u64,
             ready: self.direct.ready_total() as u64,
+            cq_backlog: self.direct.cq_total() as u64,
             ring_drops: self.stack.tracer.dropped_total(),
             retries: self.stats.rel.retries,
         };
@@ -622,7 +636,7 @@ impl Machine {
                 .map_or(Footprint::UNKNOWN, |pe| {
                     Footprint::arrival_on(pe.idx(), handle.0)
                 }),
-            Ev::PeLoop { pe } => Footprint::local(pe.idx()),
+            Ev::PeLoop { pe } | Ev::ProgressTick { pe } => Footprint::local(pe.idx()),
             Ev::ReduceUp { to, .. } | Ev::BcastDown { to, .. } => Footprint::arrival(to.idx()),
             Ev::RelDeliver { .. } | Ev::RelAck { .. } | Ev::RelTimer { .. } => Footprint::UNKNOWN,
         }
@@ -638,7 +652,9 @@ fn phase_of(ev: &Ev) -> Phase {
         Ev::MsgArrive { .. } | Ev::PeLoop { .. } | Ev::ReduceUp { .. } | Ev::BcastDown { .. } => {
             Phase::Sched
         }
-        Ev::DirectLand { .. } | Ev::DirectGetLand { .. } => Phase::Backend,
+        Ev::DirectLand { .. } | Ev::DirectGetLand { .. } | Ev::ProgressTick { .. } => {
+            Phase::Backend
+        }
         Ev::RelDeliver { .. } | Ev::RelAck { .. } | Ev::RelTimer { .. } => Phase::Rel,
     }
 }

@@ -81,7 +81,7 @@ impl Machine {
     /// conservatively homed on shard 0; order is unaffected either way.
     fn home_pe_of(&self, ev: &Ev) -> Option<Pe> {
         match ev {
-            Ev::MsgArrive { pe, .. } | Ev::PeLoop { pe } => Some(*pe),
+            Ev::MsgArrive { pe, .. } | Ev::PeLoop { pe } | Ev::ProgressTick { pe } => Some(*pe),
             Ev::ReduceUp { to, .. } | Ev::BcastDown { to, .. } => Some(*to),
             Ev::DirectLand { handle, .. } | Ev::DirectGetLand { handle, .. } => {
                 self.direct.recv_pe(*handle).ok()

@@ -83,6 +83,9 @@ pub struct PeStats {
     pub callbacks: u64,
     /// Individual handle checks performed by poll sweeps.
     pub poll_checks: u64,
+    /// Notification records drained from this PE's completion queue
+    /// (notified-put backend only; zero elsewhere).
+    pub cq_drains: u64,
     /// Protocol breakdown of transfers *issued from* this PE.
     pub proto_sent: ProtoBreakdown,
 }
@@ -102,6 +105,12 @@ pub struct MachineStats {
     pub reductions: u64,
     /// Events processed by the simulation core.
     pub events: u64,
+    /// Notification records drained from completion queues, summed over
+    /// every PE (notified-put backend only; zero elsewhere).
+    pub cq_drains: u64,
+    /// Async software-progress ticks that fired (zero unless the
+    /// progress engine was enabled with `with_progress`).
+    pub progress_ticks: u64,
     /// Per-protocol breakdown of every modeled transfer.
     pub proto: ProtoBreakdown,
     /// Reliability-layer counters (all zero when faults are disabled).

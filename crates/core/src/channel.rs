@@ -79,6 +79,13 @@ pub enum DirectBackend {
     /// Blue Gene/P-style: delivery is a DCMF completion callback; the
     /// `ready` family are no-ops (the paper's BG/P implementation).
     DcmfCallback,
+    /// Notified-RMA style (Slingshot-class fabrics): each put deposits a
+    /// notification record in a bounded per-PE completion queue; the
+    /// receiver *drains* the queue (`cq_drain_into`) instead of polling
+    /// per-handle sentinels. A put that would overflow the CQ is held back
+    /// at the NIC (`DirectError::CqOverflow` → executor backpressure). The
+    /// `ready` family release data like the callback backend.
+    NotifiedPut,
 }
 
 /// Where the channel's current message is in its life.

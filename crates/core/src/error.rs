@@ -46,6 +46,11 @@ pub enum DirectError {
     /// handle's 24-bit slot field). Historically the index silently
     /// wrapped; now the caller is told.
     TooManyHandles,
+    /// A notified put's record would overflow the receiver's bounded
+    /// completion queue. Nothing landed: the NIC holds the put back and the
+    /// executor must retry after the receiver drains (backpressure, not
+    /// data loss).
+    CqOverflow,
 }
 
 impl fmt::Display for DirectError {
@@ -66,6 +71,9 @@ impl fmt::Display for DirectError {
             DirectError::BadHandle => "unknown CkDirect handle",
             DirectError::WrongPe => "operation issued from the wrong PE",
             DirectError::TooManyHandles => "channel registry is out of handle slots",
+            DirectError::CqOverflow => {
+                "notified put would overflow the receiver's completion queue"
+            }
         };
         f.write_str(s)
     }
@@ -96,6 +104,7 @@ mod tests {
             DirectError::BadHandle,
             DirectError::WrongPe,
             DirectError::TooManyHandles,
+            DirectError::CqOverflow,
         ] {
             assert!(!e.to_string().is_empty());
         }

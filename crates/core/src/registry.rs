@@ -63,6 +63,10 @@ pub struct DirectConfig {
     /// transferred but never detected — the paper's actual failure mode —
     /// which some tests exercise deliberately.
     pub detect_collisions: bool,
+    /// Per-PE completion-queue depth (`NotifiedPut` backend only; 0
+    /// elsewhere). A landing that would push the queue past this depth is
+    /// refused with [`DirectError::CqOverflow`] and nothing changes.
+    pub cq_depth: usize,
 }
 
 impl DirectConfig {
@@ -71,6 +75,7 @@ impl DirectConfig {
         DirectConfig {
             backend: DirectBackend::IbPoll,
             detect_collisions: true,
+            cq_depth: 0,
         }
     }
 
@@ -79,6 +84,18 @@ impl DirectConfig {
         DirectConfig {
             backend: DirectBackend::DcmfCallback,
             detect_collisions: true,
+            cq_depth: 0,
+        }
+    }
+
+    /// Notified-RMA backend: puts deposit records in a bounded per-PE
+    /// completion queue of `cq_depth` entries (clamped to at least 1).
+    /// There is no sentinel, so collision detection is moot.
+    pub fn notified(cq_depth: usize) -> DirectConfig {
+        DirectConfig {
+            backend: DirectBackend::NotifiedPut,
+            detect_collisions: false,
+            cq_depth: cq_depth.max(1),
         }
     }
 }
@@ -141,6 +158,10 @@ pub enum LandOutcome<C> {
     AwaitPoll,
     /// DcmfCallback backend: invoke this callback on the receiver PE now.
     Deliver(C),
+    /// NotifiedPut backend: the payload landed and a notification record
+    /// was deposited in the receiver's completion queue; a future
+    /// [`DirectRegistry::cq_drain_into`] will deliver it.
+    Notified,
 }
 
 /// Result of one poll sweep over a PE's polling queue.
@@ -166,6 +187,12 @@ pub struct RegistryCounters {
     pub dup_landings: u64,
     /// Corrupted landings reported via [`DirectRegistry::corrupt_landing`].
     pub corrupt_landings: u64,
+    /// Notification records deposited in completion queues (`NotifiedPut`).
+    pub notifications: u64,
+    /// Notification records drained from completion queues (`NotifiedPut`).
+    pub cq_drains: u64,
+    /// Landings refused because the receiver's CQ was full (backpressure).
+    pub cq_overflows: u64,
 }
 
 /// Per-channel lifetime counters (observability snapshot).
@@ -220,6 +247,10 @@ struct PePoll {
     sweeps: u64,
     /// Next poll-queue insertion sequence (delivery ordering).
     next_seq: u64,
+    /// Bounded completion queue of landed-but-undelivered notification
+    /// records (`NotifiedPut` backend only): the slots whose channels wait
+    /// for a drain, in landing order.
+    cq: std::collections::VecDeque<u32>,
 }
 
 impl PePoll {
@@ -231,6 +262,7 @@ impl PePoll {
             ready: 0,
             sweeps: 0,
             next_seq: 0,
+            cq: std::collections::VecDeque::new(),
         }
     }
 
@@ -332,6 +364,9 @@ pub struct DirectRegistry<C> {
     total_poll_checks: u64,
     total_dup_landings: u64,
     total_corrupt_landings: u64,
+    total_notifications: u64,
+    total_cq_drains: u64,
+    total_cq_overflows: u64,
     /// Lifecycle observer (the ckd-race sanitizer); `None` costs one branch
     /// per committed transition.
     probe: Option<LifecycleProbe>,
@@ -355,6 +390,9 @@ impl<C: Clone> DirectRegistry<C> {
             total_poll_checks: 0,
             total_dup_landings: 0,
             total_corrupt_landings: 0,
+            total_notifications: 0,
+            total_cq_drains: 0,
+            total_cq_overflows: 0,
             probe: None,
         }
     }
@@ -658,8 +696,21 @@ impl<C: Clone> DirectRegistry<C> {
 
     /// Executor callback: the wire delay has elapsed; move the bytes into
     /// the receive window (the simulated RDMA write / DCMF delivery).
+    ///
+    /// On `NotifiedPut`, a landing whose notification record would overflow
+    /// the receiver's bounded CQ is refused with
+    /// [`DirectError::CqOverflow`] *before anything changes*: no bytes move,
+    /// the channel stays `InFlight`, and the executor retries the landing
+    /// after the receiver has drained (NIC backpressure, not data loss).
     pub fn land(&mut self, handle: HandleId) -> Result<LandOutcome<C>, DirectError> {
         let backend = self.cfg.backend;
+        if backend == DirectBackend::NotifiedPut {
+            let pe = self.chan(handle)?.recv_pe;
+            if self.polls[pe.idx()].cq.len() >= self.cfg.cq_depth.max(1) {
+                self.total_cq_overflows += 1;
+                return Err(DirectError::CqOverflow);
+            }
+        }
         let ch = self.chan_mut(handle)?;
         debug_assert_eq!(ch.phase, DataPhase::InFlight, "{handle:?} landed twice?");
         let src = ch.send.as_ref().ok_or(DirectError::NotAssociated)?;
@@ -695,6 +746,17 @@ impl<C: Clone> DirectRegistry<C> {
                 self.emit(handle, Transition::Landed);
                 self.emit(handle, Transition::Delivered);
                 Ok(LandOutcome::Deliver(cb))
+            }
+            DirectBackend::NotifiedPut => {
+                // Admission was checked above: the CQ has room. Land the
+                // payload and deposit the notification record; delivery
+                // happens at the next drain, in landing order.
+                ch.phase = DataPhase::Landed;
+                let pe = ch.recv_pe;
+                self.polls[pe.idx()].cq.push_back(handle.slot());
+                self.total_notifications += 1;
+                self.emit(handle, Transition::Landed);
+                Ok(LandOutcome::Notified)
             }
         }
     }
@@ -826,11 +888,81 @@ impl<C: Clone> DirectRegistry<C> {
         }
     }
 
+    /// Drain up to `max_batch` notification records from `pe`'s completion
+    /// queue (`NotifiedPut` backend), appending the callbacks to `out` in
+    /// landing order and returning how many were drained.
+    ///
+    /// This is the notified-RMA replacement for [`Self::poll_sweep_into`]:
+    /// cost is O(records drained), never a function of how many idle
+    /// channels sit registered on the PE, and draining is what releases CQ
+    /// space for backpressured landings to retry into.
+    pub fn cq_drain_into(
+        &mut self,
+        pe: Pe,
+        max_batch: usize,
+        out: &mut Vec<(HandleId, C)>,
+    ) -> usize {
+        debug_assert_eq!(self.cfg.backend, DirectBackend::NotifiedPut);
+        let mut drained = 0;
+        while drained < max_batch {
+            let Some(slot) = self.polls[pe.idx()].cq.pop_front() else {
+                break;
+            };
+            let entry = &mut self.slots[slot as usize];
+            let id = HandleId::new(slot, entry.gen);
+            let SlotState::Occupied(ch) = &mut entry.state else {
+                // destroy_handle refuses InFlight|Landed channels, so a CQ
+                // record can never outlive its channel.
+                unreachable!("CQ record for a free slot")
+            };
+            debug_assert_eq!(ch.phase, DataPhase::Landed, "{id:?} drained twice?");
+            ch.phase = DataPhase::Delivered;
+            ch.marked = false;
+            ch.deliveries += 1;
+            if let Some((backing, spec)) = &ch.recv_scatter {
+                spec.scatter(&ch.recv, backing);
+            }
+            let cb = ch.callback.clone();
+            self.total_deliveries += 1;
+            self.total_cq_drains += 1;
+            out.push((id, cb));
+            if let Some(p) = self.probe.as_mut() {
+                p(id, Transition::Delivered);
+            }
+            drained += 1;
+        }
+        drained
+    }
+
+    /// [`Self::cq_drain_into`] with an owned result (tests and simple
+    /// drivers).
+    pub fn cq_drain(&mut self, pe: Pe, max_batch: usize) -> Vec<(HandleId, C)> {
+        let mut out = Vec::new();
+        self.cq_drain_into(pe, max_batch, &mut out);
+        out
+    }
+
+    /// Undelivered notification records waiting in `pe`'s completion queue.
+    pub fn cq_len(&self, pe: Pe) -> usize {
+        self.polls[pe.idx()].cq.len()
+    }
+
+    /// Undelivered notification records across every PE's completion queue
+    /// (the machine-wide CQ backlog telemetry snapshots report).
+    pub fn cq_total(&self) -> usize {
+        self.polls.iter().map(|p| p.cq.len()).sum()
+    }
+
     /// `CkDirect_ReadyMark`: the receiver is done with the data; re-arm the
     /// out-of-band pattern so the *next* put can be detected. Performs no
-    /// communication and no synchronization. No-op on the BG/P backend.
+    /// communication and no synchronization. No-op on the BG/P backend;
+    /// on `NotifiedPut` there is no sentinel either — the call just
+    /// releases the data, like BG/P.
     pub fn ready_mark(&mut self, handle: HandleId) -> Result<(), DirectError> {
-        if self.cfg.backend == DirectBackend::DcmfCallback {
+        if matches!(
+            self.cfg.backend,
+            DirectBackend::DcmfCallback | DirectBackend::NotifiedPut
+        ) {
             return self.ready_noop_bgp(handle);
         }
         let ch = self.chan_mut(handle)?;
@@ -853,7 +985,10 @@ impl<C: Clone> DirectRegistry<C> {
     /// handle into the polling queue **if new data has not already been
     /// received**"). No-op on the BG/P backend.
     pub fn ready_poll_q(&mut self, handle: HandleId) -> Result<Option<C>, DirectError> {
-        if self.cfg.backend == DirectBackend::DcmfCallback {
+        if matches!(
+            self.cfg.backend,
+            DirectBackend::DcmfCallback | DirectBackend::NotifiedPut
+        ) {
             self.ready_noop_bgp(handle)?;
             return Ok(None);
         }
@@ -1027,6 +1162,9 @@ impl<C: Clone> DirectRegistry<C> {
             poll_checks: self.total_poll_checks,
             dup_landings: self.total_dup_landings,
             corrupt_landings: self.total_corrupt_landings,
+            notifications: self.total_notifications,
+            cq_drains: self.total_cq_drains,
+            cq_overflows: self.total_cq_overflows,
         }
     }
 
@@ -1092,6 +1230,7 @@ mod tests {
         match reg.land(h).unwrap() {
             LandOutcome::AwaitPoll => reg.poll_sweep(Pe(1)).deliveries,
             LandOutcome::Deliver(cb) => vec![(h, cb)],
+            LandOutcome::Notified => reg.cq_drain(Pe(1), usize::MAX),
         }
     }
 
@@ -1133,7 +1272,7 @@ mod tests {
         reg.put(h, Pe(0)).unwrap();
         match reg.land(h).unwrap() {
             LandOutcome::Deliver(cb) => assert_eq!(cb, 7),
-            LandOutcome::AwaitPoll => panic!("BG/P must deliver via callback"),
+            other => panic!("BG/P must deliver via callback, got {other:?}"),
         }
         // ready is a no-op but releases the data for the next put
         reg.ready_mark(h).unwrap();
@@ -1696,7 +1835,7 @@ mod strided_tests {
         reg.put(h, Pe(0)).unwrap();
         match reg.land(h).unwrap() {
             LandOutcome::Deliver(_) => {}
-            LandOutcome::AwaitPoll => panic!("BG/P delivers by callback"),
+            other => panic!("BG/P delivers by callback, got {other:?}"),
         }
         for (i, &b) in dst.to_vec().iter().enumerate() {
             let in_block = (i % 16) < 8;
@@ -1771,5 +1910,151 @@ mod get_tests {
         reg.get(h, Pe(1)).unwrap();
         assert_eq!(reg.put(h, Pe(0)).unwrap_err(), DirectError::PutInFlight);
         assert_eq!(reg.get(h, Pe(1)).unwrap_err(), DirectError::PutInFlight);
+    }
+}
+
+#[cfg(test)]
+mod notified_tests {
+    use super::*;
+    use crate::region::Region;
+    use ckd_topo::Pe;
+
+    type Reg = DirectRegistry<u32>;
+
+    fn channel(reg: &mut Reg, cb: u32) -> (HandleId, Region, Region) {
+        let recv = Region::alloc(32);
+        let send = Region::alloc(32);
+        let h = reg
+            .create_handle(Pe(1), recv.clone(), u64::MAX, cb)
+            .unwrap();
+        reg.assoc_local(h, Pe(0), send.clone()).unwrap();
+        (h, send, recv)
+    }
+
+    #[test]
+    fn full_cycle_notified() {
+        let mut reg = Reg::new(2, DirectConfig::notified(8));
+        let (h, send, recv) = channel(&mut reg, 7);
+        assert_eq!(reg.pollq_len(Pe(1)), 0, "no polling queue on NotifiedPut");
+        send.fill(9);
+        reg.put(h, Pe(0)).unwrap();
+        match reg.land(h).unwrap() {
+            LandOutcome::Notified => {}
+            other => panic!("expected Notified, got {other:?}"),
+        }
+        assert_eq!(reg.cq_len(Pe(1)), 1, "one record awaiting drain");
+        assert_eq!(reg.phase(h).unwrap(), DataPhase::Landed);
+        let delivered = reg.cq_drain(Pe(1), 16);
+        assert_eq!(delivered, vec![(h, 7)]);
+        assert_eq!(recv.to_vec(), vec![9u8; 32], "payload landed in place");
+        assert_eq!(reg.cq_len(Pe(1)), 0);
+        assert_eq!(reg.phase(h).unwrap(), DataPhase::Delivered);
+        // release and go again: the ready family behaves like BG/P
+        reg.ready(h).unwrap();
+        send.fill(4);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        assert_eq!(reg.cq_drain(Pe(1), 16).len(), 1);
+        let c = reg.counters();
+        assert_eq!((c.puts, c.deliveries), (2, 2));
+        assert_eq!((c.notifications, c.cq_drains), (2, 2));
+        assert_eq!(c.poll_checks, 0, "sentinel sweeps never ran");
+        assert_eq!(c.cq_overflows, 0);
+    }
+
+    #[test]
+    fn cq_overflow_backpressures_without_landing() {
+        let mut reg = Reg::new(2, DirectConfig::notified(1));
+        let (h0, s0, _r0) = channel(&mut reg, 0);
+        let (h1, s1, r1) = channel(&mut reg, 1);
+        s0.fill(1);
+        s1.fill(2);
+        reg.put(h0, Pe(0)).unwrap();
+        reg.put(h1, Pe(0)).unwrap();
+        reg.land(h0).unwrap();
+        // CQ depth 1 is occupied: the second landing is held at the NIC
+        assert_eq!(reg.land(h1).unwrap_err(), DirectError::CqOverflow);
+        assert_eq!(
+            reg.phase(h1).unwrap(),
+            DataPhase::InFlight,
+            "nothing landed"
+        );
+        assert_ne!(r1.to_vec(), vec![2u8; 32], "payload NOT copied");
+        assert_eq!(reg.counters().cq_overflows, 1);
+        assert_eq!(reg.counters().notifications, 1);
+        // draining releases CQ space; the retry then lands normally
+        assert_eq!(reg.cq_drain(Pe(1), 16), vec![(h0, 0)]);
+        match reg.land(h1).unwrap() {
+            LandOutcome::Notified => {}
+            other => panic!("retry should land, got {other:?}"),
+        }
+        assert_eq!(reg.cq_drain(Pe(1), 16), vec![(h1, 1)]);
+        assert_eq!(r1.to_vec(), vec![2u8; 32]);
+    }
+
+    #[test]
+    fn cq_drains_in_landing_order_with_bounded_batches() {
+        let mut reg = Reg::new(2, DirectConfig::notified(8));
+        let mut hs = Vec::new();
+        for i in 0..3u32 {
+            let (h, s, _r) = channel(&mut reg, i);
+            s.fill(i as u8 + 1);
+            hs.push(h);
+        }
+        // land out of creation order: 2, 0, 1
+        for &i in &[2usize, 0, 1] {
+            reg.put(hs[i], Pe(0)).unwrap();
+            reg.land(hs[i]).unwrap();
+        }
+        assert_eq!(reg.cq_total(), 3);
+        let first = reg.cq_drain(Pe(1), 2);
+        assert_eq!(
+            first.iter().map(|&(h, _)| h).collect::<Vec<_>>(),
+            vec![hs[2], hs[0]],
+            "FIFO landing order, batch-bounded"
+        );
+        assert_eq!(reg.cq_len(Pe(1)), 1);
+        let rest = reg.cq_drain(Pe(1), 2);
+        assert_eq!(
+            rest.iter().map(|&(h, _)| h).collect::<Vec<_>>(),
+            vec![hs[1]]
+        );
+        assert_eq!(reg.cq_total(), 0);
+    }
+
+    #[test]
+    fn duplicate_landings_notify_exactly_once() {
+        // The reliability gate is backend-generic: a retransmit-raced copy
+        // of an already-landed put is suppressed before `land`, so the CQ
+        // never carries a second record for the same logical put.
+        let mut reg = Reg::new(2, DirectConfig::notified(8));
+        let (h, s, _r) = channel(&mut reg, 7);
+        s.fill(3);
+        let req = reg.put(h, Pe(0)).unwrap();
+        assert!(reg.accept_landing(h, req.seq).unwrap());
+        reg.land(h).unwrap();
+        assert!(
+            !reg.accept_landing(h, req.seq).unwrap(),
+            "replay suppressed"
+        );
+        assert_eq!(reg.cq_len(Pe(1)), 1, "exactly one notification");
+        assert_eq!(reg.cq_drain(Pe(1), 16).len(), 1);
+        assert_eq!(reg.counters().dup_landings, 1);
+        assert_eq!(reg.counters().notifications, 1);
+    }
+
+    #[test]
+    fn destroy_refuses_channels_with_live_cq_records() {
+        // A Landed channel's CQ record must never dangle: destroy is
+        // refused until the record is drained (same PutInFlight contract
+        // the polling backend enforces).
+        let mut reg = Reg::new(2, DirectConfig::notified(8));
+        let (h, _s, _r) = channel(&mut reg, 7);
+        reg.put(h, Pe(0)).unwrap();
+        reg.land(h).unwrap();
+        assert_eq!(reg.destroy_handle(h).unwrap_err(), DirectError::PutInFlight);
+        reg.cq_drain(Pe(1), 16);
+        reg.destroy_handle(h).unwrap();
+        assert_eq!(reg.cq_total(), 0);
     }
 }

@@ -27,5 +27,7 @@ pub mod presets;
 pub mod proto;
 
 pub use model::{NetModel, Protocol, Timing};
-pub use params::{DcmfParams, FabricParams, IbParams, SharedMemParams, WireParams};
+pub use params::{
+    CqParams, DcmfParams, FabricParams, IbParams, SharedMemParams, SlingshotParams, WireParams,
+};
 pub use proto::{LinkSeqs, RelStats, RetryPolicy};

@@ -3,7 +3,7 @@
 use ckd_sim::Time;
 use ckd_topo::{Machine, Pe};
 
-use crate::params::{DcmfParams, FabricParams, IbParams};
+use crate::params::{DcmfParams, FabricParams, IbParams, SlingshotParams};
 
 /// How a transfer moves through the fabric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,6 +124,14 @@ impl NetModel {
             (FabricParams::IbVerbs(p), Protocol::Control) => ib_eager(p, hops, p.control_bytes),
             (FabricParams::Dcmf(p), Protocol::Dcmf) => dcmf_send(p, hops, bytes),
             (FabricParams::Dcmf(p), Protocol::Control) => dcmf_send(p, hops, p.control_bytes),
+            (FabricParams::Slingshot(p), Protocol::Eager) => ib_eager(&p.rdma, hops, bytes),
+            (FabricParams::Slingshot(p), Protocol::Rendezvous { reg_cached }) => {
+                ib_rendezvous(&p.rdma, hops, bytes, reg_cached)
+            }
+            (FabricParams::Slingshot(p), Protocol::RdmaPut) => slingshot_put(p, hops, bytes),
+            (FabricParams::Slingshot(p), Protocol::Control) => {
+                ib_eager(&p.rdma, hops, p.rdma.control_bytes)
+            }
             (_, p) => unreachable!("normalize returned non-native protocol {p:?}"),
         }
     }
@@ -181,7 +189,7 @@ impl NetModel {
         }
         let hops = self.machine.hops_between_pes(data_holder, initiator);
         match &self.fabric {
-            FabricParams::IbVerbs(p) => {
+            FabricParams::IbVerbs(p) | FabricParams::Slingshot(SlingshotParams { rdma: p, .. }) => {
                 let w = &p.wire;
                 Timing {
                     send_cpu: p.rdma_issue,
@@ -234,7 +242,7 @@ impl NetModel {
     /// registration does not exist, i.e. DCMF).
     pub fn reg_cost(&self, bytes: usize) -> Time {
         match &self.fabric {
-            FabricParams::IbVerbs(p) => {
+            FabricParams::IbVerbs(p) | FabricParams::Slingshot(SlingshotParams { rdma: p, .. }) => {
                 p.reg_base + Time::from_ps(p.reg_ps_per_byte * bytes as u64)
             }
             FabricParams::Dcmf(_) => Time::ZERO,
@@ -247,6 +255,7 @@ impl NetModel {
         match &self.fabric {
             FabricParams::IbVerbs(p) => p.control_bytes,
             FabricParams::Dcmf(p) => p.control_bytes,
+            FabricParams::Slingshot(p) => p.rdma.control_bytes,
         }
     }
 
@@ -293,6 +302,16 @@ fn ib_put(p: &IbParams, hops: u32, bytes: usize) -> Timing {
         recv_cpu: Time::ZERO,
         overlap_cpu: Time::ZERO,
     }
+}
+
+fn slingshot_put(p: &SlingshotParams, hops: u32, bytes: usize) -> Timing {
+    // A notified put is a bare RDMA write plus a small notification record
+    // deposited into the target CQ after the payload: extra wire bytes,
+    // still zero receiver CPU here — the drain cost is charged when the
+    // receiver sweeps its CQ, per `CqParams`.
+    let mut t = ib_put(&p.rdma, hops, bytes);
+    t.delay += p.rdma.wire.serialize(p.cq.notify_bytes);
+    t
 }
 
 fn ib_rendezvous(p: &IbParams, hops: u32, bytes: usize, reg_cached: bool) -> Timing {

@@ -101,6 +101,34 @@ pub struct DcmfParams {
     pub control_bytes: usize,
 }
 
+/// Completion-queue model for notified-RMA fabrics: a notified put deposits
+/// a small record into a bounded per-PE completion queue, and the receiver
+/// *drains* the queue instead of polling per-handle sentinels.
+#[derive(Clone, Copy, Debug)]
+pub struct CqParams {
+    /// Wire bytes of the notification record riding with each put.
+    pub notify_bytes: usize,
+    /// Receiver CPU consumed per notification record drained.
+    pub drain_per_notification: Time,
+    /// Fixed receiver CPU per drain pass (CQ doorbell read, batch setup).
+    pub drain_base: Time,
+    /// Notifications consumed per drain pass.
+    pub drain_batch: usize,
+    /// Modeled CQ depth per PE; a put that would overflow it is held back
+    /// (backpressure) until the receiver drains.
+    pub depth: usize,
+}
+
+/// HPE Slingshot-style parameters: a verbs-like RDMA engine (libfabric cost
+/// shapes reuse [`IbParams`]) plus the notified-put completion-queue model.
+#[derive(Clone, Copy, Debug)]
+pub struct SlingshotParams {
+    /// RDMA/eager/rendezvous cost shapes of the underlying NIC.
+    pub rdma: IbParams,
+    /// Notified-put completion-queue model.
+    pub cq: CqParams,
+}
+
 /// Which fabric a machine uses, with its parameters.
 #[derive(Clone, Copy, Debug)]
 pub enum FabricParams {
@@ -108,6 +136,8 @@ pub enum FabricParams {
     IbVerbs(IbParams),
     /// Blue Gene/P DCMF (two-sided active messages only).
     Dcmf(DcmfParams),
+    /// HPE Slingshot-style notified RMA (RDMA put + completion queue).
+    Slingshot(SlingshotParams),
 }
 
 impl FabricParams {
@@ -116,6 +146,7 @@ impl FabricParams {
         match self {
             FabricParams::IbVerbs(p) => &p.wire,
             FabricParams::Dcmf(p) => &p.wire,
+            FabricParams::Slingshot(p) => &p.rdma.wire,
         }
     }
 
@@ -124,12 +155,29 @@ impl FabricParams {
         match self {
             FabricParams::IbVerbs(p) => &p.shmem,
             FabricParams::Dcmf(p) => &p.shmem,
+            FabricParams::Slingshot(p) => &p.rdma.shmem,
         }
     }
 
     /// True for fabrics with a genuine one-sided RDMA path.
     pub fn has_rdma(&self) -> bool {
-        matches!(self, FabricParams::IbVerbs(_))
+        matches!(self, FabricParams::IbVerbs(_) | FabricParams::Slingshot(_))
+    }
+
+    /// The completion-queue model a notified-put backend should use on this
+    /// fabric. Native on Slingshot; other fabrics get conservative software
+    /// defaults so `NotifiedPut` can still be forced onto them in tests.
+    pub fn cq(&self) -> CqParams {
+        match self {
+            FabricParams::Slingshot(p) => p.cq,
+            FabricParams::IbVerbs(_) | FabricParams::Dcmf(_) => CqParams {
+                notify_bytes: 16,
+                drain_per_notification: Time::from_ns(250),
+                drain_base: Time::from_ns(400),
+                drain_batch: 4,
+                depth: 256,
+            },
+        }
     }
 
     /// Infimum of the cross-node latency this fabric can exhibit: with
@@ -154,9 +202,9 @@ impl FabricParams {
     /// * DCMF has no RDMA: eager, rendezvous, and one-sided puts all
     ///   degenerate to a `DCMF_Send`, exactly as in the paper's BG/P
     ///   implementation.
-    /// * Infiniband has no DCMF engine: an active-message request falls
-    ///   back to the packetised eager path.
-    /// * Control packets are native on both fabrics.
+    /// * Infiniband and Slingshot have no DCMF engine: an active-message
+    ///   request falls back to the packetised eager path.
+    /// * Control packets are native on every fabric.
     ///
     /// Normalization is idempotent: a protocol the fabric implements maps
     /// to itself.
@@ -165,8 +213,10 @@ impl FabricParams {
         match (self, proto) {
             (FabricParams::Dcmf(_), Protocol::Control) => Protocol::Control,
             (FabricParams::Dcmf(_), _) => Protocol::Dcmf,
-            (FabricParams::IbVerbs(_), Protocol::Dcmf) => Protocol::Eager,
-            (FabricParams::IbVerbs(_), p) => p,
+            (FabricParams::IbVerbs(_) | FabricParams::Slingshot(_), Protocol::Dcmf) => {
+                Protocol::Eager
+            }
+            (FabricParams::IbVerbs(_) | FabricParams::Slingshot(_), p) => p,
         }
     }
 }
@@ -215,10 +265,33 @@ mod tests {
         for fabric in [
             FabricParams::IbVerbs(crate::presets::ib_abe_params()),
             FabricParams::Dcmf(crate::presets::bgp_surveyor_params()),
+            FabricParams::Slingshot(crate::presets::slingshot_params()),
         ] {
             assert_eq!(fabric.min_remote_latency(), fabric.wire().base_latency);
             assert_eq!(fabric.lookahead().safe_window(), fabric.wire().latency(0));
             assert!(fabric.min_remote_latency() > Time::ZERO);
         }
+    }
+
+    #[test]
+    fn every_fabric_exposes_a_usable_cq_model() {
+        for fabric in [
+            FabricParams::IbVerbs(crate::presets::ib_abe_params()),
+            FabricParams::Dcmf(crate::presets::bgp_surveyor_params()),
+            FabricParams::Slingshot(crate::presets::slingshot_params()),
+        ] {
+            let cq = fabric.cq();
+            assert!(cq.depth > 0, "CQ depth must be positive");
+            assert!(cq.drain_batch > 0, "drain batch must be positive");
+            assert!(cq.notify_bytes > 0, "notification record has wire bytes");
+            assert!(cq.drain_per_notification > Time::ZERO);
+        }
+        // Slingshot serves its own constants, not the software fallback.
+        let ss = FabricParams::Slingshot(crate::presets::slingshot_params());
+        assert_eq!(ss.cq().depth, crate::presets::slingshot_params().cq.depth);
+        assert_eq!(
+            ss.cq().drain_batch,
+            crate::presets::slingshot_params().cq.drain_batch
+        );
     }
 }

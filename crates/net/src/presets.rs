@@ -10,7 +10,9 @@ use ckd_sim::Time;
 use ckd_topo::Machine;
 
 use crate::model::NetModel;
-use crate::params::{DcmfParams, FabricParams, IbParams, SharedMemParams, WireParams};
+use crate::params::{
+    CqParams, DcmfParams, FabricParams, IbParams, SharedMemParams, SlingshotParams, WireParams,
+};
 
 /// Infiniband parameters fitted to the Abe rows of Table 1.
 ///
@@ -82,9 +84,57 @@ pub fn bgp_surveyor_params() -> DcmfParams {
     }
 }
 
+/// HPE Slingshot-class parameters (the RAMC/UNR testbed generation).
+///
+/// Not fitted to the paper (which predates Slingshot); constants follow the
+/// published characteristics of a 200 Gb/s Slingshot-11 fabric:
+/// * ≈ 1.8 µs base one-way latency, ≈ 0.22 µs per switch hop (dragonfly).
+/// * 200 Gb/s ⇒ 25 GB/s ⇒ 0.04 ns/B; we charge 45 ps/B for protocol slack.
+/// * Light registration (`reg_base` 2 µs, 5 ps/B): libfabric memory
+///   registration over Cassini is far cheaper than 2008-era verbs pinning.
+/// * The notified put deposits a 16 B record in the target CQ; draining
+///   costs a 200 ns doorbell read per pass plus 120 ns per record, up to 8
+///   records per pass, against a 1024-deep modeled CQ.
+pub fn slingshot_params() -> SlingshotParams {
+    SlingshotParams {
+        rdma: IbParams {
+            wire: WireParams {
+                base_latency: Time::from_ns(1800),
+                per_hop: Time::from_ns(220),
+                ps_per_byte: 45,
+                per_packet: Time::from_ns(40),
+                packet_bytes: 4096,
+            },
+            shmem: SharedMemParams {
+                latency: Time::from_ns(250),
+                ps_per_byte: 60,
+            },
+            o_send: Time::from_ns(250),
+            o_recv: Time::from_ns(400),
+            eager_copy_ps_per_byte: 120,
+            rdma_issue: Time::from_ns(120),
+            reg_base: Time::from_us(2),
+            reg_ps_per_byte: 5,
+            control_bytes: 32,
+        },
+        cq: CqParams {
+            notify_bytes: 16,
+            drain_per_notification: Time::from_ns(120),
+            drain_base: Time::from_ns(200),
+            drain_batch: 8,
+            depth: 1024,
+        },
+    }
+}
+
 /// A ready-to-use model of the Abe Infiniband cluster.
 pub fn ib_abe(machine: Machine) -> NetModel {
     NetModel::new(machine, FabricParams::IbVerbs(ib_abe_params()))
+}
+
+/// A ready-to-use model of a Slingshot-class notified-RMA machine.
+pub fn slingshot(machine: Machine) -> NetModel {
+    NetModel::new(machine, FabricParams::Slingshot(slingshot_params()))
 }
 
 /// A ready-to-use model of the Surveyor Blue Gene/P.
@@ -161,5 +211,44 @@ mod tests {
         let total = (t.delay + t.recv_cpu).as_us_f64();
         // paper: 1338 µs one-way
         assert!((1280.0..1400.0).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn slingshot_put_is_a_generation_faster_than_abe() {
+        let ss = slingshot(Machine::ib_cluster(256, 8));
+        let abe = ib_abe(Machine::ib_cluster(256, 8));
+        for bytes in [100usize, 100_000, 500_000] {
+            let a = ss.put(Pe(0), Pe(200), bytes);
+            let b = abe.put(Pe(0), Pe(200), bytes);
+            assert!(
+                a.delay < b.delay,
+                "{bytes}B: slingshot {:?} !< abe {:?}",
+                a.delay,
+                b.delay
+            );
+        }
+        // 200 Gb/s class: a 500 KB put clears in well under 100 µs one-way.
+        assert!(ss.put(Pe(0), Pe(200), 500_000).delay < Time::from_us(100));
+    }
+
+    #[test]
+    fn slingshot_puts_stay_one_sided_and_carry_the_notification() {
+        let ss = slingshot(Machine::ib_cluster(16, 4));
+        let t = ss.put(Pe(0), Pe(8), 4096);
+        assert_eq!(t.recv_cpu, Time::ZERO, "drain cost is charged at the CQ");
+        // the 16 B notification record adds wire time over a bare RDMA put
+        let bare = crate::model::NetModel::new(
+            Machine::ib_cluster(16, 4),
+            FabricParams::IbVerbs(slingshot_params().rdma),
+        );
+        assert!(t.delay > bare.put(Pe(0), Pe(8), 4096).delay);
+    }
+
+    #[test]
+    fn slingshot_registration_is_light() {
+        let ss = slingshot(Machine::ib_cluster(16, 4));
+        let abe = ib_abe(Machine::ib_cluster(16, 4));
+        assert!(ss.reg_cost(1 << 20) < abe.reg_cost(1 << 20));
+        assert!(ss.reg_cost(4096) > Time::ZERO);
     }
 }

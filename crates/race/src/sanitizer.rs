@@ -662,6 +662,29 @@ mod tests {
     }
 
     #[test]
+    fn notified_drain_delay_between_landing_and_delivery_is_clean() {
+        // Notified-put backend: the landing only deposits a CQ record;
+        // delivery happens at the *drain*, arbitrarily later (a progress
+        // tick or a busy scheduler finally getting around to it). The
+        // lifecycle machine must accept a long Landed→Delivered gap as
+        // long as the mark still synchronizes the next put.
+        let s = enabled2();
+        apply(&s, 1, 0, 0, Transition::Created);
+        let e = s.edge_out(1);
+        s.edge_in(0, e);
+        apply(&s, 0, 1, 0, Transition::Associated);
+        apply(&s, 0, 2, 0, Transition::PutIssued);
+        apply(&s, 1, 5, 0, Transition::Landed);
+        // drain fires 495 µs later — no transition in between
+        apply(&s, 1, 500, 0, Transition::Delivered);
+        apply(&s, 1, 501, 0, Transition::Marked);
+        let e = s.edge_out(1);
+        s.edge_in(0, e);
+        apply(&s, 0, 600, 0, Transition::PutIssued);
+        assert!(s.is_clean(), "{}", s.report());
+    }
+
+    #[test]
     fn unsynchronized_put_is_flagged_even_when_registry_allows_it() {
         let s = enabled2();
         apply(&s, 1, 0, 0, Transition::Created);

@@ -30,6 +30,10 @@ pub struct Snapshot {
     /// Armed handles whose data has landed and awaits the next sweep —
     /// the deliverable backlog (registry ready-ring occupancy).
     pub ready: u64,
+    /// Undelivered notification records across every PE's completion
+    /// queue (notified-put backend; 0 elsewhere). Sustained growth toward
+    /// the modeled CQ depth is the early-warning sign of backpressure.
+    pub cq_backlog: u64,
     /// Trace-ring records evicted so far (0 with tracing off).
     pub ring_drops: u64,
     /// Reliability-layer retransmissions so far.
@@ -42,7 +46,7 @@ impl Snapshot {
         format!(
             "{{\"t_ps\": {}, \"events\": {}, \"msgs_sent\": {}, \"puts\": {}, \
              \"put_bytes\": {}, \"queue_depth\": {}, \"pollq\": {}, \
-             \"ready\": {}, \"ring_drops\": {}, \"retries\": {}}}",
+             \"ready\": {}, \"cq_backlog\": {}, \"ring_drops\": {}, \"retries\": {}}}",
             self.t_ps,
             self.events,
             self.msgs_sent,
@@ -51,6 +55,7 @@ impl Snapshot {
             self.queue_depth,
             self.pollq,
             self.ready,
+            self.cq_backlog,
             self.ring_drops,
             self.retries,
         )
@@ -94,7 +99,7 @@ impl SnapshotStream {
 }
 
 /// Keys every snapshot line must carry, in emission order.
-const KEYS: [&str; 10] = [
+const KEYS: [&str; 11] = [
     "\"t_ps\"",
     "\"events\"",
     "\"msgs_sent\"",
@@ -103,6 +108,7 @@ const KEYS: [&str; 10] = [
     "\"queue_depth\"",
     "\"pollq\"",
     "\"ready\"",
+    "\"cq_backlog\"",
     "\"ring_drops\"",
     "\"retries\"",
 ];
@@ -174,6 +180,7 @@ mod tests {
             queue_depth: 5,
             pollq: 1,
             ready: 0,
+            cq_backlog: 0,
             ring_drops: 0,
             retries: 0,
         }

@@ -30,6 +30,11 @@
 #     The host-side flatness gate — per-sweep cost must not scale with
 #     the registered herd — runs *inside* the binary against the fresh
 #     host's own numbers, so it stays host-relative like checks 2–3.
+#
+#  5. Backend-comparison trajectory: a fresh `ckd-sweep backends` run
+#     (4 apps x 4 completion backends) must reproduce the committed
+#     BENCH_backends.json deterministic section byte-for-byte and
+#     validate against the v4 schema (per-run `backend`/`cq_drains`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,3 +110,31 @@ if ! diff <(runs_of "$CH_BASELINE") <(runs_of "$CH_FRESH") >/dev/null; then
 fi
 ./target/release/ckd-sweep validate "$CH_FRESH" >/dev/null 2>&1
 echo "bench_gate: channel storm identical to baseline; per-sweep host cost flat across the herd"
+
+# Check 5: the backend-comparison trajectory (deterministic section +
+# v4 schema, which carries the per-run backend/cq_drains fields).
+BK_BASELINE=BENCH_backends.json
+if [ ! -f "$BK_BASELINE" ]; then
+    echo "bench_gate: no committed $BK_BASELINE baseline" >&2
+    exit 1
+fi
+BK_FRESH=$(mktemp)
+trap 'rm -f "$FRESH" "$CH_FRESH" "$BK_FRESH"' EXIT
+./target/release/ckd-sweep backends --workers 2 --out "$BK_FRESH" >/dev/null
+if ! diff <(runs_of "$BK_BASELINE") <(runs_of "$BK_FRESH") >/dev/null; then
+    echo "bench_gate: backend-grid results diverged from $BK_BASELINE:" >&2
+    diff <(runs_of "$BK_BASELINE") <(runs_of "$BK_FRESH") | head -20 >&2
+    echo "bench_gate: if the change is intentional, regenerate with:" >&2
+    echo "  ./target/release/ckd-sweep backends --workers 2" >&2
+    exit 1
+fi
+./target/release/ckd-sweep validate "$BK_FRESH" >/dev/null 2>&1
+if ! grep -q '"schema": "ckd-sweep/v4"' "$BK_FRESH"; then
+    echo "bench_gate: fresh backend grid is not schema v4" >&2
+    exit 1
+fi
+if ! grep -q '"backend": "notified-put"' "$BK_FRESH"; then
+    echo "bench_gate: backend grid lost its notified-put points" >&2
+    exit 1
+fi
+echo "bench_gate: backend grid identical to baseline; v4 schema with all four backends"

@@ -71,9 +71,15 @@ run cargo test --release --offline -q --test sanitizer_races
 run cargo test --release --offline -q --test fault_recovery
 run cargo test --release --offline -q --test trace_determinism
 
+# Cross-backend differential conformance: all four completion backends
+# (sentinel polling, DCMF callbacks, notified puts, shared-mem flags)
+# must deliver identical data/callbacks on the same apps, each with its
+# own cost signature, and the async-progress engine must be transparent.
+run cargo test --release --offline -q --test backend_conformance
+
 # Sweep engine: a tiny grid on 2 workers must merge byte-identical to the
 # 1-worker pass, the committed trajectory files must parse against the
-# ckd-sweep schema (v1 through v3), and the full 64-run sweep must
+# ckd-sweep schema (v1 through v4), and the full 64-run sweep must
 # reproduce the committed virtual-time baseline within the host-tolerant
 # wall and throughput budgets.
 run ./target/release/ckd-sweep smoke --workers 2
@@ -83,6 +89,12 @@ run ./target/release/ckd-sweep smoke --workers 2
 # (the one-command version of tests/pdes_determinism.rs).
 run ./target/release/ckd-sweep pdes
 
+# Backend-comparison smoke: the 16-point grid behind BENCH_backends.json
+# (4 apps x 4 completion backends) must run on 2 workers and emit a valid
+# v4 file; bench_gate.sh byte-compares it against the committed baseline.
+run ./target/release/ckd-sweep backends --workers 2 \
+    --out target/BENCH_backends_fresh.json
+
 # Channel-storm smoke: 100k persistent channels registered on one PE with
 # a 64-channel active window must complete, tear down every slab slot,
 # stay byte-identical across the serial and 2-shard PDES engines, and —
@@ -91,7 +103,7 @@ run ./target/release/ckd-sweep pdes
 run ./target/release/ckd-sweep channels --out target/BENCH_channels_fresh.json
 run ./target/release/ckd-sweep validate \
     BENCH_table1.json BENCH_jacobi.json BENCH_matmul.json BENCH_sweep.json \
-    BENCH_channels.json
+    BENCH_channels.json BENCH_backends.json
 run scripts/bench_gate.sh
 
 # Profiler smoke: the profiled smoke grid must emit structurally valid

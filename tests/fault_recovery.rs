@@ -251,6 +251,111 @@ fn openatom_completes_under_drops() {
     }
 }
 
+// ------------------------------------------------------------ notified put
+
+/// The chaos matrix over the notified-RMA backend: Jacobi on the
+/// Slingshot preset under the ISSUE's brutal 20 % mixed plan must
+/// converge bit-identical to the fault-free run, stay sanitizer-clean,
+/// and deliver every notification exactly once. Notifications ride the
+/// same wire packets as the payload, so the reliability layer's seqno
+/// dedup is what keeps a retransmitted put from enqueueing a second CQ
+/// record.
+#[test]
+fn notified_jacobi_converges_byte_identical_under_chaos() {
+    let cfg = JacobiCfg {
+        domain: [16, 8, 8],
+        chares: [2, 2, 2],
+        iters: 8,
+        variant: Variant::Ckd,
+        real_compute: true,
+    };
+    let mut clean_m = Platform::Slingshot.machine(8);
+    assert_eq!(clean_m.backend().name(), "notified-put");
+    let (clean_res, clean_grid) = run_jacobi_grid_on(&mut clean_m, cfg);
+    for seed in SEEDS {
+        let label = format!("notified jacobi seed={seed:#x}");
+        let mut m = Platform::Slingshot
+            .builder(8)
+            .with_sanitizer(SanitizerConfig::default())
+            .with_faults(mixed_plan(seed, 0.20))
+            .build();
+        let (res, grid) = run_jacobi_grid_on(&mut m, cfg);
+        assert_eq!(
+            res.residual.to_bits(),
+            clean_res.residual.to_bits(),
+            "{label}"
+        );
+        for (i, (a, b)) in grid.iter().zip(&clean_grid).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}: grid[{i}]");
+        }
+        assert_eq!(res.iters, clean_res.iters, "{label}");
+        assert_recovered(&m, &label);
+        // exactly-once notification delivery under drops and duplicates
+        let reg = m.direct_counters();
+        assert_eq!(reg.deliveries, reg.puts, "{label}: lost or doubled a put");
+        assert_eq!(
+            reg.notifications, reg.deliveries,
+            "{label}: notifications != deliveries"
+        );
+        assert_eq!(
+            reg.cq_drains, reg.notifications,
+            "{label}: a notification was never drained (or drained twice)"
+        );
+        assert_eq!(reg.poll_checks, 0, "{label}: notified backend polled");
+    }
+}
+
+/// The nasty half of at-least-once delivery: the fabric *duplicates* a
+/// put whose first copy already landed — payload in place, notification
+/// already enqueued (and possibly already drained). The replay filter
+/// must swallow the duplicate before it reaches the registry, or the CQ
+/// would grow a second record for a single logical put and the app would
+/// see a phantom completion callback.
+#[test]
+fn duplicated_packets_never_duplicate_notifications() {
+    const BYTES: usize = 2048;
+    const ITERS: u32 = 60;
+    let mut clean_m = Platform::Slingshot.machine(8);
+    let clean = charm_pingpong_on(&mut clean_m, Variant::Ckd, BYTES, ITERS);
+    let clean_reg = clean_m.direct_counters();
+    for seed in SEEDS {
+        let label = format!("notified dup seed={seed:#x}");
+        // duplicate-heavy, drop-free: every logical packet arrives, many
+        // arrive more than once
+        let mut m = Platform::Slingshot
+            .builder(8)
+            .with_sanitizer(SanitizerConfig::default())
+            .with_faults(FaultPlan::new(seed).with_duplicate(0.30))
+            .build();
+        let r = charm_pingpong_on(&mut m, Variant::Ckd, BYTES, ITERS);
+        assert_eq!(r.iters, clean.iters, "{label}: lost an exchange");
+        assert!(
+            m.fault_counts().unwrap().duplicates > 0,
+            "{label}: the plan never duplicated"
+        );
+        let reg = m.direct_counters();
+        assert_eq!(reg.puts, clean_reg.puts, "{label}: put count changed");
+        assert_eq!(
+            reg.notifications, clean_reg.notifications,
+            "{label}: a duplicate packet enqueued a second notification"
+        );
+        assert_eq!(
+            reg.cq_drains, reg.notifications,
+            "{label}: drained != enqueued"
+        );
+        assert_eq!(
+            m.callback_total(),
+            clean_m.callback_total(),
+            "{label}: phantom completion callback"
+        );
+        assert!(
+            m.sanitizer().is_clean(),
+            "{label}: {:?}",
+            m.sanitizer().diagnostics()
+        );
+    }
+}
+
 // ------------------------------------------------------------ determinism
 
 /// The fault plane is part of the deterministic machine: the same seed

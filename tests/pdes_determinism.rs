@@ -18,12 +18,21 @@ use ckd_charm::{chrome_trace_json, text_summary, FaultPlan, Machine, TraceConfig
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// 8 PEs: 4 nodes on the IB cluster (2 cores each), 2 nodes on the BG/P
-/// partition (4 cores each) — both fabrics genuinely multi-node, so shard
-/// maps are non-trivial and events really cross shard boundaries.
+/// and Slingshot machines (4 cores each) — every fabric genuinely
+/// multi-node, so shard maps are non-trivial and events really cross
+/// shard boundaries.
 const PES: usize = 8;
 
-fn fabrics() -> [Platform; 2] {
-    [Platform::IbAbe { cores_per_node: 2 }, Platform::Bgp]
+/// All three completion disciplines the machine models: sentinel polling
+/// (IB), callbacks (BG/P), and bounded-CQ notified puts (Slingshot) —
+/// the last one routes `ProgressTick`-free CQ drains through the PDES
+/// engine's `Footprint::local` path.
+fn fabrics() -> [Platform; 3] {
+    [
+        Platform::IbAbe { cores_per_node: 2 },
+        Platform::Bgp,
+        Platform::Slingshot,
+    ]
 }
 
 type Runner = fn(&mut Machine);
@@ -205,6 +214,28 @@ fn sharded_runs_reproduce_the_committed_golden_corpus() {
             golden("jacobi_bgp.stats.txt"),
             format!("{:#?}\n", bgp.stats()),
             "BG/P golden stats, shards={shards}"
+        );
+
+        let mut ss = Platform::Slingshot
+            .builder(4)
+            .with_tracing(TraceConfig::default())
+            .with_shards(shards)
+            .build();
+        run_jacobi_on(&mut ss, golden_cfg());
+        assert_eq!(
+            golden("jacobi_slingshot.trace.json"),
+            chrome_trace_json(ss.tracer()).unwrap(),
+            "Slingshot golden trace, shards={shards}"
+        );
+        assert_eq!(
+            golden("jacobi_slingshot.summary.txt"),
+            text_summary(ss.tracer()).unwrap(),
+            "Slingshot golden summary, shards={shards}"
+        );
+        assert_eq!(
+            golden("jacobi_slingshot.stats.txt"),
+            format!("{:#?}\n", ss.stats()),
+            "Slingshot golden stats, shards={shards}"
         );
     }
 }

@@ -1032,6 +1032,7 @@ fn safe_window_is_monotone_in_base_latency() {
         match &mut slower {
             ckd_net::FabricParams::IbVerbs(p) => p.wire.base_latency += bump,
             ckd_net::FabricParams::Dcmf(p) => p.wire.base_latency += bump,
+            ckd_net::FabricParams::Slingshot(p) => p.rdma.wire.base_latency += bump,
         }
         let w1 = slower.lookahead().safe_window();
         assert!(
@@ -1122,5 +1123,200 @@ fn sharded_engine_pops_in_serial_queue_order() {
             }
         }
         assert!(engine.is_empty());
+    }
+}
+
+// --------------------------------------------------- notified-put CQ model
+
+/// Reference model for the bounded notification CQ of the `NotifiedPut`
+/// backend: a naive *unbounded* per-PE `VecDeque` plus explicit depth
+/// accounting. For arbitrary interleavings of put/land/drain/ready across
+/// a herd of channels, the registry must agree with the model on every
+/// observable: each landing's verdict (admitted vs `CqOverflow`), the
+/// exact FIFO drain order, the backlog length after every step, and the
+/// final notification/overflow/drain counters — which together give
+/// exactly-once notification per landed put.
+#[test]
+fn bounded_cq_matches_an_unbounded_reference_model() {
+    use ckdirect::{HandleId, LandOutcome};
+    use std::collections::VecDeque;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum St {
+        Idle,
+        InFlight,
+        Queued,
+        Delivered,
+    }
+
+    let mut rng = DetRng::new(0xCC_C0DE).stream("cq-reference");
+    for case in 0..CASES {
+        let depth = rng.range(1, 6) as usize;
+        let nchan = rng.range(1, 8) as usize;
+        let mut reg: DirectRegistry<u32> = DirectRegistry::new(2, DirectConfig::notified(depth));
+        let mut handles: Vec<HandleId> = Vec::new();
+        let mut st: Vec<St> = Vec::new();
+        for i in 0..nchan {
+            let h = reg
+                .create_handle(Pe(1), Region::alloc(32), u64::MAX, i as u32)
+                .unwrap();
+            reg.assoc_local(h, Pe(0), Region::alloc(32)).unwrap();
+            handles.push(h);
+            st.push(St::Idle);
+        }
+        let mut model: VecDeque<HandleId> = VecDeque::new(); // unbounded
+        let (mut enqueued, mut overflows, mut drained) = (0u64, 0u64, 0u64);
+
+        for step in 0..rng.range(30, 200) {
+            match rng.range(0, 3) {
+                0 => {
+                    // advance one random channel's lifecycle a step
+                    let i = rng.range(0, nchan as u64) as usize;
+                    match st[i] {
+                        St::Idle => {
+                            reg.put(handles[i], Pe(0)).unwrap();
+                            st[i] = St::InFlight;
+                        }
+                        St::InFlight => {
+                            // admission-first landing, judged against the
+                            // model's own depth accounting
+                            if model.len() >= depth {
+                                match reg.land(handles[i]) {
+                                    Err(DirectError::CqOverflow) => overflows += 1,
+                                    other => panic!(
+                                        "case {case} step {step}: full CQ admitted \
+                                         a landing: {other:?}"
+                                    ),
+                                }
+                                // refused: channel must still be retryable
+                            } else {
+                                match reg.land(handles[i]).unwrap() {
+                                    LandOutcome::Notified => {}
+                                    other => panic!(
+                                        "case {case} step {step}: notified landing \
+                                         returned {other:?}"
+                                    ),
+                                }
+                                model.push_back(handles[i]);
+                                enqueued += 1;
+                                st[i] = St::Queued;
+                            }
+                        }
+                        St::Queued => {} // waits for a drain
+                        St::Delivered => {
+                            reg.ready(handles[i]).unwrap();
+                            st[i] = St::Idle;
+                        }
+                    }
+                }
+                1 => {
+                    // drain a batch; order must be exactly the model's FIFO
+                    let batch = rng.range(1, 5) as usize;
+                    let got = reg.cq_drain(Pe(1), batch);
+                    assert_eq!(
+                        got.len(),
+                        batch.min(model.len()),
+                        "case {case} step {step}: drain size"
+                    );
+                    for (gh, cb) in got {
+                        let wh = model.pop_front().unwrap();
+                        assert_eq!(gh, wh, "case {case} step {step}: drain order");
+                        let i = handles.iter().position(|&h| h == gh).unwrap();
+                        assert_eq!(cb, i as u32, "case {case} step {step}: callback");
+                        assert_eq!(
+                            st[i],
+                            St::Queued,
+                            "case {case} step {step}: drained a non-queued channel"
+                        );
+                        st[i] = St::Delivered;
+                        drained += 1;
+                    }
+                }
+                _ => {
+                    // release one delivered channel, if any
+                    if let Some(i) = (0..nchan).find(|&i| st[i] == St::Delivered) {
+                        reg.ready(handles[i]).unwrap();
+                        st[i] = St::Idle;
+                    }
+                }
+            }
+            assert_eq!(
+                reg.cq_len(Pe(1)),
+                model.len(),
+                "case {case} step {step}: backlog diverged"
+            );
+            assert!(model.len() <= depth, "case {case}: model overflowed depth");
+        }
+        let c = reg.counters();
+        assert_eq!(c.notifications, enqueued, "case {case}: enqueue count");
+        assert_eq!(c.cq_overflows, overflows, "case {case}: overflow count");
+        assert_eq!(c.cq_drains, drained, "case {case}: drain count");
+        // exactly-once: everything enqueued is either drained or still queued
+        assert_eq!(
+            c.notifications,
+            c.cq_drains + reg.cq_len(Pe(1)) as u64,
+            "case {case}: a notification was lost or doubled"
+        );
+    }
+}
+
+/// Progress-tick transparency: a notified-put machine with the async
+/// progress engine enabled (any tick period) must deliver byte-identical
+/// application data to the same machine relying purely on
+/// scheduler-driven drains — the engine may only move *when* CQ drains
+/// happen, never what they deliver.
+#[test]
+fn progress_ticks_are_transparent_to_delivered_data() {
+    use ckd_apps::jacobi3d::{run_jacobi_grid_on, JacobiCfg};
+    use ckd_apps::{Platform, Variant};
+    use ckd_charm::ProgressConfig;
+
+    let mut rng = DetRng::new(0x9106_6E55).stream("progress-transparency");
+    for case in 0..CASES / 8 {
+        let shapes = [
+            ([16, 8, 8], [2, 2, 2]),
+            ([8, 8, 8], [2, 2, 1]),
+            ([16, 16, 8], [4, 2, 2]),
+        ];
+        let (domain, chares) = shapes[rng.range(0, shapes.len() as u64) as usize];
+        let cfg = JacobiCfg {
+            domain,
+            chares,
+            iters: rng.range(2, 8) as u32,
+            variant: Variant::Ckd,
+            real_compute: true,
+        };
+        let tick = ckd_sim::Time::from_ns(rng.range(50, 20_000));
+        let mut base_m = Platform::Slingshot.machine(8);
+        let (base_res, base_grid) = run_jacobi_grid_on(&mut base_m, cfg);
+        let mut prog_m = Platform::Slingshot
+            .builder(8)
+            .with_progress(ProgressConfig { tick })
+            .build();
+        let (res, grid) = run_jacobi_grid_on(&mut prog_m, cfg);
+        assert_eq!(
+            res.residual.to_bits(),
+            base_res.residual.to_bits(),
+            "case {case} tick={tick:?}"
+        );
+        for (i, (a, b)) in grid.iter().zip(&base_grid).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "case {case} tick={tick:?}: grid[{i}]"
+            );
+        }
+        assert_eq!(res.iters, base_res.iters, "case {case}");
+        // same puts, same deliveries, same callbacks — only timing moved
+        let (bs, ps) = (base_m.stats(), prog_m.stats());
+        assert_eq!(ps.puts, bs.puts, "case {case}");
+        assert_eq!(ps.put_bytes, bs.put_bytes, "case {case}");
+        assert_eq!(ps.cq_drains, bs.cq_drains, "case {case}: drain totals");
+        assert_eq!(
+            prog_m.callback_total(),
+            base_m.callback_total(),
+            "case {case}: callback counts"
+        );
+        assert_eq!(bs.progress_ticks, 0, "case {case}: engine-off run ticked");
     }
 }

@@ -6,7 +6,8 @@
 //! means host scheduling leaked into virtual-time results.
 
 use ckd_bench::{
-    run_sweep, run_sweep_with, smoke_grid, sweep_json, validate_sweep_json, RunRecord,
+    backends_grid, run_sweep, run_sweep_with, smoke_grid, sweep_json, validate_sweep_json,
+    RunRecord,
 };
 use ckd_charm::{validate_snapshot_jsonl, ProfConfig};
 
@@ -57,6 +58,37 @@ fn engine_matches_a_hand_rolled_serial_loop() {
     assert_eq!(
         sweep_json("smoke", &by_hand, None),
         sweep_json("smoke", &run_sweep(&grid, 2), None)
+    );
+}
+
+/// The backend-comparison grid behind `BENCH_backends.json` is as
+/// deterministic as the smoke grid: byte-identical JSON (per-run
+/// `backend`/`cq_drains` fields included) for every worker count, with
+/// the notified-put points genuinely draining CQs and the forced
+/// shared-memory points genuinely overridden.
+#[test]
+fn backend_grid_is_byte_identical_across_worker_counts() {
+    let grid = backends_grid();
+    let base = run_sweep(&grid, 1);
+    let base_json = sweep_json("backends", &base, None);
+    validate_sweep_json(&base_json).unwrap();
+    for workers in [2usize, 4] {
+        let records = run_sweep(&grid, workers);
+        assert_eq!(
+            sweep_json("backends", &records, None),
+            base_json,
+            "{workers}-worker backend grid diverged"
+        );
+        assert_eq!(base, records, "{workers}-worker records diverged");
+    }
+    assert!(
+        base.iter()
+            .any(|r| r.backend == "notified-put" && r.cq_drains > 0),
+        "no notified-put point ever drained"
+    );
+    assert!(
+        base.iter().any(|r| r.backend == "shared-mem"),
+        "the shared-mem override never applied"
     );
 }
 

@@ -255,6 +255,35 @@ fn golden_bgp_run_matches_pre_refactor_runtime() {
     golden_check("jacobi_bgp.stats.txt", &format!("{:#?}\n", m.stats()));
 }
 
+fn slingshot_traced_run() -> Machine {
+    let mut m = Platform::Slingshot
+        .builder(4)
+        .with_tracing(TraceConfig::default())
+        .build();
+    run_jacobi_on(&mut m, cfg());
+    m
+}
+
+/// The notified-put timeline: landing deposits a CQ record, a later drain
+/// delivers it. These goldens pin the whole Slingshot schedule — CQ-drain
+/// batching cadence included — so a regression in admission, drain order,
+/// or drain costing shows up as a byte diff.
+#[test]
+fn golden_slingshot_run_matches_committed_corpus() {
+    let m = slingshot_traced_run();
+    assert_eq!(m.backend().name(), "notified-put");
+    assert!(m.cq_drain_total() > 0, "run never drained a notification");
+    golden_check(
+        "jacobi_slingshot.trace.json",
+        &chrome_trace_json(m.tracer()).unwrap(),
+    );
+    golden_check(
+        "jacobi_slingshot.summary.txt",
+        &text_summary(m.tracer()).unwrap(),
+    );
+    golden_check("jacobi_slingshot.stats.txt", &format!("{:#?}\n", m.stats()));
+}
+
 #[test]
 fn golden_faulty_run_matches_pre_refactor_runtime() {
     let m = faulty_traced_run(FaultPlan::new(0x5EED).with_drop(0.12).with_corrupt(0.05));
